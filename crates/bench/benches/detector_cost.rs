@@ -1,0 +1,53 @@
+//! EXP-ABL-DET in Criterion form: cost of one periodic checkpoint
+//! (Algorithms 1–3 over the checking lists) as a function of the
+//! event-window size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rmon_core::detect::Detector;
+use rmon_core::{DetectorConfig, Nanos};
+use rmon_workloads::sweep;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint_window");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+    for (target, trace) in sweep::window_sweep(1) {
+        let events = trace.events[..target].to_vec();
+        group.throughput(Throughput::Elements(target as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(target), &events, |b, events| {
+            b.iter(|| {
+                let mut det = Detector::new(DetectorConfig::without_timeouts());
+                det.register_empty(trace.monitor, Arc::clone(&trace.spec), Nanos::ZERO);
+                det.checkpoint(trace.end_time, events, &HashMap::new())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_reference_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reference_checker");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+    let trace = sweep::pc_trace(60, 1);
+    group.throughput(Throughput::Elements(trace.events.len() as u64));
+    group.bench_function("full_history", |b| {
+        b.iter(|| {
+            rmon_core::reference::check_history(
+                trace.monitor,
+                &trace.spec,
+                &DetectorConfig::without_timeouts(),
+                &trace.events,
+                Some(&trace.final_state),
+                trace.end_time,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint, bench_reference_checker);
+criterion_main!(benches);

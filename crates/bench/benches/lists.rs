@@ -1,0 +1,120 @@
+//! Micro-costs of the checking-list state machines: Algorithm-1 replay
+//! per event, Algorithm-3 order tracking, and path-expression NFA
+//! stepping.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rmon_core::{
+    DetectorConfig, GeneralLists, MonitorId, MonitorSpec, OrderState, PathExpr, ResourceState,
+};
+use rmon_workloads::sweep;
+use std::time::Duration;
+
+fn bench_general_replay(c: &mut Criterion) {
+    let trace = sweep::pc_trace(60, 1);
+    let mut group = c.benchmark_group("lists");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+    group.throughput(Throughput::Elements(trace.events.len() as u64));
+    group.bench_function("general_lists_replay", |b| {
+        b.iter(|| {
+            let mut lists =
+                GeneralLists::new(trace.monitor, trace.spec.cond_count());
+            let mut out = Vec::new();
+            for e in &trace.events {
+                lists.apply(&trace.spec, e, &mut out);
+            }
+            out
+        });
+    });
+    group.bench_function("resource_state_replay", |b| {
+        b.iter(|| {
+            let mut rs = ResourceState::new(
+                trace.monitor,
+                trace.spec.capacity.unwrap_or(0),
+                trace.spec.capacity.unwrap_or(0),
+            );
+            let mut out = Vec::new();
+            for e in &trace.events {
+                rs.apply(&trace.spec, e, &mut out);
+            }
+            out
+        });
+    });
+    group.finish();
+}
+
+fn bench_order_tracking(c: &mut Criterion) {
+    let al = MonitorSpec::allocator("res", 4);
+    let mut events = Vec::new();
+    let mut seq = 0u64;
+    for round in 0..200u64 {
+        let pid = rmon_core::Pid::new((round % 4) as u32);
+        for proc_name in [al.request, al.release] {
+            seq += 1;
+            events.push(rmon_core::Event::enter(
+                seq,
+                rmon_core::Nanos::new(seq * 10),
+                MonitorId::new(0),
+                pid,
+                proc_name,
+                true,
+            ));
+            seq += 1;
+            events.push(rmon_core::Event::signal_exit(
+                seq,
+                rmon_core::Nanos::new(seq * 10),
+                MonitorId::new(0),
+                pid,
+                proc_name,
+                None,
+                false,
+            ));
+        }
+    }
+    let mut group = c.benchmark_group("order_state");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("request_release_tracking", |b| {
+        b.iter(|| {
+            let mut os = OrderState::new(MonitorId::new(0), &al.spec);
+            let mut out = Vec::new();
+            for e in &events {
+                os.apply(&al.spec, e, &mut out);
+            }
+            os.check_hold_timeout(
+                &DetectorConfig::without_timeouts(),
+                rmon_core::Nanos::new(seq * 10),
+                &mut out,
+            );
+            out
+        });
+    });
+    group.finish();
+}
+
+fn bench_path_nfa(c: &mut Criterion) {
+    let spec = MonitorSpec::allocator("res", 1).spec;
+    let expr = PathExpr::parse("path (request ; release)* end").expect("parses");
+    let compiled = expr.compile(|n| spec.proc_by_name(n)).expect("compiles");
+    let request = spec.proc_by_name("request").expect("declared");
+    let release = spec.proc_by_name("release").expect("declared");
+    let mut group = c.benchmark_group("path_expr");
+    group.sample_size(30);
+    group.measurement_time(Duration::from_secs(3));
+    group.throughput(Throughput::Elements(2_000));
+    group.bench_function("nfa_advance_1000_cycles", |b| {
+        b.iter(|| {
+            let mut tracker = compiled.tracker();
+            for _ in 0..1_000 {
+                tracker.advance(request).expect("allowed");
+                tracker.advance(release).expect("allowed");
+            }
+            tracker.is_complete()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_general_replay, bench_order_tracking, bench_path_nfa);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Cost of the data-gathering routine in isolation: event recording
+//! into the history database and the thread-safe recorder.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rmon_core::{EventKind, HistoryDb, MonitorId, Nanos, Pid, ProcName};
+use rmon_rt::Recorder;
+use std::time::Duration;
+
+fn bench_history_db(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recording");
+    group.sample_size(30);
+    group.measurement_time(Duration::from_secs(3));
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("history_db_record", |b| {
+        let mut db = HistoryDb::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            db.record(
+                Nanos::new(t),
+                MonitorId::new(0),
+                Pid::new(1),
+                ProcName::new(0),
+                EventKind::Enter { granted: true },
+            )
+        });
+        db.drain_window();
+    });
+    group.bench_function("recorder_record", |b| {
+        let rec = Recorder::new();
+        b.iter(|| {
+            rec.record(
+                MonitorId::new(0),
+                Pid::new(1),
+                ProcName::new(0),
+                EventKind::Enter { granted: true },
+            )
+        });
+        rec.drain_window();
+    });
+    group.bench_function("history_db_record_drain_cycle", |b| {
+        let mut db = HistoryDb::new();
+        b.iter(|| {
+            for t in 0..64u64 {
+                db.record(
+                    Nanos::new(t),
+                    MonitorId::new(0),
+                    Pid::new(1),
+                    ProcName::new(0),
+                    EventKind::Enter { granted: true },
+                );
+            }
+            db.drain_window()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_history_db);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion companion to EXP-T1 (Table 1): per-operation cost of the
+//! producer/consumer workload under the three instrumentation modes and
+//! two scaled checking intervals.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmon_rt::overhead::{measure, Mode, Workload};
+use std::time::Duration;
+
+fn bench_overhead_modes(c: &mut Criterion) {
+    let workload =
+        Workload { producers: 2, consumers: 2, items_per_producer: 2_000, capacity: 8 };
+    let mut group = c.benchmark_group("table1_overhead");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    let cases = [
+        ("plain", Mode::Plain),
+        ("recording_only", Mode::RecordingOnly),
+        ("full_interval_25ms", Mode::Full { interval: Duration::from_millis(25) }),
+        ("full_interval_150ms", Mode::Full { interval: Duration::from_millis(150) }),
+    ];
+    for (name, mode) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            b.iter(|| measure(workload, mode));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead_modes);
+criterion_main!(benches);

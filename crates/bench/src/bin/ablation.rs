@@ -1,0 +1,143 @@
+//! Ablation studies backing the design discussion:
+//!
+//! * **EXP-ABL-REC** — the cost split between event recording and
+//!   periodic checking (the paper's text attributes the overhead to
+//!   both; we separate them);
+//! * **EXP-ABL-RT** — detection latency vs. checking interval, down to
+//!   the paper's *"when T = 1, the checking becomes real-time"* limit;
+//! * **EXP-ABL-DET** — checkpoint cost as a function of the event-window
+//!   size (the scalability of the checking lists).
+//!
+//! Run with: `cargo run -p rmon-bench --bin ablation --release`
+
+use rmon_bench::{paper_second, row, rule_line};
+use rmon_core::detect::Detector;
+use rmon_core::{DetectorConfig, FaultKind, Nanos};
+use rmon_rt::overhead::{measure, Mode, Workload};
+use rmon_workloads::{faultset, sweep};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    ablation_recording();
+    println!();
+    ablation_latency();
+    println!();
+    ablation_detector_cost();
+}
+
+/// EXP-ABL-REC: Plain vs. RecordingOnly vs. Full.
+fn ablation_recording() {
+    let ps = paper_second();
+    // Uncontended alternating workload: isolates per-op instrumentation
+    // cost (see the table1 binary for the rationale).
+    let w = Workload { producers: 1, consumers: 0, items_per_producer: 150_000, capacity: 64 };
+    println!("EXP-ABL-REC — recording vs. checking cost ({} ops)", w.total_ops());
+    let widths = [22usize, 14, 10];
+    println!(
+        "{}",
+        row(&["mode".into(), "ns/op".into(), "ratio".into()], &widths)
+    );
+    println!("{}", rule_line(&widths));
+    let base = measure(w, Mode::Plain).ns_per_op;
+    for (name, mode) in [
+        ("plain (baseline)", Mode::Plain),
+        ("recording only", Mode::RecordingOnly),
+        ("full, T = 1 ps", Mode::Full { interval: ps }),
+    ] {
+        let m = measure(w, mode);
+        println!(
+            "{}",
+            row(
+                &[name.into(), format!("{:.1}", m.ns_per_op), format!("{:.3}", m.ns_per_op / base)],
+                &widths
+            )
+        );
+    }
+}
+
+/// EXP-ABL-RT: detection latency vs. checking interval in the
+/// simulator (virtual time, fully deterministic).
+fn ablation_latency() {
+    println!("EXP-ABL-RT — detection latency vs. checking interval (virtual time)");
+    let widths = [16usize, 10, 14, 14];
+    println!(
+        "{}",
+        row(
+            &["interval".into(), "fault".into(), "latency".into(), "checks/run".into()],
+            &widths
+        )
+    );
+    println!("{}", rule_line(&widths));
+    // Faults detected by the periodic algorithms (latency ≈ interval)
+    // vs. a user-process fault caught in real time (latency ≈ 0).
+    let cases =
+        [FaultKind::EnterProcessLost, FaultKind::SendExceedsCapacity, FaultKind::DoubleAcquire];
+    for interval_us in [50u64, 200, 1_000, 5_000] {
+        for fault in cases {
+            let mut sim = faultset::build_case(fault, 0);
+            let cfg = DetectorConfig::builder()
+                .check_interval(Nanos::from_micros(interval_us))
+                .t_max(Nanos::from_millis(2))
+                .t_io(Nanos::from_millis(4))
+                .t_limit(Nanos::from_millis(3))
+                .build();
+            let out = rmon_sim::run_with_detection(&mut sim, cfg);
+            let lat = out
+                .detection_latency()
+                .map(|l| l.to_string())
+                .unwrap_or_else(|| "realtime".into());
+            println!(
+                "{}",
+                row(
+                    &[
+                        format!("{interval_us} us"),
+                        fault.code().into(),
+                        lat,
+                        out.reports.len().to_string(),
+                    ],
+                    &widths
+                )
+            );
+        }
+    }
+}
+
+/// EXP-ABL-DET: wall time of one checkpoint vs. window size.
+fn ablation_detector_cost() {
+    println!("EXP-ABL-DET — checkpoint cost vs. event-window size");
+    let widths = [12usize, 14, 14];
+    println!(
+        "{}",
+        row(&["events".into(), "total".into(), "ns/event".into()], &widths)
+    );
+    println!("{}", rule_line(&widths));
+    for (target, trace) in sweep::window_sweep(1) {
+        let events = &trace.events[..target];
+        // Fresh detector per run; replay the window once, timed.
+        let iterations = 50;
+        let mut total = std::time::Duration::ZERO;
+        for _ in 0..iterations {
+            let mut det = Detector::new(DetectorConfig::without_timeouts());
+            det.register_empty(trace.monitor, Arc::clone(&trace.spec), Nanos::ZERO);
+            let snaps: HashMap<_, _> = HashMap::new();
+            let start = Instant::now();
+            let report = det.checkpoint(trace.end_time, events, &snaps);
+            total += start.elapsed();
+            assert_eq!(report.events_checked as usize, events.len());
+        }
+        let per = total / iterations as u32;
+        println!(
+            "{}",
+            row(
+                &[
+                    target.to_string(),
+                    format!("{per:?}"),
+                    format!("{:.1}", per.as_nanos() as f64 / target as f64),
+                ],
+                &widths
+            )
+        );
+    }
+}

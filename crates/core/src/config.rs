@@ -1,0 +1,146 @@
+//! Detector configuration: the timing parameters of §3.2/§3.3.
+//!
+//! * `Tmax` — the maximum time any process may spend inside a monitor
+//!   (running or waiting on a condition); exceeding it indicates
+//!   non-termination inside the monitor (FD-2 / ST-5).
+//! * `Tio` — the timeout for interpreting deadlock or starvation on the
+//!   entry queue (FD-4 / ST-6).
+//! * `Tlimit` — the maximum time a process may hold an access right
+//!   before `Release` (ST-8c).
+//! * `check_interval` (`T`) — how often the periodic checking routine
+//!   runs. The paper: *"whenever T is reached the detection routine is
+//!   automatically invoked"*, and *"when T = 1, the checking becomes
+//!   real-time"*.
+
+use crate::time::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Timing parameters for the detection algorithms.
+///
+/// # Examples
+///
+/// ```
+/// use rmon_core::{DetectorConfig, Nanos};
+/// let cfg = DetectorConfig::builder()
+///     .t_max(Nanos::from_millis(100))
+///     .t_io(Nanos::from_millis(200))
+///     .t_limit(Nanos::from_millis(300))
+///     .check_interval(Nanos::from_millis(50))
+///     .build();
+/// assert_eq!(cfg.t_max, Nanos::from_millis(100));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Maximum time inside a monitor (`Tmax`).
+    pub t_max: Nanos,
+    /// Entry-queue starvation timeout (`Tio`).
+    pub t_io: Nanos,
+    /// Maximum resource hold time (`Tlimit`).
+    pub t_limit: Nanos,
+    /// Periodic checking interval (`T`).
+    pub check_interval: Nanos,
+}
+
+impl DetectorConfig {
+    /// Starts building a configuration from the defaults.
+    pub fn builder() -> DetectorConfigBuilder {
+        DetectorConfigBuilder { cfg: DetectorConfig::default() }
+    }
+
+    /// A configuration where every timer is effectively disabled — used
+    /// when only structural rules (not timing rules) should fire, e.g.
+    /// in differential tests against the reference checker on traces
+    /// without meaningful timestamps.
+    pub fn without_timeouts() -> Self {
+        DetectorConfig {
+            t_max: Nanos::MAX,
+            t_io: Nanos::MAX,
+            t_limit: Nanos::MAX,
+            check_interval: Nanos::from_millis(100),
+        }
+    }
+}
+
+impl Default for DetectorConfig {
+    /// Defaults sized for tests and simulations: `Tmax` 100 ms,
+    /// `Tio` 200 ms, `Tlimit` 500 ms, checking every 50 ms.
+    fn default() -> Self {
+        DetectorConfig {
+            t_max: Nanos::from_millis(100),
+            t_io: Nanos::from_millis(200),
+            t_limit: Nanos::from_millis(500),
+            check_interval: Nanos::from_millis(50),
+        }
+    }
+}
+
+/// Builder for [`DetectorConfig`].
+#[derive(Debug, Clone)]
+pub struct DetectorConfigBuilder {
+    cfg: DetectorConfig,
+}
+
+impl DetectorConfigBuilder {
+    /// Sets `Tmax`.
+    pub fn t_max(mut self, v: Nanos) -> Self {
+        self.cfg.t_max = v;
+        self
+    }
+
+    /// Sets `Tio`.
+    pub fn t_io(mut self, v: Nanos) -> Self {
+        self.cfg.t_io = v;
+        self
+    }
+
+    /// Sets `Tlimit`.
+    pub fn t_limit(mut self, v: Nanos) -> Self {
+        self.cfg.t_limit = v;
+        self
+    }
+
+    /// Sets the checking interval `T`.
+    pub fn check_interval(mut self, v: Nanos) -> Self {
+        self.cfg.check_interval = v;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> DetectorConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_ordered_sensibly() {
+        let c = DetectorConfig::default();
+        assert!(c.t_max < c.t_io, "a process should time out inside before entry starvation");
+        assert!(c.check_interval < c.t_max);
+    }
+
+    #[test]
+    fn builder_overrides_fields() {
+        let c = DetectorConfig::builder()
+            .t_max(Nanos::from_secs(1))
+            .t_io(Nanos::from_secs(2))
+            .t_limit(Nanos::from_secs(3))
+            .check_interval(Nanos::from_millis(10))
+            .build();
+        assert_eq!(c.t_max, Nanos::from_secs(1));
+        assert_eq!(c.t_io, Nanos::from_secs(2));
+        assert_eq!(c.t_limit, Nanos::from_secs(3));
+        assert_eq!(c.check_interval, Nanos::from_millis(10));
+    }
+
+    #[test]
+    fn without_timeouts_disables_timers() {
+        let c = DetectorConfig::without_timeouts();
+        assert_eq!(c.t_max, Nanos::MAX);
+        assert_eq!(c.t_io, Nanos::MAX);
+        assert_eq!(c.t_limit, Nanos::MAX);
+    }
+}

@@ -1,0 +1,192 @@
+//! Algorithm-1: General Concurrency-Control Checking (paper §3.3.2).
+//!
+//! Input: monitor state `s_p` at the last checking time, state `s_t` at
+//! the current checking time, and the scheduling event sequence `L`
+//! generated in between. Step 1 replays `L` over checking lists
+//! initialized from `s_p`, reporting every ST-1..4 violation on the way;
+//! step 2 compares the replayed lists against `s_t` and checks the
+//! `Tmax` / `Tio` timers.
+
+use crate::config::DetectorConfig;
+use crate::event::Event;
+use crate::ids::MonitorId;
+use crate::lists::GeneralLists;
+use crate::spec::MonitorSpec;
+use crate::state::MonitorState;
+use crate::time::Nanos;
+use crate::violation::Violation;
+
+/// Runs Algorithm-1 as a batch over one checking window.
+///
+/// `prev` is `s_p` (the observed state at the last checking time `t_p`),
+/// `events` is the window `L = l₁…lₙ`, `current` is `s_t`, and `now` is
+/// the current checking time `t`.
+///
+/// # Examples
+///
+/// ```
+/// use rmon_core::detect::algorithm1;
+/// use rmon_core::{DetectorConfig, MonitorId, MonitorSpec, MonitorState, Nanos};
+///
+/// let bb = MonitorSpec::bounded_buffer("buf", 2);
+/// let empty = MonitorState::with_resources(2, 2);
+/// let violations = algorithm1::run(
+///     MonitorId::new(0),
+///     &bb.spec,
+///     &DetectorConfig::default(),
+///     &empty,
+///     &[],
+///     &empty,
+///     Nanos::from_millis(1),
+/// );
+/// assert!(violations.is_empty());
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn run(
+    monitor: MonitorId,
+    spec: &MonitorSpec,
+    cfg: &DetectorConfig,
+    prev: &MonitorState,
+    events: &[Event],
+    current: &MonitorState,
+    now: Nanos,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // Step 1: initialize the checking lists from s_p and replay L.
+    let mut lists = GeneralLists::from_state(
+        monitor,
+        spec.cond_count(),
+        prev,
+        prev_time(events, now),
+    );
+    for event in events {
+        lists.apply(spec, event, &mut out);
+    }
+    // Step 2: compare against s_t and check the timers.
+    lists.compare_snapshot(current, now, &mut out);
+    lists.check_timers(cfg, now, &mut out);
+    out
+}
+
+/// The logical start time of the window: the first event's timestamp,
+/// or `now` for an empty window (timers then trivially pass).
+fn prev_time(events: &[Event], now: Nanos) -> Nanos {
+    events.first().map_or(now, |e| e.time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultKind;
+    use crate::ids::{CondId, Pid, PidProc, ProcName};
+    use crate::rule::RuleId;
+
+    const M: MonitorId = MonitorId::new(0);
+
+    fn spec() -> MonitorSpec {
+        MonitorSpec::bounded_buffer("buf", 2).spec
+    }
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig::without_timeouts()
+    }
+
+    #[test]
+    fn clean_window_produces_no_violations() {
+        let spec = spec();
+        let prev = MonitorState::new(2);
+        let events = vec![
+            Event::enter(1, Nanos::new(10), M, Pid::new(1), ProcName::new(0), true),
+            Event::signal_exit(
+                2,
+                Nanos::new(20),
+                M,
+                Pid::new(1),
+                ProcName::new(0),
+                Some(CondId::new(1)),
+                false,
+            ),
+        ];
+        let current = MonitorState::new(2);
+        let v = run(M, &spec, &cfg(), &prev, &events, &current, Nanos::new(30));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn window_starting_from_nonempty_state_is_consistent() {
+        let spec = spec();
+        // P1 was inside at the last checkpoint.
+        let mut prev = MonitorState::new(2);
+        prev.running.push(PidProc::new(Pid::new(1), ProcName::new(0)));
+        let events = vec![Event::signal_exit(
+            5,
+            Nanos::new(10),
+            M,
+            Pid::new(1),
+            ProcName::new(0),
+            Some(CondId::new(1)),
+            false,
+        )];
+        let current = MonitorState::new(2);
+        let v = run(M, &spec, &cfg(), &prev, &events, &current, Nanos::new(20));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn detects_mutual_exclusion_violation_in_window() {
+        let spec = spec();
+        let prev = MonitorState::new(2);
+        let events = vec![
+            Event::enter(1, Nanos::new(10), M, Pid::new(1), ProcName::new(0), true),
+            Event::enter(2, Nanos::new(11), M, Pid::new(2), ProcName::new(1), true),
+        ];
+        let mut current = MonitorState::new(2);
+        current.running.push(PidProc::new(Pid::new(1), ProcName::new(0)));
+        current.running.push(PidProc::new(Pid::new(2), ProcName::new(1)));
+        let v = run(M, &spec, &cfg(), &prev, &events, &current, Nanos::new(30));
+        assert!(v.iter().any(|v| v.rule == RuleId::St3RunningUnique
+            && v.fault == Some(FaultKind::EnterMutualExclusion)));
+    }
+
+    #[test]
+    fn detects_lost_process_via_snapshot_mismatch() {
+        let spec = spec();
+        let prev = MonitorState::new(2);
+        let events = vec![
+            Event::enter(1, Nanos::new(10), M, Pid::new(1), ProcName::new(0), true),
+            Event::enter(2, Nanos::new(11), M, Pid::new(2), ProcName::new(1), false),
+        ];
+        // Observed state: P2 vanished (neither queued nor admitted).
+        let mut current = MonitorState::new(2);
+        current.running.push(PidProc::new(Pid::new(1), ProcName::new(0)));
+        let v = run(M, &spec, &cfg(), &prev, &events, &current, Nanos::new(30));
+        assert!(v.iter().any(|v| v.rule == RuleId::St1EntrySnapshot), "{v:?}");
+    }
+
+    #[test]
+    fn detects_starvation_through_tio() {
+        let spec = spec();
+        let prev = MonitorState::new(2);
+        let events = vec![
+            Event::enter(1, Nanos::new(10), M, Pid::new(1), ProcName::new(0), true),
+            Event::enter(2, Nanos::new(11), M, Pid::new(2), ProcName::new(1), false),
+        ];
+        let mut current = MonitorState::new(2);
+        current.running.push(PidProc::new(Pid::new(1), ProcName::new(0)));
+        current.entry_queue.push(PidProc::new(Pid::new(2), ProcName::new(1)));
+        let tight = DetectorConfig::builder()
+            .t_io(Nanos::from_millis(1))
+            .t_max(Nanos::from_secs(100))
+            .build();
+        let v = run(M, &spec, &tight, &prev, &events, &current, Nanos::from_secs(1));
+        assert!(v.iter().any(|v| v.rule == RuleId::St6EntryTimeout), "{v:?}");
+    }
+
+    #[test]
+    fn empty_window_with_equal_states_is_clean() {
+        let spec = spec();
+        let st = MonitorState::new(2);
+        let v = run(M, &spec, &cfg(), &st, &[], &st, Nanos::new(5));
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Algorithm-2: Consistency-Of-Resource-States Checking (paper §3.3.2).
+//!
+//! For communication-coordinator monitors only: replays the window's
+//! events over the Resource-No counter and the `r`/`s` success counters,
+//! checking the four ST-7 sub-rules:
+//!
+//! * ST-7a: `0 ≤ r ≤ s ≤ r + Rmax`,
+//! * ST-7b: observed `R#` at the checkpoint equals
+//!   `R#(p) + r − s`,
+//! * ST-7c: a sender is delayed only when `Resource-No = 0`,
+//! * ST-7d: a receiver is delayed only when `Resource-No = Rmax`.
+
+use crate::event::Event;
+use crate::ids::MonitorId;
+use crate::lists::ResourceState;
+use crate::spec::{MonitorClass, MonitorSpec};
+use crate::state::MonitorState;
+use crate::time::Nanos;
+use crate::violation::Violation;
+
+/// Runs Algorithm-2 as a batch over one checking window.
+///
+/// Returns no violations for monitors that are not communication
+/// coordinators (the rule does not apply).
+///
+/// # Examples
+///
+/// ```
+/// use rmon_core::detect::algorithm2;
+/// use rmon_core::{MonitorId, MonitorSpec, MonitorState, Nanos};
+///
+/// let bb = MonitorSpec::bounded_buffer("buf", 4);
+/// let s = MonitorState::with_resources(2, 4);
+/// let v = algorithm2::run(MonitorId::new(0), &bb.spec, &s, &[], &s, Nanos::ZERO);
+/// assert!(v.is_empty());
+/// ```
+pub fn run(
+    monitor: MonitorId,
+    spec: &MonitorSpec,
+    prev: &MonitorState,
+    events: &[Event],
+    current: &MonitorState,
+    now: Nanos,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if spec.class != MonitorClass::CommunicationCoordinator {
+        return out;
+    }
+    let rmax = spec.capacity.unwrap_or(0);
+    let available = prev.available.unwrap_or(rmax);
+    let mut rs = ResourceState::new(monitor, rmax, available);
+    for event in events {
+        rs.apply(spec, event, &mut out);
+    }
+    rs.compare_snapshot(current, now, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultKind;
+    use crate::ids::{CondId, Pid, ProcName};
+    use crate::rule::RuleId;
+
+    const M: MonitorId = MonitorId::new(0);
+    const SEND: ProcName = ProcName::new(0);
+    const RECV: ProcName = ProcName::new(1);
+    const FULL: CondId = CondId::new(0);
+    const EMPTY: CondId = CondId::new(1);
+
+    fn spec() -> MonitorSpec {
+        MonitorSpec::bounded_buffer("buf", 2).spec
+    }
+
+    fn send_cycle(seq: &mut u64, t: &mut u64, pid: u32) -> Vec<Event> {
+        let mut ev = Vec::new();
+        *seq += 1;
+        *t += 10;
+        ev.push(Event::enter(*seq, Nanos::new(*t), M, Pid::new(pid), SEND, true));
+        *seq += 1;
+        *t += 10;
+        ev.push(Event::signal_exit(
+            *seq,
+            Nanos::new(*t),
+            M,
+            Pid::new(pid),
+            SEND,
+            Some(EMPTY),
+            false,
+        ));
+        ev
+    }
+
+    fn recv_cycle(seq: &mut u64, t: &mut u64, pid: u32) -> Vec<Event> {
+        let mut ev = Vec::new();
+        *seq += 1;
+        *t += 10;
+        ev.push(Event::enter(*seq, Nanos::new(*t), M, Pid::new(pid), RECV, true));
+        *seq += 1;
+        *t += 10;
+        ev.push(Event::signal_exit(
+            *seq,
+            Nanos::new(*t),
+            M,
+            Pid::new(pid),
+            RECV,
+            Some(FULL),
+            false,
+        ));
+        ev
+    }
+
+    #[test]
+    fn balanced_traffic_is_clean() {
+        let spec = spec();
+        let (mut seq, mut t) = (0, 0);
+        let mut events = Vec::new();
+        events.extend(send_cycle(&mut seq, &mut t, 1));
+        events.extend(recv_cycle(&mut seq, &mut t, 2));
+        let prev = MonitorState::with_resources(2, 2);
+        let current = MonitorState::with_resources(2, 2);
+        let v = run(M, &spec, &prev, &events, &current, Nanos::new(t + 1));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn receive_before_any_send_is_flagged() {
+        let spec = spec();
+        let (mut seq, mut t) = (0, 0);
+        let events = recv_cycle(&mut seq, &mut t, 1);
+        let prev = MonitorState::with_resources(2, 2);
+        let current = MonitorState::with_resources(2, 3);
+        let v = run(M, &spec, &prev, &events, &current, Nanos::new(t + 1));
+        assert!(v.iter().any(|v| v.fault == Some(FaultKind::ReceiveExceedsSend)), "{v:?}");
+    }
+
+    #[test]
+    fn three_sends_into_capacity_two_is_flagged() {
+        let spec = spec();
+        let (mut seq, mut t) = (0, 0);
+        let mut events = Vec::new();
+        for p in 1..=3 {
+            events.extend(send_cycle(&mut seq, &mut t, p));
+        }
+        let prev = MonitorState::with_resources(2, 2);
+        let current = MonitorState::with_resources(2, 0);
+        let v = run(M, &spec, &prev, &events, &current, Nanos::new(t + 1));
+        assert!(v.iter().any(|v| v.fault == Some(FaultKind::SendExceedsCapacity)), "{v:?}");
+    }
+
+    #[test]
+    fn checkpoint_resource_mismatch_is_flagged() {
+        let spec = spec();
+        let (mut seq, mut t) = (0, 0);
+        let events = send_cycle(&mut seq, &mut t, 1);
+        let prev = MonitorState::with_resources(2, 2);
+        // A correct run would leave one free slot, but the observed
+        // snapshot claims two (a lost deposit).
+        let current = MonitorState::with_resources(2, 2);
+        let v = run(M, &spec, &prev, &events, &current, Nanos::new(t + 1));
+        assert!(v.iter().any(|v| v.rule == RuleId::St7CountInvariant), "{v:?}");
+    }
+
+    #[test]
+    fn non_coordinator_monitors_are_skipped() {
+        let spec = MonitorSpec::allocator("a", 1).spec;
+        let prev = MonitorState::new(1);
+        let current = MonitorState::new(1);
+        let events =
+            vec![Event::enter(1, Nanos::new(1), M, Pid::new(1), ProcName::new(0), true)];
+        let v = run(M, &spec, &prev, &events, &current, Nanos::new(2));
+        assert!(v.is_empty());
+    }
+}

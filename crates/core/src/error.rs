@@ -1,0 +1,54 @@
+//! Crate-level error type.
+
+use crate::ids::MonitorId;
+use crate::path::PathError;
+use std::fmt;
+
+/// Errors returned by fallible `rmon-core` operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A path expression failed to parse or compile.
+    Path(PathError),
+    /// An operation referenced a monitor that was never registered.
+    UnknownMonitor(MonitorId),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Path(e) => write!(f, "{e}"),
+            CoreError::UnknownMonitor(m) => write!(f, "monitor {m} is not registered"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Path(e) => Some(e),
+            CoreError::UnknownMonitor(_) => None,
+        }
+    }
+}
+
+impl From<PathError> for CoreError {
+    fn from(e: PathError) -> Self {
+        CoreError::Path(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = CoreError::from(PathError::Parse { message: "x".into() });
+        assert!(e.to_string().contains("syntax error"));
+        assert!(e.source().is_some());
+        let u = CoreError::UnknownMonitor(MonitorId::new(3));
+        assert!(u.to_string().contains("M3"));
+        assert!(u.source().is_none());
+    }
+}

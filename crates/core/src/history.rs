@@ -1,0 +1,189 @@
+//! The history-information database (§3.1, §4).
+//!
+//! The prototype of §4 maintains *"a history information database,
+//! which consists of the scheduling event sequence recorded during
+//! monitor operation and the checking lists generated at the checking
+//! points"*. [`HistoryDb`] is that database's event half: it assigns
+//! the global sequence numbers that define the total order `<L`,
+//! buffers events between checkpoints, and prunes aggressively — the
+//! paper: *"most of the information can be removed after being used"*.
+//!
+//! Thread-safety is layered on top by the runtime crate; the core type
+//! is single-threaded.
+
+use crate::event::{Event, EventKind};
+use crate::ids::{MonitorId, Pid, ProcName};
+use crate::time::Nanos;
+use std::collections::VecDeque;
+
+/// Event log with sequence numbering, windowed draining and bounded
+/// retention.
+#[derive(Debug, Clone)]
+pub struct HistoryDb {
+    events: VecDeque<Event>,
+    next_seq: u64,
+    dropped: u64,
+    max_len: Option<usize>,
+}
+
+impl HistoryDb {
+    /// Creates an unbounded history database.
+    pub fn new() -> Self {
+        HistoryDb { events: VecDeque::new(), next_seq: 1, dropped: 0, max_len: None }
+    }
+
+    /// Creates a database that retains at most `max_len` undrained
+    /// events; older events are dropped (and counted) when the bound is
+    /// exceeded. A dropped event weakens detection for its window — the
+    /// drop counter lets callers surface that.
+    pub fn with_capacity_limit(max_len: usize) -> Self {
+        HistoryDb { events: VecDeque::new(), next_seq: 1, dropped: 0, max_len: Some(max_len) }
+    }
+
+    /// Records an event, assigning it the next sequence number.
+    /// Returns the recorded event (with `seq` filled in).
+    pub fn record(
+        &mut self,
+        time: Nanos,
+        monitor: MonitorId,
+        pid: Pid,
+        proc_name: ProcName,
+        kind: EventKind,
+    ) -> Event {
+        let event = Event { seq: self.next_seq, time, monitor, pid, proc_name, kind };
+        self.next_seq += 1;
+        self.events.push_back(event);
+        if let Some(max) = self.max_len {
+            while self.events.len() > max {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+        }
+        event
+    }
+
+    /// Records an already-stamped event coming from an external
+    /// recorder, keeping sequence numbering monotone.
+    pub fn record_event(&mut self, event: Event) {
+        self.next_seq = self.next_seq.max(event.seq + 1);
+        self.events.push_back(event);
+        if let Some(max) = self.max_len {
+            while self.events.len() > max {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+        }
+    }
+
+    /// Takes the buffered window `L = l₁…lₙ` for a checkpoint, leaving
+    /// the database empty (the paper's pruning step).
+    pub fn drain_window(&mut self) -> Vec<Event> {
+        self.events.drain(..).collect()
+    }
+
+    /// Number of buffered (undrained) events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events dropped due to the retention bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The next sequence number to be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Iterates over the buffered events without draining.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+}
+
+impl Default for HistoryDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn push(db: &mut HistoryDb, n: u64) -> Event {
+        db.record(
+            Nanos::new(n),
+            MonitorId::new(0),
+            Pid::new(1),
+            ProcName::new(0),
+            EventKind::Enter { granted: true },
+        )
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotone_from_one() {
+        let mut db = HistoryDb::new();
+        let a = push(&mut db, 1);
+        let b = push(&mut db, 2);
+        assert_eq!(a.seq, 1);
+        assert_eq!(b.seq, 2);
+        assert_eq!(db.next_seq(), 3);
+    }
+
+    #[test]
+    fn drain_empties_the_window() {
+        let mut db = HistoryDb::new();
+        push(&mut db, 1);
+        push(&mut db, 2);
+        assert_eq!(db.len(), 2);
+        let window = db.drain_window();
+        assert_eq!(window.len(), 2);
+        assert!(db.is_empty());
+        // Sequence numbering continues across windows.
+        let c = push(&mut db, 3);
+        assert_eq!(c.seq, 3);
+    }
+
+    #[test]
+    fn capacity_limit_drops_oldest_and_counts() {
+        let mut db = HistoryDb::with_capacity_limit(2);
+        push(&mut db, 1);
+        push(&mut db, 2);
+        push(&mut db, 3);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.dropped(), 1);
+        let window = db.drain_window();
+        assert_eq!(window[0].seq, 2);
+    }
+
+    #[test]
+    fn record_event_keeps_numbering_monotone() {
+        let mut db = HistoryDb::new();
+        let ext = Event::enter(
+            10,
+            Nanos::new(1),
+            MonitorId::new(0),
+            Pid::new(1),
+            ProcName::new(0),
+            true,
+        );
+        db.record_event(ext);
+        let next = push(&mut db, 2);
+        assert_eq!(next.seq, 11);
+    }
+
+    #[test]
+    fn iter_does_not_drain() {
+        let mut db = HistoryDb::new();
+        push(&mut db, 1);
+        assert_eq!(db.iter().count(), 1);
+        assert_eq!(db.len(), 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! Violations and fault reports — what the detection routines emit.
+
+use crate::fault::FaultKind;
+use crate::ids::{MonitorId, Pid};
+use crate::rule::RuleId;
+use crate::time::Nanos;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single detected rule violation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The monitor in which the violation was detected.
+    pub monitor: MonitorId,
+    /// The rule that was violated.
+    pub rule: RuleId,
+    /// Best-effort mapping back to the fault-taxonomy class (§2.2).
+    /// `None` when several classes are indistinguishable from the
+    /// history alone.
+    pub fault: Option<FaultKind>,
+    /// The offending process, when attributable.
+    pub pid: Option<Pid>,
+    /// Sequence number of the event at which the violation was
+    /// detected, when attributable to a single event.
+    pub event_seq: Option<u64>,
+    /// Logical time of detection.
+    pub detected_at: Nanos,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl Violation {
+    /// Creates a violation with the required fields; optional fields are
+    /// filled through the `with_*` methods.
+    pub fn new(monitor: MonitorId, rule: RuleId, detected_at: Nanos, message: impl Into<String>) -> Self {
+        Violation {
+            monitor,
+            rule,
+            fault: None,
+            pid: None,
+            event_seq: None,
+            detected_at,
+            message: message.into(),
+        }
+    }
+
+    /// Attaches the offending process.
+    pub fn with_pid(mut self, pid: Pid) -> Self {
+        self.pid = Some(pid);
+        self
+    }
+
+    /// Attaches the triggering event.
+    pub fn with_event(mut self, seq: u64) -> Self {
+        self.event_seq = Some(seq);
+        self
+    }
+
+    /// Attaches the diagnosed fault class.
+    pub fn with_fault(mut self, fault: FaultKind) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} {}", self.rule, self.monitor, self.message)?;
+        if let Some(pid) = self.pid {
+            write!(f, " (pid {pid})")?;
+        }
+        if let Some(seq) = self.event_seq {
+            write!(f, " (event l{seq})")?;
+        }
+        if let Some(fault) = self.fault {
+            write!(f, " [fault {}]", fault.code())?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of one invocation of the detection routines — a batch of
+/// violations plus bookkeeping about the checked window.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct FaultReport {
+    /// All violations found in this checking window.
+    pub violations: Vec<Violation>,
+    /// Number of events examined.
+    pub events_checked: u64,
+    /// Start of the window (last checking time `t_p`).
+    pub window_start: Nanos,
+    /// End of the window (current checking time `t`).
+    pub window_end: Nanos,
+}
+
+impl FaultReport {
+    /// Whether the window was violation-free.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violations attributed to a specific rule.
+    pub fn by_rule(&self, rule: RuleId) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(move |v| v.rule == rule)
+    }
+
+    /// Whether any violation maps to the given fault class.
+    pub fn detects(&self, fault: FaultKind) -> bool {
+        self.violations.iter().any(|v| v.fault == Some(fault))
+    }
+
+    /// Whether any violation was reported for one of the given rules.
+    pub fn violates_any(&self, rules: &[RuleId]) -> bool {
+        self.violations.iter().any(|v| rules.contains(&v.rule))
+    }
+
+    /// Merges another report into this one (e.g. per-monitor reports
+    /// into a global one).
+    pub fn merge(&mut self, other: FaultReport) {
+        self.violations.extend(other.violations);
+        self.events_checked += other.events_checked;
+        if other.window_start < self.window_start {
+            self.window_start = other.window_start;
+        }
+        if other.window_end > self.window_end {
+            self.window_end = other.window_end;
+        }
+    }
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fault report: {} violation(s) over {} event(s) in [{}, {}]",
+            self.violations.len(),
+            self.events_checked,
+            self.window_start,
+            self.window_end
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: RuleId) -> Violation {
+        Violation::new(MonitorId::new(0), rule, Nanos::new(5), "boom")
+    }
+
+    #[test]
+    fn builder_attaches_fields() {
+        let v = v(RuleId::St3RunningAtMostOne)
+            .with_pid(Pid::new(2))
+            .with_event(7)
+            .with_fault(FaultKind::EnterMutualExclusion);
+        assert_eq!(v.pid, Some(Pid::new(2)));
+        assert_eq!(v.event_seq, Some(7));
+        assert_eq!(v.fault, Some(FaultKind::EnterMutualExclusion));
+        let s = v.to_string();
+        assert!(s.contains("ST-3a"), "{s}");
+        assert!(s.contains("P2"), "{s}");
+        assert!(s.contains("l7"), "{s}");
+        assert!(s.contains("E1"), "{s}");
+    }
+
+    #[test]
+    fn report_queries() {
+        let mut r = FaultReport::default();
+        assert!(r.is_clean());
+        r.violations.push(v(RuleId::St6EntryTimeout).with_fault(FaultKind::EnterNoResponse));
+        assert!(!r.is_clean());
+        assert_eq!(r.by_rule(RuleId::St6EntryTimeout).count(), 1);
+        assert_eq!(r.by_rule(RuleId::St1EntrySnapshot).count(), 0);
+        assert!(r.detects(FaultKind::EnterNoResponse));
+        assert!(!r.detects(FaultKind::DoubleAcquire));
+        assert!(r.violates_any(&[RuleId::St6EntryTimeout]));
+        assert!(!r.violates_any(&[RuleId::St8CallOrder]));
+    }
+
+    #[test]
+    fn merge_combines_windows() {
+        let mut a = FaultReport {
+            violations: vec![v(RuleId::St1EntrySnapshot)],
+            events_checked: 3,
+            window_start: Nanos::new(10),
+            window_end: Nanos::new(20),
+        };
+        let b = FaultReport {
+            violations: vec![v(RuleId::St2CondSnapshot)],
+            events_checked: 4,
+            window_start: Nanos::new(5),
+            window_end: Nanos::new(30),
+        };
+        a.merge(b);
+        assert_eq!(a.violations.len(), 2);
+        assert_eq!(a.events_checked, 7);
+        assert_eq!(a.window_start, Nanos::new(5));
+        assert_eq!(a.window_end, Nanos::new(30));
+    }
+
+    #[test]
+    fn display_lists_violations() {
+        let r = FaultReport {
+            violations: vec![v(RuleId::St1EntrySnapshot)],
+            events_checked: 1,
+            window_start: Nanos::ZERO,
+            window_end: Nanos::new(1),
+        };
+        let s = r.to_string();
+        assert!(s.contains("1 violation(s)"), "{s}");
+        assert!(s.contains("ST-1"), "{s}");
+    }
+}

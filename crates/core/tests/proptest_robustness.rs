@@ -1,0 +1,131 @@
+//! Robustness properties of the core building blocks: parsers never
+//! panic on arbitrary input, replay never panics on arbitrary event
+//! soups (it reports instead), and detection is monotone (adding a
+//! violation-free suffix never erases earlier findings).
+
+use proptest::prelude::*;
+use rmon_core::detect::Detector;
+use rmon_core::{
+    CondId, DetectorConfig, Event, EventKind, GeneralLists, MonitorId, MonitorSpec, Nanos,
+    PathExpr, Pid, ProcName,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const M: MonitorId = MonitorId::new(0);
+
+fn arb_event_kind() -> impl Strategy<Value = EventKind> {
+    prop_oneof![
+        any::<bool>().prop_map(|granted| EventKind::Enter { granted }),
+        (0u16..3).prop_map(|c| EventKind::Wait { cond: CondId::new(c) }),
+        ((0u16..3), any::<bool>(), any::<bool>()).prop_map(|(c, some, resumed)| {
+            EventKind::SignalExit {
+                cond: some.then_some(CondId::new(c)),
+                resumed_waiter: resumed,
+            }
+        }),
+        Just(EventKind::Terminate),
+    ]
+}
+
+fn arb_events(max: usize) -> impl Strategy<Value = Vec<Event>> {
+    proptest::collection::vec(((0u32..4), (0u16..2), arb_event_kind()), 0..max).prop_map(
+        |items| {
+            items
+                .into_iter()
+                .enumerate()
+                .map(|(i, (pid, proc_idx, kind))| Event {
+                    seq: (i + 1) as u64,
+                    time: Nanos::new((i as u64 + 1) * 10),
+                    monitor: M,
+                    pid: Pid::new(pid),
+                    proc_name: ProcName::new(proc_idx),
+                    kind,
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The path-expression parser never panics, whatever the input.
+    #[test]
+    fn path_parser_total(src in "\\PC*") {
+        let _ = PathExpr::parse(&src);
+    }
+
+    /// Parse → display → parse is a fixed point for valid expressions.
+    #[test]
+    fn path_parser_display_roundtrip(
+        src in "(path )?[abc]([;|][abc]){0,4}[*+?]{0,2}( end)?"
+    ) {
+        if let Ok(p1) = PathExpr::parse(&src) {
+            let p2 = PathExpr::parse(p1.source()).expect("display output reparses");
+            prop_assert_eq!(p1, p2);
+        }
+    }
+
+    /// Replaying *arbitrary* (mostly invalid) event soups through the
+    /// checking lists never panics — malformed histories produce
+    /// violations, not crashes.
+    #[test]
+    fn checking_lists_total_on_event_soup(events in arb_events(40)) {
+        let spec = MonitorSpec::bounded_buffer("buf", 2).spec;
+        let mut lists = GeneralLists::new(M, spec.cond_count());
+        let mut out = Vec::new();
+        for e in &events {
+            lists.apply(&spec, e, &mut out);
+        }
+        // Sanity: population equals the net of enters/exits processed
+        // structurally (no process is silently duplicated into two
+        // lists at once).
+        let population = lists.enter_q().len()
+            + lists.wait_cond().iter().map(|q| q.len()).sum::<usize>()
+            + lists.running().len();
+        prop_assert!(population <= events.len());
+    }
+
+    /// The full engine is total on event soups too, with or without
+    /// snapshots.
+    #[test]
+    fn engine_total_on_event_soup(events in arb_events(40), with_snapshot in any::<bool>()) {
+        let spec = Arc::new(MonitorSpec::bounded_buffer("buf", 2).spec);
+        let mut det = Detector::new(DetectorConfig::without_timeouts());
+        det.register_empty(M, Arc::clone(&spec), Nanos::ZERO);
+        let mut snaps = HashMap::new();
+        if with_snapshot {
+            let mut s = rmon_core::MonitorState::new(spec.cond_count());
+            s.available = spec.capacity;
+            snaps.insert(M, s);
+        }
+        let report = det.checkpoint(Nanos::from_millis(1), &events, &snaps);
+        prop_assert_eq!(report.events_checked as usize, events.len());
+    }
+
+    /// Detection is monotone under windowing: splitting the same event
+    /// sequence across two checkpoints never *loses* the detection (a
+    /// faulty prefix stays faulty regardless of where the checkpoint
+    /// boundary falls).
+    #[test]
+    fn detection_survives_window_splits(events in arb_events(24), split in 0usize..24) {
+        let spec = Arc::new(MonitorSpec::bounded_buffer("buf", 2).spec);
+        let whole = {
+            let mut det = Detector::new(DetectorConfig::without_timeouts());
+            det.register_empty(M, Arc::clone(&spec), Nanos::ZERO);
+            !det.checkpoint(Nanos::from_millis(1), &events, &HashMap::new()).is_clean()
+        };
+        let split = split.min(events.len());
+        let parts = {
+            let mut det = Detector::new(DetectorConfig::without_timeouts());
+            det.register_empty(M, Arc::clone(&spec), Nanos::ZERO);
+            let a = det.checkpoint(Nanos::from_millis(1), &events[..split], &HashMap::new());
+            let b = det.checkpoint(Nanos::from_millis(2), &events[split..], &HashMap::new());
+            !a.is_clean() || !b.is_clean()
+        };
+        // Without snapshots the engine carries its lists across the
+        // boundary, so the split run sees exactly the same stream.
+        prop_assert_eq!(whole, parts);
+    }
+}

@@ -1,0 +1,128 @@
+//! The resource-operation-manager monitor type (§2.1): the monitor
+//! encapsulates the resource *and* its operations; user processes issue
+//! single operations and synchronization is implicit.
+
+use crate::error::MonitorError;
+use crate::monitor::Monitor;
+use crate::runtime::Runtime;
+use rmon_core::{MonitorId, MonitorSpec, ProcName};
+
+/// A robust operation manager: shared state with implicitly
+/// synchronized operations.
+///
+/// # Examples
+///
+/// ```
+/// use rmon_core::DetectorConfig;
+/// use rmon_rt::{OperationCell, Runtime};
+///
+/// let rt = Runtime::new(DetectorConfig::default());
+/// let counter = OperationCell::new(&rt, "counter", 0u64);
+/// counter.operate(|n| *n += 1)?;
+/// assert_eq!(counter.operate(|n| *n)?, 1);
+/// assert!(rt.checkpoint_now().is_clean());
+/// # Ok::<(), rmon_rt::MonitorError>(())
+/// ```
+#[derive(Debug)]
+pub struct OperationCell<T> {
+    mon: Monitor<T>,
+    operate_proc: ProcName,
+}
+
+impl<T> Clone for OperationCell<T> {
+    fn clone(&self) -> Self {
+        OperationCell { mon: self.mon.clone(), operate_proc: self.operate_proc }
+    }
+}
+
+impl<T: Send + 'static> OperationCell<T> {
+    /// Creates an operation manager around `data`.
+    pub fn new(rt: &Runtime, name: &str, data: T) -> Self {
+        let mg = MonitorSpec::operation_manager(name);
+        let mon = Monitor::new(rt, mg.spec, data);
+        OperationCell { mon, operate_proc: mg.operate }
+    }
+
+    /// The underlying monitor id.
+    pub fn id(&self) -> MonitorId {
+        self.mon.id()
+    }
+
+    /// Arms a one-shot protocol fault on the underlying monitor.
+    pub fn arm_fault(&self, fault: crate::inject::RtFault) {
+        self.mon.arm_fault(fault);
+    }
+
+    /// A weak handle to the protocol core (for the recovery checker).
+    pub fn core_weak(&self) -> std::sync::Weak<crate::RawCore> {
+        self.mon.core_weak()
+    }
+
+    /// Performs one implicitly synchronized operation.
+    ///
+    /// # Errors
+    ///
+    /// [`MonitorError::Timeout`] when starved past the runtime's park
+    /// timeout.
+    pub fn operate<R>(&self, f: impl FnOnce(&mut T) -> R) -> Result<R, MonitorError> {
+        let g = self.mon.enter(self.operate_proc)?;
+        let r = g.with(f);
+        g.signal_exit(None);
+        Ok(r)
+    }
+
+    /// Performs an operation and then *abandons* the monitor (fault T1
+    /// helper for tests and the fault-injection campaign).
+    pub fn operate_and_die<R>(&self, f: impl FnOnce(&mut T) -> R) -> Result<R, MonitorError> {
+        let g = self.mon.enter(self.operate_proc)?;
+        let r = g.with(f);
+        g.abandon();
+        Ok(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmon_core::{DetectorConfig, RuleId};
+    use std::time::Duration;
+
+    fn rt() -> Runtime {
+        Runtime::builder(DetectorConfig::without_timeouts())
+            .park_timeout(Duration::from_millis(200))
+            .build()
+    }
+
+    #[test]
+    fn operations_apply_in_mutual_exclusion() {
+        let rt = rt();
+        let cell = OperationCell::new(&rt, "cnt", 0u64);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cell = cell.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    cell.operate(|n| *n += 1).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cell.operate(|n| *n).unwrap(), 400);
+        assert!(rt.checkpoint_now().is_clean());
+    }
+
+    #[test]
+    fn operate_and_die_is_flagged() {
+        let rt = rt();
+        let cell = OperationCell::new(&rt, "cnt", 0u64);
+        cell.operate_and_die(|n| *n += 1).unwrap();
+        let report = rt.checkpoint_now();
+        assert!(report.violates_any(&[RuleId::St5InsideTimeout]), "{report}");
+        // The dead owner keeps the monitor: the next operation times
+        // out, and the checker keeps flagging the stuck state.
+        let err = cell.operate(|n| *n).unwrap_err();
+        assert_eq!(err, MonitorError::Timeout);
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type of the real-thread runtime.
+
+use rmon_core::Violation;
+use std::fmt;
+
+/// Errors returned by monitor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorError {
+    /// The calling thread gave up waiting (entry or condition queue)
+    /// after the configured park timeout. Under a correct monitor this
+    /// only happens when an injected fault or a user-level deadlock
+    /// starves the caller — the background checker reports the
+    /// corresponding rule violation independently.
+    Timeout,
+    /// The call was denied by a real-time calling-order check (policy
+    /// [`crate::OrderPolicy::Deny`]); the violation that triggered the
+    /// denial is attached.
+    Denied(Box<Violation>),
+}
+
+impl fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorError::Timeout => write!(f, "timed out waiting for the monitor"),
+            MonitorError::Denied(v) => write!(f, "call denied by real-time check: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmon_core::{MonitorId, Nanos, RuleId};
+
+    #[test]
+    fn display_variants() {
+        assert!(MonitorError::Timeout.to_string().contains("timed out"));
+        let v = Violation::new(
+            MonitorId::new(0),
+            RuleId::St8DuplicateRequest,
+            Nanos::ZERO,
+            "dup",
+        );
+        let e = MonitorError::Denied(Box::new(v));
+        assert!(e.to_string().contains("ST-8a"));
+    }
+}

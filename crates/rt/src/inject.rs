@@ -1,0 +1,122 @@
+//! Fault injection for the real-thread monitor core.
+//!
+//! The simulator can realize all 21 fault classes; real threads can
+//! realize the subset that does not require forging another thread's
+//! control flow. These are protocol perturbations inside
+//! [`crate::raw::RawCore`]: the monitor's hand-off bookkeeping
+//! misbehaves while events keep being recorded faithfully, and the
+//! shared data stays memory-safe behind its own lock.
+
+use parking_lot::Mutex;
+use rmon_core::FaultKind;
+
+/// Protocol perturbations the real-thread core can realize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtFault {
+    /// Grant `Enter` although another thread owns the monitor
+    /// (fault E1).
+    GrantWhileBusy,
+    /// Queue the caller although the monitor is free (fault E3).
+    BlockWhileFree,
+    /// Grant `Enter` without recording the event (fault E4).
+    SkipEnterEvent,
+    /// Do not admit the entry-queue head when a `Wait` releases the
+    /// monitor (fault W3).
+    SkipHandoffOnWait,
+    /// Keep the monitor locked after a `Wait` (fault W6).
+    StickLockOnWait,
+    /// Resume nobody on `Signal-Exit` although the flag claims the
+    /// hand-off (fault X1).
+    SkipResumeOnExit,
+    /// Keep the monitor locked after a `Signal-Exit` (fault X2).
+    StickLockOnExit,
+}
+
+impl RtFault {
+    /// The taxonomy class this perturbation realizes.
+    pub fn fault_kind(self) -> FaultKind {
+        match self {
+            RtFault::GrantWhileBusy => FaultKind::EnterMutualExclusion,
+            RtFault::BlockWhileFree => FaultKind::EnterNoResponse,
+            RtFault::SkipEnterEvent => FaultKind::EnterNotObserved,
+            RtFault::SkipHandoffOnWait => FaultKind::WaitEntryNotResumed,
+            RtFault::StickLockOnWait => FaultKind::WaitMonitorNotReleased,
+            RtFault::SkipResumeOnExit => FaultKind::SignalExitNotResumed,
+            RtFault::StickLockOnExit => FaultKind::SignalExitMonitorNotReleased,
+        }
+    }
+}
+
+/// One-shot fault store consulted by the raw monitor core.
+#[derive(Debug, Default)]
+pub struct RtInjector {
+    armed: Mutex<Vec<RtFault>>,
+}
+
+impl RtInjector {
+    /// An injector with nothing armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms a one-shot fault.
+    pub fn arm(&self, fault: RtFault) {
+        self.armed.lock().push(fault);
+    }
+
+    /// Consumes and returns true if `fault` is armed.
+    pub fn fire(&self, fault: RtFault) -> bool {
+        let mut g = self.armed.lock();
+        if let Some(i) = g.iter().position(|f| *f == fault) {
+            g.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether anything is still armed.
+    pub fn any_armed(&self) -> bool {
+        !self.armed.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fire_is_one_shot() {
+        let inj = RtInjector::new();
+        inj.arm(RtFault::GrantWhileBusy);
+        assert!(inj.any_armed());
+        assert!(inj.fire(RtFault::GrantWhileBusy));
+        assert!(!inj.fire(RtFault::GrantWhileBusy));
+        assert!(!inj.any_armed());
+    }
+
+    #[test]
+    fn unarmed_faults_do_not_fire() {
+        let inj = RtInjector::new();
+        assert!(!inj.fire(RtFault::StickLockOnExit));
+    }
+
+    #[test]
+    fn fault_kind_mapping_is_total() {
+        for f in [
+            RtFault::GrantWhileBusy,
+            RtFault::BlockWhileFree,
+            RtFault::SkipEnterEvent,
+            RtFault::SkipHandoffOnWait,
+            RtFault::StickLockOnWait,
+            RtFault::SkipResumeOnExit,
+            RtFault::StickLockOnExit,
+        ] {
+            // Level is implementation for every rt fault.
+            assert_eq!(
+                f.fault_kind().level(),
+                rmon_core::FaultLevel::Implementation
+            );
+        }
+    }
+}

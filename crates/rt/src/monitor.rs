@@ -1,0 +1,317 @@
+//! The typed robust monitor: the paper's augmented monitor construct
+//! for real threads.
+
+use crate::error::MonitorError;
+use crate::inject::RtFault;
+use crate::raw::RawCore;
+use crate::registry::current_pid;
+use std::sync::Weak;
+use crate::runtime::Runtime;
+use parking_lot::Mutex;
+use rmon_core::{CondId, MonitorId, MonitorSpec, MonitorState, Pid, ProcName};
+use std::sync::Arc;
+
+/// A monitor protecting shared data `T`, instrumented with the
+/// run-time fault-detection extension.
+///
+/// Procedures are expressed by the caller: [`Monitor::enter`] with the
+/// procedure's [`ProcName`] yields a [`MonitorGuard`] through which the
+/// body accesses the data ([`MonitorGuard::with`]), blocks on
+/// conditions ([`MonitorGuard::wait`]) and leaves via the combined
+/// [`MonitorGuard::signal_exit`]. Higher-level wrappers
+/// ([`crate::BoundedBuffer`], [`crate::ResourceAllocator`],
+/// [`crate::OperationCell`]) package the three monitor types of the
+/// paper's classification.
+///
+/// # Examples
+///
+/// ```
+/// use rmon_core::{DetectorConfig, MonitorSpec, ProcRole};
+/// use rmon_rt::{Monitor, Runtime};
+///
+/// let rt = Runtime::new(DetectorConfig::default());
+/// let spec = MonitorSpec::builder("counter", rmon_core::MonitorClass::OperationManager)
+///     .procedure("bump", ProcRole::Plain)
+///     .build();
+/// let mon: Monitor<u64> = Monitor::new(&rt, spec, 0);
+/// let bump = mon.spec().proc_by_name("bump").unwrap();
+///
+/// let guard = mon.enter(bump)?;
+/// guard.with(|n| *n += 1);
+/// guard.signal_exit(None);
+/// assert!(rt.checkpoint_now().is_clean());
+/// # Ok::<(), rmon_rt::MonitorError>(())
+/// ```
+#[derive(Debug)]
+pub struct Monitor<T> {
+    core: Arc<RawCore>,
+    data: Arc<Mutex<T>>,
+}
+
+impl<T> Clone for Monitor<T> {
+    fn clone(&self) -> Self {
+        Monitor { core: Arc::clone(&self.core), data: Arc::clone(&self.data) }
+    }
+}
+
+impl<T> Monitor<T> {
+    /// Creates a monitor in `rt` from its declaration and initial data.
+    pub fn new(rt: &Runtime, spec: MonitorSpec, data: T) -> Monitor<T> {
+        let core = RawCore::new(Arc::clone(&rt.inner), Arc::new(spec));
+        Monitor { core, data: Arc::new(Mutex::new(data)) }
+    }
+
+    /// The monitor's identifier.
+    pub fn id(&self) -> MonitorId {
+        self.core.id()
+    }
+
+    /// The monitor's declaration.
+    pub fn spec(&self) -> &MonitorSpec {
+        self.core.spec()
+    }
+
+    /// Arms a one-shot protocol fault on this monitor.
+    pub fn arm_fault(&self, fault: RtFault) {
+        self.core.arm_fault(fault);
+    }
+
+    /// A weak handle to the protocol core (for the recovery checker).
+    pub fn core_weak(&self) -> Weak<RawCore> {
+        Arc::downgrade(&self.core)
+    }
+
+    /// Enters the monitor as procedure `proc_name`, blocking while it
+    /// is busy.
+    ///
+    /// # Errors
+    ///
+    /// [`MonitorError::Timeout`] if the caller was not admitted within
+    /// the runtime's park timeout.
+    pub fn enter(&self, proc_name: ProcName) -> Result<MonitorGuard<'_, T>, MonitorError> {
+        let pid = current_pid();
+        self.core.enter(pid, proc_name)?;
+        Ok(MonitorGuard { mon: self, pid, proc_name, active: true })
+    }
+
+    /// Real-time lookahead: would entering as `proc_name` violate a
+    /// calling-order rule right now (for the calling thread)?
+    pub fn call_would_violate(&self, proc_name: ProcName) -> Option<rmon_core::RuleId> {
+        let pid = current_pid();
+        self.core.runtime().detector.lock().call_would_violate(self.id(), pid, proc_name)
+    }
+
+    /// Observed scheduling state (queues only; checkpoints additionally
+    /// fill `R#` from the registered closure).
+    pub fn snapshot(&self) -> MonitorState {
+        self.core.snapshot_queues()
+    }
+
+    /// Reads the protected data *outside* the monitor protocol
+    /// (diagnostics and snapshots only — no scheduling event is
+    /// recorded; regular access goes through [`MonitorGuard::with`]).
+    pub fn peek_data<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.data.lock())
+    }
+}
+
+/// Exclusive occupancy of a [`Monitor`]: the body of a monitor
+/// procedure.
+///
+/// Dropping the guard performs a plain `Signal-Exit` (no condition) —
+/// the common case for procedures that signal nothing.
+#[derive(Debug)]
+pub struct MonitorGuard<'m, T> {
+    mon: &'m Monitor<T>,
+    pid: Pid,
+    proc_name: ProcName,
+    active: bool,
+}
+
+impl<'m, T> MonitorGuard<'m, T> {
+    /// Runs `f` over the protected data.
+    ///
+    /// The data sits behind its own small mutex so that injected
+    /// protocol faults (two threads "inside") stay memory-safe; under a
+    /// correct protocol the lock is uncontended.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.mon.data.lock())
+    }
+
+    /// The calling process.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Blocks on `CQ[cond]`, releasing the monitor; returns once
+    /// signalled (owning the monitor again, Hoare hand-off).
+    ///
+    /// # Errors
+    ///
+    /// [`MonitorError::Timeout`] if never signalled within the park
+    /// timeout; the guard is deactivated (the monitor is not owned
+    /// anymore) and must not be used further.
+    pub fn wait(&mut self, cond: CondId) -> Result<(), MonitorError> {
+        match self.mon.core.wait(self.pid, self.proc_name, cond) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.active = false;
+                Err(e)
+            }
+        }
+    }
+
+    /// Whether any process waits on `CQ[cond]` — Hoare's
+    /// `condition.queue()` predicate, used by monitors whose exits pick
+    /// which condition to signal.
+    pub fn has_waiters(&self, cond: CondId) -> bool {
+        self.mon
+            .core
+            .snapshot_queues()
+            .cond_queues
+            .get(cond.as_usize())
+            .is_some_and(|q| !q.is_empty())
+    }
+
+    /// Leaves the monitor, signalling `cond` (the paper's combined
+    /// `Signal-Exit` primitive).
+    pub fn signal_exit(self, cond: Option<CondId>) {
+        self.signal_exit_adjust(cond, 0);
+    }
+
+    /// Leaves the monitor, signalling `cond` and adjusting the
+    /// observable resource counter `R#` by `delta` atomically with the
+    /// recorded event (−1 when the completed call consumed capacity,
+    /// +1 when it freed capacity). The paper counts a call as
+    /// *successful* at its completion, so this is the point where the
+    /// resource effect becomes observable to the checker.
+    pub fn signal_exit_adjust(mut self, cond: Option<CondId>, delta: i64) {
+        self.mon.core.signal_exit(self.pid, self.proc_name, cond, delta);
+        self.active = false;
+    }
+
+    /// Terminates "inside" the monitor (fault T1): records the internal
+    /// termination and abandons the monitor without releasing it —
+    /// modelling a process that crashes in its critical section.
+    pub fn abandon(mut self) {
+        self.mon.core.terminate_inside(self.pid, self.proc_name);
+        self.active = false;
+    }
+}
+
+impl<'m, T> Drop for MonitorGuard<'m, T> {
+    fn drop(&mut self) {
+        if self.active {
+            self.mon.core.signal_exit(self.pid, self.proc_name, None, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmon_core::{DetectorConfig, MonitorClass, ProcRole, RuleId};
+    use std::time::Duration;
+
+    fn plain_spec() -> MonitorSpec {
+        MonitorSpec::builder("cell", MonitorClass::OperationManager)
+            .procedure("op", ProcRole::Plain)
+            .build()
+    }
+
+    fn quick_rt() -> Runtime {
+        Runtime::builder(DetectorConfig::without_timeouts())
+            .park_timeout(Duration::from_millis(200))
+            .build()
+    }
+
+    #[test]
+    fn enter_with_and_exit() {
+        let rt = quick_rt();
+        let mon = Monitor::new(&rt, plain_spec(), 41u64);
+        let op = ProcName::new(0);
+        let g = mon.enter(op).unwrap();
+        g.with(|n| *n += 1);
+        g.signal_exit(None);
+        assert_eq!(rt.events_recorded(), 2);
+        assert!(rt.checkpoint_now().is_clean());
+    }
+
+    #[test]
+    fn drop_performs_exit() {
+        let rt = quick_rt();
+        let mon = Monitor::new(&rt, plain_spec(), ());
+        {
+            let _g = mon.enter(ProcName::new(0)).unwrap();
+        }
+        assert_eq!(rt.events_recorded(), 2, "enter + signal-exit on drop");
+        assert!(rt.checkpoint_now().is_clean());
+    }
+
+    #[test]
+    fn contended_entry_serializes() {
+        let rt = quick_rt();
+        let mon = Monitor::new(&rt, plain_spec(), 0u64);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let mon = mon.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let g = mon.enter(ProcName::new(0)).unwrap();
+                    g.with(|n| *n += 1);
+                    g.signal_exit(None);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let g = mon.enter(ProcName::new(0)).unwrap();
+        assert_eq!(g.with(|n| *n), 200);
+        g.signal_exit(None);
+        let report = rt.checkpoint_now();
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn abandon_records_termination() {
+        let rt = quick_rt();
+        let mon = Monitor::new(&rt, plain_spec(), ());
+        let g = mon.enter(ProcName::new(0)).unwrap();
+        g.abandon();
+        let report = rt.checkpoint_now();
+        assert!(report.violates_any(&[RuleId::St5InsideTimeout]), "{report}");
+    }
+
+    #[test]
+    fn armed_grant_while_busy_is_detected() {
+        let rt = quick_rt();
+        let mon = Monitor::new(&rt, plain_spec(), ());
+        mon.arm_fault(RtFault::GrantWhileBusy);
+        let g1 = mon.enter(ProcName::new(0)).unwrap();
+        // Second thread is granted concurrently by the injected fault.
+        let mon2 = mon.clone();
+        let h = std::thread::spawn(move || {
+            let g2 = mon2.enter(ProcName::new(0)).unwrap();
+            g2.signal_exit(None);
+        });
+        h.join().unwrap();
+        g1.signal_exit(None);
+        let report = rt.checkpoint_now();
+        assert!(
+            report.violates_any(&[RuleId::St3RunningUnique, RuleId::St3RunningAtMostOne]),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn snapshot_shows_owner() {
+        let rt = quick_rt();
+        let mon = Monitor::new(&rt, plain_spec(), ());
+        let g = mon.enter(ProcName::new(0)).unwrap();
+        let s = mon.snapshot();
+        assert_eq!(s.running.len(), 1);
+        g.signal_exit(None);
+        assert!(mon.snapshot().running.is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+//! Thread → process-identifier registry.
+//!
+//! The detection model identifies callers by [`Pid`]. Real threads get
+//! their pid from a process-wide counter, cached in a thread-local, so
+//! every recorded event attributes correctly without threading pids
+//! through every call.
+
+use rmon_core::Pid;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static NEXT_PID: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    static CURRENT: Cell<Option<Pid>> = const { Cell::new(None) };
+}
+
+/// The calling thread's pid, assigning a fresh one on first use.
+pub fn current_pid() -> Pid {
+    CURRENT.with(|c| match c.get() {
+        Some(pid) => pid,
+        None => {
+            let pid = Pid::new(NEXT_PID.fetch_add(1, Ordering::Relaxed));
+            c.set(Some(pid));
+            pid
+        }
+    })
+}
+
+/// Overrides the calling thread's pid (useful in tests that need
+/// deterministic pids).
+pub fn set_current_pid(pid: Pid) {
+    CURRENT.with(|c| c.set(Some(pid)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_is_stable_within_a_thread() {
+        let a = current_pid();
+        let b = current_pid();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pids_differ_across_threads() {
+        let main = current_pid();
+        let other = std::thread::spawn(current_pid).join().unwrap();
+        assert_ne!(main, other);
+    }
+
+    #[test]
+    fn set_current_pid_overrides() {
+        let t = std::thread::spawn(|| {
+            set_current_pid(Pid::new(4242));
+            current_pid()
+        });
+        assert_eq!(t.join().unwrap(), Pid::new(4242));
+    }
+}

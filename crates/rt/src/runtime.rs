@@ -1,0 +1,306 @@
+//! The robust-monitor runtime: shared recorder, detector, snapshot
+//! registry and the pause lock that suspends monitor operations during
+//! checking (the paper: *"upon detection, all other running processes
+//! are suspended and are resumed only after the checking has
+//! finished"*).
+
+use crate::raw::RawCore;
+use crate::recorder::Recorder;
+use parking_lot::{Mutex, RwLock};
+use rmon_core::detect::Detector;
+use rmon_core::{
+    DetectorConfig, Event, EventKind, FaultReport, MonitorId, MonitorState, Nanos, Pid, ProcName,
+    ProcRole, Violation,
+};
+use std::collections::HashSet;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+/// What to do when a real-time calling-order check flags a call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderPolicy {
+    /// Record and report the violation; let the faulty call proceed
+    /// (the paper's detection-only semantics).
+    #[default]
+    Report,
+    /// Refuse the call with [`crate::MonitorError::Denied`] before it
+    /// executes (fault *prevention* — a natural extension).
+    Deny,
+}
+
+/// Shared state behind [`Runtime`].
+pub(crate) struct RtInner {
+    pub(crate) recorder: Recorder,
+    pub(crate) detector: Mutex<Detector>,
+    pub(crate) pause: RwLock<()>,
+    pub(crate) park_timeout: Duration,
+    pub(crate) order_policy: OrderPolicy,
+    monitors: Mutex<Vec<Weak<RawCore>>>,
+    next_monitor_id: AtomicU32,
+    reports: Mutex<Vec<FaultReport>>,
+    realtime: Mutex<Vec<Violation>>,
+    /// Monitors with calling-order concerns (a declared path
+    /// expression or Request/Release-role procedures). Only their
+    /// events need the synchronous real-time check; everything else is
+    /// covered by the periodic checkpoint catch-up, so the hot path
+    /// skips the detector lock.
+    order_monitors: Mutex<HashSet<MonitorId>>,
+}
+
+impl std::fmt::Debug for RtInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtInner")
+            .field("park_timeout", &self.park_timeout)
+            .field("order_policy", &self.order_policy)
+            .field("events", &self.recorder.total())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RtInner {
+    pub(crate) fn allocate_monitor_id(&self) -> MonitorId {
+        MonitorId::new(self.next_monitor_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    pub(crate) fn register_monitor(self: &Arc<Self>, core: &Arc<RawCore>) {
+        self.monitors.lock().push(Arc::downgrade(core));
+        let spec = core.spec();
+        let needs_order = spec.call_order.is_some()
+            || spec
+                .procedures
+                .iter()
+                .any(|p| matches!(p.role, ProcRole::Request | ProcRole::Release));
+        if needs_order {
+            self.order_monitors.lock().insert(core.id());
+        }
+        let mut initial = MonitorState::new(spec.cond_count());
+        initial.available = spec.capacity;
+        self.detector.lock().register(
+            core.id(),
+            Arc::clone(spec),
+            &initial,
+            self.recorder.now(),
+        );
+    }
+
+    /// Records an event and runs the real-time (Algorithm-3) checks.
+    pub(crate) fn record_observe(
+        &self,
+        monitor: MonitorId,
+        pid: Pid,
+        proc_name: ProcName,
+        kind: EventKind,
+    ) -> Vec<Violation> {
+        let event = self.recorder.record(monitor, pid, proc_name, kind);
+        if !self.order_monitors.lock().contains(&monitor) {
+            // No calling-order concerns: the periodic checkpoint's
+            // Algorithm-3 catch-up covers this event; skip the
+            // synchronous detector pass on the hot path.
+            return Vec::new();
+        }
+        let vs = self.detector.lock().observe(&event);
+        if !vs.is_empty() {
+            self.realtime.lock().extend(vs.iter().cloned());
+        }
+        vs
+    }
+
+    /// The paper-faithful (§3.1, unoptimized) checking routine: keeps
+    /// the **entire** recorded history and re-checks all of it against
+    /// the declarative FD-Rules on every invocation, while all monitor
+    /// operations are suspended. Provided for the Table-1 ablation —
+    /// the §3.3 checking lists exist precisely to avoid this cost.
+    pub(crate) fn checkpoint_full_history(&self, history: &mut Vec<Event>) -> u64 {
+        let _w = self.pause.write();
+        let now = self.recorder.now();
+        history.extend(self.recorder.drain_window());
+        let cfg = *self.detector.lock().config();
+        let mut checked = 0u64;
+        for weak in self.monitors.lock().iter() {
+            if let Some(core) = weak.upgrade() {
+                let id = core.id();
+                let events: Vec<Event> =
+                    history.iter().filter(|e| e.monitor == id).copied().collect();
+                checked += events.len() as u64;
+                let snapshot = core.snapshot_queues();
+                let violations = rmon_core::reference::check_history(
+                    id,
+                    core.spec(),
+                    &cfg,
+                    &events,
+                    Some(&snapshot),
+                    now,
+                );
+                if !violations.is_empty() {
+                    self.realtime.lock().extend(violations);
+                }
+            }
+        }
+        checked
+    }
+
+    /// Runs one checkpoint: suspends monitor operations, drains the
+    /// window, snapshots every live monitor, and invokes the periodic
+    /// checking routine.
+    pub(crate) fn checkpoint_now(&self) -> FaultReport {
+        let _w = self.pause.write();
+        let now = self.recorder.now();
+        let events = self.recorder.drain_window();
+        let mut snaps = HashMap::new();
+        for weak in self.monitors.lock().iter() {
+            if let Some(core) = weak.upgrade() {
+                snaps.insert(core.id(), core.snapshot_queues());
+            }
+        }
+        let report = self.detector.lock().checkpoint(now, &events, &snaps);
+        self.reports.lock().push(report.clone());
+        report
+    }
+}
+
+/// Handle to a robust-monitor runtime. Cheap to clone; monitors created
+/// against it share one recorder, one detector and one checker.
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    pub(crate) inner: Arc<RtInner>,
+}
+
+impl Runtime {
+    /// Creates a runtime with the given detection configuration and
+    /// defaults (5 s park timeout, [`OrderPolicy::Report`]).
+    pub fn new(cfg: DetectorConfig) -> Self {
+        Self::builder(cfg).build()
+    }
+
+    /// Starts building a runtime.
+    pub fn builder(cfg: DetectorConfig) -> RuntimeBuilder {
+        RuntimeBuilder { cfg, park_timeout: Duration::from_secs(5), order_policy: OrderPolicy::Report }
+    }
+
+    /// Monotonic nanoseconds since the runtime was created.
+    pub fn now(&self) -> Nanos {
+        self.inner.recorder.now()
+    }
+
+    /// The configured order policy.
+    pub fn order_policy(&self) -> OrderPolicy {
+        self.inner.order_policy
+    }
+
+    /// Runs the periodic checking routine once, right now (suspending
+    /// monitor operations for the duration, as the paper's prototype
+    /// does).
+    pub fn checkpoint_now(&self) -> FaultReport {
+        self.inner.checkpoint_now()
+    }
+
+    /// All checkpoint reports so far.
+    pub fn reports(&self) -> Vec<FaultReport> {
+        self.inner.reports.lock().clone()
+    }
+
+    /// All real-time (calling-order) violations so far.
+    pub fn realtime_violations(&self) -> Vec<Violation> {
+        self.inner.realtime.lock().clone()
+    }
+
+    /// Every violation seen so far (checkpoints + real-time).
+    pub fn all_violations(&self) -> Vec<Violation> {
+        let mut out: Vec<Violation> =
+            self.reports().into_iter().flat_map(|r| r.violations).collect();
+        out.extend(self.realtime_violations());
+        out
+    }
+
+    /// Whether no violation has been reported yet.
+    pub fn is_clean(&self) -> bool {
+        self.inner.reports.lock().iter().all(FaultReport::is_clean)
+            && self.inner.realtime.lock().is_empty()
+    }
+
+    /// Total events recorded.
+    pub fn events_recorded(&self) -> u64 {
+        self.inner.recorder.total()
+    }
+
+    /// Detection configuration.
+    pub fn config(&self) -> DetectorConfig {
+        *self.inner.detector.lock().config()
+    }
+}
+
+/// Builder for [`Runtime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeBuilder {
+    cfg: DetectorConfig,
+    park_timeout: Duration,
+    order_policy: OrderPolicy,
+}
+
+impl RuntimeBuilder {
+    /// How long a thread parks on a queue before giving up with
+    /// [`crate::MonitorError::Timeout`] (a liveness safety net under
+    /// injected faults; correct workloads never hit it).
+    pub fn park_timeout(mut self, d: Duration) -> Self {
+        self.park_timeout = d;
+        self
+    }
+
+    /// Sets the real-time calling-order policy.
+    pub fn order_policy(mut self, p: OrderPolicy) -> Self {
+        self.order_policy = p;
+        self
+    }
+
+    /// Finishes the runtime.
+    pub fn build(self) -> Runtime {
+        Runtime {
+            inner: Arc::new(RtInner {
+                recorder: Recorder::new(),
+                detector: Mutex::new(Detector::new(self.cfg)),
+                pause: RwLock::new(()),
+                park_timeout: self.park_timeout,
+                order_policy: self.order_policy,
+                monitors: Mutex::new(Vec::new()),
+                next_monitor_id: AtomicU32::new(0),
+                reports: Mutex::new(Vec::new()),
+                realtime: Mutex::new(Vec::new()),
+                order_monitors: Mutex::new(HashSet::new()),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_defaults() {
+        let rt = Runtime::new(DetectorConfig::default());
+        assert_eq!(rt.order_policy(), OrderPolicy::Report);
+        assert!(rt.is_clean());
+        assert_eq!(rt.events_recorded(), 0);
+        assert!(rt.now() < Nanos::from_secs(5));
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let rt = Runtime::builder(DetectorConfig::default())
+            .park_timeout(Duration::from_millis(50))
+            .order_policy(OrderPolicy::Deny)
+            .build();
+        assert_eq!(rt.order_policy(), OrderPolicy::Deny);
+        assert_eq!(rt.inner.park_timeout, Duration::from_millis(50));
+    }
+
+    #[test]
+    fn checkpoint_on_empty_runtime_is_clean() {
+        let rt = Runtime::new(DetectorConfig::default());
+        let report = rt.checkpoint_now();
+        assert!(report.is_clean());
+        assert_eq!(rt.reports().len(), 1);
+    }
+}

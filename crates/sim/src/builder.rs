@@ -1,0 +1,246 @@
+//! Builder assembling a validated simulation.
+
+use crate::config::SimConfig;
+use crate::inject::{FaultInjector, InjectionPlan};
+use crate::kernel::Sim;
+use crate::monitor::SimMonitor;
+use crate::process::SimProcess;
+use crate::script::{CallKind, Op, Script};
+use rmon_core::{MonitorClass, MonitorId, Pid};
+use std::fmt;
+
+/// Script validation errors reported by [`SimBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A script op references a monitor id that was never added.
+    UnknownMonitor {
+        /// The offending process name.
+        process: String,
+        /// Index of the op in its script.
+        op_index: usize,
+        /// The referenced monitor.
+        monitor: MonitorId,
+    },
+    /// A script op calls a procedure the monitor type does not have.
+    IncompatibleCall {
+        /// The offending process name.
+        process: String,
+        /// Index of the op in its script.
+        op_index: usize,
+        /// The referenced monitor.
+        monitor: MonitorId,
+        /// The incompatible call kind (debug form).
+        call: String,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownMonitor { process, op_index, monitor } => write!(
+                f,
+                "process {process:?} op {op_index} references unknown monitor {monitor}"
+            ),
+            BuildError::IncompatibleCall { process, op_index, monitor, call } => write!(
+                f,
+                "process {process:?} op {op_index} calls {call} on incompatible monitor {monitor}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builds a [`Sim`] from monitors, processes and injection plans.
+///
+/// # Examples
+///
+/// ```
+/// use rmon_sim::{Script, SimBuilder};
+///
+/// let mut b = SimBuilder::new();
+/// let buf = b.bounded_buffer("mailbox", 4);
+/// b.process("producer", Script::builder().repeat(10, |s| s.send(buf)).build());
+/// b.process("consumer", Script::builder().repeat(10, |s| s.receive(buf)).build());
+/// let sim = b.build()?;
+/// assert_eq!(sim.processes().len(), 2);
+/// # Ok::<(), rmon_sim::BuildError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct SimBuilder {
+    cfg: SimConfig,
+    monitors: Vec<SimMonitor>,
+    procs: Vec<(String, Script)>,
+    injector: FaultInjector,
+    full_trace: bool,
+}
+
+impl SimBuilder {
+    /// Starts an empty build with the default configuration.
+    pub fn new() -> Self {
+        SimBuilder {
+            cfg: SimConfig::default(),
+            monitors: Vec::new(),
+            procs: Vec::new(),
+            injector: FaultInjector::new(),
+            full_trace: false,
+        }
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(mut self, cfg: SimConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Enables full-trace retention (for the reference checker).
+    pub fn with_full_trace(mut self) -> Self {
+        self.full_trace = true;
+        self
+    }
+
+    /// Adds a bounded-buffer (communication coordinator) monitor.
+    pub fn bounded_buffer(&mut self, name: &str, capacity: u64) -> MonitorId {
+        let id = MonitorId::new(self.monitors.len() as u32);
+        self.monitors.push(SimMonitor::bounded_buffer(id, name, capacity));
+        id
+    }
+
+    /// Adds a resource-allocator monitor.
+    pub fn allocator(&mut self, name: &str, units: u64) -> MonitorId {
+        let id = MonitorId::new(self.monitors.len() as u32);
+        self.monitors.push(SimMonitor::allocator(id, name, units));
+        id
+    }
+
+    /// Adds an operation-manager monitor.
+    pub fn manager(&mut self, name: &str) -> MonitorId {
+        let id = MonitorId::new(self.monitors.len() as u32);
+        self.monitors.push(SimMonitor::manager(id, name));
+        id
+    }
+
+    /// Adds a process running `script`; pids are assigned in insertion
+    /// order.
+    pub fn process(&mut self, name: impl Into<String>, script: Script) -> Pid {
+        let pid = Pid::new(self.procs.len() as u32);
+        self.procs.push((name.into(), script));
+        pid
+    }
+
+    /// Registers a fault-injection plan.
+    pub fn inject(&mut self, plan: InjectionPlan) -> &mut Self {
+        self.injector.add(plan);
+        self
+    }
+
+    /// Validates all scripts and assembles the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if a script references an unknown monitor
+    /// or calls a procedure the monitor type does not provide.
+    pub fn build(self) -> Result<Sim, BuildError> {
+        for (name, script) in &self.procs {
+            for (idx, op) in script.ops().iter().enumerate() {
+                if let Op::Call { monitor, call } = op {
+                    let Some(m) = self.monitors.get(monitor.as_usize()) else {
+                        return Err(BuildError::UnknownMonitor {
+                            process: name.clone(),
+                            op_index: idx,
+                            monitor: *monitor,
+                        });
+                    };
+                    if !call_compatible(m.spec.class, *call) {
+                        return Err(BuildError::IncompatibleCall {
+                            process: name.clone(),
+                            op_index: idx,
+                            monitor: *monitor,
+                            call: format!("{call:?}"),
+                        });
+                    }
+                }
+            }
+        }
+        let procs = self
+            .procs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, script))| SimProcess::new(Pid::new(i as u32), name, script))
+            .collect();
+        Ok(Sim::assemble(self.cfg, procs, self.monitors, self.injector, self.full_trace))
+    }
+}
+
+/// Whether a call kind is a procedure of the given monitor class.
+pub fn call_compatible(class: MonitorClass, call: CallKind) -> bool {
+    matches!(
+        (class, call),
+        (MonitorClass::CommunicationCoordinator, CallKind::Send)
+            | (MonitorClass::CommunicationCoordinator, CallKind::Receive)
+            | (MonitorClass::ResourceAllocator, CallKind::Request)
+            | (MonitorClass::ResourceAllocator, CallKind::Release)
+            | (MonitorClass::OperationManager, CallKind::Operate(_))
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmon_core::Nanos;
+
+    #[test]
+    fn build_validates_monitor_references() {
+        let mut b = SimBuilder::new();
+        let _buf = b.bounded_buffer("buf", 1);
+        b.process("p", Script::builder().send(MonitorId::new(5)).build());
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, BuildError::UnknownMonitor { .. }));
+        assert!(err.to_string().contains("M5"));
+    }
+
+    #[test]
+    fn build_validates_call_compatibility() {
+        let mut b = SimBuilder::new();
+        let buf = b.bounded_buffer("buf", 1);
+        b.process("p", Script::builder().request(buf).build());
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, BuildError::IncompatibleCall { .. }));
+    }
+
+    #[test]
+    fn pids_and_monitor_ids_are_sequential() {
+        let mut b = SimBuilder::new();
+        let m0 = b.bounded_buffer("a", 1);
+        let m1 = b.allocator("b", 1);
+        let m2 = b.manager("c");
+        assert_eq!((m0, m1, m2), (MonitorId::new(0), MonitorId::new(1), MonitorId::new(2)));
+        let p0 = b.process("x", Script::default());
+        let p1 = b.process("y", Script::default());
+        assert_eq!((p0, p1), (Pid::new(0), Pid::new(1)));
+    }
+
+    #[test]
+    fn compatibility_matrix() {
+        use CallKind::*;
+        use MonitorClass::*;
+        assert!(call_compatible(CommunicationCoordinator, Send));
+        assert!(call_compatible(CommunicationCoordinator, Receive));
+        assert!(!call_compatible(CommunicationCoordinator, Request));
+        assert!(call_compatible(ResourceAllocator, Request));
+        assert!(call_compatible(ResourceAllocator, Release));
+        assert!(!call_compatible(ResourceAllocator, Operate(Nanos::new(1))));
+        assert!(call_compatible(OperationManager, Operate(Nanos::new(1))));
+        assert!(!call_compatible(OperationManager, Send));
+    }
+
+    #[test]
+    fn empty_script_process_is_immediately_done() {
+        let mut b = SimBuilder::new();
+        b.process("noop", Script::default());
+        let mut sim = b.build().unwrap();
+        // One step marks it Done (empty script).
+        let _ = sim.step();
+        assert!(sim.all_terminal());
+    }
+}

@@ -1,0 +1,249 @@
+//! Fault injection for the simulated monitor kernel.
+//!
+//! The evaluation of the paper (§4) injects *"faults of different kinds
+//! as classified in Section 3.2 … randomly"* and measures detection
+//! coverage. [`FaultInjector`] realizes that campaign deterministically:
+//! each [`InjectionPlan`] names a fault class from the taxonomy, the
+//! monitor to perturb, and a [`Trigger`] selecting which primitive
+//! occurrence misbehaves.
+//!
+//! Implementation- and procedure-level faults (`E*`, `W*`, `X*`, `T1`,
+//! `P*`) are realized *inside the kernel* — the monitor protocol itself
+//! misbehaves while the data-gathering layer keeps recording faithfully.
+//! User-process-level faults (`U*`) are faulty *scripts*
+//! (see [`crate::script::Script`]); the injector recognizes them in
+//! campaign plans but the kernel has nothing to do for them.
+
+use rmon_core::{FaultKind, MonitorId, Nanos, Pid};
+
+/// Selects which occurrence of an injectable site misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// Fire exactly once, at the `n`-th (1-based) eligible occurrence.
+    OnNth(u32),
+    /// Fire at every eligible occurrence caused by this process.
+    OnPid(Pid),
+    /// Fire at every eligible occurrence.
+    Always,
+}
+
+/// A fault injection that actually happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FiredInjection {
+    /// The realized fault class.
+    pub fault: FaultKind,
+    /// The perturbed monitor.
+    pub monitor: MonitorId,
+    /// The process at the perturbed site.
+    pub pid: Pid,
+    /// Virtual time of the perturbation.
+    pub at: Nanos,
+}
+
+/// One planned fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectionPlan {
+    /// Which taxonomy class to realize.
+    pub fault: FaultKind,
+    /// The monitor whose primitive misbehaves.
+    pub monitor: MonitorId,
+    /// When to misbehave.
+    pub trigger: Trigger,
+}
+
+impl InjectionPlan {
+    /// Plan firing at the first eligible occurrence on `monitor`.
+    pub fn once(fault: FaultKind, monitor: MonitorId) -> Self {
+        InjectionPlan { fault, monitor, trigger: Trigger::OnNth(1) }
+    }
+
+    /// Plan firing at the `n`-th eligible occurrence.
+    pub fn nth(fault: FaultKind, monitor: MonitorId, n: u32) -> Self {
+        InjectionPlan { fault, monitor, trigger: Trigger::OnNth(n) }
+    }
+
+    /// Plan targeting one process persistently.
+    pub fn on_pid(fault: FaultKind, monitor: MonitorId, pid: Pid) -> Self {
+        InjectionPlan { fault, monitor, trigger: Trigger::OnPid(pid) }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PlanState {
+    plan: InjectionPlan,
+    seen: u32,
+    fired: bool,
+}
+
+/// Deterministic fault injector consulted by the kernel at each
+/// injectable site.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    plans: Vec<PlanState>,
+    fired_log: Vec<FiredInjection>,
+}
+
+impl FaultInjector {
+    /// An injector with no plans (every query answers "behave").
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a plan.
+    pub fn add(&mut self, plan: InjectionPlan) {
+        self.plans.push(PlanState { plan, seen: 0, fired: false });
+    }
+
+    /// Whether any plan exists for the given fault class (fired or
+    /// not) — used by the kernel to cheaply skip bookkeeping.
+    pub fn has_plan(&self, fault: FaultKind) -> bool {
+        self.plans.iter().any(|p| p.plan.fault == fault)
+    }
+
+    /// Consulted at an eligible site: decides whether the site should
+    /// misbehave *now*, advancing trigger bookkeeping.
+    ///
+    /// `OnNth` plans count eligible occurrences and fire exactly once;
+    /// `OnPid` plans fire for every eligible occurrence by the process;
+    /// `Always` plans fire unconditionally.
+    pub fn fire(&mut self, fault: FaultKind, monitor: MonitorId, pid: Pid, now: Nanos) -> bool {
+        let mut decision = false;
+        for ps in &mut self.plans {
+            if ps.plan.fault != fault || ps.plan.monitor != monitor {
+                continue;
+            }
+            let hit = match ps.plan.trigger {
+                Trigger::OnNth(n) => {
+                    if ps.fired {
+                        false
+                    } else {
+                        ps.seen += 1;
+                        if ps.seen == n {
+                            ps.fired = true;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                }
+                Trigger::OnPid(p) => p == pid,
+                Trigger::Always => true,
+            };
+            if hit {
+                decision = true;
+                self.fired_log.push(FiredInjection { fault, monitor, pid, at: now });
+            }
+        }
+        decision
+    }
+
+    /// Non-consuming variant for *persistent* conditions (e.g. "is this
+    /// entry waiter starved?") — does not advance `OnNth` counters.
+    pub fn persists(&self, fault: FaultKind, monitor: MonitorId, pid: Pid) -> bool {
+        self.plans.iter().any(|ps| {
+            ps.plan.fault == fault
+                && ps.plan.monitor == monitor
+                && match ps.plan.trigger {
+                    Trigger::OnNth(_) => ps.fired && last_fired_pid(self, fault, monitor) == Some(pid),
+                    Trigger::OnPid(p) => p == pid,
+                    Trigger::Always => true,
+                }
+        })
+    }
+
+    /// Everything that actually fired, in order.
+    pub fn fired(&self) -> &[FiredInjection] {
+        &self.fired_log
+    }
+
+    /// Virtual time of the first perturbation, if any fired.
+    pub fn first_fired_at(&self) -> Option<Nanos> {
+        self.fired_log.first().map(|f| f.at)
+    }
+
+    /// Whether at least one plan fired.
+    pub fn any_fired(&self) -> bool {
+        !self.fired_log.is_empty()
+    }
+}
+
+fn last_fired_pid(inj: &FaultInjector, fault: FaultKind, monitor: MonitorId) -> Option<Pid> {
+    inj.fired_log
+        .iter()
+        .rev()
+        .find(|f| f.fault == fault && f.monitor == monitor)
+        .map(|f| f.pid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: MonitorId = MonitorId::new(0);
+    const P1: Pid = Pid::new(1);
+    const P2: Pid = Pid::new(2);
+
+    #[test]
+    fn empty_injector_never_fires() {
+        let mut inj = FaultInjector::new();
+        assert!(!inj.fire(FaultKind::EnterMutualExclusion, M, P1, Nanos::ZERO));
+        assert!(!inj.any_fired());
+    }
+
+    #[test]
+    fn nth_fires_exactly_once_at_nth() {
+        let mut inj = FaultInjector::new();
+        inj.add(InjectionPlan::nth(FaultKind::WaitNotBlocked, M, 2));
+        assert!(!inj.fire(FaultKind::WaitNotBlocked, M, P1, Nanos::ZERO));
+        assert!(inj.fire(FaultKind::WaitNotBlocked, M, P2, Nanos::new(5)));
+        assert!(!inj.fire(FaultKind::WaitNotBlocked, M, P1, Nanos::ZERO));
+        assert_eq!(
+            inj.fired(),
+            &[FiredInjection {
+                fault: FaultKind::WaitNotBlocked,
+                monitor: M,
+                pid: P2,
+                at: Nanos::new(5)
+            }]
+        );
+        assert_eq!(inj.first_fired_at(), Some(Nanos::new(5)));
+    }
+
+    #[test]
+    fn on_pid_fires_repeatedly_for_that_pid_only() {
+        let mut inj = FaultInjector::new();
+        inj.add(InjectionPlan::on_pid(FaultKind::WaitEntryStarved, M, P2));
+        assert!(!inj.fire(FaultKind::WaitEntryStarved, M, P1, Nanos::ZERO));
+        assert!(inj.fire(FaultKind::WaitEntryStarved, M, P2, Nanos::ZERO));
+        assert!(inj.fire(FaultKind::WaitEntryStarved, M, P2, Nanos::ZERO));
+        assert!(inj.persists(FaultKind::WaitEntryStarved, M, P2));
+        assert!(!inj.persists(FaultKind::WaitEntryStarved, M, P1));
+    }
+
+    #[test]
+    fn wrong_monitor_or_fault_is_ignored() {
+        let mut inj = FaultInjector::new();
+        inj.add(InjectionPlan::once(FaultKind::EnterProcessLost, M));
+        assert!(!inj.fire(FaultKind::EnterProcessLost, MonitorId::new(9), P1, Nanos::ZERO));
+        assert!(!inj.fire(FaultKind::EnterMutualExclusion, M, P1, Nanos::ZERO));
+        assert!(inj.fire(FaultKind::EnterProcessLost, M, P1, Nanos::ZERO));
+    }
+
+    #[test]
+    fn has_plan_reflects_registration() {
+        let mut inj = FaultInjector::new();
+        assert!(!inj.has_plan(FaultKind::InternalTermination));
+        inj.add(InjectionPlan::once(FaultKind::InternalTermination, M));
+        assert!(inj.has_plan(FaultKind::InternalTermination));
+    }
+
+    #[test]
+    fn persists_after_nth_fire_tracks_the_fired_pid() {
+        let mut inj = FaultInjector::new();
+        inj.add(InjectionPlan::once(FaultKind::EnterNoResponse, M));
+        assert!(!inj.persists(FaultKind::EnterNoResponse, M, P1));
+        assert!(inj.fire(FaultKind::EnterNoResponse, M, P1, Nanos::ZERO));
+        assert!(inj.persists(FaultKind::EnterNoResponse, M, P1));
+        assert!(!inj.persists(FaultKind::EnterNoResponse, M, P2));
+    }
+}

@@ -1,0 +1,598 @@
+//! The simulation kernel: a deterministic user-level scheduler driving
+//! scripted processes through Hoare monitors.
+//!
+//! Every scheduling decision is one [`Sim::step`]: the kernel picks an
+//! actionable process (per the configured policy) and advances it by
+//! exactly one phase — starting an op, evaluating a guard, performing a
+//! data action, or exiting a monitor. Virtual time advances by
+//! [`crate::SimConfig::step_cost`] per step, plus explicit `Compute`
+//! durations. For a fixed seed the run is bit-for-bit reproducible,
+//! which is what makes the coverage experiment (EXP-COV) a table rather
+//! than an anecdote.
+
+use crate::config::{SchedPolicy, SimConfig};
+use crate::inject::FaultInjector;
+use crate::metrics::SimMetrics;
+use crate::monitor::{EnterOutcome, MonitorData, SimMonitor};
+use crate::process::{BodyStage, Phase, SimProcess};
+use crate::script::{CallKind, Op};
+use crate::trace::TraceRecorder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rmon_core::{
+    Event, EventKind, FaultKind, MonitorId, MonitorState, Nanos, Pid, PidProc,
+};
+use std::collections::HashMap;
+
+/// What one kernel step accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// A process advanced by one phase.
+    Progressed,
+    /// No process is actionable right now. `next_wake` is the earliest
+    /// time a computing process becomes actionable; `None` means every
+    /// non-terminal process is blocked on a queue.
+    Idle {
+        /// Earliest wake-up time of a computing process.
+        next_wake: Option<Nanos>,
+    },
+    /// Every process is terminal (done, lost, or dead inside).
+    Finished,
+}
+
+/// The deterministic concurrency simulator.
+#[derive(Debug)]
+pub struct Sim {
+    cfg: SimConfig,
+    clock: Nanos,
+    procs: Vec<SimProcess>,
+    monitors: Vec<SimMonitor>,
+    injector: FaultInjector,
+    recorder: TraceRecorder,
+    rng: StdRng,
+    rr_cursor: usize,
+    metrics: SimMetrics,
+}
+
+impl Sim {
+    /// Assembles a simulator; use [`crate::SimBuilder`] instead of
+    /// calling this directly.
+    pub(crate) fn assemble(
+        cfg: SimConfig,
+        procs: Vec<SimProcess>,
+        monitors: Vec<SimMonitor>,
+        injector: FaultInjector,
+        full_trace: bool,
+    ) -> Self {
+        let recorder =
+            if full_trace { TraceRecorder::with_full_trace() } else { TraceRecorder::new() };
+        Sim {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            clock: Nanos::ZERO,
+            procs,
+            monitors,
+            injector,
+            recorder,
+            rr_cursor: 0,
+            metrics: SimMetrics::default(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn clock(&self) -> Nanos {
+        self.clock
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The simulated processes.
+    pub fn processes(&self) -> &[SimProcess] {
+        &self.procs
+    }
+
+    /// The simulated monitors.
+    pub fn monitors(&self) -> &[SimMonitor] {
+        &self.monitors
+    }
+
+    /// The fault injector (to inspect what fired).
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Run metrics so far.
+    pub fn metrics(&self) -> SimMetrics {
+        let mut m = self.metrics;
+        m.end_time = self.clock;
+        m
+    }
+
+    /// Events recorded since the last call (for real-time checks).
+    pub fn take_fresh_events(&mut self) -> Vec<Event> {
+        self.recorder.take_fresh()
+    }
+
+    /// Drains the current checking window.
+    pub fn drain_window(&mut self) -> Vec<Event> {
+        self.recorder.drain_window()
+    }
+
+    /// The complete trace, when retention was enabled at build time.
+    pub fn full_trace(&self) -> &[Event] {
+        self.recorder.full_trace()
+    }
+
+    /// Total events recorded.
+    pub fn events_recorded(&self) -> u64 {
+        self.recorder.total()
+    }
+
+    /// Observed state snapshot of one monitor.
+    pub fn snapshot(&self, monitor: MonitorId) -> Option<MonitorState> {
+        self.monitors.get(monitor.as_usize()).map(SimMonitor::snapshot)
+    }
+
+    /// Observed state snapshots of all monitors.
+    pub fn snapshots(&self) -> HashMap<MonitorId, MonitorState> {
+        self.monitors.iter().map(|m| (m.id, m.snapshot())).collect()
+    }
+
+    /// Whether every process is terminal.
+    pub fn all_terminal(&self) -> bool {
+        self.procs.iter().all(|p| p.phase.terminal())
+    }
+
+    /// Jumps the virtual clock forward (used when all processes are
+    /// blocked and only detector timers can make progress).
+    pub fn advance_to(&mut self, t: Nanos) {
+        if t > self.clock {
+            self.clock = t;
+        }
+    }
+
+    /// Executes one scheduling step.
+    pub fn step(&mut self) -> StepOutcome {
+        if self.all_terminal() {
+            return StepOutcome::Finished;
+        }
+        let actionable: Vec<usize> = self
+            .procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.phase.actionable(self.clock))
+            .map(|(i, _)| i)
+            .collect();
+        if actionable.is_empty() {
+            let next_wake = self.procs.iter().filter_map(|p| p.phase.wake_time()).min();
+            return StepOutcome::Idle { next_wake };
+        }
+        let chosen = match self.cfg.policy {
+            SchedPolicy::RoundRobin => {
+                let pick = actionable
+                    .iter()
+                    .copied()
+                    .find(|&i| i >= self.rr_cursor)
+                    .unwrap_or(actionable[0]);
+                self.rr_cursor = pick + 1;
+                pick
+            }
+            SchedPolicy::Random => actionable[self.rng.gen_range(0..actionable.len())],
+        };
+        self.execute_one(chosen);
+        self.clock += self.cfg.step_cost;
+        self.metrics.steps += 1;
+        StepOutcome::Progressed
+    }
+
+    /// Advances process `i` by one phase.
+    fn execute_one(&mut self, i: usize) {
+        let phase = self.procs[i].phase;
+        match phase {
+            Phase::Ready => self.start_op(i),
+            Phase::Computing { .. } => self.procs[i].advance_ip(),
+            Phase::InMonitor { monitor, call, stage } => match stage {
+                BodyStage::Guard => self.run_guard(i, monitor, call),
+                BodyStage::ComputeInside { .. } => {
+                    self.procs[i].phase =
+                        Phase::InMonitor { monitor, call, stage: BodyStage::Exit };
+                }
+                BodyStage::Exit => self.run_exit(i, monitor, call),
+            },
+            // Blocked/terminal processes are never scheduled.
+            _ => unreachable!("non-actionable process scheduled: {phase:?}"),
+        }
+    }
+
+    fn start_op(&mut self, i: usize) {
+        let Some(op) = self.procs[i].current_op() else {
+            self.procs[i].phase = Phase::Done;
+            return;
+        };
+        match op {
+            Op::Compute(d) => {
+                self.procs[i].phase = Phase::Computing { until: self.clock + d };
+            }
+            Op::Call { monitor, call } => {
+                let pid = self.procs[i].pid;
+                let m = &mut self.monitors[monitor.as_usize()];
+                let proc_name = m.proc_for(call);
+                match m.enter(pid, proc_name, &mut self.injector, self.clock) {
+                    EnterOutcome::Granted { record } => {
+                        if record {
+                            self.recorder.record(
+                                self.clock,
+                                monitor,
+                                pid,
+                                proc_name,
+                                EventKind::Enter { granted: true },
+                            );
+                        }
+                        self.procs[i].phase = Phase::InMonitor {
+                            monitor,
+                            call,
+                            stage: initial_stage(call, self.clock),
+                        };
+                    }
+                    EnterOutcome::Blocked => {
+                        self.recorder.record(
+                            self.clock,
+                            monitor,
+                            pid,
+                            proc_name,
+                            EventKind::Enter { granted: false },
+                        );
+                        self.metrics.entry_blocks += 1;
+                        self.procs[i].phase = Phase::BlockedEntry { monitor, call };
+                    }
+                    EnterOutcome::Lost => {
+                        self.recorder.record(
+                            self.clock,
+                            monitor,
+                            pid,
+                            proc_name,
+                            EventKind::Enter { granted: false },
+                        );
+                        self.procs[i].phase = Phase::Lost;
+                    }
+                }
+            }
+        }
+    }
+
+    fn run_guard(&mut self, i: usize, monitor: MonitorId, call: CallKind) {
+        let pid = self.procs[i].pid;
+        let mid = monitor.as_usize();
+        let must_wait_real = match (&self.monitors[mid].data, call) {
+            (MonitorData::Buffer { count, capacity }, CallKind::Send) => count >= capacity,
+            (MonitorData::Buffer { count, .. }, CallKind::Receive) => *count <= 0,
+            (MonitorData::Allocator { avail, .. }, CallKind::Request) => *avail <= 0,
+            _ => false,
+        };
+        // Procedure-level fault injections perturb the guard decision.
+        let mut wait = must_wait_real;
+        match call {
+            CallKind::Send => {
+                if !must_wait_real
+                    && self.injector.fire(FaultKind::SendDelayViolation, monitor, pid, self.clock)
+                {
+                    wait = true; // P1: delayed although not full.
+                }
+                if must_wait_real
+                    && self.injector.fire(FaultKind::SendExceedsCapacity, monitor, pid, self.clock)
+                {
+                    wait = false; // P4: not delayed although full.
+                }
+            }
+            CallKind::Receive => {
+                if !must_wait_real
+                    && self
+                        .injector
+                        .fire(FaultKind::ReceiveDelayViolation, monitor, pid, self.clock)
+                {
+                    wait = true; // P2: delayed although not empty.
+                }
+                if must_wait_real
+                    && self.injector.fire(FaultKind::ReceiveExceedsSend, monitor, pid, self.clock)
+                {
+                    wait = false; // P3: not delayed although empty.
+                }
+            }
+            _ => {}
+        }
+        if wait {
+            let m = &mut self.monitors[mid];
+            let proc_name = m.proc_for(call);
+            let (wait_cond, _) = m.conds_for(call);
+            let cond = wait_cond.expect("only calls with a wait condition can wait");
+            let out = m.wait(pid, proc_name, cond, &mut self.injector, self.clock);
+            self.recorder.record(self.clock, monitor, pid, proc_name, EventKind::Wait { cond });
+            self.metrics.cond_blocks += 1;
+            if !out.blocked {
+                // Fault W1: continues inside as if signalled.
+                self.procs[i].phase =
+                    Phase::InMonitor { monitor, call, stage: BodyStage::Exit };
+            } else {
+                let admitted = out.admitted.clone();
+                self.procs[i].phase = if out.lost {
+                    Phase::Lost
+                } else {
+                    Phase::BlockedCond { monitor, call, resume: BodyStage::Exit }
+                };
+                for a in admitted {
+                    self.wake_entry(a);
+                }
+            }
+        } else {
+            self.procs[i].phase = Phase::InMonitor { monitor, call, stage: BodyStage::Exit };
+        }
+    }
+
+    fn run_exit(&mut self, i: usize, monitor: MonitorId, call: CallKind) {
+        let pid = self.procs[i].pid;
+        let mid = monitor.as_usize();
+        let proc_name = self.monitors[mid].proc_for(call);
+        // Fault T1: the process dies at the exit point, still owning the
+        // monitor; the data effect never happens (the call did not
+        // complete).
+        if self.injector.fire(FaultKind::InternalTermination, monitor, pid, self.clock) {
+            self.recorder.record(self.clock, monitor, pid, proc_name, EventKind::Terminate);
+            self.procs[i].phase = Phase::DeadInside;
+            return;
+        }
+        // The data effect is applied in the same step as the exit event:
+        // a checkpoint therefore always sees R# consistent with the
+        // recorded exits (successful calls), matching the paper's
+        // success-at-completion accounting.
+        {
+            let m = &mut self.monitors[mid];
+            match (&mut m.data, call) {
+                (MonitorData::Buffer { count, .. }, CallKind::Send) => *count += 1,
+                (MonitorData::Buffer { count, .. }, CallKind::Receive) => *count -= 1,
+                (MonitorData::Allocator { avail, .. }, CallKind::Request) => *avail -= 1,
+                (MonitorData::Allocator { avail, .. }, CallKind::Release) => *avail += 1,
+                _ => {}
+            }
+        }
+        let (_, signal_cond) = self.monitors[mid].conds_for(call);
+        let out = self.monitors[mid].signal_exit(
+            pid,
+            proc_name,
+            signal_cond,
+            &mut self.injector,
+            self.clock,
+        );
+        self.recorder.record(
+            self.clock,
+            monitor,
+            pid,
+            proc_name,
+            EventKind::SignalExit { cond: signal_cond, resumed_waiter: out.flag },
+        );
+        let resumed = out.resumed.clone();
+        let admitted = out.admitted.clone();
+        for r in resumed {
+            self.wake_cond(r);
+        }
+        for a in admitted {
+            self.wake_entry(a);
+        }
+        self.metrics.calls_completed += 1;
+        self.procs[i].calls_completed += 1;
+        self.procs[i].advance_ip();
+    }
+
+    /// Wakes a process admitted from an entry queue.
+    fn wake_entry(&mut self, pp: PidProc) {
+        let clock = self.clock;
+        if let Some(p) = self.proc_by_pid(pp.pid) {
+            if let Phase::BlockedEntry { monitor, call } = p.phase {
+                p.phase = Phase::InMonitor { monitor, call, stage: initial_stage(call, clock) };
+            }
+        }
+    }
+
+    /// Wakes a process resumed from a condition queue.
+    fn wake_cond(&mut self, pp: PidProc) {
+        if let Some(p) = self.proc_by_pid(pp.pid) {
+            if let Phase::BlockedCond { monitor, call, resume } = p.phase {
+                p.phase = Phase::InMonitor { monitor, call, stage: resume };
+            }
+        }
+    }
+
+    fn proc_by_pid(&mut self, pid: Pid) -> Option<&mut SimProcess> {
+        self.procs.iter_mut().find(|p| p.pid == pid)
+    }
+}
+
+/// The first body stage of a call once inside the monitor.
+fn initial_stage(call: CallKind, now: Nanos) -> BodyStage {
+    match call {
+        CallKind::Operate(d) => BodyStage::ComputeInside { until: now + d },
+        _ => BodyStage::Guard,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SimBuilder;
+    use crate::script::Script;
+
+    fn run_to_end(sim: &mut Sim) {
+        let mut guard = 0u64;
+        loop {
+            match sim.step() {
+                StepOutcome::Progressed => {}
+                StepOutcome::Idle { next_wake: Some(t) } => sim.advance_to(t),
+                StepOutcome::Idle { next_wake: None } => break,
+                StepOutcome::Finished => break,
+            }
+            guard += 1;
+            assert!(guard < 1_000_000, "runaway simulation");
+        }
+    }
+
+    #[test]
+    fn single_producer_consumer_completes() {
+        let mut b = SimBuilder::new();
+        let buf = b.bounded_buffer("buf", 2);
+        b.process("prod", Script::builder().repeat(3, |s| s.send(buf)).build());
+        b.process("cons", Script::builder().repeat(3, |s| s.receive(buf)).build());
+        let mut sim = b.build().unwrap();
+        run_to_end(&mut sim);
+        assert!(sim.all_terminal());
+        assert_eq!(sim.metrics().calls_completed, 6);
+        let snap = sim.snapshot(buf).unwrap();
+        assert_eq!(snap.available, Some(2));
+        assert!(snap.running.is_empty());
+    }
+
+    #[test]
+    fn consumer_first_waits_then_is_signalled() {
+        let mut b = SimBuilder::new();
+        let buf = b.bounded_buffer("buf", 1);
+        b.process("cons", Script::builder().receive(buf).build());
+        b.process("prod", Script::builder().compute(Nanos::from_micros(50)).send(buf).build());
+        let mut sim = b.build().unwrap();
+        run_to_end(&mut sim);
+        assert!(sim.all_terminal());
+        assert!(sim.metrics().cond_blocks >= 1, "consumer must have waited");
+    }
+
+    #[test]
+    fn full_buffer_blocks_producer() {
+        let mut b = SimBuilder::new();
+        let buf = b.bounded_buffer("buf", 1);
+        b.process("prod", Script::builder().send(buf).send(buf).build());
+        b.process(
+            "cons",
+            Script::builder().compute(Nanos::from_micros(100)).receive(buf).receive(buf).build(),
+        );
+        let mut sim = b.build().unwrap();
+        run_to_end(&mut sim);
+        assert!(sim.all_terminal());
+        assert_eq!(sim.metrics().calls_completed, 4);
+    }
+
+    #[test]
+    fn allocator_round_trip() {
+        let mut b = SimBuilder::new();
+        let al = b.allocator("printer", 1);
+        for p in 0..3 {
+            b.process(
+                format!("user{p}"),
+                Script::builder().request(al).compute(Nanos::from_micros(5)).release(al).build(),
+            );
+        }
+        let mut sim = b.build().unwrap();
+        run_to_end(&mut sim);
+        assert!(sim.all_terminal());
+        let snap = sim.snapshot(al).unwrap();
+        assert_eq!(snap.available, Some(1));
+    }
+
+    #[test]
+    fn manager_operations_are_serialized() {
+        let mut b = SimBuilder::new();
+        let mg = b.manager("cell");
+        for p in 0..4 {
+            b.process(
+                format!("op{p}"),
+                Script::builder().operate(mg, Nanos::from_micros(10)).build(),
+            );
+        }
+        let mut sim = b.build().unwrap();
+        run_to_end(&mut sim);
+        assert!(sim.all_terminal());
+        assert_eq!(sim.metrics().calls_completed, 4);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let build = || {
+            let mut b = SimBuilder::new().with_config(SimConfig::random_seeded(7));
+            let buf = b.bounded_buffer("buf", 2);
+            for p in 0..3 {
+                b.process(format!("prod{p}"), Script::builder().repeat(5, |s| s.send(buf)).build());
+                b.process(
+                    format!("cons{p}"),
+                    Script::builder().repeat(5, |s| s.receive(buf)).build(),
+                );
+            }
+            b.with_full_trace().build().unwrap()
+        };
+        let mut s1 = build();
+        let mut s2 = build();
+        run_to_end(&mut s1);
+        run_to_end(&mut s2);
+        assert_eq!(s1.full_trace(), s2.full_trace());
+        assert_eq!(s1.clock(), s2.clock());
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let build = |seed| {
+            let mut b = SimBuilder::new().with_config(SimConfig::random_seeded(seed));
+            let buf = b.bounded_buffer("buf", 1);
+            for p in 0..4 {
+                b.process(format!("prod{p}"), Script::builder().repeat(4, |s| s.send(buf)).build());
+                b.process(
+                    format!("cons{p}"),
+                    Script::builder().repeat(4, |s| s.receive(buf)).build(),
+                );
+            }
+            b.with_full_trace().build().unwrap()
+        };
+        let mut s1 = build(1);
+        let mut s2 = build(2);
+        run_to_end(&mut s1);
+        run_to_end(&mut s2);
+        // Not a hard guarantee, but with 8 processes the interleavings
+        // practically always differ.
+        assert_ne!(s1.full_trace(), s2.full_trace());
+    }
+
+    #[test]
+    fn deadlocked_double_request_reports_idle_forever() {
+        let mut b = SimBuilder::new();
+        let al = b.allocator("res", 1);
+        b.process("dead", Script::double_request(al));
+        let mut sim = b.build().unwrap();
+        let mut guard = 0;
+        let stuck = loop {
+            match sim.step() {
+                StepOutcome::Progressed => {}
+                StepOutcome::Idle { next_wake: None } => break true,
+                StepOutcome::Idle { next_wake: Some(t) } => sim.advance_to(t),
+                StepOutcome::Finished => break false,
+            }
+            guard += 1;
+            if guard > 100_000 {
+                break false;
+            }
+        };
+        assert!(stuck, "double request on a single unit must deadlock");
+        assert!(!sim.all_terminal());
+    }
+
+    #[test]
+    fn events_have_monotone_seq_and_time() {
+        let mut b = SimBuilder::new().with_full_trace();
+        let buf = b.bounded_buffer("buf", 2);
+        b.process("p", Script::builder().repeat(3, |s| s.send(buf)).build());
+        b.process("c", Script::builder().repeat(3, |s| s.receive(buf)).build());
+        let mut sim = b.build().unwrap();
+        run_to_end(&mut sim);
+        let trace = sim.full_trace();
+        assert!(!trace.is_empty());
+        for w in trace.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Simulation metrics.
+
+use rmon_core::Nanos;
+
+/// Counters collected during a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimMetrics {
+    /// Kernel steps executed.
+    pub steps: u64,
+    /// Monitor calls completed (successful `Signal-Exit`s).
+    pub calls_completed: u64,
+    /// Times a process blocked on an entry queue.
+    pub entry_blocks: u64,
+    /// Times a process blocked on a condition queue.
+    pub cond_blocks: u64,
+    /// Final virtual time.
+    pub end_time: Nanos,
+}
+
+impl SimMetrics {
+    /// Completed calls per virtual second (0 if no time elapsed).
+    pub fn throughput_per_sec(&self) -> f64 {
+        let secs = self.end_time.as_secs_f64();
+        if secs > 0.0 {
+            self.calls_completed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_handles_zero_time() {
+        let m = SimMetrics::default();
+        assert_eq!(m.throughput_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn throughput_scales() {
+        let m = SimMetrics {
+            calls_completed: 100,
+            end_time: Nanos::from_secs(2),
+            ..Default::default()
+        };
+        assert!((m.throughput_per_sec() - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,652 @@
+//! The simulated Hoare monitor: explicit entry/condition queues, direct
+//! hand-off, and injectable misbehaviour.
+//!
+//! The monitor discipline here is enforced by *protocol state* (an
+//! `owner` list plus queues), not by Rust's ownership system — which is
+//! precisely what makes the paper's implementation-level faults
+//! expressible: an injected perturbation simply breaks the protocol
+//! (admits two owners, drops a waiter, keeps the lock…) while the
+//! data-gathering layer keeps recording events faithfully.
+
+use crate::inject::FaultInjector;
+use crate::script::CallKind;
+use rmon_core::{
+    CondId, FaultKind, MonitorClass, MonitorId, MonitorSpec, MonitorState, Nanos, Pid, PidProc,
+    ProcName,
+};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The local data of a simulated monitor, by monitor type.
+///
+/// Counters are signed so injected faults can drive them out of range
+/// without wrapping; snapshots clamp to the observable `R#`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorData {
+    /// A bounded buffer (communication coordinator).
+    Buffer {
+        /// Items currently in the buffer.
+        count: i64,
+        /// Capacity `Rmax`.
+        capacity: i64,
+    },
+    /// A multi-unit resource allocator.
+    Allocator {
+        /// Units currently available.
+        avail: i64,
+        /// Total units.
+        units: i64,
+    },
+    /// An operation manager (no resource counter).
+    Manager,
+}
+
+impl MonitorData {
+    /// The observable `R#` (free capacity / available units), clamped
+    /// at zero.
+    pub fn available(&self) -> Option<u64> {
+        match *self {
+            MonitorData::Buffer { count, capacity } => Some((capacity - count).max(0) as u64),
+            MonitorData::Allocator { avail, .. } => Some(avail.max(0) as u64),
+            MonitorData::Manager => None,
+        }
+    }
+}
+
+/// Result of an `Enter` primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnterOutcome {
+    /// The caller was granted the monitor. `record` is false when an
+    /// injected fault suppressed the event (fault E4).
+    Granted {
+        /// Whether the data-gathering layer records the event.
+        record: bool,
+    },
+    /// The caller was queued on `EQ` (event `Enter(flag=0)`).
+    Blocked,
+    /// Injected fault E2: the event is recorded but the process is
+    /// neither queued nor admitted.
+    Lost,
+}
+
+/// Result of a `Wait` primitive.
+#[derive(Debug, Clone)]
+pub struct WaitOutcome {
+    /// Whether the caller actually blocked (false under fault W1).
+    pub blocked: bool,
+    /// Whether the caller was dropped entirely (fault W2).
+    pub lost: bool,
+    /// Entry-queue processes admitted into the monitor by the release
+    /// (normally at most one; fault W5 admits two, faults W3/W6 none).
+    pub admitted: Vec<PidProc>,
+}
+
+/// Result of a `Signal-Exit` primitive.
+#[derive(Debug, Clone)]
+pub struct ExitOutcome {
+    /// The recorded flag: whether the primitive *claims* a condition
+    /// waiter was resumed.
+    pub flag: bool,
+    /// Condition waiters actually resumed (handed the monitor).
+    pub resumed: Vec<PidProc>,
+    /// Entry-queue processes admitted.
+    pub admitted: Vec<PidProc>,
+}
+
+/// One simulated monitor instance.
+#[derive(Debug, Clone)]
+pub struct SimMonitor {
+    /// Monitor identifier.
+    pub id: MonitorId,
+    /// The static declaration registered with the detector.
+    pub spec: Arc<MonitorSpec>,
+    /// The monitor-local data.
+    pub data: MonitorData,
+    owner: Vec<PidProc>,
+    eq: VecDeque<PidProc>,
+    cqs: Vec<VecDeque<PidProc>>,
+    /// Injected stuck lock (faults W6/X2): while set, nobody is ever
+    /// admitted from the entry queue.
+    stuck_lock: bool,
+}
+
+impl SimMonitor {
+    /// Creates a bounded-buffer monitor.
+    pub fn bounded_buffer(id: MonitorId, name: &str, capacity: u64) -> Self {
+        let bb = MonitorSpec::bounded_buffer(name, capacity);
+        SimMonitor {
+            id,
+            spec: Arc::new(bb.spec),
+            data: MonitorData::Buffer { count: 0, capacity: capacity as i64 },
+            owner: Vec::new(),
+            eq: VecDeque::new(),
+            cqs: vec![VecDeque::new(); 2],
+            stuck_lock: false,
+        }
+    }
+
+    /// Creates a resource-allocator monitor.
+    pub fn allocator(id: MonitorId, name: &str, units: u64) -> Self {
+        let al = MonitorSpec::allocator(name, units);
+        SimMonitor {
+            id,
+            spec: Arc::new(al.spec),
+            data: MonitorData::Allocator { avail: units as i64, units: units as i64 },
+            owner: Vec::new(),
+            eq: VecDeque::new(),
+            cqs: vec![VecDeque::new(); 1],
+            stuck_lock: false,
+        }
+    }
+
+    /// Creates an operation-manager monitor.
+    pub fn manager(id: MonitorId, name: &str) -> Self {
+        let mg = MonitorSpec::operation_manager(name);
+        SimMonitor {
+            id,
+            spec: Arc::new(mg.spec),
+            data: MonitorData::Manager,
+            owner: Vec::new(),
+            eq: VecDeque::new(),
+            cqs: Vec::new(),
+            stuck_lock: false,
+        }
+    }
+
+    /// Maps a call kind to this monitor's procedure index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the call kind does not belong to this monitor type —
+    /// the builder validates scripts, so reaching this is a programming
+    /// error in the simulator itself.
+    pub fn proc_for(&self, call: CallKind) -> ProcName {
+        let ok = match (self.spec.class, call) {
+            (MonitorClass::CommunicationCoordinator, CallKind::Send) => Some(0),
+            (MonitorClass::CommunicationCoordinator, CallKind::Receive) => Some(1),
+            (MonitorClass::ResourceAllocator, CallKind::Request) => Some(0),
+            (MonitorClass::ResourceAllocator, CallKind::Release) => Some(1),
+            (MonitorClass::OperationManager, CallKind::Operate(_)) => Some(0),
+            _ => None,
+        };
+        match ok {
+            Some(i) => ProcName::new(i),
+            None => panic!(
+                "call {call:?} is not a procedure of {} monitor {}",
+                self.spec.class, self.id
+            ),
+        }
+    }
+
+    /// The condition a blocked call waits on, and the condition its
+    /// exit signals: `(wait_cond, signal_cond)`.
+    pub fn conds_for(&self, call: CallKind) -> (Option<CondId>, Option<CondId>) {
+        match (self.spec.class, call) {
+            // Senders wait on buffer_full (c0), signal buffer_empty (c1).
+            (MonitorClass::CommunicationCoordinator, CallKind::Send) => {
+                (Some(CondId::new(0)), Some(CondId::new(1)))
+            }
+            // Receivers wait on buffer_empty (c1), signal buffer_full (c0).
+            (MonitorClass::CommunicationCoordinator, CallKind::Receive) => {
+                (Some(CondId::new(1)), Some(CondId::new(0)))
+            }
+            // Requesters wait on unit_available (c0), signal nothing.
+            (MonitorClass::ResourceAllocator, CallKind::Request) => (Some(CondId::new(0)), None),
+            // Release waits on nothing, signals unit_available.
+            (MonitorClass::ResourceAllocator, CallKind::Release) => (None, Some(CondId::new(0))),
+            _ => (None, None),
+        }
+    }
+
+    /// Processes currently inside the monitor.
+    pub fn owners(&self) -> &[PidProc] {
+        &self.owner
+    }
+
+    /// The entry queue.
+    pub fn entry_queue(&self) -> &VecDeque<PidProc> {
+        &self.eq
+    }
+
+    /// Whether the injected stuck lock is active.
+    pub fn is_stuck(&self) -> bool {
+        self.stuck_lock
+    }
+
+    /// The observed scheduling state `⟨EQ, CQ[], Running, R#⟩`.
+    pub fn snapshot(&self) -> MonitorState {
+        MonitorState {
+            entry_queue: self.eq.iter().copied().collect(),
+            cond_queues: self.cqs.iter().map(|q| q.iter().copied().collect()).collect(),
+            running: self.owner.clone(),
+            available: self.data.available(),
+        }
+    }
+
+    /// Admits the first non-starved entry waiter, if the lock is not
+    /// stuck. Returns the admitted process. Skipped (starved) waiters
+    /// are logged as fired perturbations.
+    fn admit_one(&mut self, inj: &mut FaultInjector, now: Nanos) -> Option<PidProc> {
+        if self.stuck_lock {
+            return None;
+        }
+        let idx = self
+            .eq
+            .iter()
+            .position(|pp| !inj.persists(FaultKind::WaitEntryStarved, self.id, pp.pid))?;
+        for skipped in 0..idx {
+            let pid = self.eq[skipped].pid;
+            let _ = inj.fire(FaultKind::WaitEntryStarved, self.id, pid, now);
+        }
+        let pp = self.eq.remove(idx).expect("index from position");
+        self.owner.push(pp);
+        Some(pp)
+    }
+
+    /// The `Enter` primitive.
+    pub fn enter(
+        &mut self,
+        pid: Pid,
+        proc_name: ProcName,
+        inj: &mut FaultInjector,
+        now: Nanos,
+    ) -> EnterOutcome {
+        let pp = PidProc::new(pid, proc_name);
+        // Fault E4: run inside without an observable Enter.
+        if inj.fire(FaultKind::EnterNotObserved, self.id, pid, now) {
+            self.owner.push(pp);
+            return EnterOutcome::Granted { record: false };
+        }
+        let busy = !self.owner.is_empty() || self.stuck_lock;
+        if busy {
+            // Fault E1: grant although another process is inside.
+            if inj.fire(FaultKind::EnterMutualExclusion, self.id, pid, now) {
+                self.owner.push(pp);
+                return EnterOutcome::Granted { record: true };
+            }
+            // Fault E2: record the attempt but drop the process.
+            if inj.fire(FaultKind::EnterProcessLost, self.id, pid, now) {
+                return EnterOutcome::Lost;
+            }
+            self.eq.push_back(pp);
+            EnterOutcome::Blocked
+        } else {
+            // Fault E3: block the caller although the monitor is free.
+            if inj.fire(FaultKind::EnterNoResponse, self.id, pid, now) {
+                self.eq.push_back(pp);
+                return EnterOutcome::Blocked;
+            }
+            self.owner.push(pp);
+            EnterOutcome::Granted { record: true }
+        }
+    }
+
+    /// The `Wait` primitive: the caller blocks on `CQ[cond]` and
+    /// releases the monitor.
+    pub fn wait(
+        &mut self,
+        pid: Pid,
+        proc_name: ProcName,
+        cond: CondId,
+        inj: &mut FaultInjector,
+        now: Nanos,
+    ) -> WaitOutcome {
+        let pp = PidProc::new(pid, proc_name);
+        // Fault W1: the caller is not actually blocked.
+        if inj.fire(FaultKind::WaitNotBlocked, self.id, pid, now) {
+            return WaitOutcome { blocked: false, lost: false, admitted: Vec::new() };
+        }
+        self.owner.retain(|o| o.pid != pid);
+        // Fault W2: the caller vanishes.
+        let lost = inj.fire(FaultKind::WaitProcessLost, self.id, pid, now);
+        if !lost {
+            let c = cond.as_usize();
+            if c >= self.cqs.len() {
+                self.cqs.resize_with(c + 1, VecDeque::new);
+            }
+            self.cqs[c].push_back(pp);
+        }
+        // Fault W6: the monitor is not released (stuck lock). Only an
+        // *effective* site (somebody queued to starve) consumes a
+        // one-shot plan.
+        if !self.eq.is_empty() && inj.fire(FaultKind::WaitMonitorNotReleased, self.id, pid, now) {
+            self.stuck_lock = true;
+            return WaitOutcome { blocked: true, lost, admitted: Vec::new() };
+        }
+        // Fault W3: entry waiters are not resumed (this release only).
+        if !self.eq.is_empty() && inj.fire(FaultKind::WaitEntryNotResumed, self.id, pid, now) {
+            return WaitOutcome { blocked: true, lost, admitted: Vec::new() };
+        }
+        let mut admitted = Vec::new();
+        if let Some(a) = self.admit_one(inj, now) {
+            admitted.push(a);
+        }
+        // Fault W5: a second entry waiter is resumed as well.
+        if !self.eq.is_empty() && inj.fire(FaultKind::WaitMutualExclusion, self.id, pid, now) {
+            if let Some(a) = self.admit_one(inj, now) {
+                admitted.push(a);
+            }
+        }
+        WaitOutcome { blocked: true, lost, admitted }
+    }
+
+    /// The combined `Signal-Exit` primitive.
+    pub fn signal_exit(
+        &mut self,
+        pid: Pid,
+        _proc_name: ProcName,
+        cond: Option<CondId>,
+        inj: &mut FaultInjector,
+        now: Nanos,
+    ) -> ExitOutcome {
+        self.owner.retain(|o| o.pid != pid);
+        let waiter_present =
+            cond.is_some_and(|c| self.cqs.get(c.as_usize()).is_some_and(|q| !q.is_empty()));
+        // Fault X1: nobody is resumed although the primitive claims the
+        // normal hand-off. Only effective when someone was due a
+        // resumption.
+        if (waiter_present || !self.eq.is_empty())
+            && inj.fire(FaultKind::SignalExitNotResumed, self.id, pid, now)
+        {
+            return ExitOutcome { flag: waiter_present, resumed: Vec::new(), admitted: Vec::new() };
+        }
+        // Fault X2: the monitor stays locked after the exit.
+        if inj.fire(FaultKind::SignalExitMonitorNotReleased, self.id, pid, now) {
+            self.stuck_lock = true;
+            return ExitOutcome { flag: false, resumed: Vec::new(), admitted: Vec::new() };
+        }
+        let mut resumed = Vec::new();
+        let mut admitted = Vec::new();
+        if waiter_present {
+            let c = cond.expect("waiter_present implies cond").as_usize();
+            let waiter = self.cqs[c].pop_front().expect("waiter_present implies non-empty");
+            self.owner.push(waiter);
+            resumed.push(waiter);
+            // Fault X3: an entry waiter is admitted *in addition to*
+            // the resumed condition waiter.
+            if !self.eq.is_empty()
+                && inj.fire(FaultKind::SignalExitMutualExclusion, self.id, pid, now)
+            {
+                if let Some(a) = self.admit_one(inj, now) {
+                    admitted.push(a);
+                }
+            }
+        } else {
+            if let Some(a) = self.admit_one(inj, now) {
+                admitted.push(a);
+            }
+            // Fault X3 without waiters: admit a second entry waiter.
+            if !self.eq.is_empty()
+                && inj.fire(FaultKind::SignalExitMutualExclusion, self.id, pid, now)
+            {
+                if let Some(a) = self.admit_one(inj, now) {
+                    admitted.push(a);
+                }
+            }
+        }
+        ExitOutcome { flag: waiter_present, resumed, admitted }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::InjectionPlan;
+
+    const M: MonitorId = MonitorId::new(0);
+
+    fn pidp(p: u32, pr: u16) -> PidProc {
+        PidProc::new(Pid::new(p), ProcName::new(pr))
+    }
+
+    fn quiet() -> FaultInjector {
+        FaultInjector::new()
+    }
+
+    #[test]
+    fn enter_grants_when_free_blocks_when_busy() {
+        let mut m = SimMonitor::bounded_buffer(M, "b", 2);
+        let mut inj = quiet();
+        assert_eq!(
+            m.enter(Pid::new(1), ProcName::new(0), &mut inj, Nanos::ZERO),
+            EnterOutcome::Granted { record: true }
+        );
+        assert_eq!(
+            m.enter(Pid::new(2), ProcName::new(1), &mut inj, Nanos::ZERO),
+            EnterOutcome::Blocked
+        );
+        assert_eq!(m.owners(), &[pidp(1, 0)]);
+        assert_eq!(m.entry_queue().len(), 1);
+    }
+
+    #[test]
+    fn wait_releases_and_admits_entry_head() {
+        let mut m = SimMonitor::bounded_buffer(M, "b", 2);
+        let mut inj = quiet();
+        m.enter(Pid::new(1), ProcName::new(0), &mut inj, Nanos::ZERO);
+        m.enter(Pid::new(2), ProcName::new(1), &mut inj, Nanos::ZERO);
+        let w = m.wait(Pid::new(1), ProcName::new(0), CondId::new(0), &mut inj, Nanos::ZERO);
+        assert!(w.blocked);
+        assert!(!w.lost);
+        assert_eq!(w.admitted, vec![pidp(2, 1)]);
+        assert_eq!(m.owners(), &[pidp(2, 1)]);
+    }
+
+    #[test]
+    fn signal_exit_hands_off_to_cond_waiter_first() {
+        let mut m = SimMonitor::bounded_buffer(M, "b", 2);
+        let mut inj = quiet();
+        m.enter(Pid::new(1), ProcName::new(1), &mut inj, Nanos::ZERO);
+        m.wait(Pid::new(1), ProcName::new(1), CondId::new(1), &mut inj, Nanos::ZERO);
+        m.enter(Pid::new(2), ProcName::new(0), &mut inj, Nanos::ZERO);
+        let x = m.signal_exit(
+            Pid::new(2),
+            ProcName::new(0),
+            Some(CondId::new(1)),
+            &mut inj,
+            Nanos::ZERO,
+        );
+        assert!(x.flag);
+        assert_eq!(x.resumed, vec![pidp(1, 1)]);
+        assert!(x.admitted.is_empty());
+        assert_eq!(m.owners(), &[pidp(1, 1)]);
+    }
+
+    #[test]
+    fn signal_exit_without_waiter_admits_entry() {
+        let mut m = SimMonitor::bounded_buffer(M, "b", 2);
+        let mut inj = quiet();
+        m.enter(Pid::new(1), ProcName::new(0), &mut inj, Nanos::ZERO);
+        m.enter(Pid::new(2), ProcName::new(1), &mut inj, Nanos::ZERO);
+        let x = m.signal_exit(
+            Pid::new(1),
+            ProcName::new(0),
+            Some(CondId::new(1)),
+            &mut inj,
+            Nanos::ZERO,
+        );
+        assert!(!x.flag);
+        assert_eq!(x.admitted, vec![pidp(2, 1)]);
+    }
+
+    #[test]
+    fn e1_admits_second_owner() {
+        let mut m = SimMonitor::bounded_buffer(M, "b", 2);
+        let mut inj = quiet();
+        inj.add(InjectionPlan::once(FaultKind::EnterMutualExclusion, M));
+        m.enter(Pid::new(1), ProcName::new(0), &mut inj, Nanos::ZERO);
+        let o = m.enter(Pid::new(2), ProcName::new(1), &mut inj, Nanos::ZERO);
+        assert_eq!(o, EnterOutcome::Granted { record: true });
+        assert_eq!(m.owners().len(), 2);
+    }
+
+    #[test]
+    fn e2_drops_the_process() {
+        let mut m = SimMonitor::bounded_buffer(M, "b", 2);
+        let mut inj = quiet();
+        inj.add(InjectionPlan::once(FaultKind::EnterProcessLost, M));
+        m.enter(Pid::new(1), ProcName::new(0), &mut inj, Nanos::ZERO);
+        let o = m.enter(Pid::new(2), ProcName::new(1), &mut inj, Nanos::ZERO);
+        assert_eq!(o, EnterOutcome::Lost);
+        assert!(m.entry_queue().is_empty());
+    }
+
+    #[test]
+    fn e3_blocks_although_free() {
+        let mut m = SimMonitor::bounded_buffer(M, "b", 2);
+        let mut inj = quiet();
+        inj.add(InjectionPlan::once(FaultKind::EnterNoResponse, M));
+        let o = m.enter(Pid::new(1), ProcName::new(0), &mut inj, Nanos::ZERO);
+        assert_eq!(o, EnterOutcome::Blocked);
+        assert!(m.owners().is_empty());
+        assert_eq!(m.entry_queue().len(), 1);
+    }
+
+    #[test]
+    fn e4_grants_without_recording() {
+        let mut m = SimMonitor::bounded_buffer(M, "b", 2);
+        let mut inj = quiet();
+        inj.add(InjectionPlan::once(FaultKind::EnterNotObserved, M));
+        let o = m.enter(Pid::new(1), ProcName::new(0), &mut inj, Nanos::ZERO);
+        assert_eq!(o, EnterOutcome::Granted { record: false });
+        assert_eq!(m.owners().len(), 1);
+    }
+
+    #[test]
+    fn w1_caller_not_blocked() {
+        let mut m = SimMonitor::bounded_buffer(M, "b", 2);
+        let mut inj = quiet();
+        inj.add(InjectionPlan::once(FaultKind::WaitNotBlocked, M));
+        m.enter(Pid::new(1), ProcName::new(0), &mut inj, Nanos::ZERO);
+        let w = m.wait(Pid::new(1), ProcName::new(0), CondId::new(0), &mut inj, Nanos::ZERO);
+        assert!(!w.blocked);
+        assert_eq!(m.owners(), &[pidp(1, 0)]);
+    }
+
+    #[test]
+    fn w2_loses_the_waiter() {
+        let mut m = SimMonitor::bounded_buffer(M, "b", 2);
+        let mut inj = quiet();
+        inj.add(InjectionPlan::once(FaultKind::WaitProcessLost, M));
+        m.enter(Pid::new(1), ProcName::new(0), &mut inj, Nanos::ZERO);
+        let w = m.wait(Pid::new(1), ProcName::new(0), CondId::new(0), &mut inj, Nanos::ZERO);
+        assert!(w.lost);
+        assert!(m.snapshot().cond_queues[0].is_empty());
+    }
+
+    #[test]
+    fn w6_sticks_the_lock() {
+        let mut m = SimMonitor::bounded_buffer(M, "b", 2);
+        let mut inj = quiet();
+        inj.add(InjectionPlan::once(FaultKind::WaitMonitorNotReleased, M));
+        m.enter(Pid::new(1), ProcName::new(0), &mut inj, Nanos::ZERO);
+        m.enter(Pid::new(2), ProcName::new(1), &mut inj, Nanos::ZERO);
+        let w = m.wait(Pid::new(1), ProcName::new(0), CondId::new(0), &mut inj, Nanos::ZERO);
+        assert!(w.admitted.is_empty());
+        assert!(m.is_stuck());
+        // Later exits admit nobody either.
+        let x = m.signal_exit(Pid::new(9), ProcName::new(0), None, &mut inj, Nanos::ZERO);
+        assert!(x.admitted.is_empty());
+    }
+
+    #[test]
+    fn w4_starves_marked_pid_but_serves_others() {
+        let mut m = SimMonitor::bounded_buffer(M, "b", 2);
+        let mut inj = quiet();
+        inj.add(InjectionPlan::on_pid(FaultKind::WaitEntryStarved, M, Pid::new(2)));
+        m.enter(Pid::new(1), ProcName::new(0), &mut inj, Nanos::ZERO);
+        m.enter(Pid::new(2), ProcName::new(1), &mut inj, Nanos::ZERO);
+        m.enter(Pid::new(3), ProcName::new(0), &mut inj, Nanos::ZERO);
+        let x = m.signal_exit(
+            Pid::new(1),
+            ProcName::new(0),
+            Some(CondId::new(1)),
+            &mut inj,
+            Nanos::ZERO,
+        );
+        // P2 (head) is skipped; P3 admitted.
+        assert_eq!(x.admitted, vec![pidp(3, 0)]);
+        assert_eq!(m.entry_queue().front(), Some(&pidp(2, 1)));
+    }
+
+    #[test]
+    fn x1_resumes_nobody_but_claims_flag() {
+        let mut m = SimMonitor::bounded_buffer(M, "b", 2);
+        let mut inj = quiet();
+        inj.add(InjectionPlan::once(FaultKind::SignalExitNotResumed, M));
+        m.enter(Pid::new(1), ProcName::new(1), &mut inj, Nanos::ZERO);
+        m.wait(Pid::new(1), ProcName::new(1), CondId::new(1), &mut inj, Nanos::ZERO);
+        m.enter(Pid::new(2), ProcName::new(0), &mut inj, Nanos::ZERO);
+        let x = m.signal_exit(
+            Pid::new(2),
+            ProcName::new(0),
+            Some(CondId::new(1)),
+            &mut inj,
+            Nanos::ZERO,
+        );
+        assert!(x.flag, "the primitive claims the hand-off");
+        assert!(x.resumed.is_empty());
+        assert_eq!(m.snapshot().cond_queues[1].len(), 1, "waiter still parked");
+    }
+
+    #[test]
+    fn x3_admits_entry_alongside_cond_waiter() {
+        let mut m = SimMonitor::bounded_buffer(M, "b", 2);
+        let mut inj = quiet();
+        inj.add(InjectionPlan::once(FaultKind::SignalExitMutualExclusion, M));
+        m.enter(Pid::new(1), ProcName::new(1), &mut inj, Nanos::ZERO);
+        m.wait(Pid::new(1), ProcName::new(1), CondId::new(1), &mut inj, Nanos::ZERO);
+        m.enter(Pid::new(2), ProcName::new(0), &mut inj, Nanos::ZERO);
+        m.enter(Pid::new(3), ProcName::new(0), &mut inj, Nanos::ZERO);
+        let x = m.signal_exit(
+            Pid::new(2),
+            ProcName::new(0),
+            Some(CondId::new(1)),
+            &mut inj,
+            Nanos::ZERO,
+        );
+        assert_eq!(x.resumed.len(), 1);
+        assert_eq!(x.admitted.len(), 1);
+        assert_eq!(m.owners().len(), 2);
+    }
+
+    #[test]
+    fn snapshot_reflects_structures() {
+        let mut m = SimMonitor::allocator(M, "a", 2);
+        let mut inj = quiet();
+        m.enter(Pid::new(1), ProcName::new(0), &mut inj, Nanos::ZERO);
+        m.enter(Pid::new(2), ProcName::new(0), &mut inj, Nanos::ZERO);
+        let s = m.snapshot();
+        assert_eq!(s.running, vec![pidp(1, 0)]);
+        assert_eq!(s.entry_queue, vec![pidp(2, 0)]);
+        assert_eq!(s.available, Some(2));
+    }
+
+    #[test]
+    fn proc_and_cond_mapping() {
+        let b = SimMonitor::bounded_buffer(M, "b", 1);
+        assert_eq!(b.proc_for(CallKind::Send), ProcName::new(0));
+        assert_eq!(b.proc_for(CallKind::Receive), ProcName::new(1));
+        assert_eq!(b.conds_for(CallKind::Send), (Some(CondId::new(0)), Some(CondId::new(1))));
+        let a = SimMonitor::allocator(M, "a", 1);
+        assert_eq!(a.proc_for(CallKind::Request), ProcName::new(0));
+        assert_eq!(a.conds_for(CallKind::Release), (None, Some(CondId::new(0))));
+        let g = SimMonitor::manager(M, "m");
+        assert_eq!(g.proc_for(CallKind::Operate(Nanos::new(1))), ProcName::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a procedure")]
+    fn wrong_call_kind_panics() {
+        let b = SimMonitor::bounded_buffer(M, "b", 1);
+        let _ = b.proc_for(CallKind::Request);
+    }
+
+    #[test]
+    fn data_available_clamps() {
+        assert_eq!(MonitorData::Buffer { count: 3, capacity: 2 }.available(), Some(0));
+        assert_eq!(MonitorData::Buffer { count: -1, capacity: 2 }.available(), Some(3));
+        assert_eq!(MonitorData::Allocator { avail: -2, units: 2 }.available(), Some(0));
+        assert_eq!(MonitorData::Manager.available(), None);
+    }
+}

@@ -1,0 +1,213 @@
+//! Simulated processes: state machines driven by the kernel.
+
+use crate::script::{CallKind, Script};
+use rmon_core::{MonitorId, Nanos, Pid};
+
+/// Where a process that is inside a monitor stands in its procedure
+/// body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BodyStage {
+    /// About to evaluate the procedure's guard (may lead to a `Wait`).
+    Guard,
+    /// Operation-manager bodies compute inside the monitor until the
+    /// given virtual time.
+    ComputeInside {
+        /// Virtual time at which the in-monitor work completes.
+        until: Nanos,
+    },
+    /// About to complete the procedure: the data effect (deposit,
+    /// remove, take, put) is applied in the same kernel step as the
+    /// combined `Signal-Exit`, so a checkpoint can never observe a
+    /// resource state that disagrees with the exits recorded so far —
+    /// the paper counts a call as successful at its completion.
+    /// Waiters resume here (Hoare hand-off guarantees the guard
+    /// condition, so it is not re-evaluated).
+    Exit,
+}
+
+/// Lifecycle of a simulated process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Ready to execute the next script op.
+    Ready,
+    /// Computing outside any monitor until the given virtual time.
+    Computing {
+        /// Virtual completion time.
+        until: Nanos,
+    },
+    /// Inside a monitor, about to execute `stage`.
+    InMonitor {
+        /// The monitor it occupies.
+        monitor: MonitorId,
+        /// The call kind being executed.
+        call: CallKind,
+        /// Next body stage.
+        stage: BodyStage,
+    },
+    /// Parked on a monitor's entry queue.
+    BlockedEntry {
+        /// The monitor whose entry queue holds the process.
+        monitor: MonitorId,
+        /// The call to resume once admitted.
+        call: CallKind,
+    },
+    /// Parked on a condition queue.
+    BlockedCond {
+        /// The monitor whose condition queue holds the process.
+        monitor: MonitorId,
+        /// The call to resume once signalled.
+        call: CallKind,
+        /// Stage to resume at (always [`BodyStage::Exit`] today).
+        resume: BodyStage,
+    },
+    /// Script finished.
+    Done,
+    /// Dropped by an injected fault (lost process).
+    Lost,
+    /// Terminated inside a monitor by an injected fault.
+    DeadInside,
+}
+
+impl Phase {
+    /// Whether the process can take a kernel step at time `now`.
+    pub fn actionable(&self, now: Nanos) -> bool {
+        match *self {
+            Phase::Ready => true,
+            Phase::Computing { until } => until <= now,
+            Phase::InMonitor { stage, .. } => match stage {
+                BodyStage::ComputeInside { until } => until <= now,
+                _ => true,
+            },
+            _ => false,
+        }
+    }
+
+    /// Whether the process has finished (successfully or not).
+    pub fn terminal(&self) -> bool {
+        matches!(self, Phase::Done | Phase::Lost | Phase::DeadInside)
+    }
+
+    /// Whether the process is blocked on a queue.
+    pub fn blocked(&self) -> bool {
+        matches!(self, Phase::BlockedEntry { .. } | Phase::BlockedCond { .. })
+    }
+
+    /// The wake-up time if the process is computing (inside or outside
+    /// a monitor).
+    pub fn wake_time(&self) -> Option<Nanos> {
+        match *self {
+            Phase::Computing { until } => Some(until),
+            Phase::InMonitor { stage: BodyStage::ComputeInside { until }, .. } => Some(until),
+            _ => None,
+        }
+    }
+}
+
+/// A simulated process: a script plus its execution state.
+#[derive(Debug, Clone)]
+pub struct SimProcess {
+    /// Process identifier.
+    pub pid: Pid,
+    /// Debug name.
+    pub name: String,
+    /// The program.
+    pub script: Script,
+    /// Instruction pointer into the script.
+    pub ip: usize,
+    /// Current lifecycle phase.
+    pub phase: Phase,
+    /// Completed monitor calls (metrics).
+    pub calls_completed: u64,
+}
+
+impl SimProcess {
+    /// Creates a ready process.
+    pub fn new(pid: Pid, name: impl Into<String>, script: Script) -> Self {
+        SimProcess { pid, name: name.into(), script, ip: 0, phase: Phase::Ready, calls_completed: 0 }
+    }
+
+    /// The op at the instruction pointer, if any.
+    pub fn current_op(&self) -> Option<crate::script::Op> {
+        self.script.ops().get(self.ip).copied()
+    }
+
+    /// Advances past the current op; marks `Done` at script end.
+    pub fn advance_ip(&mut self) {
+        self.ip += 1;
+        if self.ip >= self.script.len() {
+            self.phase = Phase::Done;
+        } else {
+            self.phase = Phase::Ready;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::Op;
+
+    const M: MonitorId = MonitorId::new(0);
+
+    #[test]
+    fn phase_actionability() {
+        let now = Nanos::new(100);
+        assert!(Phase::Ready.actionable(now));
+        assert!(Phase::Computing { until: Nanos::new(50) }.actionable(now));
+        assert!(!Phase::Computing { until: Nanos::new(150) }.actionable(now));
+        assert!(Phase::InMonitor { monitor: M, call: CallKind::Send, stage: BodyStage::Guard }
+            .actionable(now));
+        assert!(!Phase::InMonitor {
+            monitor: M,
+            call: CallKind::Operate(Nanos::new(1)),
+            stage: BodyStage::ComputeInside { until: Nanos::new(200) }
+        }
+        .actionable(now));
+        assert!(!Phase::BlockedEntry { monitor: M, call: CallKind::Send }.actionable(now));
+        assert!(!Phase::Done.actionable(now));
+    }
+
+    #[test]
+    fn terminal_and_blocked_classification() {
+        assert!(Phase::Done.terminal());
+        assert!(Phase::Lost.terminal());
+        assert!(Phase::DeadInside.terminal());
+        assert!(!Phase::Ready.terminal());
+        assert!(Phase::BlockedEntry { monitor: M, call: CallKind::Send }.blocked());
+        assert!(Phase::BlockedCond {
+            monitor: M,
+            call: CallKind::Send,
+            resume: BodyStage::Exit
+        }
+        .blocked());
+        assert!(!Phase::Ready.blocked());
+    }
+
+    #[test]
+    fn wake_time_extraction() {
+        assert_eq!(Phase::Computing { until: Nanos::new(7) }.wake_time(), Some(Nanos::new(7)));
+        assert_eq!(
+            Phase::InMonitor {
+                monitor: M,
+                call: CallKind::Operate(Nanos::new(1)),
+                stage: BodyStage::ComputeInside { until: Nanos::new(9) }
+            }
+            .wake_time(),
+            Some(Nanos::new(9))
+        );
+        assert_eq!(Phase::Ready.wake_time(), None);
+    }
+
+    #[test]
+    fn process_ip_advance_and_done() {
+        let script =
+            Script::builder().op(Op::Compute(Nanos::new(1))).op(Op::Compute(Nanos::new(2))).build();
+        let mut p = SimProcess::new(Pid::new(0), "p", script);
+        assert!(p.current_op().is_some());
+        p.advance_ip();
+        assert_eq!(p.phase, Phase::Ready);
+        p.advance_ip();
+        assert_eq!(p.phase, Phase::Done);
+        assert_eq!(p.current_op(), None);
+    }
+}

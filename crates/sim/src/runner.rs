@@ -1,0 +1,264 @@
+//! Runs a simulation with the detector attached — the virtual-time
+//! equivalent of the paper's prototype wiring (Figure 1): the kernel
+//! records events as it schedules (*data gathering*), the detector's
+//! real-time order checks run on every fresh event, and the periodic
+//! checking routine fires every `check_interval` of virtual time.
+
+use crate::kernel::{Sim, StepOutcome};
+use rmon_core::detect::Detector;
+use rmon_core::{DetectorConfig, FaultReport, Nanos, Violation};
+
+/// Everything a detection-enabled run produced.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// One report per periodic checkpoint, in order.
+    pub reports: Vec<FaultReport>,
+    /// Violations raised by the real-time (Algorithm-3) checks.
+    pub realtime_violations: Vec<Violation>,
+    /// All violations merged into one report.
+    pub combined: FaultReport,
+    /// Total events the simulator recorded.
+    pub events_recorded: u64,
+    /// Whether every process reached a terminal phase.
+    pub finished: bool,
+    /// Final virtual time.
+    pub end_time: Nanos,
+    /// Virtual time of the first injected perturbation, if any fired.
+    pub first_injection_at: Option<Nanos>,
+    /// Virtual time of the first reported violation, if any.
+    pub first_detection_at: Option<Nanos>,
+}
+
+impl RunOutcome {
+    /// Whether the run produced no violations at all.
+    pub fn is_clean(&self) -> bool {
+        self.combined.is_clean() && self.realtime_violations.is_empty()
+    }
+
+    /// Detection latency: virtual time from the first injected
+    /// perturbation to the first reported violation.
+    pub fn detection_latency(&self) -> Option<Nanos> {
+        match (self.first_injection_at, self.first_detection_at) {
+            (Some(i), Some(d)) => Some(d.saturating_since(i)),
+            _ => None,
+        }
+    }
+}
+
+/// Drives `sim` to completion (or to its time/step bounds) with a
+/// [`Detector`] attached, checkpointing every
+/// [`DetectorConfig::check_interval`] of virtual time.
+pub fn run_with_detection(sim: &mut Sim, det_cfg: DetectorConfig) -> RunOutcome {
+    let mut det = Detector::new(det_cfg);
+    for m in sim.monitors() {
+        det.register_empty(m.id, m.spec.clone(), sim.clock());
+    }
+    let interval = det_cfg.check_interval;
+    let mut next_check = sim.clock() + interval;
+    let mut reports = Vec::new();
+    let mut realtime = Vec::new();
+    let mut first_detection_at: Option<Nanos> = None;
+    let max_time = sim.config().max_time;
+    let max_steps = sim.config().max_steps;
+    let mut steps: u64 = 0;
+
+    let note_first = |violations: &[Violation], first: &mut Option<Nanos>| {
+        if first.is_none() {
+            if let Some(v) = violations.first() {
+                *first = Some(v.detected_at);
+            }
+        }
+    };
+
+    loop {
+        let outcome = sim.step();
+        steps += 1;
+        match outcome {
+            StepOutcome::Progressed => {}
+            StepOutcome::Idle { next_wake: Some(t) } => {
+                sim.advance_to(t.min(next_check));
+            }
+            StepOutcome::Idle { next_wake: None } => {
+                // Every live process is blocked: only detector timers
+                // can still make progress. Jump checkpoint to
+                // checkpoint until the time budget runs out.
+                sim.advance_to(next_check);
+            }
+            StepOutcome::Finished => break,
+        }
+        for e in sim.take_fresh_events() {
+            let vs = det.observe(&e);
+            note_first(&vs, &mut first_detection_at);
+            realtime.extend(vs);
+        }
+        if sim.clock() >= next_check {
+            let events = sim.drain_window();
+            let snaps = sim.snapshots();
+            let report = det.checkpoint(sim.clock(), &events, &snaps);
+            // Detection latency counts from the *report* time: the
+            // periodic routine surfaces the fault at the checkpoint,
+            // even though the violation is attributed to its event.
+            if first_detection_at.is_none() && !report.violations.is_empty() {
+                first_detection_at = Some(report.window_end);
+            }
+            reports.push(report);
+            next_check = sim.clock() + interval;
+        }
+        if sim.clock() >= max_time || steps >= max_steps {
+            break;
+        }
+    }
+
+    // Final checkpoint over whatever remains in the window.
+    for e in sim.take_fresh_events() {
+        let vs = det.observe(&e);
+        note_first(&vs, &mut first_detection_at);
+        realtime.extend(vs);
+    }
+    let events = sim.drain_window();
+    let snaps = sim.snapshots();
+    let report = det.checkpoint(sim.clock(), &events, &snaps);
+    if first_detection_at.is_none() && !report.violations.is_empty() {
+        first_detection_at = Some(report.window_end);
+    }
+    reports.push(report);
+
+    let mut combined = FaultReport { window_start: Nanos::MAX, ..FaultReport::default() };
+    for r in &reports {
+        combined.merge(r.clone());
+    }
+    combined.violations.extend(realtime.iter().cloned());
+
+    RunOutcome {
+        combined,
+        realtime_violations: realtime,
+        events_recorded: sim.events_recorded(),
+        finished: sim.all_terminal(),
+        end_time: sim.clock(),
+        first_injection_at: sim.injector().first_fired_at(),
+        first_detection_at,
+        reports,
+    }
+}
+
+/// Drives `sim` to completion without any detector (baseline for
+/// overhead comparisons and plain functional tests).
+pub fn run_plain(sim: &mut Sim) -> bool {
+    let max_time = sim.config().max_time;
+    let max_steps = sim.config().max_steps;
+    let mut steps = 0u64;
+    loop {
+        match sim.step() {
+            StepOutcome::Progressed => {}
+            StepOutcome::Idle { next_wake: Some(t) } => sim.advance_to(t),
+            StepOutcome::Idle { next_wake: None } => return false,
+            StepOutcome::Finished => return true,
+        }
+        steps += 1;
+        if sim.clock() >= max_time || steps >= max_steps {
+            return sim.all_terminal();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SimBuilder;
+    use crate::inject::InjectionPlan;
+    use crate::script::Script;
+    use rmon_core::{FaultKind, RuleId};
+
+    fn det_cfg() -> DetectorConfig {
+        DetectorConfig::builder()
+            .t_max(Nanos::from_millis(5))
+            .t_io(Nanos::from_millis(10))
+            .t_limit(Nanos::from_millis(20))
+            .check_interval(Nanos::from_millis(1))
+            .build()
+    }
+
+    #[test]
+    fn clean_run_is_clean() {
+        let mut b = SimBuilder::new();
+        let buf = b.bounded_buffer("buf", 2);
+        for p in 0..2 {
+            b.process(format!("prod{p}"), Script::builder().repeat(10, |s| s.send(buf)).build());
+            b.process(
+                format!("cons{p}"),
+                Script::builder().repeat(10, |s| s.receive(buf)).build(),
+            );
+        }
+        let mut sim = b.build().unwrap();
+        let out = run_with_detection(&mut sim, det_cfg());
+        assert!(out.finished);
+        assert!(out.is_clean(), "{}", out.combined);
+        assert!(out.events_recorded > 0);
+    }
+
+    #[test]
+    fn injected_mutex_violation_is_detected() {
+        let mut b = SimBuilder::new();
+        let buf = b.bounded_buffer("buf", 1);
+        b.inject(InjectionPlan::once(FaultKind::EnterMutualExclusion, buf));
+        b.process("p1", Script::builder().repeat(4, |s| s.send(buf)).build());
+        b.process("p2", Script::builder().repeat(4, |s| s.receive(buf)).build());
+        let mut sim = b.build().unwrap();
+        let out = run_with_detection(&mut sim, det_cfg());
+        assert!(sim_fired(&sim_placeholder(), &out), "injection must have fired");
+        assert!(
+            out.combined
+                .violates_any(&[RuleId::St3RunningUnique, RuleId::St3RunningAtMostOne]),
+            "{}",
+            out.combined
+        );
+    }
+
+    // Helpers: the injector state lives in `sim`, but `sim` is consumed
+    // mutably by the runner; use the outcome's record instead.
+    struct SimPlaceholder;
+    fn sim_placeholder() -> SimPlaceholder {
+        SimPlaceholder
+    }
+    fn sim_fired(_s: &SimPlaceholder, out: &RunOutcome) -> bool {
+        out.first_injection_at.is_some()
+    }
+
+    #[test]
+    fn double_request_detected_in_real_time() {
+        let mut b = SimBuilder::new();
+        let al = b.allocator("res", 1);
+        b.process("dead", Script::double_request(al));
+        let mut sim = b.build().unwrap();
+        let out = run_with_detection(&mut sim, det_cfg());
+        assert!(out
+            .realtime_violations
+            .iter()
+            .any(|v| v.rule == RuleId::St8DuplicateRequest), "{:?}", out.realtime_violations);
+        assert!(!out.finished, "self-deadlock leaves the process blocked");
+    }
+
+    #[test]
+    fn latency_is_measured_for_injected_faults() {
+        let mut b = SimBuilder::new();
+        let buf = b.bounded_buffer("buf", 1);
+        b.inject(InjectionPlan::once(FaultKind::SendDelayViolation, buf));
+        b.process("p", Script::builder().repeat(3, |s| s.send(buf)).build());
+        b.process("c", Script::builder().repeat(3, |s| s.receive(buf)).build());
+        let mut sim = b.build().unwrap();
+        let out = run_with_detection(&mut sim, det_cfg());
+        assert!(out.first_injection_at.is_some());
+        assert!(out.first_detection_at.is_some(), "{}", out.combined);
+        assert!(out.detection_latency().is_some());
+    }
+
+    #[test]
+    fn plain_run_completes_without_detector() {
+        let mut b = SimBuilder::new();
+        let buf = b.bounded_buffer("buf", 2);
+        b.process("p", Script::builder().repeat(5, |s| s.send(buf)).build());
+        b.process("c", Script::builder().repeat(5, |s| s.receive(buf)).build());
+        let mut sim = b.build().unwrap();
+        assert!(run_plain(&mut sim));
+    }
+}

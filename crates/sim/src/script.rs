@@ -1,0 +1,212 @@
+//! Process scripts: the programs simulated processes run.
+//!
+//! A script is a flat sequence of [`Op`]s. Monitor interactions go
+//! through [`CallKind`], which the kernel expands into the monitor
+//! procedure's phases (enter → guard → wait? → action → signal-exit).
+//!
+//! User-process-level faults (§2.2 III) are *scripts*, not kernel
+//! perturbations: a process that releases without requesting, never
+//! releases, or requests twice is simply running a faulty program —
+//! helpers for the three patterns are provided.
+
+use rmon_core::{MonitorId, Nanos};
+
+/// What a monitor call does; the kernel maps each kind to the monitor's
+/// procedures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// Deposit one item into a communication coordinator.
+    Send,
+    /// Remove one item from a communication coordinator.
+    Receive,
+    /// Acquire one access right from a resource allocator.
+    Request,
+    /// Return an access right to a resource allocator.
+    Release,
+    /// Perform one implicit-synchronization operation of the given
+    /// virtual duration on an operation manager.
+    Operate(Nanos),
+}
+
+/// One step of a process program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Local (outside-monitor) work for the given virtual duration.
+    Compute(Nanos),
+    /// A call to a monitor procedure.
+    Call {
+        /// The target monitor.
+        monitor: MonitorId,
+        /// Which procedure (by kind).
+        call: CallKind,
+    },
+}
+
+/// A finished process program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Script {
+    ops: Vec<Op>,
+}
+
+impl Script {
+    /// Starts building a script.
+    pub fn builder() -> ScriptBuilder {
+        ScriptBuilder { ops: Vec::new() }
+    }
+
+    /// The flat operation sequence.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the script is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Canonical faulty script: release a right that was never
+    /// requested (fault U1).
+    pub fn release_without_request(alloc: MonitorId) -> Script {
+        Script::builder().release(alloc).build()
+    }
+
+    /// Canonical faulty script: request and never release (fault U2).
+    pub fn never_release(alloc: MonitorId, busy: Nanos) -> Script {
+        Script::builder().request(alloc).compute(busy).build()
+    }
+
+    /// Canonical faulty script: request twice without releasing
+    /// (fault U3, self-deadlock on a single-unit allocator).
+    pub fn double_request(alloc: MonitorId) -> Script {
+        Script::builder().request(alloc).request(alloc).release(alloc).build()
+    }
+}
+
+impl FromIterator<Op> for Script {
+    fn from_iter<I: IntoIterator<Item = Op>>(iter: I) -> Self {
+        Script { ops: iter.into_iter().collect() }
+    }
+}
+
+/// Builder for [`Script`] (loops are expanded at build time, keeping
+/// the kernel's instruction pointer a plain index).
+#[derive(Debug, Clone)]
+pub struct ScriptBuilder {
+    ops: Vec<Op>,
+}
+
+impl ScriptBuilder {
+    /// Appends local work.
+    pub fn compute(mut self, d: Nanos) -> Self {
+        self.ops.push(Op::Compute(d));
+        self
+    }
+
+    /// Appends a `send` call.
+    pub fn send(mut self, monitor: MonitorId) -> Self {
+        self.ops.push(Op::Call { monitor, call: CallKind::Send });
+        self
+    }
+
+    /// Appends a `receive` call.
+    pub fn receive(mut self, monitor: MonitorId) -> Self {
+        self.ops.push(Op::Call { monitor, call: CallKind::Receive });
+        self
+    }
+
+    /// Appends a `request` call.
+    pub fn request(mut self, monitor: MonitorId) -> Self {
+        self.ops.push(Op::Call { monitor, call: CallKind::Request });
+        self
+    }
+
+    /// Appends a `release` call.
+    pub fn release(mut self, monitor: MonitorId) -> Self {
+        self.ops.push(Op::Call { monitor, call: CallKind::Release });
+        self
+    }
+
+    /// Appends an `operate` call of the given in-monitor duration.
+    pub fn operate(mut self, monitor: MonitorId, d: Nanos) -> Self {
+        self.ops.push(Op::Call { monitor, call: CallKind::Operate(d) });
+        self
+    }
+
+    /// Appends an arbitrary operation.
+    pub fn op(mut self, op: Op) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Repeats a sub-script `times` times.
+    pub fn repeat(mut self, times: usize, f: impl FnOnce(ScriptBuilder) -> ScriptBuilder) -> Self {
+        let body = f(ScriptBuilder { ops: Vec::new() }).ops;
+        for _ in 0..times {
+            self.ops.extend(body.iter().copied());
+        }
+        self
+    }
+
+    /// Finishes the script.
+    pub fn build(self) -> Script {
+        Script { ops: self.ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: MonitorId = MonitorId::new(0);
+
+    #[test]
+    fn builder_appends_in_order() {
+        let s = Script::builder()
+            .compute(Nanos::new(5))
+            .send(M)
+            .receive(M)
+            .request(M)
+            .release(M)
+            .operate(M, Nanos::new(7))
+            .build();
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.ops()[0], Op::Compute(Nanos::new(5)));
+        assert_eq!(s.ops()[1], Op::Call { monitor: M, call: CallKind::Send });
+        assert_eq!(s.ops()[5], Op::Call { monitor: M, call: CallKind::Operate(Nanos::new(7)) });
+    }
+
+    #[test]
+    fn repeat_expands() {
+        let s = Script::builder().repeat(3, |b| b.send(M).receive(M)).build();
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.ops()[0], s.ops()[2]);
+    }
+
+    #[test]
+    fn nested_repeat() {
+        let s = Script::builder()
+            .repeat(2, |b| b.compute(Nanos::new(1)).repeat(2, |b| b.send(M)))
+            .build();
+        // (compute, send, send) × 2
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn faulty_script_helpers() {
+        assert_eq!(Script::release_without_request(M).len(), 1);
+        assert_eq!(Script::never_release(M, Nanos::new(10)).len(), 2);
+        assert_eq!(Script::double_request(M).len(), 3);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: Script = [Op::Compute(Nanos::new(1))].into_iter().collect();
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Event recording for the simulator — the paper's *data-gathering
+//! routine* (§4), virtual-time edition.
+
+use rmon_core::{Event, EventKind, MonitorId, Nanos, Pid, ProcName};
+
+/// Records scheduling events with global sequence numbers.
+///
+/// Two buffers serve the two consumers: `fresh` feeds the real-time
+/// checks ([`rmon_core::detect::Detector::observe`]) step by step,
+/// `window` accumulates the checking window for the next periodic
+/// checkpoint.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    next_seq: u64,
+    window: Vec<Event>,
+    fresh: Vec<Event>,
+    total: u64,
+    /// When set, every event is also kept in a full trace (for the
+    /// reference checker / debugging).
+    keep_full: bool,
+    full: Vec<Event>,
+}
+
+impl TraceRecorder {
+    /// A recorder that keeps only the working buffers.
+    pub fn new() -> Self {
+        TraceRecorder { next_seq: 1, ..Default::default() }
+    }
+
+    /// A recorder that additionally retains the complete trace (used by
+    /// differential tests against the full-history reference checker).
+    pub fn with_full_trace() -> Self {
+        TraceRecorder { next_seq: 1, keep_full: true, ..Default::default() }
+    }
+
+    /// Records one event.
+    pub fn record(
+        &mut self,
+        time: Nanos,
+        monitor: MonitorId,
+        pid: Pid,
+        proc_name: ProcName,
+        kind: EventKind,
+    ) -> Event {
+        let event = Event { seq: self.next_seq, time, monitor, pid, proc_name, kind };
+        self.next_seq += 1;
+        self.total += 1;
+        self.window.push(event);
+        self.fresh.push(event);
+        if self.keep_full {
+            self.full.push(event);
+        }
+        event
+    }
+
+    /// Drains events recorded since the last call (for real-time
+    /// observation).
+    pub fn take_fresh(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.fresh)
+    }
+
+    /// Drains the current checking window.
+    pub fn drain_window(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.window)
+    }
+
+    /// Total events recorded so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The full trace, if retention was enabled.
+    pub fn full_trace(&self) -> &[Event] {
+        &self.full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(r: &mut TraceRecorder, t: u64) -> Event {
+        r.record(
+            Nanos::new(t),
+            MonitorId::new(0),
+            Pid::new(1),
+            ProcName::new(0),
+            EventKind::Enter { granted: true },
+        )
+    }
+
+    #[test]
+    fn buffers_fill_and_drain_independently() {
+        let mut r = TraceRecorder::new();
+        rec(&mut r, 1);
+        rec(&mut r, 2);
+        assert_eq!(r.take_fresh().len(), 2);
+        assert_eq!(r.take_fresh().len(), 0);
+        rec(&mut r, 3);
+        assert_eq!(r.drain_window().len(), 3);
+        assert_eq!(r.take_fresh().len(), 1);
+        assert_eq!(r.total(), 3);
+    }
+
+    #[test]
+    fn sequence_numbers_are_global() {
+        let mut r = TraceRecorder::new();
+        let a = rec(&mut r, 1);
+        let b = rec(&mut r, 2);
+        assert_eq!(a.seq, 1);
+        assert_eq!(b.seq, 2);
+    }
+
+    #[test]
+    fn full_trace_retention_is_optional() {
+        let mut r = TraceRecorder::new();
+        rec(&mut r, 1);
+        assert!(r.full_trace().is_empty());
+        let mut r = TraceRecorder::with_full_trace();
+        rec(&mut r, 1);
+        r.drain_window();
+        assert_eq!(r.full_trace().len(), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Resource-allocator client mixes: correct cycles plus the three
+//! user-process-level fault patterns of §2.2 III.
+
+use rmon_core::{MonitorId, Nanos};
+use rmon_sim::{Script, SimBuilder, SimConfig};
+
+/// Which user-process behaviour a client runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientKind {
+    /// Correct `request; use; release` cycles.
+    Correct {
+        /// Number of cycles.
+        cycles: usize,
+    },
+    /// Fault U1: releases a right it never acquired.
+    ReleaseWithoutRequest,
+    /// Fault U2: acquires and never releases (holds for `busy`).
+    NeverRelease {
+        /// How long the right is held.
+        busy: Nanos,
+    },
+    /// Fault U3: requests twice without releasing (self-deadlock on a
+    /// single-unit allocator).
+    DoubleRequest,
+}
+
+/// A mix of allocator clients sharing one multi-unit allocator.
+#[derive(Debug, Clone)]
+pub struct AllocatorMix {
+    /// Units the allocator manages.
+    pub units: u64,
+    /// Hold time inside each correct cycle.
+    pub hold: Nanos,
+    /// The clients.
+    pub clients: Vec<ClientKind>,
+}
+
+impl AllocatorMix {
+    /// A correct mix: `n` clients, `cycles` cycles each.
+    pub fn correct(units: u64, n: usize, cycles: usize) -> Self {
+        AllocatorMix {
+            units,
+            hold: Nanos::from_micros(5),
+            clients: vec![ClientKind::Correct { cycles }; n],
+        }
+    }
+
+    /// Appends a faulty client.
+    pub fn with_client(mut self, kind: ClientKind) -> Self {
+        self.clients.push(kind);
+        self
+    }
+
+    /// Installs the allocator and clients; returns the allocator id.
+    pub fn install(&self, builder: &mut SimBuilder) -> MonitorId {
+        let al = builder.allocator("allocator", self.units);
+        for (i, kind) in self.clients.iter().enumerate() {
+            let script = match *kind {
+                ClientKind::Correct { cycles } => Script::builder()
+                    .repeat(cycles, |s| s.request(al).compute(self.hold).release(al))
+                    .build(),
+                ClientKind::ReleaseWithoutRequest => Script::release_without_request(al),
+                ClientKind::NeverRelease { busy } => Script::never_release(al, busy),
+                ClientKind::DoubleRequest => Script::double_request(al),
+            };
+            builder.process(format!("client{i}"), script);
+        }
+        al
+    }
+
+    /// Builds a ready simulation.
+    pub fn build_sim(&self, cfg: SimConfig) -> (rmon_sim::Sim, MonitorId) {
+        let mut b = SimBuilder::new().with_config(cfg);
+        let al = self.install(&mut b);
+        (b.build().expect("allocator client scripts are valid"), al)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmon_core::{DetectorConfig, RuleId};
+
+    fn det_cfg() -> DetectorConfig {
+        DetectorConfig::builder()
+            .t_max(Nanos::from_millis(5))
+            .t_io(Nanos::from_millis(5))
+            .t_limit(Nanos::from_millis(2))
+            .check_interval(Nanos::from_millis(1))
+            .build()
+    }
+
+    #[test]
+    fn correct_mix_is_clean() {
+        let (mut sim, _) = AllocatorMix::correct(2, 4, 5).build_sim(SimConfig::default());
+        let out = rmon_sim::run_with_detection(&mut sim, det_cfg());
+        assert!(out.finished);
+        assert!(out.is_clean(), "{}", out.combined);
+    }
+
+    #[test]
+    fn u1_release_without_request_detected() {
+        let mix = AllocatorMix::correct(1, 1, 2).with_client(ClientKind::ReleaseWithoutRequest);
+        let (mut sim, _) = mix.build_sim(SimConfig::default());
+        let out = rmon_sim::run_with_detection(&mut sim, det_cfg());
+        assert!(out
+            .combined
+            .violates_any(&[RuleId::St8ReleaseWithoutRequest, RuleId::St8CallOrder]));
+    }
+
+    #[test]
+    fn u2_never_release_detected() {
+        let mix = AllocatorMix::correct(2, 1, 2)
+            .with_client(ClientKind::NeverRelease { busy: Nanos::from_millis(20) });
+        let (mut sim, _) = mix.build_sim(SimConfig::default());
+        let out = rmon_sim::run_with_detection(&mut sim, det_cfg());
+        assert!(out.combined.violates_any(&[RuleId::St8HoldTimeout]), "{}", out.combined);
+    }
+
+    #[test]
+    fn u3_double_request_detected_in_real_time() {
+        let mix = AllocatorMix::correct(1, 1, 1).with_client(ClientKind::DoubleRequest);
+        let (mut sim, _) = mix.build_sim(SimConfig::default());
+        let out = rmon_sim::run_with_detection(&mut sim, det_cfg());
+        assert!(out
+            .realtime_violations
+            .iter()
+            .any(|v| v.rule == RuleId::St8DuplicateRequest || v.rule == RuleId::St8CallOrder));
+    }
+}

@@ -1,0 +1,35 @@
+//! # rmon-workloads — evaluation workloads and the fault-injection
+//! campaign
+//!
+//! Workload generators for both substrates of the `rmon` workspace,
+//! plus the canonical 21-class fault-injection campaign reproducing the
+//! robustness evaluation of the DSN 2001 paper:
+//!
+//! * [`PcWorkload`] — producer/consumer over a bounded buffer (the
+//!   workload of the paper's performance evaluation);
+//! * [`Philosophers`] — dining philosophers over single-unit
+//!   allocators (ordered = deadlock-free; naive = circular wait, whose
+//!   deadlock the detector flags through its timers);
+//! * [`ReadersWriters`] — a real-thread Hoare monitor with a declared
+//!   path-expression call order;
+//! * [`AllocatorMix`] — allocator clients including the three
+//!   user-process fault patterns;
+//! * [`faultset`] — the coverage campaign: one scenario per taxonomy
+//!   class (EXP-COV);
+//! * [`sweep`] — synthetic traces and parameter sweeps for the
+//!   benchmark harness.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod allocator_clients;
+pub mod faultset;
+pub mod philosophers;
+pub mod producer_consumer;
+pub mod readers_writers;
+pub mod sweep;
+
+pub use allocator_clients::{AllocatorMix, ClientKind};
+pub use philosophers::Philosophers;
+pub use producer_consumer::PcWorkload;
+pub use readers_writers::ReadersWriters;

@@ -1,0 +1,144 @@
+//! Producer/consumer workloads over the communication-coordinator
+//! monitor — the workload of the paper's performance evaluation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rmon_core::{MonitorId, Nanos};
+use rmon_sim::{Script, SimBuilder, SimConfig};
+
+/// Shape of a producer/consumer simulation workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcWorkload {
+    /// Producer process count.
+    pub producers: usize,
+    /// Consumer process count.
+    pub consumers: usize,
+    /// Items each producer sends.
+    pub items_per_producer: usize,
+    /// Buffer capacity.
+    pub capacity: u64,
+    /// Local compute time between calls (adds scheduling variety).
+    pub think: Nanos,
+}
+
+impl Default for PcWorkload {
+    fn default() -> Self {
+        PcWorkload {
+            producers: 2,
+            consumers: 2,
+            items_per_producer: 20,
+            capacity: 2,
+            think: Nanos::from_micros(3),
+        }
+    }
+}
+
+impl PcWorkload {
+    /// Total sends the workload performs (== total receives).
+    pub fn total_items(&self) -> usize {
+        self.producers * self.items_per_producer
+    }
+
+    /// Populates `builder` with the buffer and processes; returns the
+    /// buffer's monitor id.
+    ///
+    /// Consumers are added first so that, under round-robin
+    /// scheduling, the empty-buffer wait path is exercised right away.
+    pub fn install(&self, builder: &mut SimBuilder) -> MonitorId {
+        let buf = builder.bounded_buffer("buffer", self.capacity);
+        let per_consumer = split(self.total_items(), self.consumers);
+        for (c, &n) in per_consumer.iter().enumerate() {
+            builder.process(
+                format!("consumer{c}"),
+                Script::builder().repeat(n, |s| s.receive(buf).compute(self.think)).build(),
+            );
+        }
+        for p in 0..self.producers {
+            builder.process(
+                format!("producer{p}"),
+                Script::builder()
+                    .repeat(self.items_per_producer, |s| s.send(buf).compute(self.think))
+                    .build(),
+            );
+        }
+        buf
+    }
+
+    /// Builds a ready simulation for this workload.
+    pub fn build_sim(&self, cfg: SimConfig) -> (rmon_sim::Sim, MonitorId) {
+        let mut b = SimBuilder::new().with_config(cfg);
+        let buf = self.install(&mut b);
+        (b.build().expect("producer/consumer scripts are valid"), buf)
+    }
+
+    /// A randomized variant: per-process item counts and think times
+    /// jittered by `seed` (used by property tests to explore shapes).
+    pub fn randomized(seed: u64) -> PcWorkload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PcWorkload {
+            producers: rng.gen_range(1..=4),
+            consumers: rng.gen_range(1..=4),
+            items_per_producer: rng.gen_range(1..=30),
+            capacity: rng.gen_range(1..=8),
+            think: Nanos::from_micros(rng.gen_range(0..=10)),
+        }
+    }
+}
+
+fn split(total: usize, parts: usize) -> Vec<usize> {
+    let parts = parts.max(1);
+    let base = total / parts;
+    let mut out = vec![base; parts];
+    for item in out.iter_mut().take(total % parts) {
+        *item += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmon_core::DetectorConfig;
+
+    #[test]
+    fn default_workload_runs_clean() {
+        let (mut sim, _buf) = PcWorkload::default().build_sim(SimConfig::default());
+        let out = rmon_sim::run_with_detection(&mut sim, DetectorConfig::default());
+        assert!(out.finished, "workload must complete");
+        assert!(out.is_clean(), "{}", out.combined);
+    }
+
+    #[test]
+    fn randomized_workloads_are_in_bounds() {
+        for seed in 0..50 {
+            let w = PcWorkload::randomized(seed);
+            assert!(w.producers >= 1 && w.producers <= 4);
+            assert!(w.capacity >= 1 && w.capacity <= 8);
+        }
+    }
+
+    #[test]
+    fn total_items_counts_producers() {
+        let w = PcWorkload { producers: 3, items_per_producer: 7, ..Default::default() };
+        assert_eq!(w.total_items(), 21);
+    }
+
+    #[test]
+    fn uneven_split_covers_all_items() {
+        assert_eq!(split(10, 3).iter().sum::<usize>(), 10);
+        assert_eq!(split(1, 4).iter().sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn many_seeds_run_clean_under_random_scheduling() {
+        for seed in 0..10 {
+            let w = PcWorkload::randomized(seed);
+            let (mut sim, _) = w.build_sim(SimConfig::random_seeded(seed));
+            let out = rmon_sim::run_with_detection(
+                &mut sim,
+                DetectorConfig::without_timeouts(),
+            );
+            assert!(out.is_clean(), "seed {seed}: {}", out.combined);
+        }
+    }
+}

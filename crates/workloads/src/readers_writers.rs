@@ -1,0 +1,238 @@
+//! A readers–writers monitor built directly on [`rmon_rt::Monitor`] —
+//! the classic Hoare-style example, declared with a path-expression
+//! call order so the generalized ST-8 checking applies to a monitor
+//! that is neither a buffer nor a plain allocator.
+
+use rmon_core::{CondId, MonitorClass, MonitorSpec, PathExpr, ProcName, ProcRole};
+use rmon_rt::{MonitorError, Monitor, Runtime};
+
+#[derive(Debug, Default)]
+struct RwInner {
+    readers: u32,
+    writing: bool,
+}
+
+/// A shared resource with reader/writer access discipline, instrumented
+/// for run-time fault detection.
+///
+/// Call order per process is declared as
+/// `path ((start_read ; end_read) | (start_write ; end_write))* end`;
+/// `start_read`/`start_write` carry the `Request` role and their `end`
+/// counterparts the `Release` role, so both the Request-List rules and
+/// the path-expression order apply.
+#[derive(Debug, Clone)]
+pub struct ReadersWriters {
+    mon: Monitor<RwInner>,
+    start_read: ProcName,
+    end_read: ProcName,
+    start_write: ProcName,
+    end_write: ProcName,
+    ok_read: CondId,
+    ok_write: CondId,
+}
+
+impl ReadersWriters {
+    /// Creates the monitor in `rt`.
+    pub fn new(rt: &Runtime, name: &str) -> Self {
+        let order = PathExpr::parse(
+            "path ((start_read ; end_read) | (start_write ; end_write))* end",
+        )
+        .expect("readers/writers path expression parses");
+        let spec = MonitorSpec::builder(name, MonitorClass::ResourceAllocator)
+            .procedure("start_read", ProcRole::Request)
+            .procedure("end_read", ProcRole::Release)
+            .procedure("start_write", ProcRole::Request)
+            .procedure("end_write", ProcRole::Release)
+            .condition("ok_to_read", rmon_core::CondRole::Plain)
+            .condition("ok_to_write", rmon_core::CondRole::Plain)
+            .call_order(order)
+            .build();
+        let start_read = spec.proc_by_name("start_read").expect("declared");
+        let end_read = spec.proc_by_name("end_read").expect("declared");
+        let start_write = spec.proc_by_name("start_write").expect("declared");
+        let end_write = spec.proc_by_name("end_write").expect("declared");
+        let ok_read = spec.cond_by_name("ok_to_read").expect("declared");
+        let ok_write = spec.cond_by_name("ok_to_write").expect("declared");
+        ReadersWriters {
+            mon: Monitor::new(rt, spec, RwInner::default()),
+            start_read,
+            end_read,
+            start_write,
+            end_write,
+            ok_read,
+            ok_write,
+        }
+    }
+
+    /// Begins a read section (shared access).
+    ///
+    /// # Errors
+    ///
+    /// [`MonitorError::Timeout`] if starved past the park timeout.
+    pub fn start_read(&self) -> Result<(), MonitorError> {
+        let mut g = self.mon.enter(self.start_read)?;
+        if g.with(|d| d.writing) {
+            g.wait(self.ok_read)?;
+        }
+        g.with(|d| d.readers += 1);
+        // Cascade: admit further queued readers one at a time.
+        g.signal_exit(Some(self.ok_read));
+        Ok(())
+    }
+
+    /// Ends a read section.
+    ///
+    /// # Errors
+    ///
+    /// [`MonitorError::Timeout`] if starved past the park timeout.
+    pub fn end_read(&self) -> Result<(), MonitorError> {
+        let g = self.mon.enter(self.end_read)?;
+        let last = g.with(|d| {
+            d.readers = d.readers.saturating_sub(1);
+            d.readers == 0
+        });
+        if last {
+            g.signal_exit(Some(self.ok_write));
+        } else {
+            g.signal_exit(None);
+        }
+        Ok(())
+    }
+
+    /// Begins a write section (exclusive access).
+    ///
+    /// # Errors
+    ///
+    /// [`MonitorError::Timeout`] if starved past the park timeout.
+    pub fn start_write(&self) -> Result<(), MonitorError> {
+        let mut g = self.mon.enter(self.start_write)?;
+        if g.with(|d| d.writing || d.readers > 0) {
+            g.wait(self.ok_write)?;
+        }
+        g.with(|d| d.writing = true);
+        g.signal_exit(None);
+        Ok(())
+    }
+
+    /// Ends a write section, preferring queued writers, then readers.
+    ///
+    /// # Errors
+    ///
+    /// [`MonitorError::Timeout`] if starved past the park timeout.
+    pub fn end_write(&self) -> Result<(), MonitorError> {
+        let g = self.mon.enter(self.end_write)?;
+        g.with(|d| d.writing = false);
+        if g.has_waiters(self.ok_write) {
+            g.signal_exit(Some(self.ok_write));
+        } else {
+            g.signal_exit(Some(self.ok_read));
+        }
+        Ok(())
+    }
+
+    /// Runs `f` inside a read section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates section-entry timeouts.
+    pub fn read<R>(&self, f: impl FnOnce() -> R) -> Result<R, MonitorError> {
+        self.start_read()?;
+        let r = f();
+        self.end_read()?;
+        Ok(r)
+    }
+
+    /// Runs `f` inside a write section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates section-entry timeouts.
+    pub fn write<R>(&self, f: impl FnOnce() -> R) -> Result<R, MonitorError> {
+        self.start_write()?;
+        let r = f();
+        self.end_write()?;
+        Ok(r)
+    }
+
+    /// Deliberately violates the declared order (calls `end_read`
+    /// without `start_read`) — user-process fault helper for tests and
+    /// the campaign.
+    pub fn faulty_end_read(&self) -> Result<(), MonitorError> {
+        self.end_read()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmon_core::{DetectorConfig, RuleId};
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn rt() -> Runtime {
+        Runtime::builder(DetectorConfig::without_timeouts())
+            .park_timeout(Duration::from_millis(500))
+            .build()
+    }
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let rt = rt();
+        let rw = ReadersWriters::new(&rt, "store");
+        let value = Arc::new(AtomicU32::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let rw = rw.clone();
+            let value = Arc::clone(&value);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..25 {
+                    rw.write(|| {
+                        let v = value.load(Ordering::SeqCst);
+                        value.store(v + 1, Ordering::SeqCst);
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        for _ in 0..4 {
+            let rw = rw.clone();
+            let value = Arc::clone(&value);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..25 {
+                    let _ = rw.read(|| value.load(Ordering::SeqCst)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(value.load(Ordering::SeqCst), 50);
+        let report = rt.checkpoint_now();
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn order_violation_is_reported_in_real_time() {
+        let rt = rt();
+        let rw = ReadersWriters::new(&rt, "store");
+        rw.faulty_end_read().unwrap();
+        let vs = rt.realtime_violations();
+        assert!(
+            vs.iter().any(|v| v.rule == RuleId::St8ReleaseWithoutRequest
+                || v.rule == RuleId::St8CallOrder),
+            "{vs:?}"
+        );
+    }
+
+    #[test]
+    fn mixed_read_write_from_one_thread_is_clean() {
+        let rt = rt();
+        let rw = ReadersWriters::new(&rt, "store");
+        rw.read(|| ()).unwrap();
+        rw.write(|| ()).unwrap();
+        rw.read(|| ()).unwrap();
+        assert!(rt.checkpoint_now().is_clean());
+        assert!(rt.realtime_violations().is_empty());
+    }
+}

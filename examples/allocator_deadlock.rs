@@ -1,0 +1,53 @@
+//! User-process-level faults on a resource allocator (§2.2 III),
+//! detected **in real time** by Algorithm-3 — and optionally
+//! *prevented* with the `Deny` policy extension.
+//!
+//! Run with: `cargo run --example allocator_deadlock`
+
+use rmon::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    // ----- Report policy: the paper's semantics -----------------------
+    let rt = Runtime::builder(DetectorConfig::without_timeouts())
+        .park_timeout(Duration::from_millis(200))
+        .order_policy(OrderPolicy::Report)
+        .build();
+
+    // U1: release without request — recorded, reported, allowed.
+    let scanner = ResourceAllocator::new(&rt, "scanner", 1);
+    scanner.release().expect("allowed under Report policy");
+
+    // U3: double request — reported at call time; the second request
+    // then genuinely self-deadlocks (it times out here).
+    let printer = ResourceAllocator::new(&rt, "printer", 1);
+    printer.request().expect("first request fine");
+    let second = printer.request();
+    println!("second request under Report policy: {second:?}");
+    assert_eq!(second, Err(MonitorError::Timeout));
+
+    let vs = rt.realtime_violations();
+    println!("real-time violations ({}):", vs.len());
+    for v in &vs {
+        println!("  {v}");
+    }
+    assert!(vs.iter().any(|v| v.rule == RuleId::St8ReleaseWithoutRequest));
+    assert!(vs.iter().any(|v| v.rule == RuleId::St8DuplicateRequest));
+
+    // ----- Deny policy: prevention as an extension --------------------
+    let rt = Runtime::builder(DetectorConfig::without_timeouts())
+        .order_policy(OrderPolicy::Deny)
+        .build();
+    let plotter = ResourceAllocator::new(&rt, "plotter", 1);
+
+    let e = plotter.release().expect_err("denied before executing");
+    println!("\nDeny policy refused U1: {e}");
+    plotter.request().expect("correct request");
+    let e = plotter.request().expect_err("denied before deadlocking");
+    println!("Deny policy refused U3: {e}");
+    plotter.release().expect("correct release");
+
+    // The denied calls never executed: the allocator is consistent.
+    assert!(rt.checkpoint_now().is_clean());
+    println!("\nallocator state consistent after prevention: CLEAN");
+}

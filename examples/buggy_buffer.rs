@@ -1,0 +1,65 @@
+//! Procedure-level faults: a bounded buffer whose guards are wrong
+//! (§2.2 II of the paper), detected by Algorithm-2 (ST-7).
+//!
+//! Run with: `cargo run --example buggy_buffer`
+//!
+//! Four buggy buffers are exercised, one per fault class:
+//!
+//! * P1 — `send` delayed although the buffer is not full   → ST-7c
+//! * P2 — `receive` delayed although it is not empty       → ST-7d
+//! * P3 — `receive` proceeds although it is empty          → ST-7ab
+//! * P4 — `send` proceeds although it is full              → ST-7ab
+
+use rmon::prelude::*;
+use std::time::Duration;
+
+fn runtime() -> Runtime {
+    // Short park timeout: spuriously delayed calls give up quickly.
+    Runtime::builder(DetectorConfig::without_timeouts())
+        .park_timeout(Duration::from_millis(200))
+        .build()
+}
+
+fn report(tag: &str, rt: &Runtime) {
+    let report = rt.checkpoint_now();
+    let rules: Vec<String> =
+        report.violations.iter().map(|v| v.rule.to_string()).collect();
+    println!("{tag:<28} detected: {:<5} rules: {:?}", !report.is_clean(), rules);
+    assert!(!report.is_clean(), "{tag}: the fault must be detected");
+}
+
+fn main() {
+    // P3: receive from an empty buffer.
+    let rt = runtime();
+    let buf = BoundedBuffer::<u32>::with_bug(&rt, "b3", 4, BufferBug::MissingReceiveDelay, 0);
+    let hole = buf.receive().expect("call itself succeeds");
+    println!("P3 receive from empty yielded: {hole:?}");
+    report("P3 missing receive delay", &rt);
+
+    // P4: send into a full buffer.
+    let rt = runtime();
+    let buf = BoundedBuffer::with_bug(&rt, "b4", 1, BufferBug::MissingSendDelay, 0);
+    buf.send(1).expect("fills the buffer");
+    buf.send(2).expect("proceeds despite full buffer (the bug)");
+    report("P4 missing send delay", &rt);
+
+    // P1: spurious send delay (the sender waits although space is
+    // free; it times out since nothing will signal it).
+    let rt = runtime();
+    let buf = BoundedBuffer::with_bug(&rt, "b1", 4, BufferBug::SpuriousSendDelay, 0);
+    let b = buf.clone();
+    let h = std::thread::spawn(move || b.send(7));
+    let _ = h.join().expect("sender thread");
+    report("P1 spurious send delay", &rt);
+
+    // P2: spurious receive delay.
+    let rt = runtime();
+    let buf = BoundedBuffer::with_bug(&rt, "b2", 4, BufferBug::SpuriousReceiveDelay, 0);
+    buf.send(9).expect("one item in");
+    let b = buf.clone();
+    let h = std::thread::spawn(move || b.receive());
+    let _ = h.join().expect("receiver thread");
+    report("P2 spurious receive delay", &rt);
+
+    println!("all four procedure-level fault classes detected");
+}

@@ -1,0 +1,38 @@
+//! The fault-injection coverage experiment, in miniature: inject every
+//! one of the paper's 21 concurrency-control fault classes into the
+//! deterministic simulator and show that each is detected (the paper's
+//! robustness evaluation; the full campaign is
+//! `cargo run -p rmon-bench --bin coverage --release`).
+//!
+//! Run with: `cargo run --example sim_injection`
+
+use rmon::prelude::*;
+use rmon::workloads::faultset;
+
+fn main() {
+    println!(
+        "{:<4} {:<18} {:<9} {:<9} rules triggered",
+        "id", "level", "injected", "detected"
+    );
+    println!("{}", "-".repeat(78));
+    let mut all_detected = true;
+    for fault in FaultKind::ALL {
+        let outcome = faultset::run_case(fault, 0);
+        let rules: Vec<String> = outcome.rules_hit.iter().map(|r| r.to_string()).collect();
+        println!(
+            "{:<4} {:<18} {:<9} {:<9} {}",
+            fault.code(),
+            fault.level().to_string(),
+            outcome.injected,
+            outcome.detected,
+            rules.join(", ")
+        );
+        all_detected &= outcome.injected && outcome.detected;
+    }
+    println!("{}", "-".repeat(78));
+    println!(
+        "paper claim \"all injected faults are detected\": {}",
+        if all_detected { "REPRODUCED" } else { "NOT reproduced" }
+    );
+    assert!(all_detected);
+}

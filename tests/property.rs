@@ -1,0 +1,155 @@
+//! Property-based tests (proptest) over the detector's core
+//! guarantees:
+//!
+//! * **No false positives** — randomly shaped, randomly scheduled
+//!   *correct* workloads never trigger a violation, on either
+//!   substrate.
+//! * **Path expressions** — the compiled NFA agrees with the
+//!   independent backtracking matcher on random expressions and
+//!   random call strings.
+//! * **Conservation** — replaying any recorded clean trace through the
+//!   checking lists preserves the process population (nobody is
+//!   created or lost by the bookkeeping itself).
+
+use proptest::prelude::*;
+use rmon::core::{DetectorConfig, GeneralLists, Nanos, PathExpr};
+use rmon::prelude::*;
+use rmon::workloads::sweep;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any balanced producer/consumer workload, any seed, any
+    /// scheduling policy: the detector stays silent.
+    #[test]
+    fn no_false_positives_on_random_pc_workloads(seed in 0u64..5_000) {
+        let w = PcWorkload::randomized(seed);
+        let (mut sim, _) = w.build_sim(SimConfig::random_seeded(seed));
+        let out = run_with_detection(&mut sim, DetectorConfig::without_timeouts());
+        prop_assert!(out.finished, "balanced workload must finish (seed {seed})");
+        prop_assert!(out.is_clean(), "seed {seed}: {}", out.combined);
+    }
+
+    /// Ordered dining philosophers never trip the detector either —
+    /// a multi-monitor, allocator-class workload.
+    #[test]
+    fn no_false_positives_on_random_philosophers(
+        seed in 0u64..5_000,
+        seats in 2usize..6,
+        meals in 1usize..4,
+    ) {
+        let w = Philosophers {
+            seats,
+            meals,
+            eat: Nanos::from_micros(2),
+            ordered: true,
+        };
+        let (mut sim, _) = w.build_sim(SimConfig::random_seeded(seed));
+        let out = run_with_detection(&mut sim, DetectorConfig::without_timeouts());
+        prop_assert!(out.finished);
+        prop_assert!(out.is_clean(), "seed {seed}: {}", out.combined);
+    }
+
+    /// Replaying a clean trace never loses or invents processes: at
+    /// every point the population of the checking lists equals the
+    /// number of processes whose Enter has been seen minus those whose
+    /// exits completed.
+    #[test]
+    fn checking_lists_conserve_population(seed in 0u64..1_000, items in 1usize..15) {
+        let trace = sweep::pc_trace(items, seed);
+        let mut lists = GeneralLists::new(trace.monitor, trace.spec.cond_count());
+        let mut out = Vec::new();
+        let mut inside: i64 = 0;
+        for e in &trace.events {
+            match e.kind {
+                rmon::core::EventKind::Enter { .. } => inside += 1,
+                rmon::core::EventKind::SignalExit { .. } => inside -= 1,
+                _ => {}
+            }
+            lists.apply(&trace.spec, e, &mut out);
+            let population = lists.enter_q().len()
+                + lists.wait_cond().iter().map(|q| q.len()).sum::<usize>()
+                + lists.running().len();
+            prop_assert_eq!(population as i64, inside, "at event {}", e.seq);
+        }
+        prop_assert!(out.is_empty(), "clean trace produced {:?}", out);
+        prop_assert_eq!(inside, 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Path expressions: NFA vs. naive matcher
+// ---------------------------------------------------------------------
+
+/// A tiny generator of random path expressions over a fixed alphabet.
+fn arb_path_expr() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![Just("a".to_string()), Just("b".to_string()), Just("c".to_string())];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| format!("({x} ; {y})")),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| format!("({x} | {y})")),
+            inner.clone().prop_map(|x| format!("({x})*")),
+            inner.clone().prop_map(|x| format!("({x})+")),
+            inner.prop_map(|x| format!("({x})?")),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The Thompson NFA and the independent backtracking matcher agree
+    /// on every (expression, input) pair.
+    #[test]
+    fn nfa_agrees_with_naive_matcher(
+        src in arb_path_expr(),
+        input in proptest::collection::vec(0u16..3, 0..8),
+    ) {
+        let expr = PathExpr::parse(&src).expect("generated expressions parse");
+        let spec = MonitorSpec::builder("m", MonitorClass::OperationManager)
+            .procedure("a", rmon::core::ProcRole::Plain)
+            .procedure("b", rmon::core::ProcRole::Plain)
+            .procedure("c", rmon::core::ProcRole::Plain)
+            .build();
+        let compiled = expr.compile(|n| spec.proc_by_name(n)).expect("compiles");
+        let procs: Vec<rmon::core::ProcName> =
+            input.iter().map(|&i| rmon::core::ProcName::new(i)).collect();
+        let names: Vec<&str> = input
+            .iter()
+            .map(|&i| ["a", "b", "c"][i as usize])
+            .collect();
+        prop_assert_eq!(
+            compiled.accepts(&procs),
+            expr.accepts_names(&names),
+            "expr {} on {:?}",
+            src,
+            names
+        );
+    }
+
+    /// A tracker never accepts a call its lookahead refused, and
+    /// always accepts one it allowed.
+    #[test]
+    fn tracker_lookahead_is_consistent(
+        src in arb_path_expr(),
+        input in proptest::collection::vec(0u16..3, 0..8),
+    ) {
+        let expr = PathExpr::parse(&src).expect("parses");
+        let spec = MonitorSpec::builder("m", MonitorClass::OperationManager)
+            .procedure("a", rmon::core::ProcRole::Plain)
+            .procedure("b", rmon::core::ProcRole::Plain)
+            .procedure("c", rmon::core::ProcRole::Plain)
+            .build();
+        let compiled = expr.compile(|n| spec.proc_by_name(n)).expect("compiles");
+        let mut tracker = compiled.tracker();
+        for &i in &input {
+            let p = rmon::core::ProcName::new(i);
+            let allowed = tracker.allows(p);
+            let advanced = tracker.advance(p).is_ok();
+            prop_assert_eq!(allowed, advanced, "lookahead vs advance on {}", src);
+            if !advanced {
+                break;
+            }
+        }
+    }
+}
