@@ -17,8 +17,7 @@ fn bench_general_replay(c: &mut Criterion) {
     group.throughput(Throughput::Elements(trace.events.len() as u64));
     group.bench_function("general_lists_replay", |b| {
         b.iter(|| {
-            let mut lists =
-                GeneralLists::new(trace.monitor, trace.spec.cond_count());
+            let mut lists = GeneralLists::new(trace.monitor, trace.spec.cond_count());
             let mut out = Vec::new();
             for e in &trace.events {
                 lists.apply(&trace.spec, e, &mut out);

@@ -7,8 +7,7 @@ use rmon_rt::overhead::{measure, Mode, Workload};
 use std::time::Duration;
 
 fn bench_overhead_modes(c: &mut Criterion) {
-    let workload =
-        Workload { producers: 2, consumers: 2, items_per_producer: 2_000, capacity: 8 };
+    let workload = Workload { producers: 2, consumers: 2, items_per_producer: 2_000, capacity: 8 };
     let mut group = c.benchmark_group("table1_overhead");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(5));

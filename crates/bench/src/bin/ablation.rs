@@ -35,10 +35,7 @@ fn ablation_recording() {
     let w = Workload { producers: 1, consumers: 0, items_per_producer: 150_000, capacity: 64 };
     println!("EXP-ABL-REC — recording vs. checking cost ({} ops)", w.total_ops());
     let widths = [22usize, 14, 10];
-    println!(
-        "{}",
-        row(&["mode".into(), "ns/op".into(), "ratio".into()], &widths)
-    );
+    println!("{}", row(&["mode".into(), "ns/op".into(), "ratio".into()], &widths));
     println!("{}", rule_line(&widths));
     let base = measure(w, Mode::Plain).ns_per_op;
     for (name, mode) in [
@@ -64,10 +61,7 @@ fn ablation_latency() {
     let widths = [16usize, 10, 14, 14];
     println!(
         "{}",
-        row(
-            &["interval".into(), "fault".into(), "latency".into(), "checks/run".into()],
-            &widths
-        )
+        row(&["interval".into(), "fault".into(), "latency".into(), "checks/run".into()], &widths)
     );
     println!("{}", rule_line(&widths));
     // Faults detected by the periodic algorithms (latency ≈ interval)
@@ -84,10 +78,8 @@ fn ablation_latency() {
                 .t_limit(Nanos::from_millis(3))
                 .build();
             let out = rmon_sim::run_with_detection(&mut sim, cfg);
-            let lat = out
-                .detection_latency()
-                .map(|l| l.to_string())
-                .unwrap_or_else(|| "realtime".into());
+            let lat =
+                out.detection_latency().map(|l| l.to_string()).unwrap_or_else(|| "realtime".into());
             println!(
                 "{}",
                 row(
@@ -108,10 +100,7 @@ fn ablation_latency() {
 fn ablation_detector_cost() {
     println!("EXP-ABL-DET — checkpoint cost vs. event-window size");
     let widths = [12usize, 14, 14];
-    println!(
-        "{}",
-        row(&["events".into(), "total".into(), "ns/event".into()], &widths)
-    );
+    println!("{}", row(&["events".into(), "total".into(), "ns/event".into()], &widths));
     println!("{}", rule_line(&widths));
     for (target, trace) in sweep::window_sweep(1) {
         let events = &trace.events[..target];

@@ -44,8 +44,7 @@ fn main() {
     let mut all_covered = true;
     for r in &rows {
         let rules: Vec<String> = r.rules.iter().map(|x| x.to_string()).collect();
-        let latency =
-            r.mean_latency.map(|l| l.to_string()).unwrap_or_else(|| "-".into());
+        let latency = r.mean_latency.map(|l| l.to_string()).unwrap_or_else(|| "-".into());
         println!(
             "{}",
             row(

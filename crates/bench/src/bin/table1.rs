@@ -40,10 +40,8 @@ fn main() {
             .unwrap_or(400_000),
         capacity: 64,
     };
-    let repeats: usize = std::env::var("RMON_TABLE1_REPEATS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2);
+    let repeats: usize =
+        std::env::var("RMON_TABLE1_REPEATS").ok().and_then(|v| v.parse().ok()).unwrap_or(2);
 
     println!("Table 1 — overhead ratio vs. checking interval");
     println!(

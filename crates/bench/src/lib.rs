@@ -39,12 +39,7 @@ pub fn as_paper_seconds(d: Duration, paper_second: Duration) -> f64 {
 
 /// Prints a fixed-width table row.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
-    cells
-        .iter()
-        .zip(widths)
-        .map(|(c, w)| format!("{c:<w$}"))
-        .collect::<Vec<_>>()
-        .join(" ")
+    cells.iter().zip(widths).map(|(c, w)| format!("{c:<w$}")).collect::<Vec<_>>().join(" ")
 }
 
 /// Prints a rule line of the combined width.

@@ -56,15 +56,14 @@ impl StateAssertion {
                 (len > at_most)
                     .then(|| format!("{cond} holds {len} processes (asserted ≤ {at_most})"))
             }
-            StateAssertion::AvailableAtMost(n) => state.available.and_then(|a| {
-                (a > n).then(|| format!("R# = {a} exceeds asserted maximum {n}"))
-            }),
-            StateAssertion::AvailableAtLeast(n) => state.available.and_then(|a| {
-                (a < n).then(|| format!("R# = {a} below asserted minimum {n}"))
-            }),
-            StateAssertion::PopulationAtMost(n) => (state.population() > n).then(|| {
-                format!("{} processes captured (asserted ≤ {n})", state.population())
-            }),
+            StateAssertion::AvailableAtMost(n) => state
+                .available
+                .and_then(|a| (a > n).then(|| format!("R# = {a} exceeds asserted maximum {n}"))),
+            StateAssertion::AvailableAtLeast(n) => state
+                .available
+                .and_then(|a| (a < n).then(|| format!("R# = {a} below asserted minimum {n}"))),
+            StateAssertion::PopulationAtMost(n) => (state.population() > n)
+                .then(|| format!("{} processes captured (asserted ≤ {n})", state.population())),
             StateAssertion::ExcludesPid(pid) => state
                 .contains(pid)
                 .then(|| format!("{pid} appears in a monitor it is excluded from")),

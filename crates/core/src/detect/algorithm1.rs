@@ -53,12 +53,8 @@ pub fn run(
 ) -> Vec<Violation> {
     let mut out = Vec::new();
     // Step 1: initialize the checking lists from s_p and replay L.
-    let mut lists = GeneralLists::from_state(
-        monitor,
-        spec.cond_count(),
-        prev,
-        prev_time(events, now),
-    );
+    let mut lists =
+        GeneralLists::from_state(monitor, spec.cond_count(), prev, prev_time(events, now));
     for event in events {
         lists.apply(spec, event, &mut out);
     }

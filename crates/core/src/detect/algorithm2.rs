@@ -167,8 +167,7 @@ mod tests {
         let spec = MonitorSpec::allocator("a", 1).spec;
         let prev = MonitorState::new(1);
         let current = MonitorState::new(1);
-        let events =
-            vec![Event::enter(1, Nanos::new(1), M, Pid::new(1), ProcName::new(0), true)];
+        let events = vec![Event::enter(1, Nanos::new(1), M, Pid::new(1), ProcName::new(0), true)];
         let v = run(M, &spec, &prev, &events, &current, Nanos::new(2));
         assert!(v.is_empty());
     }

@@ -103,8 +103,7 @@ mod tests {
     #[test]
     fn release_first_is_flagged_in_order() {
         let spec = spec();
-        let events =
-            vec![Event::enter(1, Nanos::new(10), M, Pid::new(1), REL, true)];
+        let events = vec![Event::enter(1, Nanos::new(10), M, Pid::new(1), REL, true)];
         let v = run(M, &spec, &DetectorConfig::without_timeouts(), &events, Nanos::new(20));
         assert!(v.iter().any(|v| v.rule == RuleId::St8ReleaseWithoutRequest));
         assert!(v.iter().any(|v| v.fault == Some(FaultKind::ReleaseWithoutAcquire)));
@@ -129,7 +128,9 @@ mod tests {
             Event::enter(3, Nanos::new(30), M, Pid::new(1), REQ, false),
         ];
         let v = run(M, &spec, &DetectorConfig::without_timeouts(), &events, Nanos::new(40));
-        assert!(v.iter().any(|v| v.rule == RuleId::St8DuplicateRequest
-            && v.fault == Some(FaultKind::DoubleAcquire)));
+        assert!(v
+            .iter()
+            .any(|v| v.rule == RuleId::St8DuplicateRequest
+                && v.fault == Some(FaultKind::DoubleAcquire)));
     }
 }

@@ -289,7 +289,15 @@ mod tests {
         let (mut det, bb) = detector_with_buffer(2);
         let w1 = vec![
             Event::enter(1, Nanos::new(10), M, Pid::new(1), bb.send, true),
-            Event::signal_exit(2, Nanos::new(20), M, Pid::new(1), bb.send, Some(bb.empty_cond), false),
+            Event::signal_exit(
+                2,
+                Nanos::new(20),
+                M,
+                Pid::new(1),
+                bb.send,
+                Some(bb.empty_cond),
+                false,
+            ),
         ];
         let mut snaps = HashMap::new();
         snaps.insert(M, MonitorState::with_resources(2, 1));
@@ -299,7 +307,15 @@ mod tests {
 
         let w2 = vec![
             Event::enter(3, Nanos::new(40), M, Pid::new(2), bb.receive, true),
-            Event::signal_exit(4, Nanos::new(50), M, Pid::new(2), bb.receive, Some(bb.full_cond), false),
+            Event::signal_exit(
+                4,
+                Nanos::new(50),
+                M,
+                Pid::new(2),
+                bb.receive,
+                Some(bb.full_cond),
+                false,
+            ),
         ];
         snaps.insert(M, MonitorState::with_resources(2, 2));
         let r2 = det.checkpoint(Nanos::new(60), &w2, &snaps);
@@ -402,7 +418,15 @@ mod tests {
         let (mut det, bb) = detector_with_buffer(2);
         let events = vec![
             // Exit without enter (seq 1), then double grant (seq 2, 3).
-            Event::signal_exit(1, Nanos::new(10), M, Pid::new(3), bb.send, Some(bb.empty_cond), false),
+            Event::signal_exit(
+                1,
+                Nanos::new(10),
+                M,
+                Pid::new(3),
+                bb.send,
+                Some(bb.empty_cond),
+                false,
+            ),
             Event::enter(2, Nanos::new(20), M, Pid::new(1), bb.send, true),
             Event::enter(3, Nanos::new(30), M, Pid::new(2), bb.send, true),
         ];

@@ -170,12 +170,7 @@ impl fmt::Display for Event {
             EventKind::Enter { granted } => write!(
                 f,
                 "l{}@{} {}: Enter({}, {}, {})",
-                self.seq,
-                self.time,
-                self.monitor,
-                self.pid,
-                self.proc_name,
-                granted as u8
+                self.seq, self.time, self.monitor, self.pid, self.proc_name, granted as u8
             ),
             EventKind::Wait { cond } => write!(
                 f,
@@ -252,9 +247,18 @@ mod tests {
     fn display_formats_all_kinds() {
         let e = Event::enter(5, Nanos::new(10), mid(), Pid::new(1), ProcName::new(0), false);
         assert_eq!(e.to_string(), "l5@10ns M0: Enter(P1, proc#0, 0)");
-        let w = Event::wait(6, Nanos::new(20), mid(), Pid::new(1), ProcName::new(0), CondId::new(1));
+        let w =
+            Event::wait(6, Nanos::new(20), mid(), Pid::new(1), ProcName::new(0), CondId::new(1));
         assert!(w.to_string().contains("Wait(P1, proc#0, cond#1)"));
-        let x = Event::signal_exit(7, Nanos::new(30), mid(), Pid::new(2), ProcName::new(1), None, false);
+        let x = Event::signal_exit(
+            7,
+            Nanos::new(30),
+            mid(),
+            Pid::new(2),
+            ProcName::new(1),
+            None,
+            false,
+        );
         assert!(x.to_string().contains("Signal-Exit(P2, proc#1, -, 0)"));
         let t = Event::terminate(8, Nanos::new(40), mid(), Pid::new(2), ProcName::new(1));
         assert!(t.to_string().contains("Terminate(P2, proc#1)"));
@@ -273,7 +277,8 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let e = Event::wait(6, Nanos::new(20), mid(), Pid::new(1), ProcName::new(0), CondId::new(1));
+        let e =
+            Event::wait(6, Nanos::new(20), mid(), Pid::new(1), ProcName::new(0), CondId::new(1));
         let json = serde_json_like(&e);
         assert!(json.contains("Wait"));
     }

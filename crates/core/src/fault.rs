@@ -173,13 +173,23 @@ impl FaultKind {
     pub fn level(self) -> FaultLevel {
         use FaultKind::*;
         match self {
-            EnterMutualExclusion | EnterProcessLost | EnterNoResponse | EnterNotObserved
-            | WaitNotBlocked | WaitProcessLost | WaitEntryNotResumed | WaitEntryStarved
-            | WaitMutualExclusion | WaitMonitorNotReleased | SignalExitNotResumed
-            | SignalExitMonitorNotReleased | SignalExitMutualExclusion | InternalTermination => {
-                FaultLevel::Implementation
-            }
-            SendDelayViolation | ReceiveDelayViolation | ReceiveExceedsSend
+            EnterMutualExclusion
+            | EnterProcessLost
+            | EnterNoResponse
+            | EnterNotObserved
+            | WaitNotBlocked
+            | WaitProcessLost
+            | WaitEntryNotResumed
+            | WaitEntryStarved
+            | WaitMutualExclusion
+            | WaitMonitorNotReleased
+            | SignalExitNotResumed
+            | SignalExitMonitorNotReleased
+            | SignalExitMutualExclusion
+            | InternalTermination => FaultLevel::Implementation,
+            SendDelayViolation
+            | ReceiveDelayViolation
+            | ReceiveExceedsSend
             | SendExceedsCapacity => FaultLevel::MonitorProcedure,
             ReleaseWithoutAcquire | ResourceNeverReleased | DoubleAcquire => {
                 FaultLevel::UserProcess
@@ -203,7 +213,9 @@ impl FaultKind {
             WaitEntryStarved => &[St3RunningIsCaller, St6EntryTimeout],
             WaitMutualExclusion => &[St3RunningAtMostOne, St3RunningIsCaller],
             WaitMonitorNotReleased => &[St1EntrySnapshot, St6EntryTimeout],
-            SignalExitNotResumed => &[St1EntrySnapshot, St2CondSnapshot, St5InsideTimeout, St6EntryTimeout],
+            SignalExitNotResumed => {
+                &[St1EntrySnapshot, St2CondSnapshot, St5InsideTimeout, St6EntryTimeout]
+            }
             SignalExitMonitorNotReleased => &[St1EntrySnapshot, St6EntryTimeout],
             SignalExitMutualExclusion => &[St3RunningAtMostOne, St3RunningIsCaller],
             InternalTermination => &[St5InsideTimeout],
@@ -223,14 +235,18 @@ impl FaultKind {
         match self {
             EnterMutualExclusion => "two or more processes entered the monitor at the same time",
             EnterProcessLost => "requesting process neither queued nor admitted",
-            EnterNoResponse => "requesting process queued indefinitely or blocked while monitor is free",
+            EnterNoResponse => {
+                "requesting process queued indefinitely or blocked while monitor is free"
+            }
             EnterNotObserved => "process runs inside the monitor without invoking Enter",
             WaitNotBlocked => "caller of Wait not blocked; continues inside the monitor",
             WaitProcessLost => "caller of Wait neither queued on the condition nor running",
             WaitEntryNotResumed => "no entry-queue process resumed when the caller blocked",
             WaitEntryStarved => "an entry-queue process is never resumed",
             WaitMutualExclusion => "more than one entry-queue process resumed on Wait",
-            WaitMonitorNotReleased => "caller blocked on the condition but the monitor was not released",
+            WaitMonitorNotReleased => {
+                "caller blocked on the condition but the monitor was not released"
+            }
             SignalExitNotResumed => "no waiting process resumed when the caller exited",
             SignalExitMonitorNotReleased => "caller exited but the monitor was not released",
             SignalExitMutualExclusion => "more than one process resumed on exit",

@@ -166,14 +166,8 @@ mod tests {
     #[test]
     fn record_event_keeps_numbering_monotone() {
         let mut db = HistoryDb::new();
-        let ext = Event::enter(
-            10,
-            Nanos::new(1),
-            MonitorId::new(0),
-            Pid::new(1),
-            ProcName::new(0),
-            true,
-        );
+        let ext =
+            Event::enter(10, Nanos::new(1), MonitorId::new(0), Pid::new(1), ProcName::new(0), true);
         db.record_event(ext);
         let next = push(&mut db, 2);
         assert_eq!(next.seq, 11);

@@ -130,10 +130,7 @@ impl GeneralLists {
                     self.monitor,
                     RuleId::St4NoGhostEvents,
                     now,
-                    format!(
-                        "{pid} issued {} while parked on the entry queue",
-                        event.kind.tag()
-                    ),
+                    format!("{pid} issued {} while parked on the entry queue", event.kind.tag()),
                 )
                 .with_pid(pid)
                 .with_event(event.seq)
@@ -145,10 +142,7 @@ impl GeneralLists {
                     self.monitor,
                     RuleId::St4NoGhostEvents,
                     now,
-                    format!(
-                        "{pid} issued {} while parked on a condition queue",
-                        event.kind.tag()
-                    ),
+                    format!("{pid} issued {} while parked on a condition queue", event.kind.tag()),
                 )
                 .with_pid(pid)
                 .with_event(event.seq)
@@ -221,8 +215,7 @@ impl GeneralLists {
                     self.timers.remove(&pid);
                 }
                 if resumed_waiter {
-                    let popped = cond
-                        .and_then(|c| self.cond_queue_mut(c.as_usize()).pop_front());
+                    let popped = cond.and_then(|c| self.cond_queue_mut(c.as_usize()).pop_front());
                     match popped {
                         Some(waiter) => {
                             self.timers.insert(waiter.pid, now);
@@ -460,10 +453,8 @@ impl GeneralLists {
         }
         for (c, q) in observed.cond_queues.iter().enumerate() {
             for pp in q {
-                let was = self
-                    .wait_cond
-                    .get(c)
-                    .is_some_and(|rq| rq.iter().any(|x| x.pid == pp.pid));
+                let was =
+                    self.wait_cond.get(c).is_some_and(|rq| rq.iter().any(|x| x.pid == pp.pid));
                 carry(pp.pid, was, &mut timers);
             }
         }
@@ -474,7 +465,9 @@ impl GeneralLists {
         self.enter_q = observed.entry_queue.iter().copied().collect();
         let conds = self.wait_cond.len().max(observed.cond_queues.len());
         self.wait_cond = (0..conds)
-            .map(|c| observed.cond_queues.get(c).map(|q| q.iter().copied().collect()).unwrap_or_default())
+            .map(|c| {
+                observed.cond_queues.get(c).map(|q| q.iter().copied().collect()).unwrap_or_default()
+            })
             .collect();
         self.running = observed.running.clone();
         self.timers = timers;
@@ -536,7 +529,8 @@ impl ResourceState {
                 let cond_role = spec.cond_role(cond);
                 // ST-7c: a sender may be delayed only when the buffer is
                 // full (no free capacity).
-                if role == ProcRole::Send && cond_role == CondRole::BufferFull
+                if role == ProcRole::Send
+                    && cond_role == CondRole::BufferFull
                     && self.resource_no != 0
                 {
                     out.push(
@@ -556,7 +550,8 @@ impl ResourceState {
                 }
                 // ST-7d: a receiver may be delayed only when the buffer
                 // is empty (all capacity free).
-                if role == ProcRole::Receive && cond_role == CondRole::BufferEmpty
+                if role == ProcRole::Receive
+                    && cond_role == CondRole::BufferEmpty
                     && self.resource_no != self.rmax
                 {
                     out.push(
@@ -685,10 +680,8 @@ impl OrderState {
     /// spec constructors guarantee well-formedness; hand-built specs
     /// fail softly).
     pub fn new(monitor: MonitorId, spec: &MonitorSpec) -> Self {
-        let compiled = spec
-            .call_order
-            .as_ref()
-            .and_then(|p| p.compile(|name| spec.proc_by_name(name)).ok());
+        let compiled =
+            spec.call_order.as_ref().and_then(|p| p.compile(|name| spec.proc_by_name(name)).ok());
         OrderState { monitor, request_list: Vec::new(), compiled, order_states: HashMap::new() }
     }
 
@@ -710,10 +703,8 @@ impl OrderState {
             EventKind::Enter { .. } => {
                 // Generalized call-order check on every call attempt.
                 if let Some(compiled) = &self.compiled {
-                    let states = self
-                        .order_states
-                        .entry(pid)
-                        .or_insert_with(|| compiled.initial_states());
+                    let states =
+                        self.order_states.entry(pid).or_insert_with(|| compiled.initial_states());
                     if compiled.advance_states(states, event.proc_name).is_err() {
                         let fault = match role {
                             ProcRole::Request => Some(FaultKind::DoubleAcquire),
@@ -750,9 +741,7 @@ impl OrderState {
                                     self.monitor,
                                     RuleId::St8DuplicateRequest,
                                     event.time,
-                                    format!(
-                                        "{pid} requested an access right it already holds"
-                                    ),
+                                    format!("{pid} requested an access right it already holds"),
                                 )
                                 .with_pid(pid)
                                 .with_event(event.seq)
@@ -801,17 +790,12 @@ impl OrderState {
     ) -> Option<RuleId> {
         match spec.proc_role(proc_name) {
             ProcRole::Request if self.holds(pid) => return Some(RuleId::St8DuplicateRequest),
-            ProcRole::Release if !self.holds(pid) => {
-                return Some(RuleId::St8ReleaseWithoutRequest)
-            }
+            ProcRole::Release if !self.holds(pid) => return Some(RuleId::St8ReleaseWithoutRequest),
             _ => {}
         }
         if let Some(compiled) = &self.compiled {
-            let mut states = self
-                .order_states
-                .get(&pid)
-                .cloned()
-                .unwrap_or_else(|| compiled.initial_states());
+            let mut states =
+                self.order_states.get(&pid).cloned().unwrap_or_else(|| compiled.initial_states());
             if compiled.advance_states(&mut states, proc_name).is_err() {
                 return Some(RuleId::St8CallOrder);
             }
@@ -895,11 +879,7 @@ mod tests {
         MonitorSpec::allocator("res", 1).spec
     }
 
-    fn apply_all(
-        lists: &mut GeneralLists,
-        spec: &MonitorSpec,
-        events: &[Event],
-    ) -> Vec<Violation> {
+    fn apply_all(lists: &mut GeneralLists, spec: &MonitorSpec, events: &[Event]) -> Vec<Violation> {
         let mut out = Vec::new();
         for e in events {
             lists.apply(spec, e, &mut out);
@@ -932,7 +912,7 @@ mod tests {
         let mut s = Seq::new();
         let events = vec![
             s.enter(1, 0, true),
-            s.enter(2, 1, false), // blocked behind P1
+            s.enter(2, 1, false),         // blocked behind P1
             s.exit(1, 0, Some(1), false), // P2 admitted
             s.exit(2, 1, Some(0), false),
         ];
@@ -971,10 +951,10 @@ mod tests {
             &spec,
             &[
                 s.enter(1, 1, true),
-                s.wait(1, 1, 1),               // receiver waits on empty
-                s.enter(2, 0, true),           // sender enters (monitor free)
-                s.exit(2, 0, Some(1), true),   // sender signals empty → P1 resumed
-                s.exit(1, 1, Some(0), false),  // receiver finishes
+                s.wait(1, 1, 1),              // receiver waits on empty
+                s.enter(2, 0, true),          // sender enters (monitor free)
+                s.exit(2, 0, Some(1), true),  // sender signals empty → P1 resumed
+                s.exit(1, 1, Some(0), false), // receiver finishes
             ],
         );
         assert!(v.is_empty(), "{v:?}");
@@ -1023,8 +1003,8 @@ mod tests {
             &spec,
             &[
                 s.enter(1, 0, true),
-                s.enter(2, 1, false),          // P2 parked on EQ
-                s.exit(2, 1, Some(0), false),  // … yet issues an exit
+                s.enter(2, 1, false),         // P2 parked on EQ
+                s.exit(2, 1, Some(0), false), // … yet issues an exit
             ],
         );
         assert!(v.iter().any(|v| v.rule == RuleId::St4NoGhostEvents));
@@ -1055,11 +1035,7 @@ mod tests {
         let spec = buf_spec();
         let mut s = Seq::new();
         let mut lists = GeneralLists::new(M, 2);
-        let v = apply_all(
-            &mut lists,
-            &spec,
-            &[s.enter(1, 0, true), s.exit(1, 0, Some(1), true)],
-        );
+        let v = apply_all(&mut lists, &spec, &[s.enter(1, 0, true), s.exit(1, 0, Some(1), true)]);
         assert!(v.iter().any(|v| v.rule == RuleId::St2CondSnapshot));
     }
 
@@ -1086,8 +1062,9 @@ mod tests {
             .build();
         let mut out = Vec::new();
         lists.check_timers(&cfg, Nanos::from_millis(100), &mut out);
-        assert!(out.iter().any(|v| v.rule == RuleId::St6EntryTimeout
-            && v.pid == Some(Pid::new(2))));
+        assert!(out
+            .iter()
+            .any(|v| v.rule == RuleId::St6EntryTimeout && v.pid == Some(Pid::new(2))));
         // Running P1 is within Tmax: no ST-5.
         assert!(!out.iter().any(|v| v.rule == RuleId::St5InsideTimeout));
     }
@@ -1104,8 +1081,9 @@ mod tests {
             .build();
         let mut out = Vec::new();
         lists.check_timers(&cfg, Nanos::from_millis(100), &mut out);
-        assert!(out.iter().any(|v| v.rule == RuleId::St5InsideTimeout
-            && v.pid == Some(Pid::new(1))));
+        assert!(out
+            .iter()
+            .any(|v| v.rule == RuleId::St5InsideTimeout && v.pid == Some(Pid::new(1))));
     }
 
     #[test]
@@ -1308,9 +1286,9 @@ mod tests {
         let mut os = OrderState::new(M, &spec);
         let mut out = Vec::new();
         for e in [
-            s.enter(1, 0, true),           // request
+            s.enter(1, 0, true), // request
             s.exit(1, 0, None, false),
-            s.enter(1, 1, true),           // release
+            s.enter(1, 1, true), // release
             s.exit(1, 1, Some(0), false),
         ] {
             os.apply(&spec, &e, &mut out);
@@ -1328,8 +1306,10 @@ mod tests {
         let e = s.enter(1, 1, true); // release first
         os.apply(&spec, &e, &mut out);
         assert!(out.iter().any(|v| v.rule == RuleId::St8ReleaseWithoutRequest));
-        assert!(out.iter().any(|v| v.rule == RuleId::St8CallOrder
-            && v.fault == Some(FaultKind::ReleaseWithoutAcquire)));
+        assert!(out
+            .iter()
+            .any(|v| v.rule == RuleId::St8CallOrder
+                && v.fault == Some(FaultKind::ReleaseWithoutAcquire)));
     }
 
     #[test]
@@ -1346,8 +1326,9 @@ mod tests {
             os.apply(&spec, &e, &mut out);
         }
         assert!(out.iter().any(|v| v.rule == RuleId::St8DuplicateRequest));
-        assert!(out.iter().any(|v| v.rule == RuleId::St8CallOrder
-            && v.fault == Some(FaultKind::DoubleAcquire)));
+        assert!(out
+            .iter()
+            .any(|v| v.rule == RuleId::St8CallOrder && v.fault == Some(FaultKind::DoubleAcquire)));
     }
 
     #[test]

@@ -206,8 +206,7 @@ impl PathExpr {
                         for &p in &frontier {
                             positions(c, names, p, &mut next);
                         }
-                        let fresh: BTreeSet<usize> =
-                            next.difference(out).copied().collect();
+                        let fresh: BTreeSet<usize> = next.difference(out).copied().collect();
                         if fresh.is_empty() {
                             break;
                         }
@@ -406,9 +405,9 @@ impl Parser {
                 let inner = self.parse_alt()?;
                 match self.bump() {
                     Some(Token::RParen) => Ok(inner),
-                    other => Err(PathError::Parse {
-                        message: format!("expected ')', found {other:?}"),
-                    }),
+                    other => {
+                        Err(PathError::Parse { message: format!("expected ')', found {other:?}") })
+                    }
                 }
             }
             other => Err(PathError::Parse {

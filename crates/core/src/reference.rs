@@ -268,7 +268,10 @@ impl<'a> RefCheck<'a> {
                             RuleId::Fd6ResourceConsistency,
                             Some(e),
                             t,
-                            format!("counters r = {}, s = {} out of range", self.r_total, self.s_total),
+                            format!(
+                                "counters r = {}, s = {} out of range",
+                                self.r_total, self.s_total
+                            ),
                         );
                     }
                 }
@@ -394,7 +397,11 @@ impl<'a> RefCheck<'a> {
                         self.monitor,
                         RuleId::Fd4NoStarvation,
                         end_time,
-                        format!("{} still on the entry queue after {}", pp.pid, end_time.saturating_since(since)),
+                        format!(
+                            "{} still on the entry queue after {}",
+                            pp.pid,
+                            end_time.saturating_since(since)
+                        ),
                     )
                     .with_pid(pp.pid),
                 );
@@ -466,9 +473,7 @@ impl<'a> RefCheck<'a> {
                         self.monitor,
                         RuleId::Fd5aCondResume,
                         end_time,
-                        format!(
-                            "replayed CQ[{c}] {replayed:?} differs from observed {observed:?}"
-                        ),
+                        format!("replayed CQ[{c}] {replayed:?} differs from observed {observed:?}"),
                     ));
                 }
             }
@@ -489,10 +494,7 @@ impl<'a> RefCheck<'a> {
                         self.monitor,
                         RuleId::Fd6ResourceConsistency,
                         end_time,
-                        format!(
-                            "replayed R# = {} differs from observed {avail}",
-                            self.resource_no
-                        ),
+                        format!("replayed R# = {} differs from observed {avail}", self.resource_no),
                     ));
                 }
             }
@@ -520,9 +522,25 @@ mod tests {
         let bb = buf();
         let events = vec![
             Event::enter(1, Nanos::new(10), M, Pid::new(1), bb.send, true),
-            Event::signal_exit(2, Nanos::new(20), M, Pid::new(1), bb.send, Some(bb.empty_cond), false),
+            Event::signal_exit(
+                2,
+                Nanos::new(20),
+                M,
+                Pid::new(1),
+                bb.send,
+                Some(bb.empty_cond),
+                false,
+            ),
             Event::enter(3, Nanos::new(30), M, Pid::new(2), bb.receive, true),
-            Event::signal_exit(4, Nanos::new(40), M, Pid::new(2), bb.receive, Some(bb.full_cond), false),
+            Event::signal_exit(
+                4,
+                Nanos::new(40),
+                M,
+                Pid::new(2),
+                bb.receive,
+                Some(bb.full_cond),
+                false,
+            ),
         ];
         let v = check_history(M, &bb.spec, &cfg(), &events, None, Nanos::new(50));
         assert!(v.is_empty(), "{v:?}");
@@ -542,8 +560,7 @@ mod tests {
     #[test]
     fn fd1d_wait_without_enter() {
         let bb = buf();
-        let events =
-            vec![Event::wait(1, Nanos::new(10), M, Pid::new(1), bb.send, bb.full_cond)];
+        let events = vec![Event::wait(1, Nanos::new(10), M, Pid::new(1), bb.send, bb.full_cond)];
         let v = check_history(M, &bb.spec, &cfg(), &events, None, Nanos::new(20));
         assert!(v.iter().any(|v| v.rule == RuleId::Fd1dEnterObserved), "{v:?}");
     }
@@ -561,7 +578,15 @@ mod tests {
         let bb = buf();
         let events = vec![
             Event::enter(1, Nanos::new(10), M, Pid::new(1), bb.send, true),
-            Event::signal_exit(2, Nanos::new(20), M, Pid::new(1), bb.send, Some(bb.empty_cond), true),
+            Event::signal_exit(
+                2,
+                Nanos::new(20),
+                M,
+                Pid::new(1),
+                bb.send,
+                Some(bb.empty_cond),
+                true,
+            ),
         ];
         let v = check_history(M, &bb.spec, &cfg(), &events, None, Nanos::new(30));
         assert!(v.iter().any(|v| v.rule == RuleId::Fd1cCondHandoff), "{v:?}");
@@ -609,7 +634,15 @@ mod tests {
         let events = vec![
             Event::enter(1, Nanos::new(10), M, Pid::new(1), bb.send, true),
             Event::enter(2, Nanos::new(20), M, Pid::new(2), bb.receive, false),
-            Event::signal_exit(3, Nanos::new(30), M, Pid::new(2), bb.receive, Some(bb.full_cond), false),
+            Event::signal_exit(
+                3,
+                Nanos::new(30),
+                M,
+                Pid::new(2),
+                bb.receive,
+                Some(bb.full_cond),
+                false,
+            ),
         ];
         let v = check_history(M, &bb.spec, &cfg(), &events, None, Nanos::new(40));
         assert!(v.iter().any(|v| v.rule == RuleId::Fd5bEntryResume), "{v:?}");
@@ -620,7 +653,15 @@ mod tests {
         let bb = buf();
         let events = vec![
             Event::enter(1, Nanos::new(10), M, Pid::new(1), bb.receive, true),
-            Event::signal_exit(2, Nanos::new(20), M, Pid::new(1), bb.receive, Some(bb.full_cond), false),
+            Event::signal_exit(
+                2,
+                Nanos::new(20),
+                M,
+                Pid::new(1),
+                bb.receive,
+                Some(bb.full_cond),
+                false,
+            ),
         ];
         let v = check_history(M, &bb.spec, &cfg(), &events, None, Nanos::new(30));
         assert!(v.iter().any(|v| v.rule == RuleId::Fd6ResourceConsistency), "{v:?}");
@@ -647,10 +688,8 @@ mod tests {
             .t_io(Nanos::MAX)
             .build();
         let v = check_history(M, &al.spec, &tight, &events, None, Nanos::from_secs(1));
-        assert!(v
-            .iter()
-            .any(|v| v.rule == RuleId::Fd7CallOrdering
-                && v.fault == Some(FaultKind::ResourceNeverReleased)));
+        assert!(v.iter().any(|v| v.rule == RuleId::Fd7CallOrdering
+            && v.fault == Some(FaultKind::ResourceNeverReleased)));
     }
 
     #[test]
@@ -675,8 +714,24 @@ mod tests {
             Event::enter(1, Nanos::new(10), M, Pid::new(1), bb.receive, true),
             Event::wait(2, Nanos::new(20), M, Pid::new(1), bb.receive, bb.empty_cond),
             Event::enter(3, Nanos::new(30), M, Pid::new(2), bb.send, true),
-            Event::signal_exit(4, Nanos::new(40), M, Pid::new(2), bb.send, Some(bb.empty_cond), true),
-            Event::signal_exit(5, Nanos::new(50), M, Pid::new(1), bb.receive, Some(bb.full_cond), false),
+            Event::signal_exit(
+                4,
+                Nanos::new(40),
+                M,
+                Pid::new(2),
+                bb.send,
+                Some(bb.empty_cond),
+                true,
+            ),
+            Event::signal_exit(
+                5,
+                Nanos::new(50),
+                M,
+                Pid::new(1),
+                bb.receive,
+                Some(bb.full_cond),
+                false,
+            ),
         ];
         let v = check_history(M, &bb.spec, &cfg(), &events, None, Nanos::new(60));
         assert!(v.is_empty(), "{v:?}");

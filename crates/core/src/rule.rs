@@ -237,8 +237,7 @@ mod tests {
 
     #[test]
     fn three_algorithms_cover_all_st_rules() {
-        let algs: BTreeSet<_> =
-            RuleId::ST_RULES.iter().filter_map(|r| r.algorithm()).collect();
+        let algs: BTreeSet<_> = RuleId::ST_RULES.iter().filter_map(|r| r.algorithm()).collect();
         assert_eq!(algs, BTreeSet::from([1, 2, 3]));
     }
 

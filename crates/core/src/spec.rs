@@ -225,10 +225,10 @@ impl MonitorSpec {
     /// placeholder `Plain` declaration so that the detector degrades
     /// gracefully on malformed traces (flagged elsewhere).
     pub fn procedure(&self, p: ProcName) -> ProcedureSpec {
-        self.procedures.get(p.as_usize()).cloned().unwrap_or(ProcedureSpec {
-            name: format!("<unknown {p}>"),
-            role: ProcRole::Plain,
-        })
+        self.procedures
+            .get(p.as_usize())
+            .cloned()
+            .unwrap_or(ProcedureSpec { name: format!("<unknown {p}>"), role: ProcRole::Plain })
     }
 
     /// Role of procedure `p` (`Plain` if out of range).
@@ -243,28 +243,26 @@ impl MonitorSpec {
 
     /// Human-readable procedure name.
     pub fn proc_display(&self, p: ProcName) -> String {
-        self.procedures.get(p.as_usize()).map_or_else(|| format!("<unknown {p}>"), |s| s.name.clone())
+        self.procedures
+            .get(p.as_usize())
+            .map_or_else(|| format!("<unknown {p}>"), |s| s.name.clone())
     }
 
     /// Human-readable condition name.
     pub fn cond_display(&self, c: CondId) -> String {
-        self.conditions.get(c.as_usize()).map_or_else(|| format!("<unknown {c}>"), |s| s.name.clone())
+        self.conditions
+            .get(c.as_usize())
+            .map_or_else(|| format!("<unknown {c}>"), |s| s.name.clone())
     }
 
     /// Looks up a procedure index by name.
     pub fn proc_by_name(&self, name: &str) -> Option<ProcName> {
-        self.procedures
-            .iter()
-            .position(|p| p.name == name)
-            .map(|i| ProcName::new(i as u16))
+        self.procedures.iter().position(|p| p.name == name).map(|i| ProcName::new(i as u16))
     }
 
     /// Looks up a condition index by name.
     pub fn cond_by_name(&self, name: &str) -> Option<CondId> {
-        self.conditions
-            .iter()
-            .position(|c| c.name == name)
-            .map(|i| CondId::new(i as u16))
+        self.conditions.iter().position(|c| c.name == name).map(|i| CondId::new(i as u16))
     }
 
     /// Number of declared condition variables.
@@ -416,10 +414,7 @@ mod tests {
 
     #[test]
     fn display_of_class_and_roles() {
-        assert_eq!(
-            MonitorClass::CommunicationCoordinator.to_string(),
-            "communication-coordinator"
-        );
+        assert_eq!(MonitorClass::CommunicationCoordinator.to_string(), "communication-coordinator");
         assert_eq!(ProcRole::Request.to_string(), "request");
         assert_eq!(CondRole::BufferEmpty.to_string(), "buffer-empty");
     }

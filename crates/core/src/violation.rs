@@ -32,7 +32,12 @@ pub struct Violation {
 impl Violation {
     /// Creates a violation with the required fields; optional fields are
     /// filled through the `with_*` methods.
-    pub fn new(monitor: MonitorId, rule: RuleId, detected_at: Nanos, message: impl Into<String>) -> Self {
+    pub fn new(
+        monitor: MonitorId,
+        rule: RuleId,
+        detected_at: Nanos,
+        message: impl Into<String>,
+    ) -> Self {
         Violation {
             monitor,
             rule,

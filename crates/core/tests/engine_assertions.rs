@@ -71,10 +71,8 @@ fn assertion_violations_fire_every_checkpoint_while_state_is_bad() {
 
 #[test]
 fn cond_queue_assertion_checks_named_queue_only() {
-    let mut det = detector_with(vec![StateAssertion::CondQueueAtMost {
-        cond: CondId::new(0),
-        at_most: 0,
-    }]);
+    let mut det =
+        detector_with(vec![StateAssertion::CondQueueAtMost { cond: CondId::new(0), at_most: 0 }]);
     let mut s = MonitorState::with_resources(2, 4);
     // Queue 1 backlog is fine; queue 0 backlog violates.
     s.cond_queues[1].push(PidProc::new(Pid::new(7), ProcName::new(1)));

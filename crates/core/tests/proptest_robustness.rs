@@ -19,32 +19,27 @@ fn arb_event_kind() -> impl Strategy<Value = EventKind> {
         any::<bool>().prop_map(|granted| EventKind::Enter { granted }),
         (0u16..3).prop_map(|c| EventKind::Wait { cond: CondId::new(c) }),
         ((0u16..3), any::<bool>(), any::<bool>()).prop_map(|(c, some, resumed)| {
-            EventKind::SignalExit {
-                cond: some.then_some(CondId::new(c)),
-                resumed_waiter: resumed,
-            }
+            EventKind::SignalExit { cond: some.then_some(CondId::new(c)), resumed_waiter: resumed }
         }),
         Just(EventKind::Terminate),
     ]
 }
 
 fn arb_events(max: usize) -> impl Strategy<Value = Vec<Event>> {
-    proptest::collection::vec(((0u32..4), (0u16..2), arb_event_kind()), 0..max).prop_map(
-        |items| {
-            items
-                .into_iter()
-                .enumerate()
-                .map(|(i, (pid, proc_idx, kind))| Event {
-                    seq: (i + 1) as u64,
-                    time: Nanos::new((i as u64 + 1) * 10),
-                    monitor: M,
-                    pid: Pid::new(pid),
-                    proc_name: ProcName::new(proc_idx),
-                    kind,
-                })
-                .collect()
-        },
-    )
+    proptest::collection::vec(((0u32..4), (0u16..2), arb_event_kind()), 0..max).prop_map(|items| {
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, (pid, proc_idx, kind))| Event {
+                seq: (i + 1) as u64,
+                time: Nanos::new((i as u64 + 1) * 10),
+                monitor: M,
+                pid: Pid::new(pid),
+                proc_name: ProcName::new(proc_idx),
+                kind,
+            })
+            .collect()
+    })
 }
 
 proptest! {

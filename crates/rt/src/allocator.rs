@@ -200,10 +200,7 @@ mod tests {
         let al = ResourceAllocator::new(&rt, "res", 1);
         al.release().unwrap(); // faulty, but allowed under Report
         let vs = rt.realtime_violations();
-        assert!(
-            vs.iter().any(|v| v.rule == RuleId::St8ReleaseWithoutRequest),
-            "{vs:?}"
-        );
+        assert!(vs.iter().any(|v| v.rule == RuleId::St8ReleaseWithoutRequest), "{vs:?}");
     }
 
     #[test]
@@ -236,10 +233,7 @@ mod tests {
         // and times out; the real-time check reported ST-8a already.
         let err = al.request().unwrap_err();
         assert_eq!(err, MonitorError::Timeout);
-        assert!(rt
-            .realtime_violations()
-            .iter()
-            .any(|v| v.rule == RuleId::St8DuplicateRequest));
+        assert!(rt.realtime_violations().iter().any(|v| v.rule == RuleId::St8DuplicateRequest));
     }
 
     #[test]

@@ -303,9 +303,10 @@ mod tests {
         let rt = rt();
         let buf = BoundedBuffer::with_bug(&rt, "b", 4, BufferBug::MissingReceiveDelay, 2);
         buf.send(1).unwrap();
-        assert_eq!(buf.receive().unwrap(), Some(1)); // skip 1 (eligible? not empty → not eligible)
-        // Only *eligible* calls (empty buffer) consume the skip budget;
-        // force two eligible calls.
+        // A non-empty receive is not eligible, so it leaves the skip
+        // budget alone; only *eligible* calls (empty buffer) consume
+        // it — force two eligible calls next.
+        assert_eq!(buf.receive().unwrap(), Some(1));
         let b = buf.clone();
         let h = std::thread::spawn(move || {
             // These two receives block on empty (skip budget 2 → wait),

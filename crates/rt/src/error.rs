@@ -37,12 +37,7 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(MonitorError::Timeout.to_string().contains("timed out"));
-        let v = Violation::new(
-            MonitorId::new(0),
-            RuleId::St8DuplicateRequest,
-            Nanos::ZERO,
-            "dup",
-        );
+        let v = Violation::new(MonitorId::new(0), RuleId::St8DuplicateRequest, Nanos::ZERO, "dup");
         let e = MonitorError::Denied(Box::new(v));
         assert!(e.to_string().contains("ST-8a"));
     }

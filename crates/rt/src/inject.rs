@@ -113,10 +113,7 @@ mod tests {
             RtFault::StickLockOnExit,
         ] {
             // Level is implementation for every rt fault.
-            assert_eq!(
-                f.fault_kind().level(),
-                rmon_core::FaultLevel::Implementation
-            );
+            assert_eq!(f.fault_kind().level(), rmon_core::FaultLevel::Implementation);
         }
     }
 }

@@ -5,11 +5,11 @@ use crate::error::MonitorError;
 use crate::inject::RtFault;
 use crate::raw::RawCore;
 use crate::registry::current_pid;
-use std::sync::Weak;
 use crate::runtime::Runtime;
 use parking_lot::Mutex;
 use rmon_core::{CondId, MonitorId, MonitorSpec, MonitorState, Pid, ProcName};
 use std::sync::Arc;
+use std::sync::Weak;
 
 /// A monitor protecting shared data `T`, instrumented with the
 /// run-time fault-detection extension.

@@ -287,12 +287,7 @@ pub fn measure(workload: Workload, mode: Mode) -> Measurement {
         Mode::FullHistory { interval } => run_instrumented(workload, Some(interval), true),
     };
     let ops = workload.total_ops();
-    Measurement {
-        mode,
-        elapsed,
-        ns_per_op: elapsed.as_nanos() as f64 / ops.max(1) as f64,
-        ops,
-    }
+    Measurement { mode, elapsed, ns_per_op: elapsed.as_nanos() as f64 / ops.max(1) as f64, ops }
 }
 
 fn run_handoff(w: Workload) -> Nanos {

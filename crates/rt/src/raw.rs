@@ -18,9 +18,7 @@
 use crate::inject::{RtFault, RtInjector};
 use crate::runtime::RtInner;
 use parking_lot::{Condvar, Mutex};
-use rmon_core::{
-    CondId, EventKind, MonitorId, MonitorSpec, MonitorState, Pid, PidProc, ProcName,
-};
+use rmon_core::{CondId, EventKind, MonitorId, MonitorSpec, MonitorState, Pid, PidProc, ProcName};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
@@ -137,11 +135,7 @@ impl RawCore {
         let st = self.state.lock();
         MonitorState {
             entry_queue: st.eq.iter().map(|w| w.pp).collect(),
-            cond_queues: st
-                .cqs
-                .iter()
-                .map(|q| q.iter().map(|w| w.pp).collect())
-                .collect(),
+            cond_queues: st.cqs.iter().map(|q| q.iter().map(|w| w.pp).collect()).collect(),
             running: st.owner.clone(),
             available: st.resource_no.map(|v| v.max(0) as u64),
         }
@@ -170,31 +164,43 @@ impl RawCore {
                 if self.injector.fire(RtFault::BlockWhileFree) {
                     let gate = Arc::new(Gate::default());
                     st.eq.push_back(Waiter { pp, gate: Arc::clone(&gate) });
-                    self.rt.record_observe(self.id, pid, proc_name, EventKind::Enter {
-                        granted: false,
-                    });
+                    self.rt.record_observe(
+                        self.id,
+                        pid,
+                        proc_name,
+                        EventKind::Enter { granted: false },
+                    );
                     gate
                 } else {
                     st.owner.push(pp);
-                    self.rt.record_observe(self.id, pid, proc_name, EventKind::Enter {
-                        granted: true,
-                    });
+                    self.rt.record_observe(
+                        self.id,
+                        pid,
+                        proc_name,
+                        EventKind::Enter { granted: true },
+                    );
                     return Ok(());
                 }
             } else {
                 // Fault E1: grant although another thread is inside.
                 if self.injector.fire(RtFault::GrantWhileBusy) {
                     st.owner.push(pp);
-                    self.rt.record_observe(self.id, pid, proc_name, EventKind::Enter {
-                        granted: true,
-                    });
+                    self.rt.record_observe(
+                        self.id,
+                        pid,
+                        proc_name,
+                        EventKind::Enter { granted: true },
+                    );
                     return Ok(());
                 }
                 let gate = Arc::new(Gate::default());
                 st.eq.push_back(Waiter { pp, gate: Arc::clone(&gate) });
-                self.rt.record_observe(self.id, pid, proc_name, EventKind::Enter {
-                    granted: false,
-                });
+                self.rt.record_observe(
+                    self.id,
+                    pid,
+                    proc_name,
+                    EventKind::Enter { granted: false },
+                );
                 gate
             }
         };
@@ -255,13 +261,14 @@ impl RawCore {
         if let Some(rn) = st.resource_no.as_mut() {
             *rn += resource_delta;
         }
-        let flag = cond
-            .map(|c| st.cqs.get(c.as_usize()).is_some_and(|q| !q.is_empty()))
-            .unwrap_or(false);
-        self.rt.record_observe(self.id, pid, proc_name, EventKind::SignalExit {
-            cond,
-            resumed_waiter: flag,
-        });
+        let flag =
+            cond.map(|c| st.cqs.get(c.as_usize()).is_some_and(|q| !q.is_empty())).unwrap_or(false);
+        self.rt.record_observe(
+            self.id,
+            pid,
+            proc_name,
+            EventKind::SignalExit { cond, resumed_waiter: flag },
+        );
         // Fault X1: nobody resumed although the flag claims the
         // hand-off (effective only when someone was due a resumption).
         if (flag || !st.eq.is_empty()) && self.injector.fire(RtFault::SkipResumeOnExit) {

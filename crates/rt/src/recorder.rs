@@ -22,7 +22,10 @@ pub struct Recorder {
 impl Recorder {
     /// Creates a recorder whose clock starts now.
     pub fn new() -> Self {
-        Recorder { inner: Mutex::new(RecInner { next_seq: 1, ..Default::default() }), origin: Instant::now() }
+        Recorder {
+            inner: Mutex::new(RecInner { next_seq: 1, ..Default::default() }),
+            origin: Instant::now(),
+        }
     }
 
     /// Monotonic nanoseconds since the recorder was created.

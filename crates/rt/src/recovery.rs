@@ -137,9 +137,7 @@ fn apply_recovery(
     let starved: Vec<MonitorId> = report
         .violations
         .iter()
-        .filter(|v| {
-            matches!(v.rule, RuleId::St6EntryTimeout | RuleId::St5InsideTimeout)
-        })
+        .filter(|v| matches!(v.rule, RuleId::St6EntryTimeout | RuleId::St5InsideTimeout))
         .map(|v| v.monitor)
         .collect();
     if starved.is_empty() {
@@ -148,10 +146,9 @@ fn apply_recovery(
     for weak in monitors {
         let Some(core) = weak.upgrade() else { continue };
         if starved.contains(&core.id()) && core.force_release() {
-            log.actions.lock().push(RecoveryAction::ForceReleased {
-                monitor: core.id(),
-                at: rt.now(),
-            });
+            log.actions
+                .lock()
+                .push(RecoveryAction::ForceReleased { monitor: core.id(), at: rt.now() });
         }
     }
 }

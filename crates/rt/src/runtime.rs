@@ -12,8 +12,8 @@ use rmon_core::{
     DetectorConfig, Event, EventKind, FaultReport, MonitorId, MonitorState, Nanos, Pid, ProcName,
     ProcRole, Violation,
 };
-use std::collections::HashSet;
 use std::collections::HashMap;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
@@ -77,12 +77,7 @@ impl RtInner {
         }
         let mut initial = MonitorState::new(spec.cond_count());
         initial.available = spec.capacity;
-        self.detector.lock().register(
-            core.id(),
-            Arc::clone(spec),
-            &initial,
-            self.recorder.now(),
-        );
+        self.detector.lock().register(core.id(), Arc::clone(spec), &initial, self.recorder.now());
     }
 
     /// Records an event and runs the real-time (Algorithm-3) checks.
@@ -176,7 +171,11 @@ impl Runtime {
 
     /// Starts building a runtime.
     pub fn builder(cfg: DetectorConfig) -> RuntimeBuilder {
-        RuntimeBuilder { cfg, park_timeout: Duration::from_secs(5), order_policy: OrderPolicy::Report }
+        RuntimeBuilder {
+            cfg,
+            park_timeout: Duration::from_secs(5),
+            order_policy: OrderPolicy::Report,
+        }
     }
 
     /// Monotonic nanoseconds since the runtime was created.

@@ -37,10 +37,9 @@ pub enum BuildError {
 impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BuildError::UnknownMonitor { process, op_index, monitor } => write!(
-                f,
-                "process {process:?} op {op_index} references unknown monitor {monitor}"
-            ),
+            BuildError::UnknownMonitor { process, op_index, monitor } => {
+                write!(f, "process {process:?} op {op_index} references unknown monitor {monitor}")
+            }
             BuildError::IncompatibleCall { process, op_index, monitor, call } => write!(
                 f,
                 "process {process:?} op {op_index} calls {call} on incompatible monitor {monitor}"

@@ -144,7 +144,9 @@ impl FaultInjector {
             ps.plan.fault == fault
                 && ps.plan.monitor == monitor
                 && match ps.plan.trigger {
-                    Trigger::OnNth(_) => ps.fired && last_fired_pid(self, fault, monitor) == Some(pid),
+                    Trigger::OnNth(_) => {
+                        ps.fired && last_fired_pid(self, fault, monitor) == Some(pid)
+                    }
                     Trigger::OnPid(p) => p == pid,
                     Trigger::Always => true,
                 }
@@ -168,11 +170,7 @@ impl FaultInjector {
 }
 
 fn last_fired_pid(inj: &FaultInjector, fault: FaultKind, monitor: MonitorId) -> Option<Pid> {
-    inj.fired_log
-        .iter()
-        .rev()
-        .find(|f| f.fault == fault && f.monitor == monitor)
-        .map(|f| f.pid)
+    inj.fired_log.iter().rev().find(|f| f.fault == fault && f.monitor == monitor).map(|f| f.pid)
 }
 
 #[cfg(test)]

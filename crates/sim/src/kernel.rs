@@ -19,9 +19,7 @@ use crate::script::{CallKind, Op};
 use crate::trace::TraceRecorder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rmon_core::{
-    Event, EventKind, FaultKind, MonitorId, MonitorState, Nanos, Pid, PidProc,
-};
+use rmon_core::{Event, EventKind, FaultKind, MonitorId, MonitorState, Nanos, Pid, PidProc};
 use std::collections::HashMap;
 
 /// What one kernel step accomplished.
@@ -289,9 +287,12 @@ impl Sim {
             }
             CallKind::Receive => {
                 if !must_wait_real
-                    && self
-                        .injector
-                        .fire(FaultKind::ReceiveDelayViolation, monitor, pid, self.clock)
+                    && self.injector.fire(
+                        FaultKind::ReceiveDelayViolation,
+                        monitor,
+                        pid,
+                        self.clock,
+                    )
                 {
                     wait = true; // P2: delayed although not empty.
                 }
@@ -313,8 +314,7 @@ impl Sim {
             self.metrics.cond_blocks += 1;
             if !out.blocked {
                 // Fault W1: continues inside as if signalled.
-                self.procs[i].phase =
-                    Phase::InMonitor { monitor, call, stage: BodyStage::Exit };
+                self.procs[i].phase = Phase::InMonitor { monitor, call, stage: BodyStage::Exit };
             } else {
                 let admitted = out.admitted.clone();
                 self.procs[i].phase = if out.lost {

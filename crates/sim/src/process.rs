@@ -123,7 +123,14 @@ pub struct SimProcess {
 impl SimProcess {
     /// Creates a ready process.
     pub fn new(pid: Pid, name: impl Into<String>, script: Script) -> Self {
-        SimProcess { pid, name: name.into(), script, ip: 0, phase: Phase::Ready, calls_completed: 0 }
+        SimProcess {
+            pid,
+            name: name.into(),
+            script,
+            ip: 0,
+            phase: Phase::Ready,
+            calls_completed: 0,
+        }
     }
 
     /// The op at the instruction pointer, if any.
@@ -174,12 +181,8 @@ mod tests {
         assert!(Phase::DeadInside.terminal());
         assert!(!Phase::Ready.terminal());
         assert!(Phase::BlockedEntry { monitor: M, call: CallKind::Send }.blocked());
-        assert!(Phase::BlockedCond {
-            monitor: M,
-            call: CallKind::Send,
-            resume: BodyStage::Exit
-        }
-        .blocked());
+        assert!(Phase::BlockedCond { monitor: M, call: CallKind::Send, resume: BodyStage::Exit }
+            .blocked());
         assert!(!Phase::Ready.blocked());
     }
 

@@ -184,10 +184,7 @@ mod tests {
         let buf = b.bounded_buffer("buf", 2);
         for p in 0..2 {
             b.process(format!("prod{p}"), Script::builder().repeat(10, |s| s.send(buf)).build());
-            b.process(
-                format!("cons{p}"),
-                Script::builder().repeat(10, |s| s.receive(buf)).build(),
-            );
+            b.process(format!("cons{p}"), Script::builder().repeat(10, |s| s.receive(buf)).build());
         }
         let mut sim = b.build().unwrap();
         let out = run_with_detection(&mut sim, det_cfg());
@@ -207,8 +204,7 @@ mod tests {
         let out = run_with_detection(&mut sim, det_cfg());
         assert!(sim_fired(&sim_placeholder(), &out), "injection must have fired");
         assert!(
-            out.combined
-                .violates_any(&[RuleId::St3RunningUnique, RuleId::St3RunningAtMostOne]),
+            out.combined.violates_any(&[RuleId::St3RunningUnique, RuleId::St3RunningAtMostOne]),
             "{}",
             out.combined
         );
@@ -231,10 +227,11 @@ mod tests {
         b.process("dead", Script::double_request(al));
         let mut sim = b.build().unwrap();
         let out = run_with_detection(&mut sim, det_cfg());
-        assert!(out
-            .realtime_violations
-            .iter()
-            .any(|v| v.rule == RuleId::St8DuplicateRequest), "{:?}", out.realtime_violations);
+        assert!(
+            out.realtime_violations.iter().any(|v| v.rule == RuleId::St8DuplicateRequest),
+            "{:?}",
+            out.realtime_violations
+        );
         assert!(!out.finished, "self-deadlock leaves the process blocked");
     }
 

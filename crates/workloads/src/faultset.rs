@@ -168,8 +168,7 @@ pub fn run_case(fault: FaultKind, seed: u64) -> CaseOutcome {
 }
 
 fn summarize(fault: FaultKind, seed: u64, injected: bool, out: &RunOutcome) -> CaseOutcome {
-    let mut rules_hit: BTreeSet<RuleId> =
-        out.combined.violations.iter().map(|v| v.rule).collect();
+    let mut rules_hit: BTreeSet<RuleId> = out.combined.violations.iter().map(|v| v.rule).collect();
     rules_hit.extend(out.realtime_violations.iter().map(|v| v.rule));
     let primary_rule_hit = fault.detected_by().iter().any(|r| rules_hit.contains(r));
     CaseOutcome {
@@ -267,12 +266,7 @@ mod tests {
             for seed in [0, 1] {
                 let mut sim = build_clean_baseline(fault, seed);
                 let out = rmon_sim::run_with_detection(&mut sim, campaign_det_config_for(fault));
-                assert!(
-                    out.is_clean(),
-                    "{} baseline seed {seed}: {}",
-                    fault.code(),
-                    out.combined
-                );
+                assert!(out.is_clean(), "{} baseline seed {seed}: {}", fault.code(), out.combined);
             }
         }
     }
@@ -285,7 +279,8 @@ mod tests {
             assert_eq!(row.runs, 2);
             assert!(row.injected >= 1, "{}: never fired", row.fault.code());
             assert_eq!(
-                row.detected, row.injected,
+                row.detected,
+                row.injected,
                 "{}: injected but undetected runs exist ({} vs {})",
                 row.fault.code(),
                 row.detected,

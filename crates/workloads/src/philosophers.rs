@@ -107,8 +107,7 @@ mod tests {
     #[test]
     fn ordered_under_random_seeds_stays_clean() {
         for seed in 0..5 {
-            let (mut sim, _) =
-                Philosophers::default().build_sim(SimConfig::random_seeded(seed));
+            let (mut sim, _) = Philosophers::default().build_sim(SimConfig::random_seeded(seed));
             let out = rmon_sim::run_with_detection(&mut sim, det_cfg());
             assert!(out.finished && out.is_clean(), "seed {seed}: {}", out.combined);
         }

@@ -134,10 +134,7 @@ mod tests {
         for seed in 0..10 {
             let w = PcWorkload::randomized(seed);
             let (mut sim, _) = w.build_sim(SimConfig::random_seeded(seed));
-            let out = rmon_sim::run_with_detection(
-                &mut sim,
-                DetectorConfig::without_timeouts(),
-            );
+            let out = rmon_sim::run_with_detection(&mut sim, DetectorConfig::without_timeouts());
             assert!(out.is_clean(), "seed {seed}: {}", out.combined);
         }
     }

@@ -4,7 +4,7 @@
 //! that is neither a buffer nor a plain allocator.
 
 use rmon_core::{CondId, MonitorClass, MonitorSpec, PathExpr, ProcName, ProcRole};
-use rmon_rt::{MonitorError, Monitor, Runtime};
+use rmon_rt::{Monitor, MonitorError, Runtime};
 
 #[derive(Debug, Default)]
 struct RwInner {
@@ -34,10 +34,9 @@ pub struct ReadersWriters {
 impl ReadersWriters {
     /// Creates the monitor in `rt`.
     pub fn new(rt: &Runtime, name: &str) -> Self {
-        let order = PathExpr::parse(
-            "path ((start_read ; end_read) | (start_write ; end_write))* end",
-        )
-        .expect("readers/writers path expression parses");
+        let order =
+            PathExpr::parse("path ((start_read ; end_read) | (start_write ; end_write))* end")
+                .expect("readers/writers path expression parses");
         let spec = MonitorSpec::builder(name, MonitorClass::ResourceAllocator)
             .procedure("start_read", ProcRole::Request)
             .procedure("end_read", ProcRole::Release)
@@ -219,8 +218,9 @@ mod tests {
         rw.faulty_end_read().unwrap();
         let vs = rt.realtime_violations();
         assert!(
-            vs.iter().any(|v| v.rule == RuleId::St8ReleaseWithoutRequest
-                || v.rule == RuleId::St8CallOrder),
+            vs.iter()
+                .any(|v| v.rule == RuleId::St8ReleaseWithoutRequest
+                    || v.rule == RuleId::St8CallOrder),
             "{vs:?}"
         );
     }

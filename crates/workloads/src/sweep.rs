@@ -33,10 +33,7 @@ pub struct SynthTrace {
 /// Panics if the workload does not finish (it always does: the item
 /// counts are balanced).
 pub fn pc_trace(items_per_producer: usize, seed: u64) -> SynthTrace {
-    let workload = PcWorkload {
-        items_per_producer,
-        ..PcWorkload::default()
-    };
+    let workload = PcWorkload { items_per_producer, ..PcWorkload::default() };
     let cfg = if seed == 0 { SimConfig::default() } else { SimConfig::random_seeded(seed) };
     let mut b = rmon_sim::SimBuilder::new().with_config(cfg).with_full_trace();
     let buf = workload.install(&mut b);

@@ -22,8 +22,7 @@ fn runtime() -> Runtime {
 
 fn report(tag: &str, rt: &Runtime) {
     let report = rt.checkpoint_now();
-    let rules: Vec<String> =
-        report.violations.iter().map(|v| v.rule.to_string()).collect();
+    let rules: Vec<String> = report.violations.iter().map(|v| v.rule.to_string()).collect();
     println!("{tag:<28} detected: {:<5} rules: {:?}", !report.is_clean(), rules);
     assert!(!report.is_clean(), "{tag}: the fault must be detected");
 }

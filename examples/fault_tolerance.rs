@@ -59,8 +59,7 @@ fn main() {
     .park_timeout(Duration::from_millis(800))
     .build();
     let cell = OperationCell::new(&rt3, "ledger", 0u64);
-    let recovery =
-        RecoveryChecker::spawn(&rt3, vec![cell.core_weak()], Duration::from_millis(10));
+    let recovery = RecoveryChecker::spawn(&rt3, vec![cell.core_weak()], Duration::from_millis(10));
 
     cell.operate(|n| *n += 1).expect("normal operation");
     cell.operate_and_die(|n| *n += 1).expect("worker crashes inside the monitor");

@@ -10,10 +10,7 @@ use rmon::prelude::*;
 use rmon::workloads::faultset;
 
 fn main() {
-    println!(
-        "{:<4} {:<18} {:<9} {:<9} rules triggered",
-        "id", "level", "injected", "detected"
-    );
+    println!("{:<4} {:<18} {:<9} {:<9} rules triggered", "id", "level", "injected", "detected");
     println!("{}", "-".repeat(78));
     let mut all_detected = true;
     for fault in FaultKind::ALL {

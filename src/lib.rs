@@ -58,8 +58,8 @@ pub mod prelude {
         Violation,
     };
     pub use rmon_rt::{
-        BoundedBuffer, BufferBug, CheckerHandle, Monitor, MonitorError, OperationCell,
-        OrderPolicy, ResourceAllocator, RtFault, Runtime,
+        BoundedBuffer, BufferBug, CheckerHandle, Monitor, MonitorError, OperationCell, OrderPolicy,
+        ResourceAllocator, RtFault, Runtime,
     };
     pub use rmon_sim::{
         run_plain, run_with_detection, InjectionPlan, Script, Sim, SimBuilder, SimConfig,

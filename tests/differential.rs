@@ -102,7 +102,13 @@ fn both_checkers_reject_mutated_traces() {
                 // Insert right after the grant: the owner dies inside.
                 ev.insert(
                     idx + 1,
-                    Event::terminate(seq, owner.time + Nanos::new(1), owner.monitor, owner.pid, owner.proc_name),
+                    Event::terminate(
+                        seq,
+                        owner.time + Nanos::new(1),
+                        owner.monitor,
+                        owner.pid,
+                        owner.proc_name,
+                    ),
                 );
             }),
         ),

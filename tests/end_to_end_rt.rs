@@ -8,12 +8,14 @@ use rmon::rt::RtFault;
 use std::time::Duration;
 
 fn rt_fast() -> Runtime {
-    Runtime::builder(DetectorConfig::builder()
-        .t_max(Nanos::from_millis(60))
-        .t_io(Nanos::from_millis(60))
-        .t_limit(Nanos::from_millis(60))
-        .check_interval(Nanos::from_millis(20))
-        .build())
+    Runtime::builder(
+        DetectorConfig::builder()
+            .t_max(Nanos::from_millis(60))
+            .t_io(Nanos::from_millis(60))
+            .t_limit(Nanos::from_millis(60))
+            .check_interval(Nanos::from_millis(20))
+            .build(),
+    )
     .park_timeout(Duration::from_millis(150))
     .build()
 }
@@ -179,8 +181,8 @@ fn readers_writers_with_faulty_client_detected() {
     rw.faulty_end_read().expect("faulty call proceeds under Report");
     let vs = rt.realtime_violations();
     assert!(
-        vs.iter().any(|v| v.rule == RuleId::St8ReleaseWithoutRequest
-            || v.rule == RuleId::St8CallOrder),
+        vs.iter()
+            .any(|v| v.rule == RuleId::St8ReleaseWithoutRequest || v.rule == RuleId::St8CallOrder),
         "{vs:?}"
     );
 }

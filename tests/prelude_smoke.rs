@@ -1,0 +1,90 @@
+//! Facade smoke test: everything a new user touches in the first five
+//! minutes must work through `rmon::prelude` alone — the real-thread
+//! runtime with a background checker, the deterministic simulator with
+//! an injected fault, and the taxonomy metadata.
+
+use rmon::prelude::*;
+use std::time::Duration;
+
+/// Clean end-to-end run on the real-thread substrate: runtime, bounded
+/// buffer, periodic checker — and a clean bill of health.
+#[test]
+fn runtime_checker_clean_roundtrip() {
+    let rt = Runtime::new(DetectorConfig::default());
+    let buf = BoundedBuffer::new(&rt, "mailbox", 8);
+    let checker = CheckerHandle::spawn(&rt, Duration::from_millis(5));
+
+    let tx = buf.clone();
+    let producer = std::thread::spawn(move || -> Result<(), MonitorError> {
+        for i in 0..200u64 {
+            tx.send(i)?;
+        }
+        Ok(())
+    });
+    let rx = buf.clone();
+    let consumer = std::thread::spawn(move || -> Result<u64, MonitorError> {
+        let mut sum = 0;
+        for _ in 0..200 {
+            sum += rx.receive()?.expect("correct buffer never yields holes");
+        }
+        Ok(sum)
+    });
+
+    producer.join().expect("producer thread").expect("sends succeed");
+    let sum = consumer.join().expect("consumer thread").expect("receives succeed");
+    assert_eq!(sum, (0..200).sum::<u64>());
+
+    checker.stop();
+    let report = rt.checkpoint_now();
+    assert!(rt.is_clean() && report.is_clean(), "clean workload must stay clean");
+    assert!(rt.events_recorded() > 0, "the recorder must have seen the traffic");
+}
+
+/// One detection on the real-thread substrate: a procedure-level bug
+/// (receive proceeds although the buffer is empty) must be flagged.
+#[test]
+fn runtime_detects_injected_buffer_bug() {
+    let rt = Runtime::new(DetectorConfig::without_timeouts());
+    let buf = BoundedBuffer::<u32>::with_bug(&rt, "broken", 4, BufferBug::MissingReceiveDelay, 0);
+    let hole = buf.receive().expect("the buggy call itself succeeds");
+    assert!(hole.is_none(), "an empty buffer has nothing to deliver");
+    let report = rt.checkpoint_now();
+    assert!(!report.is_clean(), "the empty-receive must be detected");
+}
+
+/// One detection on the simulator substrate: an injected lost process
+/// is caught by the entry-snapshot / timeout rules.
+#[test]
+fn sim_detects_injected_lost_process() {
+    let mut b = SimBuilder::new();
+    let buf = b.bounded_buffer("mailbox", 2);
+    b.inject(InjectionPlan::once(FaultKind::EnterProcessLost, buf));
+    b.process("prod", Script::builder().repeat(5, |s| s.send(buf)).build());
+    b.process("cons", Script::builder().repeat(5, |s| s.receive(buf)).build());
+    let mut sim = b.build().expect("valid scenario");
+
+    let out = run_with_detection(&mut sim, DetectorConfig::default());
+    assert!(
+        out.combined.violates_any(&[RuleId::St1EntrySnapshot, RuleId::St6EntryTimeout]),
+        "lost process must trip ST-1 or ST-6: {}",
+        out.combined
+    );
+}
+
+/// The clean counterpart on the simulator, via a prelude workload type.
+#[test]
+fn sim_workload_stays_clean() {
+    let w = PcWorkload::randomized(42);
+    let (mut sim, _) = w.build_sim(SimConfig::random_seeded(42));
+    let out = run_with_detection(&mut sim, DetectorConfig::without_timeouts());
+    assert!(out.finished, "balanced workload must finish");
+    assert!(out.is_clean(), "balanced workload must stay clean: {}", out.combined);
+}
+
+/// Taxonomy metadata reaches through the facade.
+#[test]
+fn taxonomy_is_complete() {
+    let classes = taxonomy();
+    assert_eq!(classes.len(), 21, "the paper's taxonomy has 21 fault classes");
+    assert!(classes.iter().all(|info| !info.detected_by.is_empty()));
+}

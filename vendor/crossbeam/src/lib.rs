@@ -1,0 +1,79 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only the `channel` module is provided, backed by `std::sync::mpsc`.
+//! That narrows crossbeam's multi-consumer channels to the
+//! single-consumer shape the workspace actually uses (one checker
+//! thread draining one report stream).
+
+/// Multi-producer channels over `std::sync::mpsc`.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    /// The sending half; cloneable across threads.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value; fails only when the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// The receiving half.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Receives without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Blocks until a value or disconnection.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Blocks with a timeout.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Iterates over received values until disconnection.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_try_recv_roundtrip() {
+            let (tx, rx) = unbounded();
+            tx.send(41u32).unwrap();
+            tx.clone().send(1).unwrap();
+            assert_eq!(rx.try_recv().unwrap() + rx.try_recv().unwrap(), 42);
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+            drop(tx);
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! A tiny regex-driven string *generator* (not matcher) backing the
+//! `&str` strategy, covering the pattern subset the test suites use:
+//! literals, `( … )` groups, `|` alternation, `[ … ]` classes (with
+//! `a-z` ranges), the postfix operators `* + ? {m} {m,} {m,n}`, `.`,
+//! and the escapes `\d` `\w` `\s` `\Px`/`\P{x}` (complement category —
+//! generated as arbitrary printable text) plus escaped literals.
+
+use crate::TestRng;
+
+/// Unbounded repetitions (`*`, `+`, `{m,}`) draw counts up to this.
+const MAX_UNBOUNDED_REPEAT: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    /// One uniform choice from a non-empty set.
+    Class(Vec<char>),
+    /// Any printable char (used for `.` and `\PC`-style escapes).
+    AnyPrintable,
+    Seq(Vec<Node>),
+    Alt(Vec<Node>),
+    Rep(Box<Node>, u32, u32),
+}
+
+/// Generates one string matching `pattern`.
+///
+/// Panics on syntax outside the supported subset — a property test
+/// with an unsupported pattern should fail loudly, not silently
+/// generate garbage.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let node = Parser { chars: pattern.chars().collect(), pos: 0 }.parse();
+    let mut out = String::new();
+    emit(&node, rng, &mut out);
+    out
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn parse(mut self) -> Node {
+        let node = self.parse_alt();
+        assert!(
+            self.pos == self.chars.len(),
+            "regex_gen: trailing input at {} in {:?}",
+            self.pos,
+            self.chars.iter().collect::<String>()
+        );
+        node
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> char {
+        let c = self.chars[self.pos];
+        self.pos += 1;
+        c
+    }
+
+    fn parse_alt(&mut self) -> Node {
+        let mut arms = vec![self.parse_seq()];
+        while self.peek() == Some('|') {
+            self.bump();
+            arms.push(self.parse_seq());
+        }
+        if arms.len() == 1 {
+            arms.pop().expect("one arm")
+        } else {
+            Node::Alt(arms)
+        }
+    }
+
+    fn parse_seq(&mut self) -> Node {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == ')' || c == '|' {
+                break;
+            }
+            items.push(self.parse_repeated());
+        }
+        if items.len() == 1 {
+            items.pop().expect("one item")
+        } else {
+            Node::Seq(items)
+        }
+    }
+
+    fn parse_repeated(&mut self) -> Node {
+        let mut node = self.parse_atom();
+        while let Some(c) = self.peek() {
+            let (min, max) = match c {
+                '*' => (0, MAX_UNBOUNDED_REPEAT),
+                '+' => (1, MAX_UNBOUNDED_REPEAT),
+                '?' => (0, 1),
+                '{' => {
+                    self.bump();
+                    let min = self.parse_int();
+                    let max = match self.peek() {
+                        Some(',') => {
+                            self.bump();
+                            if self.peek() == Some('}') {
+                                min + MAX_UNBOUNDED_REPEAT
+                            } else {
+                                self.parse_int()
+                            }
+                        }
+                        _ => min,
+                    };
+                    assert!(self.bump() == '}', "regex_gen: unclosed {{m,n}}");
+                    node = Node::Rep(Box::new(node), min, max);
+                    continue;
+                }
+                _ => break,
+            };
+            self.bump();
+            node = Node::Rep(Box::new(node), min, max);
+        }
+        node
+    }
+
+    fn parse_int(&mut self) -> u32 {
+        let mut n = 0u32;
+        let mut any = false;
+        while let Some(c) = self.peek() {
+            if let Some(d) = c.to_digit(10) {
+                n = n * 10 + d;
+                any = true;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        assert!(any, "regex_gen: expected integer in repetition");
+        n
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.bump() {
+            '(' => {
+                // Non-capturing group marker `?:` is accepted and ignored.
+                if self.peek() == Some('?') && self.chars.get(self.pos + 1) == Some(&':') {
+                    self.bump();
+                    self.bump();
+                }
+                let inner = self.parse_alt();
+                assert!(self.bump() == ')', "regex_gen: unclosed group");
+                inner
+            }
+            '[' => self.parse_class(),
+            '\\' => self.parse_escape(),
+            '.' => Node::AnyPrintable,
+            c => Node::Lit(c),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let mut set = Vec::new();
+        loop {
+            let c = self.bump();
+            match c {
+                ']' => break,
+                '\\' => set.push(self.bump()),
+                _ => {
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).is_some_and(|&e| e != ']')
+                    {
+                        self.bump();
+                        let end = self.bump();
+                        assert!(c <= end, "regex_gen: inverted class range");
+                        for x in c..=end {
+                            set.push(x);
+                        }
+                    } else {
+                        set.push(c);
+                    }
+                }
+            }
+        }
+        assert!(!set.is_empty(), "regex_gen: empty character class");
+        Node::Class(set)
+    }
+
+    fn parse_escape(&mut self) -> Node {
+        match self.bump() {
+            'd' => Node::Class(('0'..='9').collect()),
+            'w' => {
+                let mut set: Vec<char> = ('a'..='z').collect();
+                set.extend('A'..='Z');
+                set.extend('0'..='9');
+                set.push('_');
+                Node::Class(set)
+            }
+            's' => Node::Class(vec![' ', '\t']),
+            // Complement Unicode category (`\PC`, `\P{C}` …): the suites
+            // only use "not control", so generate arbitrary printable text.
+            'P' | 'p' => {
+                if self.peek() == Some('{') {
+                    while self.bump() != '}' {}
+                } else {
+                    self.bump();
+                }
+                Node::AnyPrintable
+            }
+            c => Node::Lit(c),
+        }
+    }
+}
+
+/// A few multi-byte printable characters mixed into `AnyPrintable`
+/// output so parsers under test see non-ASCII input.
+const NON_ASCII: [char; 8] = ['é', 'λ', 'ß', '中', '→', '∀', '𝕏', '🦀'];
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(set) => out.push(set[rng.below(set.len())]),
+        Node::AnyPrintable => {
+            if rng.below(8) == 0 {
+                out.push(NON_ASCII[rng.below(NON_ASCII.len())]);
+            } else {
+                out.push(char::from(b' ' + rng.below(95) as u8));
+            }
+        }
+        Node::Seq(items) => {
+            for item in items {
+                emit(item, rng, out);
+            }
+        }
+        Node::Alt(arms) => emit(&arms[rng.below(arms.len())], rng, out),
+        Node::Rep(inner, min, max) => {
+            let n = min + rng.below((max - min + 1) as usize) as u32;
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("regex_gen")
+    }
+
+    #[test]
+    fn literal_sequences() {
+        assert_eq!(generate("abc", &mut rng()), "abc");
+    }
+
+    #[test]
+    fn class_and_repetition() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[abc]{2,4}", &mut r);
+            assert!((2..=4).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| "abc".contains(c)));
+        }
+    }
+
+    #[test]
+    fn optional_groups_and_alternation() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("(foo|bar)?x", &mut r);
+            assert!(["x", "foox", "barx"].contains(&s.as_str()));
+        }
+    }
+
+    #[test]
+    fn printable_star_never_emits_control() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("\\PC*", &mut r);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn path_expression_pattern_shape() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("(path )?[abc]([;|][abc]){0,4}[*+?]{0,2}( end)?", &mut r);
+            assert!(s.contains('a') || s.contains('b') || s.contains('c'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_ranges_and_digit_escape() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate("[a-f]\\d", &mut r);
+            let mut it = s.chars();
+            assert!(('a'..='f').contains(&it.next().expect("letter")));
+            assert!(it.next().expect("digit").is_ascii_digit());
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment has no registry access, so this crate provides
+//! just enough of serde's trait vocabulary for the `rmon` workspace to
+//! compile: `Serialize`/`Deserialize` traits, the `Serializer`/
+//! `Deserializer` driver traits with the handful of methods the
+//! workspace calls (`serialize_str`, `collect_debug`,
+//! `deserialize_string`), and error traits with `custom`. No real data
+//! format ships in-tree, so none of the run-time paths are exercised.
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization-side error vocabulary.
+pub mod ser {
+    use std::fmt;
+
+    /// Trait for serializer errors, mirroring `serde::ser::Error`.
+    pub trait Error: Sized + fmt::Debug + fmt::Display {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side error vocabulary.
+pub mod de {
+    use std::fmt;
+
+    /// Trait for deserializer errors, mirroring `serde::de::Error`.
+    pub trait Error: Sized + fmt::Debug + fmt::Display {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// A type that can be serialized through a [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data-format driver, mirroring the subset of `serde::Serializer`
+/// the workspace uses.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes any `Debug` value via its debug representation; the
+    /// shim derive lowers every `#[derive(Serialize)]` to this call.
+    fn collect_debug<T: fmt::Debug + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type that can be deserialized through a [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A data-format driver, mirroring the subset of `serde::Deserializer`
+/// the workspace uses.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Deserializes a string.
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+
+    /// Rejects the request; the shim derive lowers every
+    /// `#[derive(Deserialize)]` to this call.
+    fn unsupported<T>(self) -> Result<T, Self::Error> {
+        Err(<Self::Error as de::Error>::custom(
+            "deserialization is not supported by the offline serde shim",
+        ))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string()
+    }
+}

@@ -1,0 +1,68 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits trivial trait impls: `Serialize` forwards to the type's
+//! `Debug` representation via `Serializer::collect_debug`, and
+//! `Deserialize` reports "unsupported". This is enough for the `rmon`
+//! workspace, which annotates types for future wire formats but never
+//! round-trips them through a real serializer in-tree.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum`/`union`
+/// keyword. Attribute groups and visibility modifiers are skipped
+/// naturally because their contents never appear as top-level idents.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                match iter.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        let name = name.to_string();
+                        if let Some(TokenTree::Punct(p)) = iter.next() {
+                            if p.as_char() == '<' {
+                                panic!("serde shim derive does not support generic type `{name}`");
+                            }
+                        }
+                        return name;
+                    }
+                    other => panic!("serde shim derive: expected type name, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde shim derive: no struct/enum/union found")
+}
+
+/// Derives the shim `Serialize` (delegates to `Debug`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S)\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\
+                 serializer.collect_debug(self)\
+             }}\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+/// Derives the shim `Deserialize` (always errors at run time).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\
+             fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D)\
+                 -> ::core::result::Result<Self, D::Error> {{\
+                 deserializer.unsupported()\
+             }}\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
