@@ -1,0 +1,46 @@
+//! EXP-SVC in Criterion form: end-to-end throughput of the sharded
+//! detection service (ingest + flush + checkpoint over a fleet of
+//! monitors) against the inline single-detector baseline.
+//!
+//! The recorded baseline lives in `BENCH_sharded.json`, produced by the
+//! `sharded` binary; this bench is the statistically instrumented view
+//! of the same measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rmon_workloads::sweep::{fleet_trace, run_inline_fleet, run_sharded_fleet};
+use std::time::Duration;
+
+const FLEET_MONITORS: usize = 8;
+const ITEMS_PER_PRODUCER: usize = 60;
+const BATCH: usize = 256;
+
+fn bench_service_throughput(c: &mut Criterion) {
+    let fleet = fleet_trace(FLEET_MONITORS, ITEMS_PER_PRODUCER, 7);
+    let events = fleet.events.len() as u64;
+
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(events));
+
+    group.bench_function("inline", |b| {
+        b.iter(|| {
+            let report = run_inline_fleet(&fleet);
+            assert!(report.is_clean());
+            report
+        });
+    });
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("sharded", shards), &shards, |b, &shards| {
+            b.iter(|| {
+                let (report, _) = run_sharded_fleet(&fleet, shards, BATCH);
+                assert!(report.is_clean());
+                report
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_throughput);
+criterion_main!(benches);

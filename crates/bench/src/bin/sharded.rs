@@ -1,0 +1,183 @@
+//! EXP-SVC — inline vs. sharded detection-service throughput, recorded
+//! as the `BENCH_sharded.json` baseline.
+//!
+//! Drives the `rmon-workloads::sweep` fleet scenario (8 concurrent
+//! producer/consumer monitors, interleaved into one stream) through
+//!
+//! * the inline baseline: one [`Detector`] observing every event and
+//!   running the periodic checkpoint on the caller's thread, and
+//! * the sharded service at 1 / 2 / 4 shards: batched ingestion over
+//!   bounded channels into per-shard workers, then a fanned-out
+//!   checkpoint.
+//!
+//! Two throughputs are reported per mode, both in events per second of
+//! *measured wall time*:
+//!
+//! * `ingest` — the caller-side cost of handing the stream to the
+//!   detection layer. For the inline detector this includes the
+//!   Algorithm-3 checks (they run synchronously on the caller); for
+//!   the service it is partition + bounded-channel send, with checking
+//!   proceeding on the worker shards. This is the paper's own lens:
+//!   Table 1 measures the overhead detection imposes *on the monitored
+//!   application*, and offloading it is what the service is for.
+//! * `end_to_end` — ingest + flush barrier + full checkpoint, i.e.
+//!   until every violation verdict is in. On a multi-core host the
+//!   shards parallelize the checking; on a single core the service
+//!   costs a small scheduling overhead over inline.
+//!
+//! Usage: `sharded [OUT.json]` (default `BENCH_sharded.json` in the
+//! current directory). Environment: `RMON_SHARDED_RUNS` (default 5),
+//! `RMON_SHARDED_ITEMS` (default 60).
+//!
+//! [`Detector`]: rmon_core::detect::Detector
+
+use rmon_bench::{row, rule_line};
+use rmon_workloads::sweep::{drive_inline_fleet, drive_sharded_fleet, fleet_trace, FleetTrace};
+use std::fmt::Write as _;
+
+const FLEET_MONITORS: usize = 8;
+const BATCH: usize = 256;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// One mode's best-of-N measurement.
+struct Measurement {
+    mode: String,
+    shards: usize,
+    ingest_events_per_sec: f64,
+    end_to_end_events_per_sec: f64,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default).max(1)
+}
+
+/// Times one inline run via the shared fleet driver.
+fn run_inline(fleet: &FleetTrace) -> (f64, f64) {
+    let (report, timing) = drive_inline_fleet(fleet);
+    assert!(report.is_clean(), "clean fleet must stay clean");
+    (timing.ingest.as_secs_f64(), timing.total.as_secs_f64())
+}
+
+/// Times one sharded run via the shared fleet driver.
+fn run_sharded(fleet: &FleetTrace, shards: usize) -> (f64, f64) {
+    let (report, _, timing) = drive_sharded_fleet(fleet, shards, BATCH);
+    assert!(report.is_clean(), "clean fleet must stay clean");
+    (timing.ingest.as_secs_f64(), timing.total.as_secs_f64())
+}
+
+fn measure<F: FnMut() -> (f64, f64)>(runs: usize, events: u64, mut f: F) -> (f64, f64) {
+    let mut best_ingest = 0f64;
+    let mut best_total = 0f64;
+    for _ in 0..runs {
+        let (ingest, total) = f();
+        best_ingest = best_ingest.max(events as f64 / ingest.max(1e-12));
+        best_total = best_total.max(events as f64 / total.max(1e-12));
+    }
+    (best_ingest, best_total)
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sharded.json".to_string());
+    let runs = env_usize("RMON_SHARDED_RUNS", 5);
+    let items = env_usize("RMON_SHARDED_ITEMS", 60);
+
+    let fleet = fleet_trace(FLEET_MONITORS, items, 7);
+    let events = fleet.events.len() as u64;
+    println!(
+        "EXP-SVC: {} monitors, {} events, batch {}, best of {} runs\n",
+        fleet.monitors(),
+        events,
+        BATCH,
+        runs
+    );
+
+    let mut results = Vec::new();
+    // Warm-up pass so first-touch costs (page faults, lazy init) hit
+    // nobody's measurement in particular.
+    let _ = run_inline(&fleet);
+
+    let (ingest, total) = measure(runs, events, || run_inline(&fleet));
+    results.push(Measurement {
+        mode: "inline".into(),
+        shards: 0,
+        ingest_events_per_sec: ingest,
+        end_to_end_events_per_sec: total,
+    });
+    for &shards in &SHARD_COUNTS {
+        let (ingest, total) = measure(runs, events, || run_sharded(&fleet, shards));
+        results.push(Measurement {
+            mode: format!("sharded-{shards}"),
+            shards,
+            ingest_events_per_sec: ingest,
+            end_to_end_events_per_sec: total,
+        });
+    }
+
+    let widths = [12usize, 8, 18, 18];
+    println!(
+        "{}",
+        row(
+            &["mode".into(), "shards".into(), "ingest ev/s".into(), "end-to-end ev/s".into()],
+            &widths
+        )
+    );
+    println!("{}", rule_line(&widths));
+    for m in &results {
+        println!(
+            "{}",
+            row(
+                &[
+                    m.mode.clone(),
+                    if m.shards == 0 { "-".into() } else { m.shards.to_string() },
+                    format!("{:.0}", m.ingest_events_per_sec),
+                    format!("{:.0}", m.end_to_end_events_per_sec),
+                ],
+                &widths
+            )
+        );
+    }
+
+    let inline = &results[0];
+    let at4 = results.iter().find(|m| m.shards == 4).expect("4-shard mode measured");
+    let ingest_speedup = at4.ingest_events_per_sec / inline.ingest_events_per_sec;
+    let e2e_ratio = at4.end_to_end_events_per_sec / inline.end_to_end_events_per_sec;
+    println!(
+        "\nsharded-4 vs inline: ingest {ingest_speedup:.2}x, end-to-end {e2e_ratio:.2}x \
+         ({} hardware threads)",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+
+    // Hand-rolled JSON: the serde shim has no real formats, and the
+    // schema is flat enough that string assembly stays readable.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"experiment\": \"EXP-SVC sharded detection service throughput\",");
+    let _ = writeln!(json, "  \"workload\": \"rmon-workloads::sweep::fleet_trace\",");
+    let _ = writeln!(json, "  \"monitors\": {FLEET_MONITORS},");
+    let _ = writeln!(json, "  \"items_per_producer\": {items},");
+    let _ = writeln!(json, "  \"events\": {events},");
+    let _ = writeln!(json, "  \"batch\": {BATCH},");
+    let _ = writeln!(json, "  \"runs\": {runs},");
+    let _ = writeln!(
+        json,
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    let _ = writeln!(json, "  \"metric\": \"events per second, best of runs\",");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, m) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"mode\": \"{}\", \"shards\": {}, \"ingest_events_per_sec\": {:.0}, \
+             \"end_to_end_events_per_sec\": {:.0}}}{comma}",
+            m.mode, m.shards, m.ingest_events_per_sec, m.end_to_end_events_per_sec
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"sharded4_vs_inline_ingest_speedup\": {ingest_speedup:.3},");
+    let _ = writeln!(json, "  \"sharded4_vs_inline_end_to_end_ratio\": {e2e_ratio:.3}");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    println!("\nwrote {out_path}");
+}

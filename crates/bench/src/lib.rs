@@ -19,8 +19,7 @@ use std::time::Duration;
 ///
 /// The overhead curve depends on the ratio between checking work and
 /// monitor work per interval, not on absolute seconds, so a scaled
-/// reproduction preserves the shape while keeping the harness fast
-/// (see DESIGN.md §5).
+/// reproduction preserves the shape while keeping the harness fast.
 pub fn paper_second() -> Duration {
     let ms = std::env::var("RMON_PAPER_SECOND_MS")
         .ok()

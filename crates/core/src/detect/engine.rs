@@ -135,10 +135,9 @@ impl Detector {
     }
 
     /// Registers a monitor starting from the canonical empty state
-    /// (all queues empty, all capacity available).
+    /// ([`MonitorSpec::empty_state`]).
     pub fn register_empty(&mut self, monitor: MonitorId, spec: Arc<MonitorSpec>, now: Nanos) {
-        let mut initial = MonitorState::new(spec.cond_count());
-        initial.available = spec.capacity;
+        let initial = spec.empty_state();
         self.register(monitor, spec, &initial, now);
     }
 
@@ -159,13 +158,70 @@ impl Detector {
     /// The paper: *"Only the user process level faults should be
     /// detected during real time execution."* Call this from the data-
     /// gathering path; everything else waits for [`Self::checkpoint`].
+    ///
+    /// Dropping the return value silently discards detected faults, so
+    /// it is `#[must_use]`; hot paths that want to avoid per-event
+    /// allocation should use [`Self::observe_into`] with a reused
+    /// buffer instead.
+    #[must_use = "dropping the return value discards detected violations"]
     pub fn observe(&mut self, event: &Event) -> Vec<Violation> {
         let mut out = Vec::new();
-        if let Some(checker) = self.monitors.get_mut(&event.monitor) {
-            if event.seq > checker.order_watermark {
-                checker.order.apply(&checker.spec, event, &mut out);
-                checker.order_watermark = event.seq;
-            }
+        self.observe_into(event, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Self::observe`]: appends any
+    /// violations to `out` and returns how many were added.
+    ///
+    /// The fast path — an unregistered monitor, or an event already
+    /// covered by the Algorithm-3 watermark — touches no memory beyond
+    /// the monitor lookup. Batch ingestion loops (the sharded service,
+    /// the runtime recorder) call this with one reused buffer so the
+    /// common no-violation case never allocates.
+    pub fn observe_into(&mut self, event: &Event, out: &mut Vec<Violation>) -> usize {
+        let Some(checker) = self.monitors.get_mut(&event.monitor) else {
+            return 0;
+        };
+        if event.seq <= checker.order_watermark {
+            return 0;
+        }
+        let before = out.len();
+        checker.order.apply(&checker.spec, event, out);
+        checker.order_watermark = event.seq;
+        out.len() - before
+    }
+
+    /// Batched real-time observation: equivalent to calling
+    /// [`Self::observe`] on every event in order, but with one output
+    /// allocation for the whole batch. Returns the violations in event
+    /// order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rmon_core::detect::Detector;
+    /// use rmon_core::{DetectorConfig, Event, MonitorId, MonitorSpec, Nanos, Pid};
+    /// use std::sync::Arc;
+    ///
+    /// let al = MonitorSpec::allocator("res", 1);
+    /// let m = MonitorId::new(0);
+    /// let mut det = Detector::new(DetectorConfig::without_timeouts());
+    /// det.register_empty(m, Arc::new(al.spec.clone()), Nanos::ZERO);
+    ///
+    /// let batch = vec![
+    ///     Event::enter(1, Nanos::new(10), m, Pid::new(1), al.request, true),
+    ///     Event::enter(2, Nanos::new(20), m, Pid::new(1), al.request, false),
+    /// ];
+    /// // The duplicate request is flagged exactly as it would be
+    /// // through two single-event observe() calls.
+    /// let vs = det.observe_batch(&batch);
+    /// assert!(!vs.is_empty());
+    /// ```
+    #[must_use = "dropping the return value discards detected violations"]
+    pub fn observe_batch(&mut self, events: &[Event]) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for event in events {
+            self.observe_into(event, &mut out);
         }
         out
     }
@@ -328,6 +384,49 @@ mod tests {
         let e = Event::enter(1, Nanos::new(10), M, Pid::new(1), al.release, true);
         let v = det.observe(&e);
         assert!(v.iter().any(|v| v.rule == RuleId::St8ReleaseWithoutRequest));
+    }
+
+    #[test]
+    fn observe_batch_matches_single_event_observe() {
+        let (mut det_single, al) = detector_with_allocator(1);
+        let (mut det_batch, _) = detector_with_allocator(1);
+        let events = vec![
+            Event::enter(1, Nanos::new(10), M, Pid::new(1), al.request, true),
+            Event::enter(2, Nanos::new(20), M, Pid::new(1), al.request, false),
+            Event::enter(3, Nanos::new(30), M, Pid::new(2), al.release, false),
+        ];
+        let mut singles = Vec::new();
+        for e in &events {
+            singles.extend(det_single.observe(e));
+        }
+        let batched = det_batch.observe_batch(&events);
+        assert_eq!(singles, batched);
+        assert!(!batched.is_empty());
+    }
+
+    #[test]
+    fn observe_into_appends_and_reports_count() {
+        let (mut det, al) = detector_with_allocator(1);
+        let mut out = Vec::new();
+        let ok = Event::enter(1, Nanos::new(10), M, Pid::new(1), al.request, true);
+        assert_eq!(det.observe_into(&ok, &mut out), 0);
+        assert_eq!(out.capacity(), 0, "clean events must not allocate");
+        let bad = Event::enter(2, Nanos::new(20), M, Pid::new(1), al.request, false);
+        let n = det.observe_into(&bad, &mut out);
+        assert!(n > 0);
+        assert_eq!(out.len(), n);
+        // Replaying the same seq is covered by the watermark fast path.
+        assert_eq!(det.observe_into(&bad, &mut out), 0);
+    }
+
+    #[test]
+    fn observe_into_ignores_unregistered_monitors() {
+        let (mut det, al) = detector_with_allocator(1);
+        let stray =
+            Event::enter(1, Nanos::new(10), MonitorId::new(7), Pid::new(1), al.release, true);
+        let mut out = Vec::new();
+        assert_eq!(det.observe_into(&stray, &mut out), 0);
+        assert!(out.is_empty());
     }
 
     #[test]

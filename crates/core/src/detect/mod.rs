@@ -19,9 +19,18 @@
 //! carrying lists, counters and timers across checking windows the way
 //! the prototype's periodically-invoked checking routine does.
 
+//!
+//! For deployments watching many monitors at once, [`service`] layers a
+//! sharded, batched detection service over the same engine: monitors
+//! partition across worker threads by [`service::shard_for`], events
+//! arrive in batches over bounded channels, and violations aggregate
+//! through a per-shard-counting collector.
+
 pub mod algorithm1;
 pub mod algorithm2;
 pub mod algorithm3;
 mod engine;
+pub mod service;
 
 pub use engine::{Detector, MonitorChecker};
+pub use service::{ServiceConfig, ServiceStats, ShardStats, ShardedDetector};

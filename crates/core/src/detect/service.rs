@@ -1,0 +1,788 @@
+//! The sharded, batched detection service — the first scaling layer on
+//! top of the paper's single-threaded checking routine.
+//!
+//! The prototype of §4 runs one data-gathering routine and one checking
+//! routine. That is faithful but serial: every monitor's events funnel
+//! through one [`Detector`] behind one lock. A production deployment
+//! watching hundreds of monitors wants the checking work spread across
+//! cores, and wants the per-event dispatch cost amortised.
+//!
+//! [`ShardedDetector`] does both:
+//!
+//! * **Sharding** — registered monitors are partitioned across `N`
+//!   worker shards by a stable hash of their [`MonitorId`]
+//!   ([`shard_for`]). Each shard owns a private [`Detector`] on its own
+//!   thread, so checking for different monitors proceeds in parallel
+//!   with no shared checker state.
+//! * **Batching** — events are ingested through
+//!   [`ShardedDetector::observe_batch`], which partitions a whole slice
+//!   of events per shard and hands each shard *one* message per batch
+//!   over a **bounded** channel. The bound gives backpressure: a
+//!   producer that outruns the checkers blocks instead of growing an
+//!   unbounded queue.
+//! * **Collection** — real-time (Algorithm-3) violations flow into a
+//!   collector holding per-shard counters; [`ShardedDetector::stats`]
+//!   snapshots them as a [`ServiceStats`] and
+//!   [`ShardedDetector::drain_violations`] takes the violations found
+//!   so far.
+//!
+//! Per-shard channels are FIFO, so a [`ShardedDetector::checkpoint`]
+//! enqueued after a batch is guaranteed to see that batch's effects —
+//! the observational behaviour (which violations are reported) is the
+//! same as feeding one inline [`Detector`], independent of shard count;
+//! only the interleaving across *different* monitors differs, and every
+//! report is canonically re-sorted.
+//!
+//! **Ordering precondition.** That equivalence assumes a monitor's
+//! events are *ingested* in non-decreasing `seq` order — one ingesting
+//! thread, or producers that otherwise serialize their sends (as the
+//! `rmon-rt` backend does under its batch-buffer lock). The shard
+//! workers enforce the Algorithm-3 watermark, so an older event
+//! arriving after a newer one is skipped by the real-time checks
+//! (periodic [`ShardedDetector::checkpoint`] replay of Algorithms 1–2
+//! is unaffected — the caller passes the full window there).
+//!
+//! # Examples
+//!
+//! ```
+//! use rmon_core::detect::service::{ServiceConfig, ShardedDetector};
+//! use rmon_core::{DetectorConfig, Event, MonitorId, MonitorSpec, Nanos, Pid};
+//! use std::collections::HashMap;
+//! use std::sync::Arc;
+//!
+//! let svc = ShardedDetector::new(
+//!     DetectorConfig::without_timeouts(),
+//!     ServiceConfig::new(4),
+//! );
+//!
+//! // Register 8 allocator monitors; they spread across the 4 shards.
+//! let al = MonitorSpec::allocator("res", 1);
+//! let spec = Arc::new(al.spec.clone());
+//! for i in 0..8 {
+//!     svc.register_empty(MonitorId::new(i), Arc::clone(&spec), Nanos::ZERO);
+//! }
+//!
+//! // One batch carrying a duplicate-request fault in monitor 3.
+//! let m = MonitorId::new(3);
+//! svc.observe_batch(&[
+//!     Event::enter(1, Nanos::new(10), m, Pid::new(1), al.request, true),
+//!     Event::enter(2, Nanos::new(20), m, Pid::new(1), al.request, false),
+//! ]);
+//! svc.flush();
+//!
+//! let stats = svc.stats();
+//! assert_eq!(stats.total_events(), 2);
+//! assert!(!svc.drain_violations().is_empty());
+//! let report = svc.checkpoint(Nanos::new(30), &[], &HashMap::new());
+//! assert_eq!(report.events_checked, 0);
+//! ```
+
+use crate::config::DetectorConfig;
+use crate::detect::Detector;
+use crate::event::Event;
+use crate::ids::{MonitorId, Pid, ProcName};
+use crate::rule::RuleId;
+use crate::spec::MonitorSpec;
+use crate::state::MonitorState;
+use crate::time::Nanos;
+use crate::violation::{FaultReport, Violation};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread;
+
+/// Stable shard assignment: hashes the raw [`MonitorId`] through a
+/// SplitMix64 finalizer and reduces modulo `shards`.
+///
+/// The function is pure — the same `(monitor, shards)` pair maps to the
+/// same shard on every call, every instance, every process — so shard
+/// routing never needs a directory lookup.
+///
+/// # Examples
+///
+/// ```
+/// use rmon_core::detect::service::shard_for;
+/// use rmon_core::MonitorId;
+///
+/// let m = MonitorId::new(42);
+/// assert_eq!(shard_for(m, 4), shard_for(m, 4));
+/// assert!(shard_for(m, 4) < 4);
+/// ```
+pub fn shard_for(monitor: MonitorId, shards: usize) -> usize {
+    let mut x = (monitor.index() as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % shards.max(1) as u64) as usize
+}
+
+/// Configuration of the sharded service: how many worker shards to
+/// spawn and how deep each shard's bounded inbox is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Number of worker shards (clamped to at least 1).
+    pub shards: usize,
+    /// Bounded per-shard inbox depth, in messages (batches count as one
+    /// message each). When a shard's inbox is full, `observe_batch`
+    /// blocks — backpressure instead of unbounded memory growth.
+    pub queue_capacity: usize,
+}
+
+impl ServiceConfig {
+    /// A configuration with `shards` workers and the default inbox
+    /// depth (64 messages).
+    pub fn new(shards: usize) -> Self {
+        ServiceConfig { shards: shards.max(1), queue_capacity: 64 }
+    }
+
+    /// Overrides the bounded inbox depth.
+    pub fn queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = cap.max(1);
+        self
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig::new(4)
+    }
+}
+
+/// Per-shard ingestion counters, snapshotted by
+/// [`ShardedDetector::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Monitors registered on this shard.
+    pub monitors: u64,
+    /// Batches the shard has finished processing.
+    pub batches: u64,
+    /// Events observed (across all processed batches).
+    pub events_observed: u64,
+    /// Real-time violations the shard has reported.
+    pub violations: u64,
+}
+
+/// A point-in-time snapshot of the whole service's counters.
+///
+/// Produced by [`ShardedDetector::stats`]; batches still queued in a
+/// shard inbox are not yet counted (call [`ShardedDetector::flush`]
+/// first for a quiescent snapshot).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// One entry per shard, indexed by shard id.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ServiceStats {
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total events observed across all shards.
+    pub fn total_events(&self) -> u64 {
+        self.shards.iter().map(|s| s.events_observed).sum()
+    }
+
+    /// Total batches processed across all shards.
+    pub fn total_batches(&self) -> u64 {
+        self.shards.iter().map(|s| s.batches).sum()
+    }
+
+    /// Total real-time violations reported across all shards.
+    pub fn total_violations(&self) -> u64 {
+        self.shards.iter().map(|s| s.violations).sum()
+    }
+
+    /// Shards that have observed at least one event — a quick load-
+    /// balance indicator.
+    pub fn active_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.events_observed > 0).count()
+    }
+}
+
+/// The violation collector shared by all shard workers: per-shard
+/// counters plus the accumulated real-time violations.
+#[derive(Debug)]
+struct Collector {
+    state: Mutex<CollectorState>,
+}
+
+#[derive(Debug)]
+struct CollectorState {
+    shards: Vec<ShardStats>,
+    violations: Vec<Violation>,
+}
+
+impl Collector {
+    fn new(shards: usize) -> Self {
+        Collector {
+            state: Mutex::new(CollectorState {
+                shards: vec![ShardStats::default(); shards],
+                violations: Vec::new(),
+            }),
+        }
+    }
+
+    /// Poison-tolerant lock: a panicking worker must not wedge the
+    /// service handle.
+    fn lock(&self) -> MutexGuard<'_, CollectorState> {
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn note_monitor(&self, shard: usize) {
+        self.lock().shards[shard].monitors += 1;
+    }
+
+    /// Absorbs one processed batch: bumps the shard's counters and
+    /// moves any violations out of the worker's scratch buffer.
+    fn absorb(&self, shard: usize, events: u64, scratch: &mut Vec<Violation>) {
+        let mut state = self.lock();
+        let stats = &mut state.shards[shard];
+        stats.batches += 1;
+        stats.events_observed += events;
+        stats.violations += scratch.len() as u64;
+        state.violations.append(scratch);
+    }
+}
+
+/// Messages on a shard's bounded inbox. Registration, ingestion and
+/// checkpointing all travel on the same FIFO channel, which is what
+/// makes the service sequentially consistent per monitor without any
+/// cross-shard synchronisation.
+#[derive(Debug)]
+enum ShardMsg {
+    Register {
+        monitor: MonitorId,
+        spec: Arc<MonitorSpec>,
+        initial: MonitorState,
+        now: Nanos,
+    },
+    Batch(Vec<Event>),
+    Checkpoint {
+        now: Nanos,
+        events: Vec<Event>,
+        snapshots: HashMap<MonitorId, MonitorState>,
+        reply: Sender<FaultReport>,
+    },
+    WouldViolate {
+        monitor: MonitorId,
+        pid: Pid,
+        proc_name: ProcName,
+        reply: Sender<Option<RuleId>>,
+    },
+    Flush {
+        reply: Sender<()>,
+    },
+}
+
+/// One shard worker: owns a private [`Detector`] and drains its inbox
+/// until the service handle is dropped.
+fn shard_worker(
+    shard: usize,
+    cfg: DetectorConfig,
+    rx: Receiver<ShardMsg>,
+    collector: Arc<Collector>,
+) {
+    let mut det = Detector::new(cfg);
+    let mut scratch: Vec<Violation> = Vec::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Register { monitor, spec, initial, now } => {
+                det.register(monitor, spec, &initial, now);
+                collector.note_monitor(shard);
+            }
+            ShardMsg::Batch(events) => {
+                for event in &events {
+                    det.observe_into(event, &mut scratch);
+                }
+                collector.absorb(shard, events.len() as u64, &mut scratch);
+            }
+            ShardMsg::Checkpoint { now, events, snapshots, reply } => {
+                let _ = reply.send(det.checkpoint(now, &events, &snapshots));
+            }
+            ShardMsg::WouldViolate { monitor, pid, proc_name, reply } => {
+                let _ = reply.send(det.call_would_violate(monitor, pid, proc_name));
+            }
+            ShardMsg::Flush { reply } => {
+                let _ = reply.send(());
+            }
+        }
+    }
+}
+
+/// A detection service that partitions monitors across worker shards
+/// and ingests events in batches.
+///
+/// Functionally equivalent to one inline [`Detector`] — same
+/// registrations, same violations — but the checking work for
+/// different monitors runs on different threads, and ingestion costs
+/// one channel send per *batch* per shard instead of one lock per
+/// event.
+///
+/// Dropping the handle shuts the workers down (their inboxes
+/// disconnect) and joins them.
+///
+/// # Examples
+///
+/// ```
+/// use rmon_core::detect::service::{ServiceConfig, ShardedDetector};
+/// use rmon_core::{DetectorConfig, Event, MonitorId, MonitorSpec, MonitorState, Nanos, Pid};
+/// use std::collections::HashMap;
+/// use std::sync::Arc;
+///
+/// let bb = MonitorSpec::bounded_buffer("buf", 2);
+/// let m = MonitorId::new(0);
+/// let svc = ShardedDetector::new(
+///     DetectorConfig::without_timeouts(),
+///     ServiceConfig::new(2).queue_capacity(8),
+/// );
+/// svc.register_empty(m, Arc::new(bb.spec.clone()), Nanos::ZERO);
+///
+/// let window = vec![
+///     Event::enter(1, Nanos::new(10), m, Pid::new(1), bb.send, true),
+///     Event::signal_exit(2, Nanos::new(20), m, Pid::new(1), bb.send, Some(bb.empty_cond), false),
+/// ];
+/// svc.observe_batch(&window);
+///
+/// let mut snaps = HashMap::new();
+/// snaps.insert(m, MonitorState::with_resources(2, 1));
+/// let report = svc.checkpoint(Nanos::new(30), &window, &snaps);
+/// assert!(report.is_clean(), "{report}");
+/// assert_eq!(report.events_checked, 2);
+/// ```
+#[derive(Debug)]
+pub struct ShardedDetector {
+    cfg: DetectorConfig,
+    senders: Vec<Sender<ShardMsg>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    collector: Arc<Collector>,
+}
+
+impl ShardedDetector {
+    /// Spawns `service.shards` worker threads, each owning a private
+    /// [`Detector`] built from `cfg`.
+    pub fn new(cfg: DetectorConfig, service: ServiceConfig) -> Self {
+        let shards = service.shards.max(1);
+        let collector = Arc::new(Collector::new(shards));
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = bounded(service.queue_capacity.max(1));
+            let coll = Arc::clone(&collector);
+            let handle = thread::Builder::new()
+                .name(format!("rmon-shard-{shard}"))
+                .spawn(move || shard_worker(shard, cfg, rx, coll))
+                .expect("spawn shard worker");
+            senders.push(tx);
+            workers.push(handle);
+        }
+        ShardedDetector { cfg, senders, workers, collector }
+    }
+
+    /// The timing configuration every shard's detector was built from.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The shard that owns `monitor` (see [`shard_for`]).
+    pub fn shard_of(&self, monitor: MonitorId) -> usize {
+        shard_for(monitor, self.senders.len())
+    }
+
+    /// Registers a monitor on its shard. Like
+    /// [`Detector::register`], events for unregistered monitors are
+    /// ignored.
+    pub fn register(
+        &self,
+        monitor: MonitorId,
+        spec: Arc<MonitorSpec>,
+        initial: &MonitorState,
+        now: Nanos,
+    ) {
+        let shard = self.shard_of(monitor);
+        self.send(shard, ShardMsg::Register { monitor, spec, initial: initial.clone(), now });
+    }
+
+    /// Registers a monitor starting from the canonical empty state
+    /// ([`MonitorSpec::empty_state`]).
+    pub fn register_empty(&self, monitor: MonitorId, spec: Arc<MonitorSpec>, now: Nanos) {
+        let initial = spec.empty_state();
+        self.register(monitor, spec, &initial, now);
+    }
+
+    /// Ingests one event (a batch of one). Prefer
+    /// [`Self::observe_batch`] — batching is where the service's
+    /// dispatch amortisation comes from.
+    ///
+    /// Unlike [`Detector::observe`] this is asynchronous: violations
+    /// surface through [`Self::drain_violations`] (or the next
+    /// [`Self::checkpoint`]'s ordering guarantee), not the call site.
+    pub fn observe(&self, event: Event) {
+        let shard = self.shard_of(event.monitor);
+        self.send(shard, ShardMsg::Batch(vec![event]));
+    }
+
+    /// Ingests a batch of events: partitions them per shard and sends
+    /// each shard at most one message. Blocks only when a shard's
+    /// bounded inbox is full (backpressure).
+    ///
+    /// Calls that carry events for the *same monitor* must not race
+    /// each other — see the module-level **ordering precondition**.
+    pub fn observe_batch(&self, events: &[Event]) {
+        if events.is_empty() {
+            return;
+        }
+        let n = self.senders.len();
+        let mut per_shard: Vec<Vec<Event>> = vec![Vec::new(); n];
+        for event in events {
+            per_shard[shard_for(event.monitor, n)].push(*event);
+        }
+        for (shard, batch) in per_shard.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.send(shard, ShardMsg::Batch(batch));
+            }
+        }
+    }
+
+    /// Barrier: returns once every shard has drained its inbox up to
+    /// this call. After `flush`, [`Self::stats`] and
+    /// [`Self::drain_violations`] reflect everything previously
+    /// ingested.
+    pub fn flush(&self) {
+        let replies: Vec<Receiver<()>> = self
+            .senders
+            .iter()
+            .enumerate()
+            .map(|(shard, _)| {
+                let (tx, rx) = bounded(1);
+                self.send(shard, ShardMsg::Flush { reply: tx });
+                rx
+            })
+            .collect();
+        for rx in replies {
+            let _ = rx.recv();
+        }
+    }
+
+    /// Runs the periodic checking routine on every shard and merges the
+    /// per-shard reports into one, with violations re-sorted into the
+    /// same canonical `(event, rule)` order [`Detector::checkpoint`]
+    /// uses.
+    ///
+    /// Per-shard FIFO ordering guarantees that all batches ingested
+    /// before this call are processed before the shard checks — no
+    /// explicit [`Self::flush`] needed.
+    pub fn checkpoint(
+        &self,
+        now: Nanos,
+        events: &[Event],
+        snapshots: &HashMap<MonitorId, MonitorState>,
+    ) -> FaultReport {
+        let n = self.senders.len();
+        let mut per_events: Vec<Vec<Event>> = vec![Vec::new(); n];
+        for event in events {
+            per_events[shard_for(event.monitor, n)].push(*event);
+        }
+        let mut per_snaps: Vec<HashMap<MonitorId, MonitorState>> = vec![HashMap::new(); n];
+        for (&monitor, state) in snapshots {
+            per_snaps[shard_for(monitor, n)].insert(monitor, state.clone());
+        }
+        let replies: Vec<Receiver<FaultReport>> = per_events
+            .into_iter()
+            .zip(per_snaps)
+            .enumerate()
+            .map(|(shard, (events, snapshots))| {
+                let (tx, rx) = bounded(1);
+                self.send(shard, ShardMsg::Checkpoint { now, events, snapshots, reply: tx });
+                rx
+            })
+            .collect();
+        let mut merged: Option<FaultReport> = None;
+        for rx in replies {
+            if let Ok(report) = rx.recv() {
+                match &mut merged {
+                    Some(m) => m.merge(report),
+                    None => merged = Some(report),
+                }
+            }
+        }
+        let mut report = merged.unwrap_or_default();
+        report.violations.sort_by_key(|v| (v.event_seq.unwrap_or(u64::MAX), v.rule));
+        report
+    }
+
+    /// Non-mutating real-time lookahead, answered synchronously by the
+    /// owning shard (see [`Detector::call_would_violate`]). Pending
+    /// batches for that shard are processed first — FIFO again — so the
+    /// answer reflects every event already ingested.
+    pub fn call_would_violate(
+        &self,
+        monitor: MonitorId,
+        pid: Pid,
+        proc_name: ProcName,
+    ) -> Option<RuleId> {
+        let shard = self.shard_of(monitor);
+        let (tx, rx) = bounded(1);
+        self.send(shard, ShardMsg::WouldViolate { monitor, pid, proc_name, reply: tx });
+        rx.recv().ok().flatten()
+    }
+
+    /// Snapshots the per-shard counters. For a quiescent view (all
+    /// ingested batches counted), call [`Self::flush`] first.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats { shards: self.collector.lock().shards.clone() }
+    }
+
+    /// Takes all real-time violations collected so far (the batched
+    /// analogue of [`Detector::observe`]'s return values).
+    #[must_use = "dropping the return value discards detected violations"]
+    pub fn drain_violations(&self) -> Vec<Violation> {
+        std::mem::take(&mut self.collector.lock().violations)
+    }
+
+    fn send(&self, shard: usize, msg: ShardMsg) {
+        // A send can only fail if the worker died (panicked); the
+        // service degrades to dropping that shard's traffic rather than
+        // poisoning every caller.
+        let _ = self.senders[shard].send(msg);
+    }
+}
+
+impl Drop for ShardedDetector {
+    fn drop(&mut self) {
+        // Disconnect every inbox so the workers' recv() loops end…
+        self.senders.clear();
+        // …then join them (ignore panics: a dead shard already
+        // surfaced as dropped traffic).
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::RuleId;
+    use crate::spec::MonitorSpec;
+
+    fn allocator_spec() -> (Arc<MonitorSpec>, crate::spec::AllocatorSpec) {
+        let al = MonitorSpec::allocator("res", 1);
+        (Arc::new(al.spec.clone()), al)
+    }
+
+    fn service(shards: usize) -> ShardedDetector {
+        ShardedDetector::new(DetectorConfig::without_timeouts(), ServiceConfig::new(shards))
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        for shards in [1usize, 2, 3, 4, 8] {
+            for id in 0..256u32 {
+                let m = MonitorId::new(id);
+                let s = shard_for(m, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_for(m, shards), "same id must map to same shard");
+            }
+        }
+        // And the instance method agrees with the free function.
+        let svc = service(4);
+        for id in 0..32 {
+            let m = MonitorId::new(id);
+            assert_eq!(svc.shard_of(m), shard_for(m, 4));
+        }
+    }
+
+    #[test]
+    fn shard_assignment_spreads_across_shards() {
+        let shards = 4;
+        let mut seen = vec![0u32; shards];
+        for id in 0..64 {
+            seen[shard_for(MonitorId::new(id), shards)] += 1;
+        }
+        assert!(seen.iter().all(|&c| c > 0), "64 ids must touch all 4 shards: {seen:?}");
+    }
+
+    #[test]
+    fn batch_matches_single_event_ingestion() {
+        // Same faulty fleet through (a) per-event observe and (b) one
+        // big batch: identical violation multisets.
+        let (spec, al) = allocator_spec();
+        let singles = service(4);
+        let batched = service(4);
+        let mut events = Vec::new();
+        let mut seq = 0;
+        for id in 0..8u32 {
+            let m = MonitorId::new(id);
+            singles.register_empty(m, Arc::clone(&spec), Nanos::ZERO);
+            batched.register_empty(m, Arc::clone(&spec), Nanos::ZERO);
+            // request, duplicate request, release by a stranger.
+            for (pid, proc_name) in [(1, al.request), (1, al.request), (2, al.release)] {
+                seq += 1;
+                events.push(Event::enter(
+                    seq,
+                    Nanos::new(seq * 10),
+                    m,
+                    Pid::new(pid),
+                    proc_name,
+                    false,
+                ));
+            }
+        }
+        for e in &events {
+            singles.observe(*e);
+        }
+        batched.observe_batch(&events);
+        singles.flush();
+        batched.flush();
+        let key = |v: &Violation| (v.monitor, v.event_seq, v.rule);
+        let mut a = singles.drain_violations();
+        let mut b = batched.drain_violations();
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn sharded_matches_inline_detector() {
+        // The service at any shard count reports exactly what one
+        // inline Detector reports.
+        let (spec, al) = allocator_spec();
+        let mut inline = Detector::new(DetectorConfig::without_timeouts());
+        let mut events = Vec::new();
+        let mut seq = 0;
+        for id in 0..8u32 {
+            let m = MonitorId::new(id);
+            inline.register_empty(m, Arc::clone(&spec), Nanos::ZERO);
+            seq += 1;
+            events.push(Event::enter(seq, Nanos::new(seq * 10), m, Pid::new(1), al.release, true));
+        }
+        let mut want = inline.observe_batch(&events);
+        let key = |v: &Violation| (v.monitor, v.event_seq, v.rule);
+        want.sort_by_key(key);
+        for shards in [1usize, 2, 4] {
+            let svc = service(shards);
+            for id in 0..8u32 {
+                svc.register_empty(MonitorId::new(id), Arc::clone(&spec), Nanos::ZERO);
+            }
+            svc.observe_batch(&events);
+            svc.flush();
+            let mut got = svc.drain_violations();
+            got.sort_by_key(key);
+            assert_eq!(got, want, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_merges_per_shard_reports() {
+        let (spec, al) = allocator_spec();
+        let svc = service(4);
+        let mut events = Vec::new();
+        for id in 0..8u32 {
+            let m = MonitorId::new(id);
+            svc.register_empty(m, Arc::clone(&spec), Nanos::ZERO);
+            events.push(Event::enter(
+                u64::from(id) + 1,
+                Nanos::new(10),
+                m,
+                Pid::new(1),
+                al.request,
+                true,
+            ));
+        }
+        let report = svc.checkpoint(Nanos::new(100), &events, &HashMap::new());
+        assert_eq!(report.events_checked, 8);
+        let seqs: Vec<_> = report.violations.iter().map(|v| v.event_seq).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort();
+        assert_eq!(seqs, sorted, "merged report must be canonically ordered");
+    }
+
+    #[test]
+    fn stats_count_batches_events_and_monitors() {
+        let (spec, al) = allocator_spec();
+        let svc = service(2);
+        for id in 0..6u32 {
+            svc.register_empty(MonitorId::new(id), Arc::clone(&spec), Nanos::ZERO);
+        }
+        let events: Vec<Event> = (0..6u32)
+            .map(|id| {
+                Event::enter(
+                    u64::from(id) + 1,
+                    Nanos::new(10),
+                    MonitorId::new(id),
+                    Pid::new(1),
+                    al.request,
+                    true,
+                )
+            })
+            .collect();
+        svc.observe_batch(&events);
+        svc.flush();
+        let stats = svc.stats();
+        assert_eq!(stats.shard_count(), 2);
+        assert_eq!(stats.total_events(), 6);
+        assert_eq!(stats.shards.iter().map(|s| s.monitors).sum::<u64>(), 6);
+        assert!(stats.total_batches() >= 1);
+        assert!(stats.active_shards() >= 1);
+    }
+
+    #[test]
+    fn call_would_violate_sees_pending_batches() {
+        let (spec, al) = allocator_spec();
+        let svc = service(3);
+        let m = MonitorId::new(5);
+        svc.register_empty(m, Arc::clone(&spec), Nanos::ZERO);
+        // Before any request, releasing would violate ST-8b.
+        assert_eq!(
+            svc.call_would_violate(m, Pid::new(1), al.release),
+            Some(RuleId::St8ReleaseWithoutRequest)
+        );
+        // Ingest a request (async) — the lookahead is FIFO-ordered
+        // behind it, so it must see the granted right.
+        svc.observe(Event::enter(1, Nanos::new(10), m, Pid::new(1), al.request, true));
+        assert_eq!(svc.call_would_violate(m, Pid::new(1), al.release), None);
+        assert_eq!(
+            svc.call_would_violate(m, Pid::new(1), al.request),
+            Some(RuleId::St8DuplicateRequest)
+        );
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let (spec, al) = allocator_spec();
+        let svc = service(4);
+        for id in 0..16u32 {
+            svc.register_empty(MonitorId::new(id), Arc::clone(&spec), Nanos::ZERO);
+        }
+        let events: Vec<Event> = (0..16u32)
+            .map(|id| {
+                Event::enter(
+                    u64::from(id) + 1,
+                    Nanos::new(10),
+                    MonitorId::new(id),
+                    Pid::new(1),
+                    al.request,
+                    true,
+                )
+            })
+            .collect();
+        svc.observe_batch(&events);
+        drop(svc); // must not hang or panic
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let svc = service(2);
+        svc.observe_batch(&[]);
+        svc.flush();
+        assert_eq!(svc.stats().total_batches(), 0);
+    }
+}

@@ -269,6 +269,16 @@ impl MonitorSpec {
     pub fn cond_count(&self) -> usize {
         self.conditions.len()
     }
+
+    /// The canonical empty state for this declaration: all queues
+    /// empty, all declared capacity available. The single source of
+    /// truth for "freshly created monitor" — registration paths
+    /// (inline detector, sharded service, runtime) all start here.
+    pub fn empty_state(&self) -> crate::state::MonitorState {
+        let mut state = crate::state::MonitorState::new(self.cond_count());
+        state.available = self.capacity;
+        state
+    }
 }
 
 /// Builder for [`MonitorSpec`] (non-consuming terminal would not help

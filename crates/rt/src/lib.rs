@@ -72,7 +72,7 @@ pub use monitor::{Monitor, MonitorGuard};
 pub use raw::RawCore;
 pub use recorder::Recorder;
 pub use recovery::{RecoveryAction, RecoveryChecker, RecoveryLog};
-pub use runtime::{OrderPolicy, Runtime, RuntimeBuilder};
+pub use runtime::{DetectorBackend, OrderPolicy, Runtime, RuntimeBuilder};
 
 #[cfg(test)]
 mod crate_tests {

@@ -98,7 +98,7 @@ impl<T> Monitor<T> {
     /// calling-order rule right now (for the calling thread)?
     pub fn call_would_violate(&self, proc_name: ProcName) -> Option<rmon_core::RuleId> {
         let pid = current_pid();
-        self.core.runtime().detector.lock().call_would_violate(self.id(), pid, proc_name)
+        self.core.runtime().call_would_violate(self.id(), pid, proc_name)
     }
 
     /// Observed scheduling state (queues only; checkpoints additionally

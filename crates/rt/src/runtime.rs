@@ -7,10 +7,10 @@
 use crate::raw::RawCore;
 use crate::recorder::Recorder;
 use parking_lot::{Mutex, RwLock};
-use rmon_core::detect::Detector;
+use rmon_core::detect::{Detector, ServiceConfig, ShardedDetector};
 use rmon_core::{
-    DetectorConfig, Event, EventKind, FaultReport, MonitorId, MonitorState, Nanos, Pid, ProcName,
-    ProcRole, Violation,
+    DetectorConfig, Event, EventKind, FaultReport, MonitorId, Nanos, Pid, ProcName, ProcRole,
+    RuleId, Violation,
 };
 use std::collections::HashMap;
 use std::collections::HashSet;
@@ -30,10 +30,78 @@ pub enum OrderPolicy {
     Deny,
 }
 
+/// Which detection engine the runtime drives.
+///
+/// `Inline` is the paper's shape: one [`Detector`] behind one lock,
+/// checked synchronously. `Sharded` routes the same event stream
+/// through a [`ShardedDetector`] — monitors partition across worker
+/// shards and observed events are ingested in batches — which is the
+/// scaling backend for runtimes hosting many monitors. Detection
+/// results are identical; only where the checking work runs differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DetectorBackend {
+    /// One inline [`Detector`] (today's default; zero extra threads).
+    #[default]
+    Inline,
+    /// A [`ShardedDetector`] with `shards` worker threads; real-time
+    /// observations are buffered and flushed to the service in batches
+    /// of `batch` events (amortising dispatch), and always before any
+    /// checkpoint or synchronous order query.
+    Sharded {
+        /// Worker shard count (clamped to at least 1).
+        shards: usize,
+        /// Observe-path batch size (clamped to at least 1).
+        batch: usize,
+    },
+}
+
+/// The backend behind [`RtInner`]: the inline detector, or the sharded
+/// service plus its observe-path batch buffer.
+enum BackendImpl {
+    Inline(Mutex<Detector>),
+    Sharded { service: ShardedDetector, pending: Mutex<Vec<Event>>, batch: usize },
+}
+
+impl BackendImpl {
+    fn new(cfg: DetectorConfig, backend: DetectorBackend) -> Self {
+        match backend {
+            DetectorBackend::Inline => BackendImpl::Inline(Mutex::new(Detector::new(cfg))),
+            DetectorBackend::Sharded { shards, batch } => BackendImpl::Sharded {
+                service: ShardedDetector::new(cfg, ServiceConfig::new(shards)),
+                pending: Mutex::new(Vec::new()),
+                batch: batch.max(1),
+            },
+        }
+    }
+
+    /// Pushes any buffered observe-path events into the sharded
+    /// service. No-op for the inline backend.
+    ///
+    /// The send happens **while holding the pending lock**: the shard
+    /// workers drop events at or below their Algorithm-3 watermark, so
+    /// two flushers racing the send outside the lock could deliver a
+    /// monitor's batches out of seq order and silently lose the older
+    /// batch's order checks. Serializing take-and-send keeps every
+    /// shard's inbox seq-ordered per monitor. (No lock cycle: the
+    /// workers never touch this lock, so blocking on a full bounded
+    /// inbox here is plain backpressure.)
+    fn flush_pending(&self) {
+        if let BackendImpl::Sharded { service, pending, .. } = self {
+            let mut pend = pending.lock();
+            if !pend.is_empty() {
+                let events = std::mem::take(&mut *pend);
+                service.observe_batch(&events);
+            }
+        }
+    }
+}
+
 /// Shared state behind [`Runtime`].
 pub(crate) struct RtInner {
     pub(crate) recorder: Recorder,
-    pub(crate) detector: Mutex<Detector>,
+    cfg: DetectorConfig,
+    backend: BackendImpl,
+    backend_kind: DetectorBackend,
     pub(crate) pause: RwLock<()>,
     pub(crate) park_timeout: Duration,
     pub(crate) order_policy: OrderPolicy,
@@ -75,12 +143,25 @@ impl RtInner {
         if needs_order {
             self.order_monitors.lock().insert(core.id());
         }
-        let mut initial = MonitorState::new(spec.cond_count());
-        initial.available = spec.capacity;
-        self.detector.lock().register(core.id(), Arc::clone(spec), &initial, self.recorder.now());
+        let initial = spec.empty_state();
+        let now = self.recorder.now();
+        match &self.backend {
+            BackendImpl::Inline(det) => {
+                det.lock().register(core.id(), Arc::clone(spec), &initial, now);
+            }
+            BackendImpl::Sharded { service, .. } => {
+                service.register(core.id(), Arc::clone(spec), &initial, now);
+            }
+        }
     }
 
     /// Records an event and runs the real-time (Algorithm-3) checks.
+    ///
+    /// With the [`DetectorBackend::Sharded`] backend the check is
+    /// asynchronous: the event joins the batch buffer (flushed to the
+    /// service at the batch size) and the returned vector is empty —
+    /// violations surface through the collector at the next checkpoint
+    /// or violation query.
     pub(crate) fn record_observe(
         &self,
         monitor: MonitorId,
@@ -95,11 +176,59 @@ impl RtInner {
             // synchronous detector pass on the hot path.
             return Vec::new();
         }
-        let vs = self.detector.lock().observe(&event);
-        if !vs.is_empty() {
-            self.realtime.lock().extend(vs.iter().cloned());
+        match &self.backend {
+            BackendImpl::Inline(det) => {
+                let vs = det.lock().observe(&event);
+                if !vs.is_empty() {
+                    self.realtime.lock().extend(vs.iter().cloned());
+                }
+                vs
+            }
+            BackendImpl::Sharded { service, pending, batch } => {
+                // The send stays under the pending lock — see
+                // `flush_pending` for why reordered sends would lose
+                // order checks to the shard watermarks.
+                let mut pend = pending.lock();
+                pend.push(event);
+                if pend.len() >= *batch {
+                    let events = std::mem::take(&mut *pend);
+                    service.observe_batch(&events);
+                }
+                Vec::new()
+            }
         }
-        vs
+    }
+
+    /// Non-mutating real-time calling-order lookahead, routed to the
+    /// active backend (pending sharded batches are flushed first so the
+    /// answer reflects every recorded event).
+    pub(crate) fn call_would_violate(
+        &self,
+        monitor: MonitorId,
+        pid: Pid,
+        proc_name: ProcName,
+    ) -> Option<RuleId> {
+        match &self.backend {
+            BackendImpl::Inline(det) => det.lock().call_would_violate(monitor, pid, proc_name),
+            BackendImpl::Sharded { service, .. } => {
+                self.backend.flush_pending();
+                service.call_would_violate(monitor, pid, proc_name)
+            }
+        }
+    }
+
+    /// Moves violations the sharded collector has accumulated into the
+    /// runtime's real-time list. No-op for the inline backend (which
+    /// appends synchronously in [`Self::record_observe`]).
+    pub(crate) fn drain_backend_violations(&self) {
+        if let BackendImpl::Sharded { service, .. } = &self.backend {
+            self.backend.flush_pending();
+            service.flush();
+            let vs = service.drain_violations();
+            if !vs.is_empty() {
+                self.realtime.lock().extend(vs);
+            }
+        }
     }
 
     /// The paper-faithful (§3.1, unoptimized) checking routine: keeps
@@ -111,7 +240,7 @@ impl RtInner {
         let _w = self.pause.write();
         let now = self.recorder.now();
         history.extend(self.recorder.drain_window());
-        let cfg = *self.detector.lock().config();
+        let cfg = self.cfg;
         let mut checked = 0u64;
         for weak in self.monitors.lock().iter() {
             if let Some(core) = weak.upgrade() {
@@ -149,7 +278,16 @@ impl RtInner {
                 snaps.insert(core.id(), core.snapshot_queues());
             }
         }
-        let report = self.detector.lock().checkpoint(now, &events, &snaps);
+        let report = match &self.backend {
+            BackendImpl::Inline(det) => det.lock().checkpoint(now, &events, &snaps),
+            BackendImpl::Sharded { service, .. } => {
+                // Everything observed so far must reach the shards
+                // before they check, and their collected real-time
+                // violations must land in the runtime's list.
+                self.drain_backend_violations();
+                service.checkpoint(now, &events, &snaps)
+            }
+        };
         self.reports.lock().push(report.clone());
         report
     }
@@ -175,6 +313,7 @@ impl Runtime {
             cfg,
             park_timeout: Duration::from_secs(5),
             order_policy: OrderPolicy::Report,
+            backend: DetectorBackend::Inline,
         }
     }
 
@@ -200,8 +339,28 @@ impl Runtime {
         self.inner.reports.lock().clone()
     }
 
+    /// The backend the runtime was built with.
+    pub fn detector_backend(&self) -> DetectorBackend {
+        self.inner.backend_kind
+    }
+
+    /// Per-shard ingestion counters of the sharded backend; `None` for
+    /// [`DetectorBackend::Inline`]. Pending batches are flushed first,
+    /// so the snapshot is quiescent.
+    pub fn service_stats(&self) -> Option<rmon_core::detect::ServiceStats> {
+        match &self.inner.backend {
+            BackendImpl::Inline(_) => None,
+            BackendImpl::Sharded { service, .. } => {
+                self.inner.backend.flush_pending();
+                service.flush();
+                Some(service.stats())
+            }
+        }
+    }
+
     /// All real-time (calling-order) violations so far.
     pub fn realtime_violations(&self) -> Vec<Violation> {
+        self.inner.drain_backend_violations();
         self.inner.realtime.lock().clone()
     }
 
@@ -215,6 +374,7 @@ impl Runtime {
 
     /// Whether no violation has been reported yet.
     pub fn is_clean(&self) -> bool {
+        self.inner.drain_backend_violations();
         self.inner.reports.lock().iter().all(FaultReport::is_clean)
             && self.inner.realtime.lock().is_empty()
     }
@@ -226,7 +386,7 @@ impl Runtime {
 
     /// Detection configuration.
     pub fn config(&self) -> DetectorConfig {
-        *self.inner.detector.lock().config()
+        self.inner.cfg
     }
 }
 
@@ -236,6 +396,7 @@ pub struct RuntimeBuilder {
     cfg: DetectorConfig,
     park_timeout: Duration,
     order_policy: OrderPolicy,
+    backend: DetectorBackend,
 }
 
 impl RuntimeBuilder {
@@ -253,12 +414,21 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Selects the detection backend (default
+    /// [`DetectorBackend::Inline`]).
+    pub fn detector_backend(mut self, backend: DetectorBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Finishes the runtime.
     pub fn build(self) -> Runtime {
         Runtime {
             inner: Arc::new(RtInner {
                 recorder: Recorder::new(),
-                detector: Mutex::new(Detector::new(self.cfg)),
+                cfg: self.cfg,
+                backend: BackendImpl::new(self.cfg, self.backend),
+                backend_kind: self.backend,
                 pause: RwLock::new(()),
                 park_timeout: self.park_timeout,
                 order_policy: self.order_policy,
@@ -301,5 +471,68 @@ mod tests {
         let report = rt.checkpoint_now();
         assert!(report.is_clean());
         assert_eq!(rt.reports().len(), 1);
+    }
+
+    #[test]
+    fn default_backend_is_inline() {
+        let rt = Runtime::new(DetectorConfig::default());
+        assert_eq!(rt.detector_backend(), DetectorBackend::Inline);
+        assert!(rt.service_stats().is_none());
+    }
+
+    fn sharded_rt(shards: usize, batch: usize) -> Runtime {
+        Runtime::builder(DetectorConfig::without_timeouts())
+            .detector_backend(DetectorBackend::Sharded { shards, batch })
+            .park_timeout(Duration::from_millis(200))
+            .build()
+    }
+
+    #[test]
+    fn sharded_backend_clean_fleet_stays_clean() {
+        let rt = sharded_rt(4, 8);
+        let allocators: Vec<_> =
+            (0..8).map(|i| crate::ResourceAllocator::new(&rt, &format!("r{i}"), 1)).collect();
+        for al in &allocators {
+            al.request().unwrap();
+            al.release().unwrap();
+        }
+        assert!(rt.checkpoint_now().is_clean());
+        assert!(rt.is_clean());
+        let stats = rt.service_stats().expect("sharded backend has stats");
+        assert_eq!(stats.shard_count(), 4);
+        assert_eq!(stats.shards.iter().map(|s| s.monitors).sum::<u64>(), 8);
+        // Each request/release records Enter + Signal-Exit: 8 monitors
+        // × 2 calls × 2 events, all through the batched path.
+        assert_eq!(stats.total_events(), 32);
+    }
+
+    #[test]
+    fn sharded_backend_reports_order_faults_like_inline() {
+        let rt = sharded_rt(2, 4);
+        let al = crate::ResourceAllocator::new(&rt, "res", 2);
+        al.request().unwrap();
+        // Duplicate request by the same thread: fault U3 / ST-8a.
+        let _ = al.request();
+        let vs = rt.realtime_violations();
+        assert!(
+            vs.iter().any(|v| v.rule == rmon_core::RuleId::St8DuplicateRequest),
+            "sharded backend must surface the duplicate request: {vs:?}"
+        );
+        assert!(!rt.is_clean());
+    }
+
+    #[test]
+    fn sharded_backend_deny_policy_uses_synchronous_lookahead() {
+        let rt = Runtime::builder(DetectorConfig::without_timeouts())
+            .detector_backend(DetectorBackend::Sharded { shards: 3, batch: 16 })
+            .order_policy(OrderPolicy::Deny)
+            .build();
+        let al = crate::ResourceAllocator::new(&rt, "res", 1);
+        // Release before any request must be denied even while the
+        // batch buffer is far from full (the lookahead flushes it).
+        assert!(matches!(al.release(), Err(crate::MonitorError::Denied(_))));
+        al.request().unwrap();
+        al.release().unwrap();
+        assert!(rt.checkpoint_now().is_clean());
     }
 }

@@ -1,8 +1,17 @@
 //! Parameter sweeps and synthetic traces for the benchmark harness.
+//!
+//! Besides the single-monitor window sweeps, this module builds
+//! *fleet* scenarios — many independent monitors interleaved into one
+//! event stream — which are the input material for the sharded
+//! detection service ([`rmon_core::detect::ShardedDetector`]): enough
+//! concurrent monitors that partitioning them across worker shards
+//! actually spreads load.
 
 use crate::producer_consumer::PcWorkload;
-use rmon_core::{Event, MonitorId, MonitorSpec, MonitorState, Nanos};
+use rmon_core::detect::{Detector, ServiceConfig, ServiceStats, ShardedDetector};
+use rmon_core::{DetectorConfig, Event, FaultReport, MonitorId, MonitorSpec, MonitorState, Nanos};
 use rmon_sim::SimConfig;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A recorded clean trace with everything the detection algorithms
@@ -45,8 +54,7 @@ pub fn pc_trace(items_per_producer: usize, seed: u64) -> SynthTrace {
         .find(|m| m.id == buf)
         .map(|m| Arc::clone(&m.spec))
         .expect("buffer exists");
-    let mut initial = MonitorState::new(spec.cond_count());
-    initial.available = spec.capacity;
+    let initial = spec.empty_state();
     SynthTrace {
         monitor: buf,
         events: sim.full_trace().to_vec(),
@@ -79,6 +87,154 @@ pub fn window_sweep(seed: u64) -> Vec<(usize, SynthTrace)> {
         .collect()
 }
 
+/// A fleet of independent monitors whose traces are interleaved into
+/// one event stream — the sharded service's natural diet.
+#[derive(Debug, Clone)]
+pub struct FleetTrace {
+    /// Declaration of every monitor in the fleet.
+    pub specs: HashMap<MonitorId, Arc<MonitorSpec>>,
+    /// The interleaved, globally re-sequenced event stream.
+    pub events: Vec<Event>,
+    /// Final observed state of every monitor.
+    pub snapshots: HashMap<MonitorId, MonitorState>,
+    /// Virtual end time (max across member traces).
+    pub end_time: Nanos,
+}
+
+impl FleetTrace {
+    /// Number of monitors in the fleet.
+    pub fn monitors(&self) -> usize {
+        self.specs.len()
+    }
+}
+
+/// Builds a fleet of `monitors` independent producer/consumer traces
+/// (each `items_per_producer` deep, seeds derived from `seed`),
+/// remapped to distinct [`MonitorId`]s and interleaved round-robin so
+/// consecutive events usually belong to *different* monitors — the
+/// worst case for a per-monitor cache, the common case for a shared
+/// ingestion pipeline.
+pub fn fleet_trace(monitors: usize, items_per_producer: usize, seed: u64) -> FleetTrace {
+    let monitors = monitors.max(1);
+    let mut specs = HashMap::new();
+    let mut snapshots = HashMap::new();
+    let mut end_time = Nanos::ZERO;
+    let mut streams: Vec<std::vec::IntoIter<Event>> = Vec::with_capacity(monitors);
+    for i in 0..monitors {
+        let member_seed = seed.wrapping_mul(31).wrapping_add(i as u64 + 1);
+        let trace = pc_trace(items_per_producer, member_seed);
+        let id = MonitorId::new(i as u32);
+        specs.insert(id, Arc::clone(&trace.spec));
+        snapshots.insert(id, trace.final_state.clone());
+        if trace.end_time > end_time {
+            end_time = trace.end_time;
+        }
+        let remapped: Vec<Event> = trace
+            .events
+            .into_iter()
+            .map(|mut e| {
+                e.monitor = id;
+                e
+            })
+            .collect();
+        streams.push(remapped.into_iter());
+    }
+    // Round-robin interleave, re-assigning the global sequence so the
+    // merged stream has one total order.
+    let mut events = Vec::new();
+    let mut seq = 0u64;
+    let mut live = true;
+    while live {
+        live = false;
+        for stream in &mut streams {
+            if let Some(mut e) = stream.next() {
+                seq += 1;
+                e.seq = seq;
+                events.push(e);
+                live = true;
+            }
+        }
+    }
+    FleetTrace { specs, events, snapshots, end_time }
+}
+
+/// Wall-clock split of one fleet drive: `ingest` is the caller-side
+/// cost of handing the stream to the detection layer, `total` adds the
+/// periodic checkpoint (registration is excluded from both).
+#[derive(Debug, Clone, Copy)]
+pub struct FleetTiming {
+    /// Time to feed every event to the detection layer.
+    pub ingest: std::time::Duration,
+    /// Ingest plus the checkpoint, i.e. until every verdict is in.
+    pub total: std::time::Duration,
+}
+
+/// Drives a [`FleetTrace`] through one inline [`Detector`]: observe
+/// every event one at a time, then checkpoint against the final
+/// snapshots. The single-threaded baseline the sharded path is
+/// measured against. Real-time violations are folded into the report.
+pub fn drive_inline_fleet(fleet: &FleetTrace) -> (FaultReport, FleetTiming) {
+    let mut det = Detector::new(DetectorConfig::without_timeouts());
+    for (&id, spec) in &fleet.specs {
+        det.register_empty(id, Arc::clone(spec), Nanos::ZERO);
+    }
+    let mut realtime = Vec::new();
+    let t0 = std::time::Instant::now();
+    for event in &fleet.events {
+        det.observe_into(event, &mut realtime);
+    }
+    let ingest = t0.elapsed();
+    let mut report = det.checkpoint(fleet.end_time, &fleet.events, &fleet.snapshots);
+    let total = t0.elapsed();
+    report.violations.extend(realtime);
+    (report, FleetTiming { ingest, total })
+}
+
+/// Drives a [`FleetTrace`] through the sharded detection service:
+/// registers every monitor on its shard, ingests the stream in batches
+/// of `batch` events, checkpoints, and returns the merged report
+/// (real-time violations folded in) plus the service's quiescent
+/// per-shard counters and the timing split.
+pub fn drive_sharded_fleet(
+    fleet: &FleetTrace,
+    shards: usize,
+    batch: usize,
+) -> (FaultReport, ServiceStats, FleetTiming) {
+    let svc = ShardedDetector::new(DetectorConfig::without_timeouts(), ServiceConfig::new(shards));
+    for (&id, spec) in &fleet.specs {
+        svc.register_empty(id, Arc::clone(spec), Nanos::ZERO);
+    }
+    let t0 = std::time::Instant::now();
+    for chunk in fleet.events.chunks(batch.max(1)) {
+        svc.observe_batch(chunk);
+    }
+    let ingest = t0.elapsed();
+    // checkpoint() is itself a barrier (per-shard FIFO: every batch
+    // sent above is processed before the shard replies), so the
+    // collector and counters are already quiescent here and no flush
+    // belongs in the timed region.
+    let mut report = svc.checkpoint(fleet.end_time, &fleet.events, &fleet.snapshots);
+    let total = t0.elapsed();
+    report.violations.extend(svc.drain_violations());
+    let stats = svc.stats();
+    (report, stats, FleetTiming { ingest, total })
+}
+
+/// [`drive_inline_fleet`] without the timing split.
+pub fn run_inline_fleet(fleet: &FleetTrace) -> FaultReport {
+    drive_inline_fleet(fleet).0
+}
+
+/// [`drive_sharded_fleet`] without the timing split.
+pub fn run_sharded_fleet(
+    fleet: &FleetTrace,
+    shards: usize,
+    batch: usize,
+) -> (FaultReport, ServiceStats) {
+    let (report, stats, _) = drive_sharded_fleet(fleet, shards, batch);
+    (report, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +256,40 @@ mod tests {
         for (target, trace) in window_sweep(1) {
             assert!(trace.events.len() >= target, "{target}");
         }
+    }
+
+    #[test]
+    fn fleet_trace_has_distinct_monitors_and_one_total_order() {
+        let fleet = fleet_trace(8, 4, 7);
+        assert_eq!(fleet.monitors(), 8);
+        assert_eq!(fleet.snapshots.len(), 8);
+        assert!(!fleet.events.is_empty());
+        for w in fleet.events.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+        let seen: std::collections::HashSet<_> = fleet.events.iter().map(|e| e.monitor).collect();
+        assert_eq!(seen.len(), 8, "every monitor contributes events");
+    }
+
+    #[test]
+    fn clean_fleet_is_clean_inline_and_sharded() {
+        let fleet = fleet_trace(8, 3, 7);
+        let inline = run_inline_fleet(&fleet);
+        assert!(inline.is_clean(), "{inline}");
+        for shards in [1, 2, 4] {
+            let (report, stats) = run_sharded_fleet(&fleet, shards, 64);
+            assert!(report.is_clean(), "shards={shards}: {report}");
+            assert_eq!(report.events_checked, inline.events_checked, "shards={shards}");
+            assert_eq!(stats.total_events(), fleet.events.len() as u64);
+            assert_eq!(stats.shard_count(), shards);
+        }
+    }
+
+    #[test]
+    fn sharded_fleet_spreads_monitors_across_shards() {
+        let fleet = fleet_trace(16, 2, 3);
+        let (_, stats) = run_sharded_fleet(&fleet, 4, 32);
+        assert_eq!(stats.shards.iter().map(|s| s.monitors).sum::<u64>(), 16);
+        assert!(stats.active_shards() >= 2, "16 monitors must load ≥2 of 4 shards: {stats:?}");
     }
 }

@@ -40,8 +40,9 @@
 //! # Ok::<(), rmon::rt::MonitorError>(())
 //! ```
 //!
-//! See `examples/` for fault-detection walkthroughs and `DESIGN.md` /
-//! `EXPERIMENTS.md` for the reproduction methodology.
+//! See `examples/` for fault-detection walkthroughs,
+//! `docs/ARCHITECTURE.md` for the crate map and data flow, and
+//! `docs/PAPER_MAP.md` for where each paper concept lives in the code.
 
 #![warn(missing_docs)]
 
@@ -52,14 +53,15 @@ pub use rmon_workloads as workloads;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
+    pub use rmon_core::detect::{ServiceConfig, ServiceStats, ShardedDetector};
     pub use rmon_core::{
         taxonomy, DetectorConfig, Event, EventKind, FaultKind, FaultLevel, FaultReport,
         MonitorClass, MonitorId, MonitorSpec, MonitorState, Nanos, PathExpr, Pid, RuleId,
         Violation,
     };
     pub use rmon_rt::{
-        BoundedBuffer, BufferBug, CheckerHandle, Monitor, MonitorError, OperationCell, OrderPolicy,
-        ResourceAllocator, RtFault, Runtime,
+        BoundedBuffer, BufferBug, CheckerHandle, DetectorBackend, Monitor, MonitorError,
+        OperationCell, OrderPolicy, ResourceAllocator, RtFault, Runtime,
     };
     pub use rmon_sim::{
         run_plain, run_with_detection, InjectionPlan, Script, Sim, SimBuilder, SimConfig,

@@ -2,8 +2,8 @@
 //!
 //! Only the `channel` module is provided, backed by `std::sync::mpsc`.
 //! That narrows crossbeam's multi-consumer channels to the
-//! single-consumer shape the workspace actually uses (one checker
-//! thread draining one report stream).
+//! single-consumer shape the workspace actually uses (worker inboxes
+//! and report streams, each drained by exactly one thread).
 
 /// Multi-producer channels over `std::sync::mpsc`.
 pub mod channel {
@@ -15,23 +15,46 @@ pub mod channel {
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        (Sender(SenderImpl::Unbounded(tx)), Receiver(rx))
     }
 
-    /// The sending half; cloneable across threads.
+    /// Creates a bounded channel with capacity `cap`: once `cap`
+    /// messages are in flight, `send` blocks until the receiver drains
+    /// one — the backpressure shape crossbeam's bounded channels give.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap.max(1));
+        (Sender(SenderImpl::Bounded(tx)), Receiver(rx))
+    }
+
+    /// The sending half; cloneable across threads. Like crossbeam (and
+    /// unlike raw `std::sync::mpsc`), the same type serves bounded and
+    /// unbounded channels.
     #[derive(Debug)]
-    pub struct Sender<T>(mpsc::Sender<T>);
+    pub struct Sender<T>(SenderImpl<T>);
+
+    #[derive(Debug)]
+    enum SenderImpl<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            Sender(match &self.0 {
+                SenderImpl::Unbounded(tx) => SenderImpl::Unbounded(tx.clone()),
+                SenderImpl::Bounded(tx) => SenderImpl::Bounded(tx.clone()),
+            })
         }
     }
 
     impl<T> Sender<T> {
-        /// Sends a value; fails only when the receiver is gone.
+        /// Sends a value; on a bounded channel this blocks while the
+        /// channel is full. Fails only when the receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value)
+            match &self.0 {
+                SenderImpl::Unbounded(tx) => tx.send(value),
+                SenderImpl::Bounded(tx) => tx.send(value),
+            }
         }
     }
 
@@ -74,6 +97,30 @@ pub mod channel {
             assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
             drop(tx);
             assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+        }
+
+        #[test]
+        fn bounded_holds_capacity_then_blocks_until_drained() {
+            let (tx, rx) = bounded(2);
+            tx.send(1u32).unwrap();
+            tx.clone().send(2).unwrap();
+            // Capacity reached: drain from another thread while a third
+            // value is being pushed.
+            let t = std::thread::spawn(move || tx.send(3));
+            assert_eq!(rx.recv().unwrap(), 1);
+            t.join().unwrap().unwrap();
+            assert_eq!(rx.recv().unwrap(), 2);
+            assert_eq!(rx.recv().unwrap(), 3);
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+        }
+
+        #[test]
+        fn bounded_zero_capacity_is_clamped_to_one() {
+            let (tx, rx) = bounded(0);
+            // With a true rendezvous channel this send would deadlock;
+            // the clamp makes capacity-0 behave as capacity-1.
+            tx.send(7u32).unwrap();
+            assert_eq!(rx.recv().unwrap(), 7);
         }
     }
 }
