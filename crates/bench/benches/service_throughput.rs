@@ -7,7 +7,9 @@
 //! of the same measurement.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rmon_workloads::sweep::{fleet_trace, run_inline_fleet, run_sharded_fleet};
+use rmon_core::detect::{ServiceConfig, ShardedBackend};
+use rmon_core::DetectorConfig;
+use rmon_workloads::sweep::{drive_fleet_multi, fleet_trace, run_inline_fleet, run_sharded_fleet};
 use std::time::Duration;
 
 const FLEET_MONITORS: usize = 8;
@@ -38,6 +40,26 @@ fn bench_service_throughput(c: &mut Criterion) {
                 report
             });
         });
+    }
+    // Multi-producer ingestion: 4 shards, N concurrent threads each
+    // owning its own producer handle.
+    for producers in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("sharded-4-multi", producers),
+            &producers,
+            |b, &producers| {
+                b.iter(|| {
+                    let backend = ShardedBackend::new(
+                        DetectorConfig::without_timeouts(),
+                        ServiceConfig::new(4),
+                    )
+                    .with_batch(BATCH);
+                    let (report, _, _) = drive_fleet_multi(&fleet, &backend, producers);
+                    assert!(report.is_clean());
+                    report
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -4,6 +4,10 @@
 //!
 //! Run with: `cargo run -p rmon-bench --bin table1 --release`
 //!
+//! Usage: `table1 [OUT.json]` (default `BENCH_table1.json` in the
+//! current directory) — the measured ratios are also recorded as a
+//! JSON baseline next to `BENCH_sharded.json`.
+//!
 //! Paper setup: checking intervals 0.5 s – 3.0 s; overhead computed as
 //! the average ratio between the time spent executing monitor
 //! operations with the extension and without. Here one paper-second is
@@ -24,8 +28,10 @@
 
 use rmon_bench::{paper_second, row, rule_line, TABLE1_INTERVALS};
 use rmon_rt::overhead::{measure, table1_with, Mode, Workload};
+use std::fmt::Write as _;
 
 fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_table1.json".to_string());
     let ps = paper_second();
     // A single thread alternating send/receive: monitor calls never
     // block, so the measurement isolates the cost of executing the
@@ -156,4 +162,43 @@ fn main() {
         TABLE1_INTERVALS[TABLE1_INTERVALS.len() - 1],
         i_last,
     );
+
+    // Record the baseline (hand-rolled JSON; see BENCH_sharded.json).
+    let hw_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"experiment\": \"EXP-T1 overhead ratio vs checking interval\",");
+    let _ = writeln!(json, "  \"workload\": \"rmon_rt::overhead single-thread send/receive\",");
+    let _ = writeln!(json, "  \"ops_total\": {},", workload.total_ops());
+    let _ = writeln!(json, "  \"paper_second_ms\": {},", ps.as_millis());
+    let _ = writeln!(json, "  \"repeats\": {repeats},");
+    let _ = writeln!(json, "  \"hardware_threads\": {hw_threads},");
+    let _ = writeln!(json, "  \"base_ns_per_op\": {base:.1},");
+    let _ = writeln!(json, "  \"recording_only_ratio\": {:.3},", rec / base);
+    let _ = writeln!(
+        json,
+        "  \"caveats\": \"Wall-clock scaled: 1 paper-second = {} ms. The paper's Table 1 \
+         shape is the faithful (full-history) checker; the incremental column is the \
+         checking-list ablation. Single-thread workload, so hardware thread count only \
+         affects background checker scheduling noise.\",",
+        ps.as_millis()
+    );
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, s) in TABLE1_INTERVALS.iter().enumerate() {
+        let comma = if i + 1 == TABLE1_INTERVALS.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"interval_paper_seconds\": {s:.1}, \"faithful_ratio\": {:.3}, \
+             \"incremental_ratio\": {:.3}}}{comma}",
+            faithful_ratios[i], incremental_ratios[i]
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"faithful_ratio_decreases_with_interval\": {}",
+        if f_first > f_last { "true" } else { "false" }
+    );
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    println!("\nwrote {out_path}");
 }

@@ -1,0 +1,730 @@
+//! The pluggable detection API: [`DetectionBackend`] separates *where
+//! checking runs* from *how events get there* ([`ProducerHandle`]).
+//!
+//! The paper's detector is one observer bolted onto one monitor
+//! implementation. Scaling it up surfaced two orthogonal decisions —
+//! the instrumentation point (how a monitored thread hands its events
+//! to the detection layer) and the checking strategy (inline, sharded
+//! workers, scheduled per-shard sweeps) — that were previously fused
+//! into the runtime. This module separates them:
+//!
+//! * [`DetectionBackend`] is the checking side: registration, the
+//!   synchronous calling-order lookahead, the periodic checkpoint,
+//!   stats, violation collection and shutdown. Implementations differ
+//!   only in where the work runs.
+//! * [`ProducerHandle`] is the instrumentation side: a cheap
+//!   **per-thread** handle that owns its own batch buffer. The hot
+//!   path — [`ProducerHandle::observe`] — touches no state shared with
+//!   other producers: events accumulate in the handle and leave as one
+//!   bounded-channel send per batch per shard. No shared mutex is
+//!   acquired per observed event.
+//!
+//! Three backends are provided:
+//!
+//! * [`InlineBackend`] — the paper's shape: one [`Detector`] behind one
+//!   lock, checked synchronously on the observing thread. Its handles
+//!   are unbuffered (every `observe` is a lock + check).
+//! * [`ShardedBackend`] — wraps [`ShardedDetector`]: monitors partition
+//!   across worker shards, each handle owns per-shard batch buffers
+//!   plus its own clones of the shard inbox senders — the
+//!   multi-producer ingestion front-end.
+//! * [`crate::detect::ScheduledBackend`] — sharding plus a per-shard
+//!   checkpoint scheduler (a ticker thread sweeps the shards
+//!   round-robin for timer checks, no global barrier).
+//!
+//! # Why per-thread handles are sound
+//!
+//! Real-time (Algorithm-3) order state is **per-caller**: the
+//! Request-List and path-expression NFA states are keyed by [`Pid`],
+//! so events of different pids commute. A handle preserves its own
+//! thread's event order (its buffer is FIFO, and per-producer channel
+//! order is FIFO), which is exactly the per-pid ordering the engine's
+//! per-pid watermarks require — batches from different handles may
+//! interleave arbitrarily without losing or double-reporting a check.
+//! Events still buffered in *some other thread's* handle at checkpoint
+//! time are not lost either: the checkpoint replays the full recorded
+//! window with per-pid watermark catch-up, and the straggler batch is
+//! deduplicated by the same watermark when it eventually arrives.
+//!
+//! # Examples
+//!
+//! ```
+//! use rmon_core::detect::{DetectionBackend, InlineBackend, ServiceConfig, ShardedBackend};
+//! use rmon_core::{DetectorConfig, Event, MonitorId, MonitorSpec, Nanos, Pid};
+//! use std::sync::Arc;
+//!
+//! let al = MonitorSpec::allocator("res", 1);
+//! let spec = Arc::new(al.spec.clone());
+//! let m = MonitorId::new(0);
+//!
+//! // The same driver code works against any backend.
+//! let backends: Vec<Box<dyn DetectionBackend>> = vec![
+//!     Box::new(InlineBackend::new(DetectorConfig::without_timeouts())),
+//!     Box::new(ShardedBackend::new(
+//!         DetectorConfig::without_timeouts(),
+//!         ServiceConfig::new(2),
+//!     )),
+//! ];
+//! for backend in &backends {
+//!     backend.register_empty(m, Arc::clone(&spec), Nanos::ZERO);
+//!     let mut producer = backend.producer();
+//!     producer.observe(Event::enter(1, Nanos::new(10), m, Pid::new(1), al.release, true));
+//!     producer.flush();
+//!     let vs = backend.drain_violations();
+//!     assert!(!vs.is_empty(), "{}: release without request", backend.label());
+//!     backend.shutdown();
+//! }
+//! ```
+
+use crate::config::DetectorConfig;
+use crate::detect::service::{shard_for, ShardMsg};
+use crate::detect::{Detector, ServiceConfig, ServiceStats, ShardStats, ShardedDetector};
+use crate::event::Event;
+use crate::ids::{MonitorId, Pid, ProcName};
+use crate::rule::RuleId;
+use crate::spec::MonitorSpec;
+use crate::state::MonitorState;
+use crate::time::Nanos;
+use crate::violation::{FaultReport, Violation};
+use crossbeam::channel::Sender;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A per-thread ingestion handle: the instrumentation side of the
+/// detection API.
+///
+/// Handles are created by [`DetectionBackend::producer`], are `Send`
+/// (move one into each observing thread) and are **not** shared: all
+/// methods take `&mut self`, and the whole point of the type is that
+/// `observe` works against handle-local state only.
+///
+/// A handle buffers events and hands them to the backend in batches;
+/// [`ProducerHandle::flush`] forces the hand-off. Violations never
+/// surface through the handle — they are collected by the backend
+/// ([`DetectionBackend::drain_violations`]).
+///
+/// Dropping a handle flushes it (while the backend is open), so
+/// buffered events are not lost when an observing thread exits.
+pub trait ProducerHandle: Send + std::fmt::Debug {
+    /// Ingests one event. May buffer; may run the real-time checks
+    /// synchronously (the inline backend does). Events observed after
+    /// [`DetectionBackend::shutdown`] are silently dropped.
+    fn observe(&mut self, event: Event);
+
+    /// Hands any buffered events to the backend. After `flush`, a
+    /// subsequent backend barrier ([`DetectionBackend::checkpoint`],
+    /// [`DetectionBackend::drain_violations`]) reflects everything this
+    /// handle observed.
+    fn flush(&mut self);
+
+    /// Events observed but not yet handed to the backend.
+    fn pending(&self) -> usize;
+
+    /// Whether the backend behind this handle has shut down (stale
+    /// handles can be pruned by their owners).
+    fn is_closed(&self) -> bool;
+}
+
+/// A detection engine behind a uniform, shareable interface: the
+/// checking side of the detection API.
+///
+/// Backends are `Send + Sync` and designed to live in an
+/// `Arc<dyn DetectionBackend>` shared by a runtime, its monitors and
+/// its checker thread, with each observing thread holding its own
+/// [`ProducerHandle`].
+///
+/// # Contract
+///
+/// * **Ingestion order** — each pid's events must reach the backend in
+///   `seq` order (one thread, one handle satisfies this); different
+///   pids and different handles may interleave freely.
+/// * **Barriers** — `checkpoint`, `drain_violations` and `stats` see
+///   every event previously *flushed* to the backend. Events still
+///   buffered in another thread's handle are picked up by the next
+///   checkpoint's window replay (per-pid watermarks deduplicate).
+/// * **Lookahead** — `call_would_violate` answers from the caller's
+///   per-pid order state; flush the calling thread's handle first so
+///   the answer reflects that thread's own history.
+/// * **Shutdown** — stops background work and drops subsequent
+///   ingestion; every method stays safe to call afterwards.
+pub trait DetectionBackend: Send + Sync + std::fmt::Debug {
+    /// Registers a monitor with its declaration and initial observed
+    /// state. Events for unregistered monitors are ignored.
+    fn register(
+        &self,
+        monitor: MonitorId,
+        spec: Arc<MonitorSpec>,
+        initial: &MonitorState,
+        now: Nanos,
+    );
+
+    /// Creates a fresh per-thread ingestion handle.
+    fn producer(&self) -> Box<dyn ProducerHandle>;
+
+    /// Non-mutating real-time calling-order lookahead (ST-8): would an
+    /// `Enter` of `proc_name` by `pid` violate right now? Runtimes
+    /// that *prevent* faults (`rmon_rt`'s `OrderPolicy::Deny`) consult
+    /// this before executing the call.
+    fn call_would_violate(
+        &self,
+        monitor: MonitorId,
+        pid: Pid,
+        proc_name: ProcName,
+    ) -> Option<RuleId>;
+
+    /// Runs the periodic checking routine (Algorithms 1–3 plus timers)
+    /// over the window `events` and the observed `snapshots`, returning
+    /// the merged report in canonical order.
+    fn checkpoint(
+        &self,
+        now: Nanos,
+        events: &[Event],
+        snapshots: &HashMap<MonitorId, MonitorState>,
+    ) -> FaultReport;
+
+    /// Ingestion counters, uniform across backends: per-shard entries
+    /// for sharded backends, a single pseudo-shard for inline. The
+    /// snapshot is quiescent with respect to everything flushed before
+    /// the call.
+    fn stats(&self) -> ServiceStats;
+
+    /// Takes all real-time violations collected since the last drain.
+    #[must_use = "dropping the return value discards detected violations"]
+    fn drain_violations(&self) -> Vec<Violation>;
+
+    /// Stops background threads and drops subsequent ingestion.
+    /// Idempotent; implicitly performed on drop.
+    fn shutdown(&self);
+
+    /// A short static label for diagnostics (`"inline"`, `"sharded"`,
+    /// `"scheduled"`, …).
+    fn label(&self) -> &'static str;
+
+    /// Registers a monitor starting from the canonical empty state
+    /// ([`MonitorSpec::empty_state`]).
+    fn register_empty(&self, monitor: MonitorId, spec: Arc<MonitorSpec>, now: Nanos) {
+        let initial = spec.empty_state();
+        self.register(monitor, spec, &initial, now);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Inline
+// ---------------------------------------------------------------------
+
+/// Everything behind the inline backend's single lock.
+#[derive(Debug)]
+struct InlineState {
+    det: Detector,
+    violations: Vec<Violation>,
+    counters: ShardStats,
+}
+
+#[derive(Debug)]
+struct InlineShared {
+    state: Mutex<InlineState>,
+    open: AtomicBool,
+}
+
+impl InlineShared {
+    /// Poison-tolerant lock: a panicking observer must not wedge the
+    /// backend for every other thread.
+    fn lock(&self) -> MutexGuard<'_, InlineState> {
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// The paper's shape behind the trait: one [`Detector`] behind one
+/// lock, real-time checks running synchronously on the observing
+/// thread.
+///
+/// Its producer handles are unbuffered — each [`ProducerHandle::observe`]
+/// acquires the detector lock, which is precisely the contention the
+/// sharded backends exist to remove; `InlineBackend` is the baseline
+/// they are measured against, and the zero-extra-threads default.
+///
+/// [`DetectionBackend::stats`] reports one pseudo-shard whose counters
+/// track the events actually ingested through handles.
+#[derive(Debug)]
+pub struct InlineBackend {
+    shared: Arc<InlineShared>,
+}
+
+impl InlineBackend {
+    /// Creates an inline backend with the given timing configuration.
+    pub fn new(cfg: DetectorConfig) -> Self {
+        InlineBackend {
+            shared: Arc::new(InlineShared {
+                state: Mutex::new(InlineState {
+                    det: Detector::new(cfg),
+                    violations: Vec::new(),
+                    counters: ShardStats::default(),
+                }),
+                open: AtomicBool::new(true),
+            }),
+        }
+    }
+}
+
+impl DetectionBackend for InlineBackend {
+    fn register(
+        &self,
+        monitor: MonitorId,
+        spec: Arc<MonitorSpec>,
+        initial: &MonitorState,
+        now: Nanos,
+    ) {
+        let mut st = self.shared.lock();
+        st.det.register(monitor, spec, initial, now);
+        st.counters.monitors += 1;
+    }
+
+    fn producer(&self) -> Box<dyn ProducerHandle> {
+        Box::new(InlineProducer { shared: Arc::clone(&self.shared), scratch: Vec::new() })
+    }
+
+    fn call_would_violate(
+        &self,
+        monitor: MonitorId,
+        pid: Pid,
+        proc_name: ProcName,
+    ) -> Option<RuleId> {
+        self.shared.lock().det.call_would_violate(monitor, pid, proc_name)
+    }
+
+    fn checkpoint(
+        &self,
+        now: Nanos,
+        events: &[Event],
+        snapshots: &HashMap<MonitorId, MonitorState>,
+    ) -> FaultReport {
+        self.shared.lock().det.checkpoint(now, events, snapshots)
+    }
+
+    fn stats(&self) -> ServiceStats {
+        ServiceStats { shards: vec![self.shared.lock().counters] }
+    }
+
+    fn drain_violations(&self) -> Vec<Violation> {
+        std::mem::take(&mut self.shared.lock().violations)
+    }
+
+    fn shutdown(&self) {
+        self.shared.open.store(false, Ordering::Release);
+    }
+
+    fn label(&self) -> &'static str {
+        "inline"
+    }
+}
+
+/// The inline backend's unbuffered handle.
+#[derive(Debug)]
+struct InlineProducer {
+    shared: Arc<InlineShared>,
+    scratch: Vec<Violation>,
+}
+
+impl ProducerHandle for InlineProducer {
+    fn observe(&mut self, event: Event) {
+        if !self.shared.open.load(Ordering::Acquire) {
+            return;
+        }
+        let mut st = self.shared.lock();
+        st.det.observe_into(&event, &mut self.scratch);
+        st.counters.batches += 1;
+        st.counters.events_observed += 1;
+        st.counters.violations += self.scratch.len() as u64;
+        st.violations.append(&mut self.scratch);
+    }
+
+    fn flush(&mut self) {}
+
+    fn pending(&self) -> usize {
+        0
+    }
+
+    fn is_closed(&self) -> bool {
+        !self.shared.open.load(Ordering::Acquire)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded
+// ---------------------------------------------------------------------
+
+/// The multi-producer ingestion front-end over [`ShardedDetector`]:
+/// monitors partition across worker shards, and every producer handle
+/// owns its own per-shard batch buffers plus private clones of the
+/// shard inbox senders — the caller-side hot path shares nothing with
+/// other producers.
+///
+/// Compare [`InlineBackend`], where each observation contends on one
+/// detector lock, and the pre-trait runtime backend, where all threads
+/// funneled through one shared batch-buffer mutex.
+#[derive(Debug)]
+pub struct ShardedBackend {
+    svc: ShardedDetector,
+    batch: usize,
+    open: Arc<AtomicBool>,
+}
+
+/// Default events buffered per handle before a flush.
+pub const DEFAULT_INGEST_BATCH: usize = 64;
+
+impl ShardedBackend {
+    /// Spawns the shard workers (see [`ShardedDetector::new`]) with the
+    /// default per-handle ingest batch ([`DEFAULT_INGEST_BATCH`]).
+    pub fn new(cfg: DetectorConfig, service: ServiceConfig) -> Self {
+        ShardedBackend {
+            svc: ShardedDetector::new(cfg, service),
+            batch: DEFAULT_INGEST_BATCH,
+            open: Arc::new(AtomicBool::new(true)),
+        }
+    }
+
+    /// Overrides how many events a producer handle buffers before
+    /// flushing a batch to the shards (clamped to at least 1). Handles
+    /// created *after* the call use the new size.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.set_batch(batch);
+        self
+    }
+
+    /// In-place form of [`Self::with_batch`], for wrappers that cannot
+    /// move the backend.
+    pub fn set_batch(&mut self, batch: usize) {
+        self.batch = batch.max(1);
+    }
+
+    /// The wrapped service (shard topology, counters).
+    pub fn service(&self) -> &ShardedDetector {
+        &self.svc
+    }
+
+    /// The per-handle ingest batch size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+}
+
+impl Drop for ShardedBackend {
+    fn drop(&mut self) {
+        // Mark outstanding producer handles closed so their owners can
+        // prune them; the wrapped service joins its workers in its own
+        // drop.
+        self.open.store(false, Ordering::Release);
+    }
+}
+
+impl DetectionBackend for ShardedBackend {
+    fn register(
+        &self,
+        monitor: MonitorId,
+        spec: Arc<MonitorSpec>,
+        initial: &MonitorState,
+        now: Nanos,
+    ) {
+        self.svc.register(monitor, spec, initial, now);
+    }
+
+    fn producer(&self) -> Box<dyn ProducerHandle> {
+        let senders = self.svc.shard_senders();
+        let bufs = senders.iter().map(|_| Vec::new()).collect();
+        Box::new(ShardedProducer {
+            senders,
+            bufs,
+            buffered: 0,
+            batch: self.batch,
+            open: Arc::clone(&self.open),
+        })
+    }
+
+    fn call_would_violate(
+        &self,
+        monitor: MonitorId,
+        pid: Pid,
+        proc_name: ProcName,
+    ) -> Option<RuleId> {
+        self.svc.call_would_violate(monitor, pid, proc_name)
+    }
+
+    fn checkpoint(
+        &self,
+        now: Nanos,
+        events: &[Event],
+        snapshots: &HashMap<MonitorId, MonitorState>,
+    ) -> FaultReport {
+        self.svc.checkpoint(now, events, snapshots)
+    }
+
+    fn stats(&self) -> ServiceStats {
+        self.svc.flush();
+        self.svc.stats()
+    }
+
+    fn drain_violations(&self) -> Vec<Violation> {
+        self.svc.flush();
+        self.svc.drain_violations()
+    }
+
+    fn shutdown(&self) {
+        self.open.store(false, Ordering::Release);
+        self.svc.shutdown();
+    }
+
+    fn label(&self) -> &'static str {
+        "sharded"
+    }
+}
+
+/// The sharded backends' buffered handle: per-shard buffers drained by
+/// one channel send per shard per batch.
+#[derive(Debug)]
+struct ShardedProducer {
+    senders: Vec<Sender<ShardMsg>>,
+    bufs: Vec<Vec<Event>>,
+    buffered: usize,
+    batch: usize,
+    open: Arc<AtomicBool>,
+}
+
+impl ProducerHandle for ShardedProducer {
+    fn observe(&mut self, event: Event) {
+        if !self.open.load(Ordering::Acquire) {
+            return;
+        }
+        let shard = shard_for(event.monitor, self.senders.len());
+        self.bufs[shard].push(event);
+        self.buffered += 1;
+        if self.buffered >= self.batch {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.buffered == 0 {
+            return;
+        }
+        for (shard, buf) in self.bufs.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                // A failed send means the worker shut down; the events
+                // are dropped exactly like post-shutdown observes.
+                let _ = self.senders[shard].send(ShardMsg::Batch(std::mem::take(buf)));
+            }
+        }
+        self.buffered = 0;
+    }
+
+    fn pending(&self) -> usize {
+        self.buffered
+    }
+
+    fn is_closed(&self) -> bool {
+        !self.open.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for ShardedProducer {
+    fn drop(&mut self) {
+        if self.open.load(Ordering::Acquire) {
+            self.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::AllocatorSpec;
+
+    fn allocator_spec() -> (Arc<MonitorSpec>, AllocatorSpec) {
+        let al = MonitorSpec::allocator("res", 1);
+        (Arc::new(al.spec.clone()), al)
+    }
+
+    /// A deterministic faulty mix for `monitors` allocators: per
+    /// monitor, pid 1 double-requests and pid 2 releases unrequested.
+    fn faulty_events(monitors: u32) -> Vec<Event> {
+        let (_, al) = allocator_spec();
+        let mut events = Vec::new();
+        let mut seq = 0;
+        for id in 0..monitors {
+            let m = MonitorId::new(id);
+            for (pid, proc_name) in [(1, al.request), (1, al.request), (2, al.release)] {
+                seq += 1;
+                events.push(Event::enter(
+                    seq,
+                    Nanos::new(seq * 10),
+                    m,
+                    Pid::new(pid),
+                    proc_name,
+                    false,
+                ));
+            }
+        }
+        events
+    }
+
+    fn drain_after_flush(backend: &dyn DetectionBackend) -> Vec<Violation> {
+        let mut vs = backend.drain_violations();
+        vs.sort_by_key(|v| (v.monitor, v.event_seq, v.rule));
+        vs
+    }
+
+    fn backends() -> Vec<Box<dyn DetectionBackend>> {
+        let cfg = DetectorConfig::without_timeouts();
+        vec![
+            Box::new(InlineBackend::new(cfg)),
+            Box::new(ShardedBackend::new(cfg, ServiceConfig::new(1))),
+            Box::new(ShardedBackend::new(cfg, ServiceConfig::new(4)).with_batch(4)),
+        ]
+    }
+
+    #[test]
+    fn all_backends_report_the_same_violations_through_one_handle() {
+        let (spec, _) = allocator_spec();
+        let events = faulty_events(8);
+        let mut reference: Option<Vec<Violation>> = None;
+        for backend in backends() {
+            for id in 0..8 {
+                backend.register_empty(MonitorId::new(id), Arc::clone(&spec), Nanos::ZERO);
+            }
+            let mut producer = backend.producer();
+            for e in &events {
+                producer.observe(*e);
+            }
+            producer.flush();
+            let got = drain_after_flush(backend.as_ref());
+            assert!(!got.is_empty());
+            match &reference {
+                Some(want) => assert_eq!(&got, want, "backend {}", backend.label()),
+                None => reference = Some(got),
+            }
+        }
+    }
+
+    #[test]
+    fn two_handles_split_by_pid_match_single_handle_results() {
+        // The multi-producer shape: each pid's stream flows through its
+        // own handle, handles flush at different times (batch 1 vs
+        // batch 1000), so batches interleave at the shards.
+        let (spec, _) = allocator_spec();
+        let events = faulty_events(6);
+        let single = ShardedBackend::new(DetectorConfig::without_timeouts(), ServiceConfig::new(3));
+        let split = ShardedBackend::new(DetectorConfig::without_timeouts(), ServiceConfig::new(3));
+        for id in 0..6 {
+            single.register_empty(MonitorId::new(id), Arc::clone(&spec), Nanos::ZERO);
+            split.register_empty(MonitorId::new(id), Arc::clone(&spec), Nanos::ZERO);
+        }
+        let mut p = single.producer();
+        for e in &events {
+            p.observe(*e);
+        }
+        p.flush();
+        let want = drain_after_flush(&single);
+
+        let mut eager = split.producer(); // flushed after every event
+        let mut lazy = split.producer(); // flushed only at the end
+        for e in &events {
+            if e.pid == Pid::new(1) {
+                lazy.observe(*e);
+            } else {
+                eager.observe(*e);
+                eager.flush();
+            }
+        }
+        lazy.flush();
+        let got = drain_after_flush(&split);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn stats_are_uniform_and_count_ingested_events() {
+        let (spec, al) = allocator_spec();
+        for backend in backends() {
+            backend.register_empty(MonitorId::new(0), Arc::clone(&spec), Nanos::ZERO);
+            let mut p = backend.producer();
+            p.observe(Event::enter(
+                1,
+                Nanos::new(10),
+                MonitorId::new(0),
+                Pid::new(1),
+                al.request,
+                true,
+            ));
+            p.flush();
+            let stats = backend.stats();
+            assert!(stats.shard_count() >= 1, "{}", backend.label());
+            assert_eq!(stats.total_events(), 1, "{}", backend.label());
+            assert_eq!(
+                stats.shards.iter().map(|s| s.monitors).sum::<u64>(),
+                1,
+                "{}",
+                backend.label()
+            );
+        }
+    }
+
+    #[test]
+    fn shutdown_drops_subsequent_observes_everywhere() {
+        let (spec, al) = allocator_spec();
+        for backend in backends() {
+            backend.register_empty(MonitorId::new(0), Arc::clone(&spec), Nanos::ZERO);
+            let mut p = backend.producer();
+            backend.shutdown();
+            assert!(p.is_closed(), "{}", backend.label());
+            p.observe(Event::enter(
+                1,
+                Nanos::new(10),
+                MonitorId::new(0),
+                Pid::new(1),
+                al.release,
+                true,
+            ));
+            p.flush();
+            assert!(backend.drain_violations().is_empty(), "{}", backend.label());
+        }
+    }
+
+    #[test]
+    fn dropping_a_handle_flushes_buffered_events() {
+        let (spec, al) = allocator_spec();
+        let backend =
+            ShardedBackend::new(DetectorConfig::without_timeouts(), ServiceConfig::new(2))
+                .with_batch(1000);
+        backend.register_empty(MonitorId::new(0), Arc::clone(&spec), Nanos::ZERO);
+        let mut p = backend.producer();
+        p.observe(Event::enter(
+            1,
+            Nanos::new(10),
+            MonitorId::new(0),
+            Pid::new(1),
+            al.release,
+            true,
+        ));
+        assert_eq!(p.pending(), 1);
+        drop(p);
+        assert!(!backend.drain_violations().is_empty());
+    }
+
+    #[test]
+    fn lookahead_sees_flushed_history() {
+        let (spec, al) = allocator_spec();
+        for backend in backends() {
+            let m = MonitorId::new(5);
+            backend.register_empty(m, Arc::clone(&spec), Nanos::ZERO);
+            assert_eq!(
+                backend.call_would_violate(m, Pid::new(1), al.release),
+                Some(RuleId::St8ReleaseWithoutRequest),
+                "{}",
+                backend.label()
+            );
+            let mut p = backend.producer();
+            p.observe(Event::enter(1, Nanos::new(10), m, Pid::new(1), al.request, true));
+            p.flush();
+            assert_eq!(backend.call_would_violate(m, Pid::new(1), al.release), None);
+        }
+    }
+}

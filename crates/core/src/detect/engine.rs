@@ -16,7 +16,7 @@
 
 use crate::config::DetectorConfig;
 use crate::event::Event;
-use crate::ids::MonitorId;
+use crate::ids::{MonitorId, Pid};
 use crate::lists::{GeneralLists, OrderState, ResourceState};
 use crate::spec::MonitorSpec;
 use crate::state::MonitorState;
@@ -32,10 +32,17 @@ pub struct MonitorChecker {
     general: GeneralLists,
     resource: ResourceState,
     order: OrderState,
-    /// Highest event sequence number already processed by the
-    /// real-time order checks, so checkpoint catch-up never
-    /// double-reports.
-    order_watermark: u64,
+    /// Per-caller high-water marks of event sequence numbers already
+    /// processed by the real-time order checks, so checkpoint catch-up
+    /// never double-reports.
+    ///
+    /// The marks are per-[`Pid`] rather than per-monitor because the
+    /// Algorithm-3 state ([`OrderState`]) is itself keyed by caller:
+    /// events of *different* pids commute, so ingestion only has to
+    /// keep each pid's events in order — which is exactly what a
+    /// per-thread [`crate::detect::ProducerHandle`] guarantees — while
+    /// batches from different producers may interleave freely.
+    order_marks: HashMap<Pid, u64>,
     last_check: Nanos,
 }
 
@@ -48,7 +55,7 @@ impl MonitorChecker {
             resource: ResourceState::new(monitor, rmax, available),
             order: OrderState::new(monitor, &spec),
             spec,
-            order_watermark: 0,
+            order_marks: HashMap::new(),
             last_check: now,
         }
     }
@@ -174,20 +181,39 @@ impl Detector {
     /// violations to `out` and returns how many were added.
     ///
     /// The fast path — an unregistered monitor, or an event already
-    /// covered by the Algorithm-3 watermark — touches no memory beyond
-    /// the monitor lookup. Batch ingestion loops (the sharded service,
-    /// the runtime recorder) call this with one reused buffer so the
-    /// common no-violation case never allocates.
+    /// covered by its caller's Algorithm-3 watermark — touches no
+    /// memory beyond the lookups. Batch ingestion loops (the sharded
+    /// service, the runtime recorder) call this with one reused buffer
+    /// so the common no-violation case never allocates.
+    ///
+    /// Events of one [`Pid`] must arrive in `seq` order; events of
+    /// different pids may interleave arbitrarily (the order state is
+    /// per-caller, see [`MonitorChecker`]). An event at or below its
+    /// pid's watermark is skipped — it was already checked, either here
+    /// or by a checkpoint's catch-up replay.
     pub fn observe_into(&mut self, event: &Event, out: &mut Vec<Violation>) -> usize {
         let Some(checker) = self.monitors.get_mut(&event.monitor) else {
             return 0;
         };
-        if event.seq <= checker.order_watermark {
+        let mark = checker.order_marks.entry(event.pid).or_insert(0);
+        if event.seq <= *mark {
             return 0;
         }
+        *mark = event.seq;
         let before = out.len();
         checker.order.apply(&checker.spec, event, out);
-        checker.order_watermark = event.seq;
+        if matches!(event.kind, crate::event::EventKind::Terminate) {
+            // Free the caller's call-order state so long-running
+            // detectors don't accumulate NFA state for every process
+            // that ever called. Stragglers (older events still buffered
+            // in a producer handle) are blocked by the watermark above;
+            // a caller that *resumes* after recovery (terminate_inside
+            // leaves the thread alive) produces higher-seq events and
+            // is checked again from fresh order state — its retained
+            // Request-List entry still flags a duplicate request or
+            // clears on the eventual release.
+            checker.order.forget_caller(event.pid);
+        }
         out.len() - before
     }
 
@@ -277,10 +303,18 @@ impl Detector {
                 if coordinator {
                     checker.resource.apply(&checker.spec, event, &mut out);
                 }
-                // Algorithm-3 catch-up for events not seen by observe().
-                if event.seq > checker.order_watermark {
+                // Algorithm-3 catch-up for events not seen by observe()
+                // (per-caller watermark: late batches still buffered in
+                // a producer handle are covered here, and their eventual
+                // arrival is deduplicated by the same mark). Terminate
+                // frees the caller's order state — see observe_into.
+                let mark = checker.order_marks.entry(event.pid).or_insert(0);
+                if event.seq > *mark {
+                    *mark = event.seq;
                     checker.order.apply(&checker.spec, event, &mut out);
-                    checker.order_watermark = event.seq;
+                    if matches!(event.kind, crate::event::EventKind::Terminate) {
+                        checker.order.forget_caller(event.pid);
+                    }
                 }
             }
             // Step 2: snapshot comparison, user assertions and timers.
@@ -417,6 +451,81 @@ mod tests {
         assert_eq!(out.len(), n);
         // Replaying the same seq is covered by the watermark fast path.
         assert_eq!(det.observe_into(&bad, &mut out), 0);
+    }
+
+    #[test]
+    fn cross_pid_reorder_does_not_lose_order_checks() {
+        // Two callers' streams interleaved out of global seq order —
+        // the shape two producer handles flushing at different times
+        // produce. Per-pid order is preserved, so every per-pid check
+        // must still fire exactly as in the globally ordered replay.
+        let (mut det_global, al) = detector_with_allocator(2);
+        let (mut det_reordered, _) = detector_with_allocator(2);
+        let e = |seq: u64, pid: u32, proc_name| {
+            Event::enter(seq, Nanos::new(seq * 10), M, Pid::new(pid), proc_name, false)
+        };
+        // pid 1: request (seq 1), duplicate request (seq 3).
+        // pid 2: release without request (seq 2), request (seq 4).
+        let global = vec![
+            e(1, 1, al.request),
+            e(2, 2, al.release),
+            e(3, 1, al.request),
+            e(4, 2, al.request),
+        ];
+        let reordered = vec![global[1], global[3], global[0], global[2]];
+        let key = |v: &Violation| (v.pid, v.event_seq, v.rule);
+        let mut want = det_global.observe_batch(&global);
+        let mut got = det_reordered.observe_batch(&reordered);
+        want.sort_by_key(key);
+        got.sort_by_key(key);
+        assert_eq!(got, want);
+        // Each faulty call fires its specific rule plus the declared
+        // call-order rule.
+        assert_eq!(want.len(), 4, "{want:?}");
+        // Checkpoint catch-up must not double-report any of them.
+        let r = det_reordered.checkpoint(Nanos::new(50), &global, &HashMap::new());
+        assert!(
+            !r.violates_any(&[RuleId::St8DuplicateRequest, RuleId::St8ReleaseWithoutRequest]),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn terminate_frees_order_state_but_keeps_checking_a_resumed_caller() {
+        let (mut det, al) = detector_with_allocator(2);
+        let req = Event::enter(1, Nanos::new(10), M, Pid::new(1), al.request, true);
+        assert!(det.observe(&req).is_empty());
+        let term = Event::terminate(3, Nanos::new(30), M, Pid::new(1), al.request);
+        assert!(det.observe(&term).is_empty());
+        // A straggler (an event seq'd before the terminate, arriving
+        // late from a buffered batch) is dropped by the watermark, not
+        // re-applied to freshly reset state.
+        let straggler = Event::enter(2, Nanos::new(20), M, Pid::new(1), al.request, false);
+        let mut out = Vec::new();
+        assert_eq!(det.observe_into(&straggler, &mut out), 0);
+        assert!(out.is_empty());
+        // The Request-List survives the termination: the crashed holder
+        // must keep tripping the ST-8c hold timer.
+        assert!(det
+            .checker(M)
+            .unwrap()
+            .order()
+            .request_list()
+            .iter()
+            .any(|(p, _)| *p == Pid::new(1)));
+        // A caller that *resumes* after recovery (terminate_inside
+        // leaves the thread alive) is still checked: it still holds
+        // the right, so a fresh request is a duplicate…
+        let resumed = Event::enter(4, Nanos::new(40), M, Pid::new(1), al.request, false);
+        let vs = det.observe(&resumed);
+        assert!(vs.iter().any(|v| v.rule == RuleId::St8DuplicateRequest), "{vs:?}");
+        // …and the eventual release clears the hold.
+        let rel_enter = Event::enter(5, Nanos::new(50), M, Pid::new(1), al.release, true);
+        let _ = det.observe(&rel_enter);
+        let rel_exit =
+            Event::signal_exit(6, Nanos::new(60), M, Pid::new(1), al.release, None, false);
+        assert!(det.observe(&rel_exit).is_empty());
+        assert!(det.checker(M).unwrap().order().request_list().is_empty());
     }
 
     #[test]

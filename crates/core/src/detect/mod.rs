@@ -25,12 +25,23 @@
 //! partition across worker threads by [`service::shard_for`], events
 //! arrive in batches over bounded channels, and violations aggregate
 //! through a per-shard-counting collector.
+//!
+//! The [`backend`] module puts a uniform, pluggable API over all of
+//! it: [`DetectionBackend`] (where checking runs) × [`ProducerHandle`]
+//! (cheap per-thread ingestion handles that own their own batch
+//! buffers), with [`InlineBackend`], [`ShardedBackend`] and — adding a
+//! per-shard checkpoint [`scheduler`] — [`ScheduledBackend`] as the
+//! provided implementations.
 
 pub mod algorithm1;
 pub mod algorithm2;
 pub mod algorithm3;
+pub mod backend;
 mod engine;
+pub mod scheduler;
 pub mod service;
 
+pub use backend::{DetectionBackend, InlineBackend, ProducerHandle, ShardedBackend};
 pub use engine::{Detector, MonitorChecker};
+pub use scheduler::{ClockFn, ScheduledBackend, SchedulerConfig};
 pub use service::{ServiceConfig, ServiceStats, ShardStats, ShardedDetector};

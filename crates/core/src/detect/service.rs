@@ -33,12 +33,15 @@
 //! only the interleaving across *different* monitors differs, and every
 //! report is canonically re-sorted.
 //!
-//! **Ordering precondition.** That equivalence assumes a monitor's
-//! events are *ingested* in non-decreasing `seq` order — one ingesting
-//! thread, or producers that otherwise serialize their sends (as the
-//! `rmon-rt` backend does under its batch-buffer lock). The shard
-//! workers enforce the Algorithm-3 watermark, so an older event
-//! arriving after a newer one is skipped by the real-time checks
+//! **Ordering precondition.** That equivalence assumes each *caller's*
+//! events (per [`Pid`], per monitor) are ingested in non-decreasing
+//! `seq` order. Batches from different producers may interleave
+//! freely: the Algorithm-3 order state is keyed by caller, and the
+//! engine's watermarks are per-pid, so cross-pid reordering neither
+//! loses nor double-reports a check. One thread's events flowing
+//! through one [`crate::detect::ProducerHandle`] satisfy the
+//! precondition by construction (per-producer channel FIFO). An event
+//! at or below its pid's watermark is skipped by the real-time checks
 //! (periodic [`ShardedDetector::checkpoint`] replay of Algorithms 1–2
 //! is unaffected — the caller passes the full window there).
 //!
@@ -251,7 +254,7 @@ impl Collector {
 /// makes the service sequentially consistent per monitor without any
 /// cross-shard synchronisation.
 #[derive(Debug)]
-enum ShardMsg {
+pub(crate) enum ShardMsg {
     Register {
         monitor: MonitorId,
         spec: Arc<MonitorSpec>,
@@ -274,6 +277,11 @@ enum ShardMsg {
     Flush {
         reply: Sender<()>,
     },
+    /// Explicit worker termination: unlike channel disconnection (which
+    /// requires every cloned sender — including those held by
+    /// outstanding producer handles — to drop first), a `Shutdown`
+    /// message ends the worker as soon as its inbox drains to it.
+    Shutdown,
 }
 
 /// One shard worker: owns a private [`Detector`] and drains its inbox
@@ -307,6 +315,7 @@ fn shard_worker(
             ShardMsg::Flush { reply } => {
                 let _ = reply.send(());
             }
+            ShardMsg::Shutdown => break,
         }
     }
 }
@@ -355,7 +364,7 @@ fn shard_worker(
 pub struct ShardedDetector {
     cfg: DetectorConfig,
     senders: Vec<Sender<ShardMsg>>,
-    workers: Vec<thread::JoinHandle<()>>,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
     collector: Arc<Collector>,
 }
 
@@ -377,7 +386,7 @@ impl ShardedDetector {
             senders.push(tx);
             workers.push(handle);
         }
-        ShardedDetector { cfg, senders, workers, collector }
+        ShardedDetector { cfg, senders, workers: Mutex::new(workers), collector }
     }
 
     /// The timing configuration every shard's detector was built from.
@@ -546,23 +555,71 @@ impl ShardedDetector {
         std::mem::take(&mut self.collector.lock().violations)
     }
 
+    /// Stops the service: every shard receives an explicit shutdown
+    /// message (processed after all previously ingested batches — FIFO
+    /// again) and the worker threads are joined. Subsequent ingestion
+    /// is silently dropped, including sends from producer handles still
+    /// holding cloned inbox senders. Idempotent.
+    pub fn shutdown(&self) {
+        // The workers lock is held across send + join so a concurrent
+        // second caller blocks until the workers are actually gone —
+        // "returned from shutdown" must mean "stopped", not "somebody
+        // is stopping it". (The workers never take this lock, so
+        // blocking on a full inbox while holding it is plain
+        // backpressure, not a cycle.)
+        let mut workers = self.workers.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        if workers.is_empty() {
+            return;
+        }
+        for shard in 0..self.senders.len() {
+            self.send(shard, ShardMsg::Shutdown);
+        }
+        // Join (ignore panics: a dead shard already surfaced as
+        // dropped traffic).
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Clones of the per-shard inbox senders, in shard order — the raw
+    /// material of a producer handle or a checkpoint scheduler: a
+    /// thread that owns its own clones talks to the shards without
+    /// touching any state shared with other producers.
+    pub(crate) fn shard_senders(&self) -> Vec<Sender<ShardMsg>> {
+        self.senders.clone()
+    }
+
+    /// Timer-only checkpoint of one shard through detached sender
+    /// clones (no `&self` — this is what a scheduler thread, which
+    /// cannot borrow the service, runs per tick). Empty events and
+    /// snapshots: the shard checks its timers against its shard-local
+    /// lists and keeps them (pure event-stream mode).
+    pub(crate) fn checkpoint_on(
+        senders: &[Sender<ShardMsg>],
+        shard: usize,
+        now: Nanos,
+    ) -> FaultReport {
+        let (tx, rx) = bounded(1);
+        let _ = senders[shard].send(ShardMsg::Checkpoint {
+            now,
+            events: Vec::new(),
+            snapshots: HashMap::new(),
+            reply: tx,
+        });
+        rx.recv().unwrap_or_default()
+    }
+
     fn send(&self, shard: usize, msg: ShardMsg) {
-        // A send can only fail if the worker died (panicked); the
-        // service degrades to dropping that shard's traffic rather than
-        // poisoning every caller.
+        // A send can only fail if the worker died (panicked or shut
+        // down); the service degrades to dropping that shard's traffic
+        // rather than poisoning every caller.
         let _ = self.senders[shard].send(msg);
     }
 }
 
 impl Drop for ShardedDetector {
     fn drop(&mut self) {
-        // Disconnect every inbox so the workers' recv() loops end…
-        self.senders.clear();
-        // …then join them (ignore panics: a dead shard already
-        // surfaced as dropped traffic).
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -784,5 +841,46 @@ mod tests {
         svc.observe_batch(&[]);
         svc.flush();
         assert_eq!(svc.stats().total_batches(), 0);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_processes_prior_batches() {
+        let (spec, al) = allocator_spec();
+        let svc = service(2);
+        let m = MonitorId::new(1);
+        svc.register_empty(m, Arc::clone(&spec), Nanos::ZERO);
+        svc.observe(Event::enter(1, Nanos::new(10), m, Pid::new(1), al.release, true));
+        svc.shutdown();
+        svc.shutdown(); // second call must be a no-op
+                        // The batch ingested before shutdown was processed (FIFO).
+        assert!(!svc.drain_violations().is_empty());
+        // Ingestion after shutdown is dropped, not a panic or a hang.
+        svc.observe(Event::enter(2, Nanos::new(20), m, Pid::new(1), al.release, true));
+        assert!(svc.drain_violations().is_empty());
+    }
+
+    #[test]
+    fn checkpoint_on_sweeps_only_the_addressed_shard() {
+        // A timer-only sweep over detached sender clones — the
+        // scheduler's per-tick primitive: only the shard owning the
+        // monitor reports its expired hold.
+        let (spec, al) = allocator_spec();
+        let cfg = DetectorConfig::builder()
+            .t_max(Nanos::from_secs(100))
+            .t_io(Nanos::from_secs(100))
+            .t_limit(Nanos::from_millis(1))
+            .build();
+        let svc = ShardedDetector::new(cfg, ServiceConfig::new(4));
+        let m = MonitorId::new(3);
+        let shard = svc.shard_of(m);
+        svc.register_empty(m, Arc::clone(&spec), Nanos::ZERO);
+        svc.observe(Event::enter(1, Nanos::new(10), m, Pid::new(1), al.request, true));
+        svc.flush();
+        let senders = svc.shard_senders();
+        let late = Nanos::from_secs(1);
+        let other = ShardedDetector::checkpoint_on(&senders, (shard + 1) % 4, late);
+        assert!(other.is_clean(), "{other}");
+        let owner = ShardedDetector::checkpoint_on(&senders, shard, late);
+        assert!(owner.violates_any(&[RuleId::St8HoldTimeout]), "{owner}");
     }
 }

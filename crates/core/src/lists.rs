@@ -779,6 +779,16 @@ impl OrderState {
         }
     }
 
+    /// Frees a terminated caller's declared-call-order state (its NFA
+    /// state set) so long-running detectors don't accumulate state for
+    /// every process that ever called. The Request-List entry, if any,
+    /// is deliberately **kept**: a process that died holding an access
+    /// right must keep tripping the ST-8c hold timer until recovery
+    /// intervenes.
+    pub fn forget_caller(&mut self, pid: Pid) {
+        self.order_states.remove(&pid);
+    }
+
     /// Non-mutating lookahead: would an `Enter` of `proc_name` by
     /// `pid` violate ST-8 right now? Used by runtimes that *prevent*
     /// faulty calls instead of merely reporting them.

@@ -72,7 +72,9 @@ pub use monitor::{Monitor, MonitorGuard};
 pub use raw::RawCore;
 pub use recorder::Recorder;
 pub use recovery::{RecoveryAction, RecoveryChecker, RecoveryLog};
-pub use runtime::{DetectorBackend, OrderPolicy, Runtime, RuntimeBuilder};
+#[allow(deprecated)]
+pub use runtime::DetectorBackend;
+pub use runtime::{OrderPolicy, Runtime, RuntimeBuilder};
 
 #[cfg(test)]
 mod crate_tests {

@@ -1,18 +1,56 @@
-//! Thread → process-identifier registry.
+//! Thread → process-identifier and thread → producer-handle registry.
 //!
 //! The detection model identifies callers by [`Pid`]. Real threads get
 //! their pid from a process-wide counter, cached in a thread-local, so
 //! every recorded event attributes correctly without threading pids
 //! through every call.
+//!
+//! The same thread-locality carries the ingestion side of the
+//! detection API: each (thread, runtime) pair owns one
+//! [`ProducerHandle`], created lazily on the thread's first observed
+//! event and reached through the crate-private `with_producer`. The
+//! hot path therefore
+//! touches only thread-local state plus whatever the handle itself
+//! owns — no mutex shared between observing threads. One thread = one
+//! [`Pid`] = one handle is also what upholds the backends' per-caller
+//! ordering precondition (see `rmon_core::detect::backend`).
+
+use rmon_core::detect::{DetectionBackend, ProducerHandle};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 use rmon_core::Pid;
-use std::cell::Cell;
-use std::sync::atomic::{AtomicU32, Ordering};
 
 static NEXT_PID: AtomicU32 = AtomicU32::new(1);
 
 thread_local! {
     static CURRENT: Cell<Option<Pid>> = const { Cell::new(None) };
+    /// This thread's producer handles, keyed by runtime token. Entries
+    /// whose backend has shut down (their runtime is gone) are pruned
+    /// whenever a new handle is installed.
+    static PRODUCERS: RefCell<Vec<(u64, Box<dyn ProducerHandle>)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` over the calling thread's producer handle for the runtime
+/// identified by `token`, installing a fresh handle from `backend` on
+/// first use.
+pub(crate) fn with_producer<R>(
+    token: u64,
+    backend: &Arc<dyn DetectionBackend>,
+    f: impl FnOnce(&mut dyn ProducerHandle) -> R,
+) -> R {
+    PRODUCERS.with(|cell| {
+        let mut handles = cell.borrow_mut();
+        if let Some(entry) = handles.iter_mut().find(|(t, _)| *t == token) {
+            return f(entry.1.as_mut());
+        }
+        handles.retain(|(_, h)| !h.is_closed());
+        handles.push((token, backend.producer()));
+        let entry = handles.last_mut().expect("just pushed");
+        f(entry.1.as_mut())
+    })
 }
 
 /// The calling thread's pid, assigning a fresh one on first use.

@@ -1,20 +1,33 @@
-//! The robust-monitor runtime: shared recorder, detector, snapshot
-//! registry and the pause lock that suspends monitor operations during
-//! checking (the paper: *"upon detection, all other running processes
-//! are suspended and are resumed only after the checking has
-//! finished"*).
+//! The robust-monitor runtime: shared recorder, pluggable detection
+//! backend, snapshot registry and the pause lock that suspends monitor
+//! operations during checking (the paper: *"upon detection, all other
+//! running processes are suspended and are resumed only after the
+//! checking has finished"*).
+//!
+//! Detection is behind the [`DetectionBackend`] trait: the runtime
+//! holds an `Arc<dyn DetectionBackend>` and each observing thread
+//! ingests through its own per-thread
+//! [`ProducerHandle`](rmon_core::detect::ProducerHandle) (see
+//! [`crate::registry`]), so the hot path acquires no mutex shared
+//! between threads. [`InlineBackend`] keeps the paper's shape (one
+//! detector, synchronous checks); [`ShardedBackend`] and
+//! [`ScheduledBackend`](rmon_core::detect::ScheduledBackend) move the
+//! checking work onto worker shards.
 
 use crate::raw::RawCore;
 use crate::recorder::Recorder;
+use crate::registry;
 use parking_lot::{Mutex, RwLock};
-use rmon_core::detect::{Detector, ServiceConfig, ShardedDetector};
+use rmon_core::detect::{
+    ClockFn, DetectionBackend, InlineBackend, ServiceConfig, ServiceStats, ShardedBackend,
+};
 use rmon_core::{
     DetectorConfig, Event, EventKind, FaultReport, MonitorId, Nanos, Pid, ProcName, ProcRole,
     RuleId, Violation,
 };
 use std::collections::HashMap;
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
@@ -30,78 +43,83 @@ pub enum OrderPolicy {
     Deny,
 }
 
-/// Which detection engine the runtime drives.
+/// Legacy backend selector, superseded by passing a
+/// [`DetectionBackend`] to [`RuntimeBuilder::backend`] (or a factory to
+/// [`RuntimeBuilder::backend_with`]).
 ///
-/// `Inline` is the paper's shape: one [`Detector`] behind one lock,
-/// checked synchronously. `Sharded` routes the same event stream
-/// through a [`ShardedDetector`] — monitors partition across worker
-/// shards and observed events are ingested in batches — which is the
-/// scaling backend for runtimes hosting many monitors. Detection
-/// results are identical; only where the checking work runs differs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// The enum survives as a convenience constructor: existing call sites
+/// keep compiling, and each variant materializes into the trait
+/// implementation that replaced it ([`InlineBackend`] /
+/// [`ShardedBackend`]). New code — and anything that wants the
+/// scheduled backend or a custom engine — should use the trait.
+#[deprecated(
+    since = "0.1.0",
+    note = "construct a detection backend directly: \
+            `RuntimeBuilder::backend(Arc::new(ShardedBackend::new(..)))` \
+            (see rmon_core::detect)"
+)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DetectorBackend {
-    /// One inline [`Detector`] (today's default; zero extra threads).
-    #[default]
+    /// One inline detector (the default; zero extra threads).
     Inline,
-    /// A [`ShardedDetector`] with `shards` worker threads; real-time
-    /// observations are buffered and flushed to the service in batches
-    /// of `batch` events (amortising dispatch), and always before any
-    /// checkpoint or synchronous order query.
+    /// A sharded detection service with `shards` worker threads;
+    /// producer handles buffer `batch` events before flushing.
     Sharded {
         /// Worker shard count (clamped to at least 1).
         shards: usize,
-        /// Observe-path batch size (clamped to at least 1).
+        /// Per-handle ingest batch size (clamped to at least 1).
         batch: usize,
     },
 }
 
-/// The backend behind [`RtInner`]: the inline detector, or the sharded
-/// service plus its observe-path batch buffer.
-enum BackendImpl {
-    Inline(Mutex<Detector>),
-    Sharded { service: ShardedDetector, pending: Mutex<Vec<Event>>, batch: usize },
-}
-
-impl BackendImpl {
-    fn new(cfg: DetectorConfig, backend: DetectorBackend) -> Self {
-        match backend {
-            DetectorBackend::Inline => BackendImpl::Inline(Mutex::new(Detector::new(cfg))),
-            DetectorBackend::Sharded { shards, batch } => BackendImpl::Sharded {
-                service: ShardedDetector::new(cfg, ServiceConfig::new(shards)),
-                pending: Mutex::new(Vec::new()),
-                batch: batch.max(1),
-            },
-        }
-    }
-
-    /// Pushes any buffered observe-path events into the sharded
-    /// service. No-op for the inline backend.
-    ///
-    /// The send happens **while holding the pending lock**: the shard
-    /// workers drop events at or below their Algorithm-3 watermark, so
-    /// two flushers racing the send outside the lock could deliver a
-    /// monitor's batches out of seq order and silently lose the older
-    /// batch's order checks. Serializing take-and-send keeps every
-    /// shard's inbox seq-ordered per monitor. (No lock cycle: the
-    /// workers never touch this lock, so blocking on a full bounded
-    /// inbox here is plain backpressure.)
-    fn flush_pending(&self) {
-        if let BackendImpl::Sharded { service, pending, .. } = self {
-            let mut pend = pending.lock();
-            if !pend.is_empty() {
-                let events = std::mem::take(&mut *pend);
-                service.observe_batch(&events);
+#[allow(deprecated)]
+impl DetectorBackend {
+    /// Materializes the legacy selector into its trait implementation.
+    fn materialize(self, cfg: DetectorConfig) -> Arc<dyn DetectionBackend> {
+        match self {
+            DetectorBackend::Inline => Arc::new(InlineBackend::new(cfg)),
+            DetectorBackend::Sharded { shards, batch } => {
+                Arc::new(ShardedBackend::new(cfg, ServiceConfig::new(shards)).with_batch(batch))
             }
         }
     }
 }
 
+/// How a [`RuntimeBuilder`] obtains its backend at build time.
+#[derive(Clone)]
+enum BackendChoice {
+    /// The default: an [`InlineBackend`] over the builder's config.
+    Default,
+    /// A backend the caller constructed.
+    Ready(Arc<dyn DetectionBackend>),
+    /// A factory invoked with the runtime's detection config and the
+    /// recorder's clock — the way to build a backend (for example a
+    /// scheduled one) whose internal timers run on the same time axis
+    /// events are stamped with.
+    Factory(Arc<dyn Fn(DetectorConfig, ClockFn) -> Arc<dyn DetectionBackend> + Send + Sync>),
+}
+
+impl std::fmt::Debug for BackendChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendChoice::Default => f.write_str("Default"),
+            BackendChoice::Ready(b) => write!(f, "Ready({})", b.label()),
+            BackendChoice::Factory(_) => f.write_str("Factory(..)"),
+        }
+    }
+}
+
+/// Process-wide runtime token source: keys the per-thread producer
+/// handles, so one thread can observe into several runtimes (tests do)
+/// without their handles colliding.
+static NEXT_RT_TOKEN: AtomicU64 = AtomicU64::new(1);
+
 /// Shared state behind [`Runtime`].
 pub(crate) struct RtInner {
-    pub(crate) recorder: Recorder,
+    pub(crate) recorder: Arc<Recorder>,
     cfg: DetectorConfig,
-    backend: BackendImpl,
-    backend_kind: DetectorBackend,
+    backend: Arc<dyn DetectionBackend>,
+    token: u64,
     pub(crate) pause: RwLock<()>,
     pub(crate) park_timeout: Duration,
     pub(crate) order_policy: OrderPolicy,
@@ -111,15 +129,16 @@ pub(crate) struct RtInner {
     realtime: Mutex<Vec<Violation>>,
     /// Monitors with calling-order concerns (a declared path
     /// expression or Request/Release-role procedures). Only their
-    /// events need the synchronous real-time check; everything else is
-    /// covered by the periodic checkpoint catch-up, so the hot path
-    /// skips the detector lock.
+    /// events need the real-time check; everything else is covered by
+    /// the periodic checkpoint catch-up, so the hot path skips the
+    /// producer handle entirely.
     order_monitors: Mutex<HashSet<MonitorId>>,
 }
 
 impl std::fmt::Debug for RtInner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RtInner")
+            .field("backend", &self.backend.label())
             .field("park_timeout", &self.park_timeout)
             .field("order_policy", &self.order_policy)
             .field("events", &self.recorder.total())
@@ -145,89 +164,52 @@ impl RtInner {
         }
         let initial = spec.empty_state();
         let now = self.recorder.now();
-        match &self.backend {
-            BackendImpl::Inline(det) => {
-                det.lock().register(core.id(), Arc::clone(spec), &initial, now);
-            }
-            BackendImpl::Sharded { service, .. } => {
-                service.register(core.id(), Arc::clone(spec), &initial, now);
-            }
-        }
+        self.backend.register(core.id(), Arc::clone(spec), &initial, now);
     }
 
-    /// Records an event and runs the real-time (Algorithm-3) checks.
-    ///
-    /// With the [`DetectorBackend::Sharded`] backend the check is
-    /// asynchronous: the event joins the batch buffer (flushed to the
-    /// service at the batch size) and the returned vector is empty —
-    /// violations surface through the collector at the next checkpoint
-    /// or violation query.
+    /// Records an event and feeds the real-time (Algorithm-3) path:
+    /// the event joins the calling thread's producer handle, which
+    /// owns its own batch buffer — no cross-thread lock on this path.
+    /// Violations surface through the backend collector at the next
+    /// checkpoint or violation query.
     pub(crate) fn record_observe(
         &self,
         monitor: MonitorId,
         pid: Pid,
         proc_name: ProcName,
         kind: EventKind,
-    ) -> Vec<Violation> {
+    ) {
         let event = self.recorder.record(monitor, pid, proc_name, kind);
         if !self.order_monitors.lock().contains(&monitor) {
             // No calling-order concerns: the periodic checkpoint's
             // Algorithm-3 catch-up covers this event; skip the
-            // synchronous detector pass on the hot path.
-            return Vec::new();
+            // real-time ingestion entirely.
+            return;
         }
-        match &self.backend {
-            BackendImpl::Inline(det) => {
-                let vs = det.lock().observe(&event);
-                if !vs.is_empty() {
-                    self.realtime.lock().extend(vs.iter().cloned());
-                }
-                vs
-            }
-            BackendImpl::Sharded { service, pending, batch } => {
-                // The send stays under the pending lock — see
-                // `flush_pending` for why reordered sends would lose
-                // order checks to the shard watermarks.
-                let mut pend = pending.lock();
-                pend.push(event);
-                if pend.len() >= *batch {
-                    let events = std::mem::take(&mut *pend);
-                    service.observe_batch(&events);
-                }
-                Vec::new()
-            }
-        }
+        registry::with_producer(self.token, &self.backend, |p| p.observe(event));
     }
 
-    /// Non-mutating real-time calling-order lookahead, routed to the
-    /// active backend (pending sharded batches are flushed first so the
-    /// answer reflects every recorded event).
+    /// Non-mutating real-time calling-order lookahead. The calling
+    /// thread's handle is flushed first, so the answer reflects every
+    /// event *this* thread already recorded — which, with per-caller
+    /// order state, is exactly what the verdict depends on.
     pub(crate) fn call_would_violate(
         &self,
         monitor: MonitorId,
         pid: Pid,
         proc_name: ProcName,
     ) -> Option<RuleId> {
-        match &self.backend {
-            BackendImpl::Inline(det) => det.lock().call_would_violate(monitor, pid, proc_name),
-            BackendImpl::Sharded { service, .. } => {
-                self.backend.flush_pending();
-                service.call_would_violate(monitor, pid, proc_name)
-            }
-        }
+        registry::with_producer(self.token, &self.backend, |p| p.flush());
+        self.backend.call_would_violate(monitor, pid, proc_name)
     }
 
-    /// Moves violations the sharded collector has accumulated into the
-    /// runtime's real-time list. No-op for the inline backend (which
-    /// appends synchronously in [`Self::record_observe`]).
+    /// Moves violations the backend has collected into the runtime's
+    /// real-time list, after flushing the calling thread's handle.
     pub(crate) fn drain_backend_violations(&self) {
-        if let BackendImpl::Sharded { service, .. } = &self.backend {
-            self.backend.flush_pending();
-            service.flush();
-            let vs = service.drain_violations();
-            if !vs.is_empty() {
-                self.realtime.lock().extend(vs);
-            }
+        registry::with_producer(self.token, &self.backend, |p| p.flush());
+        let vs = self.backend.drain_violations();
+        if !vs.is_empty() {
+            self.realtime.lock().extend(vs);
         }
     }
 
@@ -267,7 +249,12 @@ impl RtInner {
 
     /// Runs one checkpoint: suspends monitor operations, drains the
     /// window, snapshots every live monitor, and invokes the periodic
-    /// checking routine.
+    /// checking routine on the backend.
+    ///
+    /// Events still buffered in *other* threads' producer handles are
+    /// not lost: the drained window contains them (the recorder is the
+    /// source of truth) and the backend's per-caller watermarks
+    /// deduplicate their eventual arrival.
     pub(crate) fn checkpoint_now(&self) -> FaultReport {
         let _w = self.pause.write();
         let now = self.recorder.now();
@@ -278,23 +265,36 @@ impl RtInner {
                 snaps.insert(core.id(), core.snapshot_queues());
             }
         }
-        let report = match &self.backend {
-            BackendImpl::Inline(det) => det.lock().checkpoint(now, &events, &snaps),
-            BackendImpl::Sharded { service, .. } => {
-                // Everything observed so far must reach the shards
-                // before they check, and their collected real-time
-                // violations must land in the runtime's list.
-                self.drain_backend_violations();
-                service.checkpoint(now, &events, &snaps)
-            }
-        };
+        registry::with_producer(self.token, &self.backend, |p| p.flush());
+        let report = self.backend.checkpoint(now, &events, &snaps);
+        // Real-time violations found by the backend up to the
+        // checkpoint barrier land in the runtime's list now.
+        let vs = self.backend.drain_violations();
+        if !vs.is_empty() {
+            self.realtime.lock().extend(vs);
+        }
         self.reports.lock().push(report.clone());
         report
     }
 }
 
+impl Drop for RtInner {
+    fn drop(&mut self) {
+        // Stop backend threads and mark the per-thread handles closed,
+        // so stale handles on still-living threads get pruned — but
+        // only when this runtime is the backend's sole owner. A caller
+        // who kept their own `Arc` (or handed it elsewhere) keeps a
+        // live backend; its own drop shuts it down when the last
+        // reference goes.
+        if Arc::strong_count(&self.backend) == 1 {
+            self.backend.shutdown();
+        }
+    }
+}
+
 /// Handle to a robust-monitor runtime. Cheap to clone; monitors created
-/// against it share one recorder, one detector and one checker.
+/// against it share one recorder, one detection backend and one
+/// checker.
 #[derive(Debug, Clone)]
 pub struct Runtime {
     pub(crate) inner: Arc<RtInner>,
@@ -302,7 +302,8 @@ pub struct Runtime {
 
 impl Runtime {
     /// Creates a runtime with the given detection configuration and
-    /// defaults (5 s park timeout, [`OrderPolicy::Report`]).
+    /// defaults (5 s park timeout, [`OrderPolicy::Report`], inline
+    /// backend).
     pub fn new(cfg: DetectorConfig) -> Self {
         Self::builder(cfg).build()
     }
@@ -313,7 +314,7 @@ impl Runtime {
             cfg,
             park_timeout: Duration::from_secs(5),
             order_policy: OrderPolicy::Report,
-            backend: DetectorBackend::Inline,
+            backend: BackendChoice::Default,
         }
     }
 
@@ -339,23 +340,24 @@ impl Runtime {
         self.inner.reports.lock().clone()
     }
 
-    /// The backend the runtime was built with.
-    pub fn detector_backend(&self) -> DetectorBackend {
-        self.inner.backend_kind
+    /// The detection backend the runtime drives.
+    pub fn backend(&self) -> &Arc<dyn DetectionBackend> {
+        &self.inner.backend
     }
 
-    /// Per-shard ingestion counters of the sharded backend; `None` for
-    /// [`DetectorBackend::Inline`]. Pending batches are flushed first,
-    /// so the snapshot is quiescent.
-    pub fn service_stats(&self) -> Option<rmon_core::detect::ServiceStats> {
-        match &self.inner.backend {
-            BackendImpl::Inline(_) => None,
-            BackendImpl::Sharded { service, .. } => {
-                self.inner.backend.flush_pending();
-                service.flush();
-                Some(service.stats())
-            }
-        }
+    /// The backend's diagnostic label (`"inline"`, `"sharded"`,
+    /// `"scheduled"`, …).
+    pub fn backend_label(&self) -> &'static str {
+        self.inner.backend.label()
+    }
+
+    /// Ingestion counters, uniform across backends: per-shard entries
+    /// for sharded backends, a single pseudo-shard for inline. The
+    /// calling thread's handle is flushed first, so the snapshot
+    /// covers everything this thread observed.
+    pub fn service_stats(&self) -> ServiceStats {
+        registry::with_producer(self.inner.token, &self.inner.backend, |p| p.flush());
+        self.inner.backend.stats()
     }
 
     /// All real-time (calling-order) violations so far.
@@ -396,7 +398,7 @@ pub struct RuntimeBuilder {
     cfg: DetectorConfig,
     park_timeout: Duration,
     order_policy: OrderPolicy,
-    backend: DetectorBackend,
+    backend: BackendChoice,
 }
 
 impl RuntimeBuilder {
@@ -414,21 +416,86 @@ impl RuntimeBuilder {
         self
     }
 
-    /// Selects the detection backend (default
-    /// [`DetectorBackend::Inline`]).
+    /// Installs a detection backend the caller constructed (default:
+    /// an [`InlineBackend`] over the builder's config).
+    ///
+    /// Prefer [`Self::backend_with`] for backends with internal timers
+    /// (the scheduled backend), so they run on the recorder's clock.
+    ///
+    /// The backend must be **exclusive to this runtime**: runtimes
+    /// allocate their monitor ids independently, so two runtimes
+    /// registering into one backend would collide in its monitor
+    /// namespace. The runtime shuts the backend down when it is
+    /// dropped as the sole owner; callers that keep their own `Arc`
+    /// keep it alive (and responsible for its shutdown).
+    pub fn backend(mut self, backend: Arc<dyn DetectionBackend>) -> Self {
+        self.backend = BackendChoice::Ready(backend);
+        self
+    }
+
+    /// Installs a backend *factory*, invoked at [`Self::build`] with
+    /// the detection config and the runtime recorder's clock — event
+    /// timestamps and backend-internal timers then share one time
+    /// axis.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rmon_core::detect::{ScheduledBackend, SchedulerConfig, ServiceConfig};
+    /// use rmon_core::DetectorConfig;
+    /// use rmon_rt::Runtime;
+    /// use std::sync::Arc;
+    ///
+    /// let rt = Runtime::builder(DetectorConfig::default())
+    ///     .backend_with(|cfg, clock| {
+    ///         Arc::new(ScheduledBackend::with_clock(
+    ///             cfg,
+    ///             ServiceConfig::new(4),
+    ///             SchedulerConfig::default(),
+    ///             clock,
+    ///         ))
+    ///     })
+    ///     .build();
+    /// assert_eq!(rt.backend_label(), "scheduled");
+    /// ```
+    pub fn backend_with(
+        mut self,
+        factory: impl Fn(DetectorConfig, ClockFn) -> Arc<dyn DetectionBackend> + Send + Sync + 'static,
+    ) -> Self {
+        self.backend = BackendChoice::Factory(Arc::new(factory));
+        self
+    }
+
+    /// Selects a backend through the legacy enum.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use RuntimeBuilder::backend / backend_with with a \
+                rmon_core::detect backend"
+    )]
+    #[allow(deprecated)]
     pub fn detector_backend(mut self, backend: DetectorBackend) -> Self {
-        self.backend = backend;
+        self.backend = BackendChoice::Ready(backend.materialize(self.cfg));
         self
     }
 
     /// Finishes the runtime.
     pub fn build(self) -> Runtime {
+        let recorder = Arc::new(Recorder::new());
+        let backend = match self.backend {
+            BackendChoice::Default => Arc::new(InlineBackend::new(self.cfg)) as _,
+            BackendChoice::Ready(backend) => backend,
+            BackendChoice::Factory(factory) => {
+                let r = Arc::clone(&recorder);
+                let clock: ClockFn = Arc::new(move || r.now());
+                factory(self.cfg, clock)
+            }
+        };
         Runtime {
             inner: Arc::new(RtInner {
-                recorder: Recorder::new(),
+                recorder,
                 cfg: self.cfg,
-                backend: BackendImpl::new(self.cfg, self.backend),
-                backend_kind: self.backend,
+                backend,
+                token: NEXT_RT_TOKEN.fetch_add(1, Ordering::Relaxed),
                 pause: RwLock::new(()),
                 park_timeout: self.park_timeout,
                 order_policy: self.order_policy,
@@ -445,6 +512,7 @@ impl RuntimeBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rmon_core::detect::{ScheduledBackend, SchedulerConfig};
 
     #[test]
     fn runtime_defaults() {
@@ -474,15 +542,51 @@ mod tests {
     }
 
     #[test]
-    fn default_backend_is_inline() {
+    fn default_backend_is_inline_with_uniform_stats() {
         let rt = Runtime::new(DetectorConfig::default());
-        assert_eq!(rt.detector_backend(), DetectorBackend::Inline);
-        assert!(rt.service_stats().is_none());
+        assert_eq!(rt.backend_label(), "inline");
+        let stats = rt.service_stats();
+        assert_eq!(stats.shard_count(), 1);
+        assert_eq!(stats.total_events(), 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_enum_still_selects_backends() {
+        let rt = Runtime::builder(DetectorConfig::without_timeouts())
+            .detector_backend(DetectorBackend::Sharded { shards: 2, batch: 4 })
+            .park_timeout(Duration::from_millis(200))
+            .build();
+        assert_eq!(rt.backend_label(), "sharded");
+        let al = crate::ResourceAllocator::new(&rt, "res", 1);
+        al.request().unwrap();
+        al.release().unwrap();
+        assert!(rt.checkpoint_now().is_clean());
+        assert_eq!(rt.service_stats().shard_count(), 2);
     }
 
     fn sharded_rt(shards: usize, batch: usize) -> Runtime {
         Runtime::builder(DetectorConfig::without_timeouts())
-            .detector_backend(DetectorBackend::Sharded { shards, batch })
+            .backend_with(move |cfg, _clock| {
+                Arc::new(ShardedBackend::new(cfg, ServiceConfig::new(shards)).with_batch(batch))
+            })
+            .park_timeout(Duration::from_millis(200))
+            .build()
+    }
+
+    fn scheduled_rt(shards: usize, batch: usize) -> Runtime {
+        Runtime::builder(DetectorConfig::without_timeouts())
+            .backend_with(move |cfg, clock| {
+                Arc::new(
+                    ScheduledBackend::with_clock(
+                        cfg,
+                        ServiceConfig::new(shards),
+                        SchedulerConfig::new(Duration::from_millis(1)),
+                        clock,
+                    )
+                    .with_batch(batch),
+                )
+            })
             .park_timeout(Duration::from_millis(200))
             .build()
     }
@@ -498,7 +602,7 @@ mod tests {
         }
         assert!(rt.checkpoint_now().is_clean());
         assert!(rt.is_clean());
-        let stats = rt.service_stats().expect("sharded backend has stats");
+        let stats = rt.service_stats();
         assert_eq!(stats.shard_count(), 4);
         assert_eq!(stats.shards.iter().map(|s| s.monitors).sum::<u64>(), 8);
         // Each request/release records Enter + Signal-Exit: 8 monitors
@@ -522,9 +626,25 @@ mod tests {
     }
 
     #[test]
+    fn scheduled_backend_behaves_like_sharded_for_order_faults() {
+        let rt = scheduled_rt(2, 4);
+        assert_eq!(rt.backend_label(), "scheduled");
+        let al = crate::ResourceAllocator::new(&rt, "res", 2);
+        al.request().unwrap();
+        let _ = al.request();
+        let vs = rt.realtime_violations();
+        assert!(
+            vs.iter().any(|v| v.rule == rmon_core::RuleId::St8DuplicateRequest),
+            "scheduled backend must surface the duplicate request: {vs:?}"
+        );
+    }
+
+    #[test]
     fn sharded_backend_deny_policy_uses_synchronous_lookahead() {
         let rt = Runtime::builder(DetectorConfig::without_timeouts())
-            .detector_backend(DetectorBackend::Sharded { shards: 3, batch: 16 })
+            .backend_with(|cfg, _clock| {
+                Arc::new(ShardedBackend::new(cfg, ServiceConfig::new(3)).with_batch(16))
+            })
             .order_policy(OrderPolicy::Deny)
             .build();
         let al = crate::ResourceAllocator::new(&rt, "res", 1);
@@ -534,5 +654,128 @@ mod tests {
         al.request().unwrap();
         al.release().unwrap();
         assert!(rt.checkpoint_now().is_clean());
+    }
+
+    /// Runs a deterministic faulty two-thread script under
+    /// [`OrderPolicy::Deny`] and returns each thread's denial trace:
+    /// for every call, the rule the lookahead denied it with (if any).
+    ///
+    /// Two producer threads mean the synchronous `call_would_violate`
+    /// races with the *other* thread's in-flight batches — the point
+    /// of the satellite test: per-pid order state plus
+    /// flush-own-handle-first makes every verdict depend only on the
+    /// calling thread's own (already flushed) history, so the traces
+    /// are deterministic and backend-independent.
+    fn deny_trace(rt: &Runtime) -> Vec<Vec<Option<RuleId>>> {
+        let allocators: Vec<_> =
+            (0..4).map(|i| crate::ResourceAllocator::new(rt, &format!("r{i}"), 2)).collect();
+        let mut joins = Vec::new();
+        for _ in 0..2 {
+            let als = allocators.clone();
+            joins.push(std::thread::spawn(move || {
+                let rule_of = |r: Result<(), crate::MonitorError>| match r {
+                    Ok(()) => None,
+                    Err(crate::MonitorError::Denied(v)) => Some(v.rule),
+                    Err(e) => panic!("unexpected error: {e:?}"),
+                };
+                let mut outcomes = Vec::new();
+                for _ in 0..10 {
+                    for al in &als {
+                        // request, duplicate request (denied), release,
+                        // double release (denied).
+                        outcomes.push(rule_of(al.request()));
+                        outcomes.push(rule_of(al.request()));
+                        outcomes.push(rule_of(al.release()));
+                        outcomes.push(rule_of(al.release()));
+                    }
+                }
+                outcomes
+            }));
+        }
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn deny_lookahead_with_concurrent_producers_matches_inline() {
+        let make = |label: &str| -> Runtime {
+            let b = Runtime::builder(DetectorConfig::without_timeouts())
+                .order_policy(OrderPolicy::Deny)
+                .park_timeout(Duration::from_millis(500));
+            match label {
+                "inline" => b.build(),
+                "sharded" => b
+                    .backend_with(|cfg, _clock| {
+                        // batch 3: deliberately misaligned with the
+                        // 4-call pattern so flush points drift.
+                        Arc::new(ShardedBackend::new(cfg, ServiceConfig::new(4)).with_batch(3))
+                    })
+                    .build(),
+                "scheduled" => b
+                    .backend_with(|cfg, clock| {
+                        Arc::new(
+                            ScheduledBackend::with_clock(
+                                cfg,
+                                ServiceConfig::new(4),
+                                SchedulerConfig::new(Duration::from_millis(1)),
+                                clock,
+                            )
+                            .with_batch(3),
+                        )
+                    })
+                    .build(),
+                _ => unreachable!(),
+            }
+        };
+        let inline_rt = make("inline");
+        let want = deny_trace(&inline_rt);
+        assert!(inline_rt.checkpoint_now().is_clean(), "denied calls never execute");
+        assert!(
+            want.iter().flatten().any(|o| o == &Some(RuleId::St8DuplicateRequest)),
+            "the script must exercise denials: {want:?}"
+        );
+        for label in ["sharded", "scheduled"] {
+            let rt = make(label);
+            let got = deny_trace(&rt);
+            assert_eq!(got, want, "{label} denial trace must match inline");
+            let report = rt.checkpoint_now();
+            assert!(report.is_clean(), "{label}: {report}");
+            assert!(rt.is_clean(), "{label}");
+        }
+    }
+
+    #[test]
+    fn dropping_a_runtime_leaves_a_caller_shared_backend_open() {
+        let backend: Arc<dyn DetectionBackend> = Arc::new(ShardedBackend::new(
+            DetectorConfig::without_timeouts(),
+            ServiceConfig::new(2),
+        ));
+        let rt = Runtime::builder(DetectorConfig::without_timeouts())
+            .backend(Arc::clone(&backend))
+            .build();
+        let probe = backend.producer();
+        drop(rt);
+        // The caller still holds the backend: it must not have been
+        // shut down under them.
+        assert!(!probe.is_closed(), "shared backend must survive the runtime");
+        drop(probe);
+        drop(backend); // last owner: workers join here
+    }
+
+    #[test]
+    fn two_runtimes_on_one_thread_keep_separate_handles() {
+        // The per-thread handle registry is keyed by runtime token: the
+        // same thread observing into two runtimes must not cross their
+        // streams.
+        let a = sharded_rt(2, 64);
+        let b = sharded_rt(2, 64);
+        let al_a = crate::ResourceAllocator::new(&a, "res", 1);
+        let al_b = crate::ResourceAllocator::new(&b, "res", 1);
+        al_a.request().unwrap();
+        // Only runtime B sees a release-without-request.
+        let _ = al_b.release();
+        assert!(!b.is_clean());
+        al_a.release().unwrap();
+        assert!(a.checkpoint_now().is_clean());
+        assert!(a.is_clean());
     }
 }

@@ -5,7 +5,7 @@
 //! checking routine fires every `check_interval` of virtual time.
 
 use crate::kernel::{Sim, StepOutcome};
-use rmon_core::detect::Detector;
+use rmon_core::detect::DetectionBackend;
 use rmon_core::{DetectorConfig, FaultReport, Nanos, Violation};
 
 /// Everything a detection-enabled run produced.
@@ -46,17 +46,47 @@ impl RunOutcome {
 }
 
 /// Drives `sim` to completion (or to its time/step bounds) with a
-/// [`Detector`] attached, checkpointing every
+/// [`rmon_core::detect::Detector`] attached, checkpointing every
 /// [`DetectorConfig::check_interval`] of virtual time.
+///
+/// This is [`run_with_backend`] over an
+/// [`InlineBackend`](rmon_core::detect::InlineBackend) — one driver
+/// loop serves every backend; the inline backend's synchronous checks
+/// reproduce the paper's prototype wiring exactly.
 pub fn run_with_detection(sim: &mut Sim, det_cfg: DetectorConfig) -> RunOutcome {
-    let mut det = Detector::new(det_cfg);
+    let backend = rmon_core::detect::InlineBackend::new(det_cfg);
+    run_with_backend(sim, &backend, det_cfg.check_interval)
+}
+
+/// Drives `sim` to completion (or to its time/step bounds) against any
+/// [`DetectionBackend`] — the virtual-time twin of how `rmon-rt` wires
+/// a runtime to the trait: fresh events flow through one
+/// [`rmon_core::detect::ProducerHandle`] (the simulator is one
+/// ingesting "thread"), and the periodic checking routine fires every
+/// `check_interval` of virtual time via
+/// [`DetectionBackend::checkpoint`].
+///
+/// Simulated and real-thread traffic thereby exercise the identical
+/// ingestion API; an inline backend reproduces
+/// [`run_with_detection`]'s verdicts exactly.
+///
+/// Real-time violations surface through the backend collector, so
+/// `first_detection_at` is attributed at the drain that first sees
+/// them (the handle is flushed and the collector drained at every
+/// checkpoint boundary and at the end of the run).
+pub fn run_with_backend(
+    sim: &mut Sim,
+    backend: &dyn DetectionBackend,
+    check_interval: Nanos,
+) -> RunOutcome {
     for m in sim.monitors() {
-        det.register_empty(m.id, m.spec.clone(), sim.clock());
+        backend.register_empty(m.id, m.spec.clone(), sim.clock());
     }
-    let interval = det_cfg.check_interval;
+    let mut producer = backend.producer();
+    let interval = check_interval.max(Nanos::new(1));
     let mut next_check = sim.clock() + interval;
     let mut reports = Vec::new();
-    let mut realtime = Vec::new();
+    let mut realtime: Vec<Violation> = Vec::new();
     let mut first_detection_at: Option<Nanos> = None;
     let max_time = sim.config().max_time;
     let max_steps = sim.config().max_steps;
@@ -79,25 +109,21 @@ pub fn run_with_detection(sim: &mut Sim, det_cfg: DetectorConfig) -> RunOutcome 
                 sim.advance_to(t.min(next_check));
             }
             StepOutcome::Idle { next_wake: None } => {
-                // Every live process is blocked: only detector timers
-                // can still make progress. Jump checkpoint to
-                // checkpoint until the time budget runs out.
                 sim.advance_to(next_check);
             }
             StepOutcome::Finished => break,
         }
         for e in sim.take_fresh_events() {
-            let vs = det.observe(&e);
-            note_first(&vs, &mut first_detection_at);
-            realtime.extend(vs);
+            producer.observe(e);
         }
         if sim.clock() >= next_check {
+            producer.flush();
+            let drained = backend.drain_violations();
+            note_first(&drained, &mut first_detection_at);
+            realtime.extend(drained);
             let events = sim.drain_window();
             let snaps = sim.snapshots();
-            let report = det.checkpoint(sim.clock(), &events, &snaps);
-            // Detection latency counts from the *report* time: the
-            // periodic routine surfaces the fault at the checkpoint,
-            // even though the violation is attributed to its event.
+            let report = backend.checkpoint(sim.clock(), &events, &snaps);
             if first_detection_at.is_none() && !report.violations.is_empty() {
                 first_detection_at = Some(report.window_end);
             }
@@ -111,17 +137,22 @@ pub fn run_with_detection(sim: &mut Sim, det_cfg: DetectorConfig) -> RunOutcome 
 
     // Final checkpoint over whatever remains in the window.
     for e in sim.take_fresh_events() {
-        let vs = det.observe(&e);
-        note_first(&vs, &mut first_detection_at);
-        realtime.extend(vs);
+        producer.observe(e);
     }
+    producer.flush();
+    let drained = backend.drain_violations();
+    note_first(&drained, &mut first_detection_at);
+    realtime.extend(drained);
     let events = sim.drain_window();
     let snaps = sim.snapshots();
-    let report = det.checkpoint(sim.clock(), &events, &snaps);
+    let report = backend.checkpoint(sim.clock(), &events, &snaps);
     if first_detection_at.is_none() && !report.violations.is_empty() {
         first_detection_at = Some(report.window_end);
     }
     reports.push(report);
+    let drained = backend.drain_violations();
+    note_first(&drained, &mut first_detection_at);
+    realtime.extend(drained);
 
     let mut combined = FaultReport { window_start: Nanos::MAX, ..FaultReport::default() };
     for r in &reports {
@@ -247,6 +278,54 @@ mod tests {
         assert!(out.first_injection_at.is_some());
         assert!(out.first_detection_at.is_some(), "{}", out.combined);
         assert!(out.detection_latency().is_some());
+    }
+
+    #[test]
+    fn backend_runner_matches_inline_runner_on_faulty_traffic() {
+        use rmon_core::detect::{InlineBackend, ServiceConfig, ShardedBackend};
+
+        let build = || {
+            let mut b = SimBuilder::new();
+            let al = b.allocator("res", 1);
+            b.process("dead", Script::double_request(al));
+            b.build().unwrap()
+        };
+        let mut sim = build();
+        let want = run_with_detection(&mut sim, det_cfg());
+
+        let key = |v: &rmon_core::Violation| (v.monitor, v.pid, v.event_seq, v.rule);
+        let mut want_rt = want.realtime_violations.clone();
+        want_rt.sort_by_key(key);
+
+        let inline = InlineBackend::new(det_cfg());
+        let mut sim = build();
+        let out = run_with_backend(&mut sim, &inline, det_cfg().check_interval);
+        let mut got_rt = out.realtime_violations.clone();
+        got_rt.sort_by_key(key);
+        assert_eq!(got_rt, want_rt, "inline backend must reproduce the detector runner");
+        assert_eq!(out.finished, want.finished);
+
+        let sharded = ShardedBackend::new(det_cfg(), ServiceConfig::new(2)).with_batch(4);
+        let mut sim = build();
+        let out = run_with_backend(&mut sim, &sharded, det_cfg().check_interval);
+        let mut got_rt = out.realtime_violations.clone();
+        got_rt.sort_by_key(key);
+        assert_eq!(got_rt, want_rt, "sharded backend must reproduce the detector runner");
+        assert!(out.first_detection_at.is_some());
+    }
+
+    #[test]
+    fn backend_runner_clean_run_is_clean() {
+        use rmon_core::detect::{ServiceConfig, ShardedBackend};
+        let mut b = SimBuilder::new();
+        let buf = b.bounded_buffer("buf", 2);
+        b.process("p", Script::builder().repeat(10, |s| s.send(buf)).build());
+        b.process("c", Script::builder().repeat(10, |s| s.receive(buf)).build());
+        let mut sim = b.build().unwrap();
+        let backend = ShardedBackend::new(det_cfg(), ServiceConfig::new(4));
+        let out = run_with_backend(&mut sim, &backend, det_cfg().check_interval);
+        assert!(out.finished);
+        assert!(out.is_clean(), "{}", out.combined);
     }
 
     #[test]

@@ -8,8 +8,13 @@
 //! actually spreads load.
 
 use crate::producer_consumer::PcWorkload;
-use rmon_core::detect::{Detector, ServiceConfig, ServiceStats, ShardedDetector};
-use rmon_core::{DetectorConfig, Event, FaultReport, MonitorId, MonitorSpec, MonitorState, Nanos};
+use rmon_core::detect::{
+    DetectionBackend, Detector, ScheduledBackend, SchedulerConfig, ServiceConfig, ServiceStats,
+    ShardedBackend,
+};
+use rmon_core::{
+    DetectorConfig, Event, FaultReport, MonitorId, MonitorSpec, MonitorState, Nanos, Pid,
+};
 use rmon_sim::SimConfig;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -158,6 +163,74 @@ pub fn fleet_trace(monitors: usize, items_per_producer: usize, seed: u64) -> Fle
     FleetTrace { specs, events, snapshots, end_time }
 }
 
+/// A deterministic **faulty** fleet: `monitors` single-unit resource
+/// allocators, each worked by two callers over `rounds` rounds, with
+/// user-process faults injected on a fixed schedule derived from
+/// `seed` — duplicate requests (fault U3 / ST-8a) while the right is
+/// held, and releases without a preceding request (fault U1 / ST-8b).
+///
+/// The member streams are interleaved round-robin and re-sequenced
+/// exactly like [`fleet_trace`], so the result feeds the same drivers.
+/// No snapshots are provided (pure event-stream mode): every reported
+/// violation is a deterministic function of the events, which is what
+/// makes this the input material for backend *equivalence* tests —
+/// inline, sharded and scheduled backends must reproduce the identical
+/// per-monitor violation sequences.
+pub fn allocator_fleet_trace(monitors: usize, rounds: usize, seed: u64) -> FleetTrace {
+    let monitors = monitors.max(1);
+    let rounds = rounds.max(1);
+    let mut specs = HashMap::new();
+    let mut streams: Vec<Vec<Event>> = Vec::with_capacity(monitors);
+    for i in 0..monitors {
+        let al = MonitorSpec::allocator(format!("alloc{i}"), 1);
+        let id = MonitorId::new(i as u32);
+        specs.insert(id, Arc::new(al.spec.clone()));
+        let holder = Pid::new(2 * i as u32 + 1);
+        let stranger = Pid::new(2 * i as u32 + 2);
+        let mut events = Vec::new();
+        for r in 0..rounds {
+            let r = r as u64;
+            let i = i as u64;
+            events.push(Event::enter(0, Nanos::ZERO, id, holder, al.request, true));
+            if (r + i + seed).is_multiple_of(3) {
+                // U3: request an access right the caller already holds
+                // (the attempt queues — `granted: false` — but the
+                // order check fires on the call itself).
+                events.push(Event::enter(0, Nanos::ZERO, id, holder, al.request, false));
+            }
+            events.push(Event::signal_exit(0, Nanos::ZERO, id, holder, al.request, None, false));
+            events.push(Event::enter(0, Nanos::ZERO, id, holder, al.release, true));
+            events.push(Event::signal_exit(0, Nanos::ZERO, id, holder, al.release, None, false));
+            if (r + 2 * i + seed).is_multiple_of(4) {
+                // U1: release without a preceding request.
+                events.push(Event::enter(0, Nanos::ZERO, id, stranger, al.release, false));
+            }
+        }
+        streams.push(events);
+    }
+    // Round-robin interleave with one global seq order, stamping times
+    // on the merged axis.
+    let mut iters: Vec<std::vec::IntoIter<Event>> =
+        streams.into_iter().map(|v| v.into_iter()).collect();
+    let mut events = Vec::new();
+    let mut seq = 0u64;
+    let mut live = true;
+    while live {
+        live = false;
+        for it in &mut iters {
+            if let Some(mut e) = it.next() {
+                seq += 1;
+                e.seq = seq;
+                e.time = Nanos::new(seq * 10);
+                events.push(e);
+                live = true;
+            }
+        }
+    }
+    let end_time = Nanos::new((seq + 1) * 10);
+    FleetTrace { specs, events, snapshots: HashMap::new(), end_time }
+}
+
 /// Wall-clock split of one fleet drive: `ingest` is the caller-side
 /// cost of handing the stream to the detection layer, `total` adds the
 /// periodic checkpoint (registration is excluded from both).
@@ -190,34 +263,113 @@ pub fn drive_inline_fleet(fleet: &FleetTrace) -> (FaultReport, FleetTiming) {
     (report, FleetTiming { ingest, total })
 }
 
-/// Drives a [`FleetTrace`] through the sharded detection service:
-/// registers every monitor on its shard, ingests the stream in batches
-/// of `batch` events, checkpoints, and returns the merged report
-/// (real-time violations folded in) plus the service's quiescent
-/// per-shard counters and the timing split.
+/// Drives a [`FleetTrace`] through any [`DetectionBackend`] over **one
+/// producer handle** (the single-threaded ingestion shape): registers
+/// every monitor, observes the stream event by event through the
+/// handle, checkpoints, and returns the merged report (real-time
+/// violations folded in) plus the backend's quiescent counters and the
+/// timing split.
+///
+/// This is the same driver loop `rmon-sim`'s `run_with_backend` and
+/// the `rmon-rt` runtime use — simulated, synthetic and real-thread
+/// traffic all exercise the identical ingestion API.
+pub fn drive_fleet_backend(
+    fleet: &FleetTrace,
+    backend: &dyn DetectionBackend,
+) -> (FaultReport, ServiceStats, FleetTiming) {
+    for (&id, spec) in &fleet.specs {
+        backend.register_empty(id, Arc::clone(spec), Nanos::ZERO);
+    }
+    let mut producer = backend.producer();
+    let t0 = std::time::Instant::now();
+    for event in &fleet.events {
+        producer.observe(*event);
+    }
+    producer.flush();
+    let ingest = t0.elapsed();
+    // checkpoint() is a barrier for everything flushed above (per-shard
+    // FIFO), so the collector and counters are quiescent afterwards.
+    let mut report = backend.checkpoint(fleet.end_time, &fleet.events, &fleet.snapshots);
+    let total = t0.elapsed();
+    report.violations.extend(backend.drain_violations());
+    let stats = backend.stats();
+    (report, stats, FleetTiming { ingest, total })
+}
+
+/// Drives a [`FleetTrace`] through a backend with **`producers`
+/// concurrent threads**, each owning its own
+/// [`rmon_core::detect::ProducerHandle`]. Monitors are partitioned
+/// round-robin across the producers, so each monitor's whole stream
+/// stays on one thread (preserving the per-caller ordering
+/// precondition) while the threads' batches interleave freely at the
+/// shards — the multi-producer ingestion front-end under test.
+///
+/// `ingest` in the returned timing is the wall time from the first
+/// observe until every producer thread has flushed and joined.
+pub fn drive_fleet_multi(
+    fleet: &FleetTrace,
+    backend: &dyn DetectionBackend,
+    producers: usize,
+) -> (FaultReport, ServiceStats, FleetTiming) {
+    let producers = producers.max(1);
+    for (&id, spec) in &fleet.specs {
+        backend.register_empty(id, Arc::clone(spec), Nanos::ZERO);
+    }
+    let streams: Vec<Vec<Event>> = {
+        let mut streams = vec![Vec::new(); producers];
+        for event in &fleet.events {
+            streams[event.monitor.index() as usize % producers].push(*event);
+        }
+        streams
+    };
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for stream in &streams {
+            scope.spawn(move || {
+                let mut producer = backend.producer();
+                for event in stream {
+                    producer.observe(*event);
+                }
+                producer.flush();
+            });
+        }
+    });
+    let ingest = t0.elapsed();
+    let mut report = backend.checkpoint(fleet.end_time, &fleet.events, &fleet.snapshots);
+    let total = t0.elapsed();
+    report.violations.extend(backend.drain_violations());
+    let stats = backend.stats();
+    (report, stats, FleetTiming { ingest, total })
+}
+
+/// Drives a [`FleetTrace`] through a fresh [`ShardedBackend`] with the
+/// given shard count and per-handle ingest batch.
 pub fn drive_sharded_fleet(
     fleet: &FleetTrace,
     shards: usize,
     batch: usize,
 ) -> (FaultReport, ServiceStats, FleetTiming) {
-    let svc = ShardedDetector::new(DetectorConfig::without_timeouts(), ServiceConfig::new(shards));
-    for (&id, spec) in &fleet.specs {
-        svc.register_empty(id, Arc::clone(spec), Nanos::ZERO);
-    }
-    let t0 = std::time::Instant::now();
-    for chunk in fleet.events.chunks(batch.max(1)) {
-        svc.observe_batch(chunk);
-    }
-    let ingest = t0.elapsed();
-    // checkpoint() is itself a barrier (per-shard FIFO: every batch
-    // sent above is processed before the shard replies), so the
-    // collector and counters are already quiescent here and no flush
-    // belongs in the timed region.
-    let mut report = svc.checkpoint(fleet.end_time, &fleet.events, &fleet.snapshots);
-    let total = t0.elapsed();
-    report.violations.extend(svc.drain_violations());
-    let stats = svc.stats();
-    (report, stats, FleetTiming { ingest, total })
+    let backend =
+        ShardedBackend::new(DetectorConfig::without_timeouts(), ServiceConfig::new(shards))
+            .with_batch(batch);
+    drive_fleet_backend(fleet, &backend)
+}
+
+/// Drives a [`FleetTrace`] through a fresh [`ScheduledBackend`] (the
+/// sharded service plus the per-shard checkpoint scheduler) with the
+/// given shard count and per-handle ingest batch.
+pub fn drive_scheduled_fleet(
+    fleet: &FleetTrace,
+    shards: usize,
+    batch: usize,
+) -> (FaultReport, ServiceStats, FleetTiming) {
+    let backend = ScheduledBackend::new(
+        DetectorConfig::without_timeouts(),
+        ServiceConfig::new(shards),
+        SchedulerConfig::default(),
+    )
+    .with_batch(batch);
+    drive_fleet_backend(fleet, &backend)
 }
 
 /// [`drive_inline_fleet`] without the timing split.
@@ -291,5 +443,49 @@ mod tests {
         let (_, stats) = run_sharded_fleet(&fleet, 4, 32);
         assert_eq!(stats.shards.iter().map(|s| s.monitors).sum::<u64>(), 16);
         assert!(stats.active_shards() >= 2, "16 monitors must load ≥2 of 4 shards: {stats:?}");
+    }
+
+    #[test]
+    fn allocator_fleet_is_deterministic_and_faulty() {
+        let a = allocator_fleet_trace(6, 5, 3);
+        let b = allocator_fleet_trace(6, 5, 3);
+        assert_eq!(a.events, b.events, "same seed, same trace");
+        assert_eq!(a.monitors(), 6);
+        for w in a.events.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+        let (report, _, _) = drive_sharded_fleet(&a, 2, 64);
+        assert!(!report.is_clean(), "the injected U1/U3 faults must be detected");
+    }
+
+    #[test]
+    fn multi_producer_drive_matches_single_handle() {
+        use rmon_core::detect::InlineBackend;
+        let fleet = allocator_fleet_trace(8, 4, 1);
+        let inline = InlineBackend::new(DetectorConfig::without_timeouts());
+        let (want, _, _) = drive_fleet_backend(&fleet, &inline);
+        let key = |v: &rmon_core::Violation| (v.monitor, v.pid, v.event_seq, v.rule);
+        let mut want_v = want.violations.clone();
+        want_v.sort_by_key(key);
+        for producers in [2usize, 4] {
+            let backend =
+                ShardedBackend::new(DetectorConfig::without_timeouts(), ServiceConfig::new(4))
+                    .with_batch(7); // misaligned with the per-round event count
+            let (got, stats, _) = drive_fleet_multi(&fleet, &backend, producers);
+            let mut got_v = got.violations.clone();
+            got_v.sort_by_key(key);
+            assert_eq!(got_v, want_v, "{producers} producers");
+            assert_eq!(stats.total_events(), fleet.events.len() as u64);
+        }
+    }
+
+    #[test]
+    fn scheduled_fleet_matches_sharded_fleet() {
+        let fleet = fleet_trace(8, 3, 7);
+        let (sharded, _, _) = drive_sharded_fleet(&fleet, 2, 64);
+        let (scheduled, stats, _) = drive_scheduled_fleet(&fleet, 2, 64);
+        assert_eq!(scheduled.events_checked, sharded.events_checked);
+        assert_eq!(scheduled.violations, sharded.violations);
+        assert_eq!(stats.total_events(), fleet.events.len() as u64);
     }
 }

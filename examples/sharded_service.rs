@@ -1,39 +1,45 @@
-//! Sharded detection service: many monitors, batched checking.
+//! Sharded detection backend: many monitors, per-thread ingestion
+//! handles, batched checking.
 //!
 //! Run with: `cargo run --example sharded_service`
 //!
 //! The paper's prototype funnels every monitor through one checking
 //! routine. This example hosts a *fleet* — eight single-unit resource
 //! allocators — on a runtime whose detection backend is the sharded
-//! service (`DetectorBackend::Sharded`): monitors partition across
-//! worker shards by a stable hash of their id, observed events travel
-//! in batches over bounded channels, and violations aggregate through
-//! the per-shard collector.
+//! service (`ShardedBackend` behind the `DetectionBackend` trait):
+//! monitors partition across worker shards by a stable hash of their
+//! id, each observing thread ingests through its own `ProducerHandle`
+//! (a private batch buffer — no mutex shared between the threads), and
+//! violations aggregate through the per-shard collector.
 //!
-//! The walkthrough shows (1) a clean fleet staying clean, (2) the
-//! per-shard ingestion counters, and (3) a user-process fault — a
-//! duplicate request — surfacing through the batched path exactly as
-//! it would inline.
+//! The walkthrough shows (1) a clean fleet staying clean under two
+//! concurrent producer threads, (2) the per-shard ingestion counters,
+//! and (3) a user-process fault — a duplicate request — surfacing
+//! through the batched path exactly as it would inline.
 
 use rmon::prelude::*;
+use std::sync::Arc;
 
 fn main() -> Result<(), MonitorError> {
     // 1. A runtime whose detector is the sharded service: 4 worker
-    //    shards, observe-path batches of 16 events.
+    //    shards, per-thread handles flushing batches of 16 events.
     let rt = Runtime::builder(DetectorConfig::without_timeouts())
-        .detector_backend(DetectorBackend::Sharded { shards: 4, batch: 16 })
+        .backend_with(|cfg, _clock| {
+            Arc::new(ShardedBackend::new(cfg, ServiceConfig::new(4)).with_batch(16))
+        })
         // The injected double request self-deadlocks by design; a short
         // park timeout keeps the walkthrough snappy.
         .park_timeout(std::time::Duration::from_millis(200))
         .build();
-    println!("backend               : {:?}", rt.detector_backend());
+    println!("backend               : {}", rt.backend_label());
 
     // 2. The fleet: 8 resource allocators, each its own monitor,
     //    spread across the shards by MonitorId hash.
     let fleet: Vec<ResourceAllocator> =
         (0..8).map(|i| ResourceAllocator::new(&rt, &format!("printer-{i}"), 1)).collect();
 
-    // 3. Clean traffic from two worker threads over disjoint halves.
+    // 3. Clean traffic from two worker threads over disjoint halves —
+    //    each thread observes through its own producer handle.
     let (left, right) = fleet.split_at(4);
     let l: Vec<_> = left.to_vec();
     let r: Vec<_> = right.to_vec();
@@ -59,7 +65,7 @@ fn main() -> Result<(), MonitorError> {
     t2.join().expect("right worker")?;
 
     let clean = rt.checkpoint_now();
-    let stats = rt.service_stats().expect("sharded backend exposes stats");
+    let stats = rt.service_stats();
     println!("events recorded       : {}", rt.events_recorded());
     println!("clean fleet verdict   : {}", if clean.is_clean() { "CLEAN" } else { "FAULTY" });
     for (i, s) in stats.shards.iter().enumerate() {
