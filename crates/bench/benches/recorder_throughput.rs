@@ -1,0 +1,139 @@
+//! Throughput of the sharded recording pipeline (EXP-REC): the
+//! hot-path cost of recording scheduling events, single- and
+//! multi-threaded, and the end-to-end instrumented monitor operation
+//! it serves.
+//!
+//! This is the Criterion twin of the `recording_only` rows in the
+//! `table1` / `ablation` binaries: those record the overhead *ratio*
+//! baselines (`BENCH_table1.json`, `BENCH_ablation.json`), this bench
+//! watches the absolute per-event cost so recorder regressions show up
+//! in isolation, away from the monitor-protocol noise.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rmon_core::{DetectorConfig, EventKind, MonitorId, Nanos, Pid, ProcName};
+use rmon_rt::{BoundedBuffer, Recorder, Runtime};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_recorder_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recorder_throughput");
+    group.sample_size(30);
+    group.measurement_time(Duration::from_secs(3));
+    group.throughput(Throughput::Elements(1));
+
+    // One thread appending to its own segment: the per-event floor of
+    // the pipeline (seq fetch_add + clock + segment push). Drained
+    // every 64 Ki events so a long Criterion run measures steady-state
+    // recording, not unbounded window growth.
+    group.bench_function("record_single_thread", |b| {
+        let rec = Recorder::new();
+        let mut since_drain = 0u32;
+        b.iter(|| {
+            since_drain += 1;
+            if since_drain == 65_536 {
+                since_drain = 0;
+                rec.drain_window();
+            }
+            rec.record(
+                MonitorId::new(0),
+                Pid::new(1),
+                ProcName::new(0),
+                EventKind::Enter { granted: true },
+            )
+        });
+        rec.drain_window();
+    });
+
+    // Contended recording: 4 threads × 1024 events per iteration, all
+    // into one recorder. With the old global window mutex this was the
+    // hottest lock in the system; segments make it contention-free
+    // (only the shared seq counter is touched by more than one
+    // thread). Note the 1-hardware-thread container time-slices these
+    // threads; re-measure on a multi-core host for the real scaling.
+    group.bench_function("record_4_threads_4096_events", |b| {
+        let rec = Arc::new(Recorder::new());
+        let mut iters = 0u32;
+        b.iter(|| {
+            // Bound window growth across the Criterion run (16 windows
+            // ≈ 64 Ki events between drains; the drain itself is the
+            // next bench's subject).
+            iters += 1;
+            if iters == 16 {
+                iters = 0;
+                rec.drain_window();
+            }
+            std::thread::scope(|scope| {
+                for t in 0..4u32 {
+                    let rec = Arc::clone(&rec);
+                    scope.spawn(move || {
+                        for _ in 0..1024 {
+                            rec.record(
+                                MonitorId::new(t),
+                                Pid::new(t + 1),
+                                ProcName::new(0),
+                                EventKind::Enter { granted: true },
+                            );
+                        }
+                    });
+                }
+            });
+        });
+        rec.drain_window();
+    });
+
+    // The drain/merge half: record a 4-thread window, then k-way merge
+    // it back into the global order.
+    group.bench_function("record_drain_merge_cycle_4096", |b| {
+        let rec = Arc::new(Recorder::new());
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for t in 0..4u32 {
+                    let rec = Arc::clone(&rec);
+                    scope.spawn(move || {
+                        for _ in 0..1024 {
+                            rec.record(
+                                MonitorId::new(t),
+                                Pid::new(t + 1),
+                                ProcName::new(0),
+                                EventKind::Enter { granted: true },
+                            );
+                        }
+                    });
+                }
+            });
+            rec.drain_window()
+        });
+    });
+
+    // End-to-end: one instrumented bounded-buffer send/receive pair —
+    // what the recording cost buys in context (2 monitor ops, 4
+    // recorded events).
+    group.bench_function("instrumented_send_receive", |b| {
+        let cfg = DetectorConfig::builder()
+            .t_max(Nanos::from_secs(600))
+            .t_io(Nanos::from_secs(600))
+            .t_limit(Nanos::from_secs(600))
+            .check_interval(Nanos::from_secs(600))
+            .build();
+        let rt = Runtime::builder(cfg).park_timeout(Duration::from_secs(30)).build();
+        let buf = BoundedBuffer::new(&rt, "bench", 64);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            // Periodic checkpoint: drains the recorded window like a
+            // production checker would, so the window stays bounded
+            // over the Criterion run (amortized to noise at this
+            // interval).
+            if i.is_multiple_of(32_768) {
+                rt.checkpoint_now();
+            }
+            buf.send(i).expect("send");
+            buf.receive().expect("receive")
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_recorder_throughput);
+criterion_main!(benches);

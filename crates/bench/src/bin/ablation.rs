@@ -8,7 +8,14 @@
 //! * **EXP-ABL-DET** — checkpoint cost as a function of the event-window
 //!   size (the scalability of the checking lists).
 //!
-//! Run with: `cargo run -p rmon-bench --bin ablation --release`
+//! Run with: `cargo run --release -p rmon-bench --bin ablation`
+//!
+//! Usage: `ablation [OUT.json]` (default `BENCH_ablation.json` in the
+//! current directory) — the measurements are recorded as a JSON
+//! baseline next to `BENCH_table1.json` / `BENCH_sharded.json`.
+//! `RMON_ABLATION_ITEMS` scales the EXP-ABL-REC workload (default
+//! 150 000 items; CI uses a smaller value so the baseline can be
+//! exercised on every push without owning the job's wall clock).
 
 use rmon_bench::{paper_second, row, rule_line};
 use rmon_core::detect::Detector;
@@ -16,28 +23,42 @@ use rmon_core::{DetectorConfig, FaultKind, Nanos};
 use rmon_rt::overhead::{measure, Mode, Workload};
 use rmon_workloads::{faultset, sweep};
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
-    ablation_recording();
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_ablation.json".to_string());
+    let rec = ablation_recording();
     println!();
-    ablation_latency();
+    let latency = ablation_latency();
     println!();
-    ablation_detector_cost();
+    let det = ablation_detector_cost();
+    write_baseline(&out_path, &rec, &latency, &det);
+    println!("\nwrote {out_path}");
+}
+
+/// One EXP-ABL-REC row: a mode's per-op cost and ratio to plain.
+struct RecRow {
+    name: &'static str,
+    ns_per_op: f64,
+    ratio: f64,
 }
 
 /// EXP-ABL-REC: Plain vs. RecordingOnly vs. Full.
-fn ablation_recording() {
+fn ablation_recording() -> Vec<RecRow> {
     let ps = paper_second();
     // Uncontended alternating workload: isolates per-op instrumentation
     // cost (see the table1 binary for the rationale).
-    let w = Workload { producers: 1, consumers: 0, items_per_producer: 150_000, capacity: 64 };
+    let items =
+        std::env::var("RMON_ABLATION_ITEMS").ok().and_then(|v| v.parse().ok()).unwrap_or(150_000);
+    let w = Workload { producers: 1, consumers: 0, items_per_producer: items, capacity: 64 };
     println!("EXP-ABL-REC — recording vs. checking cost ({} ops)", w.total_ops());
     let widths = [22usize, 14, 10];
     println!("{}", row(&["mode".into(), "ns/op".into(), "ratio".into()], &widths));
     println!("{}", rule_line(&widths));
     let base = measure(w, Mode::Plain).ns_per_op;
+    let mut rows = Vec::new();
     for (name, mode) in [
         ("plain (baseline)", Mode::Plain),
         ("recording only", Mode::RecordingOnly),
@@ -51,12 +72,22 @@ fn ablation_recording() {
                 &widths
             )
         );
+        rows.push(RecRow { name, ns_per_op: m.ns_per_op, ratio: m.ns_per_op / base });
     }
+    rows
+}
+
+/// One EXP-ABL-RT row: detection latency for a fault at an interval.
+struct LatencyRow {
+    interval_us: u64,
+    fault: &'static str,
+    latency_ns: Option<u64>,
+    checks: usize,
 }
 
 /// EXP-ABL-RT: detection latency vs. checking interval in the
 /// simulator (virtual time, fully deterministic).
-fn ablation_latency() {
+fn ablation_latency() -> Vec<LatencyRow> {
     println!("EXP-ABL-RT — detection latency vs. checking interval (virtual time)");
     let widths = [16usize, 10, 14, 14];
     println!(
@@ -68,6 +99,7 @@ fn ablation_latency() {
     // vs. a user-process fault caught in real time (latency ≈ 0).
     let cases =
         [FaultKind::EnterProcessLost, FaultKind::SendExceedsCapacity, FaultKind::DoubleAcquire];
+    let mut rows = Vec::new();
     for interval_us in [50u64, 200, 1_000, 5_000] {
         for fault in cases {
             let mut sim = faultset::build_case(fault, 0);
@@ -78,8 +110,8 @@ fn ablation_latency() {
                 .t_limit(Nanos::from_millis(3))
                 .build();
             let out = rmon_sim::run_with_detection(&mut sim, cfg);
-            let lat =
-                out.detection_latency().map(|l| l.to_string()).unwrap_or_else(|| "realtime".into());
+            let latency = out.detection_latency();
+            let lat = latency.map(|l| l.to_string()).unwrap_or_else(|| "realtime".into());
             println!(
                 "{}",
                 row(
@@ -92,16 +124,30 @@ fn ablation_latency() {
                     &widths
                 )
             );
+            rows.push(LatencyRow {
+                interval_us,
+                fault: fault.code(),
+                latency_ns: latency.map(|l| l.as_nanos()),
+                checks: out.reports.len(),
+            });
         }
     }
+    rows
+}
+
+/// One EXP-ABL-DET row: checkpoint cost at a window size.
+struct DetRow {
+    events: usize,
+    ns_per_event: f64,
 }
 
 /// EXP-ABL-DET: wall time of one checkpoint vs. window size.
-fn ablation_detector_cost() {
+fn ablation_detector_cost() -> Vec<DetRow> {
     println!("EXP-ABL-DET — checkpoint cost vs. event-window size");
     let widths = [12usize, 14, 14];
     println!("{}", row(&["events".into(), "total".into(), "ns/event".into()], &widths));
     println!("{}", rule_line(&widths));
+    let mut rows = Vec::new();
     for (target, trace) in sweep::window_sweep(1) {
         let events = &trace.events[..target];
         // Fresh detector per run; replay the window once, timed.
@@ -128,5 +174,59 @@ fn ablation_detector_cost() {
                 &widths
             )
         );
+        rows.push(DetRow { events: target, ns_per_event: per.as_nanos() as f64 / target as f64 });
     }
+    rows
+}
+
+/// Records the three ablations as a JSON baseline (hand-rolled JSON,
+/// consistent with `BENCH_sharded.json` / `BENCH_table1.json`).
+fn write_baseline(out_path: &str, rec: &[RecRow], latency: &[LatencyRow], det: &[DetRow]) {
+    let hw_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"experiment\": \"EXP-ABL recording/latency/detector ablations\",");
+    let _ = writeln!(json, "  \"hardware_threads\": {hw_threads},");
+    let _ = writeln!(json, "  \"paper_second_ms\": {},", paper_second().as_millis());
+    let _ = writeln!(
+        json,
+        "  \"caveats\": \"Recorded on a {hw_threads}-hardware-thread container: wall-clock \
+         rows (EXP-ABL-REC, EXP-ABL-DET) are time-sliced and noisy; re-record on a multi-core \
+         host. EXP-ABL-RT runs in simulator virtual time and is deterministic. The \
+         recording-only ratio here uses the RMON_ABLATION_ITEMS workload; the canonical \
+         recording_only_ratio baseline lives in BENCH_table1.json.\",",
+    );
+    let _ = writeln!(json, "  \"recording_cost\": [");
+    for (i, r) in rec.iter().enumerate() {
+        let comma = if i + 1 == rec.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"mode\": \"{}\", \"ns_per_op\": {:.1}, \"ratio\": {:.3}}}{comma}",
+            r.name, r.ns_per_op, r.ratio
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"detection_latency\": [");
+    for (i, r) in latency.iter().enumerate() {
+        let comma = if i + 1 == latency.len() { "" } else { "," };
+        let lat = r.latency_ns.map(|l| l.to_string()).unwrap_or_else(|| "\"realtime\"".to_string());
+        let _ = writeln!(
+            json,
+            "    {{\"interval_us\": {}, \"fault\": \"{}\", \"latency_ns\": {lat}, \
+             \"checks\": {}}}{comma}",
+            r.interval_us, r.fault, r.checks
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"checkpoint_cost\": [");
+    for (i, r) in det.iter().enumerate() {
+        let comma = if i + 1 == det.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"window_events\": {}, \"ns_per_event\": {:.1}}}{comma}",
+            r.events, r.ns_per_event
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    std::fs::write(out_path, &json).expect("write baseline json");
 }

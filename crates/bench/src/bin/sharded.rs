@@ -107,6 +107,14 @@ fn sharded_backend(shards: usize) -> ShardedBackend {
         .with_batch(BATCH)
 }
 
+/// The adaptive-batch variant: handles start at a small batch (low
+/// latency) and double toward `4 × BATCH` while the shard inboxes keep
+/// absorbing flushes without pressure.
+fn adaptive_backend(shards: usize) -> ShardedBackend {
+    ShardedBackend::new(DetectorConfig::without_timeouts(), ServiceConfig::new(shards))
+        .with_adaptive_batch(8, BATCH * 4)
+}
+
 fn scheduled_backend(shards: usize) -> ScheduledBackend {
     ScheduledBackend::new(
         DetectorConfig::without_timeouts(),
@@ -168,6 +176,14 @@ fn main() {
             end_to_end_events_per_sec: total,
         });
     }
+    let (ingest, total) = measure(runs, events, || run_backend(&fleet, &adaptive_backend(4)));
+    results.push(Measurement {
+        mode: "sharded-4-adaptive".into(),
+        shards: 4,
+        producers: 1,
+        ingest_events_per_sec: ingest,
+        end_to_end_events_per_sec: total,
+    });
     let (ingest, total) = measure(runs, events, || run_backend(&fleet, &scheduled_backend(4)));
     results.push(Measurement {
         mode: "scheduled-4".into(),

@@ -86,7 +86,7 @@ use crate::spec::MonitorSpec;
 use crate::state::MonitorState;
 use crate::time::Nanos;
 use crate::violation::{FaultReport, Violation};
-use crossbeam::channel::Sender;
+use crossbeam::channel::{Sender, TrySendError};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -367,11 +367,90 @@ impl ProducerHandle for InlineProducer {
 pub struct ShardedBackend {
     svc: ShardedDetector,
     batch: usize,
+    /// When set, new handles adapt their batch between these bounds
+    /// instead of using the fixed `batch`.
+    adaptive: Option<AdaptiveBatch>,
     open: Arc<AtomicBool>,
 }
 
 /// Default events buffered per handle before a flush.
 pub const DEFAULT_INGEST_BATCH: usize = 64;
+
+/// Grow/shrink policy for a producer handle's ingest batch size,
+/// driven by channel pressure.
+///
+/// A fixed batch size is a latency/throughput compromise chosen
+/// blind: small batches keep detection latency low but pay one channel
+/// send per few events; large batches amortize the sends but hold
+/// events back. The adaptive policy lets each handle find its own
+/// operating point from the only signal that matters — whether the
+/// shard inboxes are keeping up:
+///
+/// * a flush that found **no pressure** (every shard accepted its
+///   batch without blocking) **doubles** the batch, up to `max` —
+///   the shards are keeping up, so trade latency for throughput;
+/// * a flush that **hit pressure** (some shard's bounded inbox was
+///   full and the send had to block) **halves** the batch, down to
+///   `min` — the checkers are behind, so stop accumulating latency on
+///   top of backpressure.
+///
+/// The doubling/halving curve is pinned by unit test; handles start at
+/// `min` so an idle stream keeps its latency floor.
+///
+/// # Examples
+///
+/// ```
+/// use rmon_core::detect::AdaptiveBatch;
+///
+/// let mut b = AdaptiveBatch::new(2, 16);
+/// assert_eq!(b.current(), 2);
+/// assert_eq!(b.on_flush(false), 4); // no pressure: grow
+/// assert_eq!(b.on_flush(false), 8);
+/// assert_eq!(b.on_flush(true), 4); // pressure: shrink
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveBatch {
+    min: usize,
+    max: usize,
+    current: usize,
+}
+
+impl AdaptiveBatch {
+    /// A policy bounded by `[min, max]` (both clamped to at least 1,
+    /// `max` to at least `min`), starting at `min`.
+    pub fn new(min: usize, max: usize) -> Self {
+        let min = min.max(1);
+        let max = max.max(min);
+        AdaptiveBatch { min, max, current: min }
+    }
+
+    /// The batch size the next flush threshold uses.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// The lower bound.
+    pub fn min(&self) -> usize {
+        self.min
+    }
+
+    /// The upper bound.
+    pub fn max(&self) -> usize {
+        self.max
+    }
+
+    /// Feeds one flush outcome into the policy and returns the new
+    /// batch size: halve on pressure (floor `min`), double otherwise
+    /// (cap `max`).
+    pub fn on_flush(&mut self, pressured: bool) -> usize {
+        self.current = if pressured {
+            (self.current / 2).max(self.min)
+        } else {
+            (self.current * 2).min(self.max)
+        };
+        self.current
+    }
+}
 
 impl ShardedBackend {
     /// Spawns the shard workers (see [`ShardedDetector::new`]) with the
@@ -380,15 +459,25 @@ impl ShardedBackend {
         ShardedBackend {
             svc: ShardedDetector::new(cfg, service),
             batch: DEFAULT_INGEST_BATCH,
+            adaptive: None,
             open: Arc::new(AtomicBool::new(true)),
         }
     }
 
     /// Overrides how many events a producer handle buffers before
     /// flushing a batch to the shards (clamped to at least 1). Handles
-    /// created *after* the call use the new size.
+    /// created *after* the call use the new size. Clears a previously
+    /// configured adaptive policy.
     pub fn with_batch(mut self, batch: usize) -> Self {
         self.set_batch(batch);
+        self
+    }
+
+    /// Makes handles created after the call size their batches
+    /// adaptively between `min` and `max` based on channel pressure
+    /// (see [`AdaptiveBatch`]).
+    pub fn with_adaptive_batch(mut self, min: usize, max: usize) -> Self {
+        self.set_adaptive_batch(min, max);
         self
     }
 
@@ -396,6 +485,12 @@ impl ShardedBackend {
     /// move the backend.
     pub fn set_batch(&mut self, batch: usize) {
         self.batch = batch.max(1);
+        self.adaptive = None;
+    }
+
+    /// In-place form of [`Self::with_adaptive_batch`].
+    pub fn set_adaptive_batch(&mut self, min: usize, max: usize) {
+        self.adaptive = Some(AdaptiveBatch::new(min, max));
     }
 
     /// The wrapped service (shard topology, counters).
@@ -436,7 +531,8 @@ impl DetectionBackend for ShardedBackend {
             senders,
             bufs,
             buffered: 0,
-            batch: self.batch,
+            batch: self.adaptive.map(|a| a.current()).unwrap_or(self.batch),
+            adaptive: self.adaptive,
             open: Arc::clone(&self.open),
         })
     }
@@ -487,6 +583,9 @@ struct ShardedProducer {
     bufs: Vec<Vec<Event>>,
     buffered: usize,
     batch: usize,
+    /// Per-handle adaptive policy (each handle adapts to the pressure
+    /// *it* observes; handles share no state).
+    adaptive: Option<AdaptiveBatch>,
     open: Arc<AtomicBool>,
 }
 
@@ -507,14 +606,29 @@ impl ProducerHandle for ShardedProducer {
         if self.buffered == 0 {
             return;
         }
+        let mut pressured = false;
         for (shard, buf) in self.bufs.iter_mut().enumerate() {
             if !buf.is_empty() {
-                // A failed send means the worker shut down; the events
-                // are dropped exactly like post-shutdown observes.
-                let _ = self.senders[shard].send(ShardMsg::Batch(std::mem::take(buf)));
+                // Probe without blocking first: a full inbox is the
+                // pressure signal the adaptive policy feeds on. The
+                // batch is then delivered with a blocking send — the
+                // same backpressure as before. A disconnected channel
+                // means the worker shut down; the events are dropped
+                // exactly like post-shutdown observes.
+                match self.senders[shard].try_send(ShardMsg::Batch(std::mem::take(buf))) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(msg)) => {
+                        pressured = true;
+                        let _ = self.senders[shard].send(msg);
+                    }
+                    Err(TrySendError::Disconnected(_)) => {}
+                }
             }
         }
         self.buffered = 0;
+        if let Some(policy) = &mut self.adaptive {
+            self.batch = policy.on_flush(pressured);
+        }
     }
 
     fn pending(&self) -> usize {
@@ -707,6 +821,91 @@ mod tests {
         assert_eq!(p.pending(), 1);
         drop(p);
         assert!(!backend.drain_violations().is_empty());
+    }
+
+    #[test]
+    fn adaptive_batch_policy_is_pinned() {
+        // The exact grow/shrink curve: double on a clean flush (cap
+        // max), halve on a pressured flush (floor min), starting at
+        // min.
+        let mut b = AdaptiveBatch::new(2, 16);
+        assert_eq!((b.min(), b.max(), b.current()), (2, 16, 2));
+        let growth: Vec<usize> = (0..5).map(|_| b.on_flush(false)).collect();
+        assert_eq!(growth, [4, 8, 16, 16, 16], "doubles and saturates at max");
+        let shrink: Vec<usize> = (0..4).map(|_| b.on_flush(true)).collect();
+        assert_eq!(shrink, [8, 4, 2, 2], "halves and saturates at min");
+        // Recovery after pressure clears.
+        assert_eq!(b.on_flush(false), 4);
+        // Degenerate bounds are clamped.
+        let b = AdaptiveBatch::new(0, 0);
+        assert_eq!((b.min(), b.max(), b.current()), (1, 1, 1));
+        let b = AdaptiveBatch::new(8, 2);
+        assert_eq!((b.min(), b.max()), (8, 8), "max is clamped up to min");
+    }
+
+    #[test]
+    fn adaptive_handle_grows_batch_while_unpressured() {
+        // With a deep inbox the shards always keep up, so the handle's
+        // flush threshold doubles after every flush: flush points land
+        // after 1, then 2, then 4, then 8 buffered events.
+        let (spec, al) = allocator_spec();
+        let backend =
+            ShardedBackend::new(DetectorConfig::without_timeouts(), ServiceConfig::new(1))
+                .with_adaptive_batch(1, 8);
+        backend.register_empty(MonitorId::new(0), Arc::clone(&spec), Nanos::ZERO);
+        let mut p = backend.producer();
+        let mut flush_gaps = Vec::new();
+        let mut since_flush = 0;
+        for seq in 1..=32u64 {
+            p.observe(Event::enter(
+                seq,
+                Nanos::new(seq * 10),
+                MonitorId::new(0),
+                Pid::new(1),
+                al.request,
+                seq == 1,
+            ));
+            since_flush += 1;
+            if p.pending() == 0 {
+                flush_gaps.push(since_flush);
+                since_flush = 0;
+            }
+        }
+        assert_eq!(
+            &flush_gaps[..4],
+            &[1, 2, 4, 8],
+            "batch must double while the channel absorbs every flush: {flush_gaps:?}"
+        );
+        assert!(flush_gaps[4..].iter().all(|&g| g == 8), "saturates at max: {flush_gaps:?}");
+        p.flush();
+        let stats = backend.stats();
+        assert_eq!(stats.total_events(), 32);
+        backend.shutdown();
+    }
+
+    #[test]
+    fn adaptive_handles_report_the_same_violations() {
+        // Equivalence: the adaptive batch only changes *when* batches
+        // flush, never what is detected.
+        let (spec, _) = allocator_spec();
+        let events = faulty_events(6);
+        let fixed = ShardedBackend::new(DetectorConfig::without_timeouts(), ServiceConfig::new(2));
+        let adaptive =
+            ShardedBackend::new(DetectorConfig::without_timeouts(), ServiceConfig::new(2))
+                .with_adaptive_batch(1, 4);
+        for id in 0..6 {
+            fixed.register_empty(MonitorId::new(id), Arc::clone(&spec), Nanos::ZERO);
+            adaptive.register_empty(MonitorId::new(id), Arc::clone(&spec), Nanos::ZERO);
+        }
+        let mut want_p = fixed.producer();
+        let mut got_p = adaptive.producer();
+        for e in &events {
+            want_p.observe(*e);
+            got_p.observe(*e);
+        }
+        want_p.flush();
+        got_p.flush();
+        assert_eq!(drain_after_flush(&adaptive), drain_after_flush(&fixed));
     }
 
     #[test]

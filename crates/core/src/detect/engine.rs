@@ -294,14 +294,16 @@ impl Detector {
             // Algorithm-2 only applies to communication coordinators.
             let coordinator =
                 checker.spec.class == crate::spec::MonitorClass::CommunicationCoordinator;
-            let mut out = Vec::new();
+            // Violations accumulate straight into the report (sorted
+            // once at the end) — no per-monitor scratch allocation.
+            let out = &mut report.violations;
             for event in events.iter().filter(|e| e.monitor == monitor) {
                 report.events_checked += 1;
                 // Algorithm-1 replay.
-                checker.general.apply(&checker.spec, event, &mut out);
+                checker.general.apply(&checker.spec, event, out);
                 // Algorithm-2 replay.
                 if coordinator {
-                    checker.resource.apply(&checker.spec, event, &mut out);
+                    checker.resource.apply(&checker.spec, event, out);
                 }
                 // Algorithm-3 catch-up for events not seen by observe()
                 // (per-caller watermark: late batches still buffered in
@@ -311,7 +313,7 @@ impl Detector {
                 let mark = checker.order_marks.entry(event.pid).or_insert(0);
                 if event.seq > *mark {
                     *mark = event.seq;
-                    checker.order.apply(&checker.spec, event, &mut out);
+                    checker.order.apply(&checker.spec, event, out);
                     if matches!(event.kind, crate::event::EventKind::Terminate) {
                         checker.order.forget_caller(event.pid);
                     }
@@ -319,16 +321,16 @@ impl Detector {
             }
             // Step 2: snapshot comparison, user assertions and timers.
             if let Some(observed) = snapshots.get(&monitor) {
-                checker.general.compare_snapshot(observed, now, &mut out);
+                checker.general.compare_snapshot(observed, now, out);
                 if coordinator {
-                    checker.resource.compare_snapshot(observed, now, &mut out);
+                    checker.resource.compare_snapshot(observed, now, out);
                 }
                 for assertion in &checker.spec.assertions {
-                    assertion.check_into(monitor, observed, now, &mut out);
+                    assertion.check_into(monitor, observed, now, out);
                 }
             }
-            checker.general.check_timers(&self.cfg, now, &mut out);
-            checker.order.check_hold_timeout(&self.cfg, now, &mut out);
+            checker.general.check_timers(&self.cfg, now, out);
+            checker.order.check_hold_timeout(&self.cfg, now, out);
             // Re-base on the observed state for the next window.
             if let Some(observed) = snapshots.get(&monitor) {
                 checker.general.resync(observed, now);
@@ -337,7 +339,6 @@ impl Detector {
                 }
             }
             checker.last_check = now;
-            report.violations.extend(out);
         }
         report.violations.sort_by_key(|v| (v.event_seq.unwrap_or(u64::MAX), v.rule));
         report

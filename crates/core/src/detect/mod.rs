@@ -41,7 +41,7 @@ mod engine;
 pub mod scheduler;
 pub mod service;
 
-pub use backend::{DetectionBackend, InlineBackend, ProducerHandle, ShardedBackend};
+pub use backend::{AdaptiveBatch, DetectionBackend, InlineBackend, ProducerHandle, ShardedBackend};
 pub use engine::{Detector, MonitorChecker};
 pub use scheduler::{ClockFn, ScheduledBackend, SchedulerConfig};
 pub use service::{ServiceConfig, ServiceStats, ShardStats, ShardedDetector};

@@ -177,6 +177,14 @@ impl ScheduledBackend {
         self
     }
 
+    /// Makes producer handles size their batches adaptively between
+    /// `min` and `max` based on channel pressure (see
+    /// [`crate::detect::AdaptiveBatch`]).
+    pub fn with_adaptive_batch(mut self, min: usize, max: usize) -> Self {
+        self.sharded.set_adaptive_batch(min, max);
+        self
+    }
+
     /// The wrapped sharded backend.
     pub fn sharded(&self) -> &ShardedBackend {
         &self.sharded

@@ -262,6 +262,9 @@ pub(crate) enum ShardMsg {
         now: Nanos,
     },
     Batch(Vec<Event>),
+    /// A single event — [`ShardedDetector::observe`]'s message shape,
+    /// so the convenience path costs no per-event `Vec` allocation.
+    One(Event),
     Checkpoint {
         now: Nanos,
         events: Vec<Event>,
@@ -305,6 +308,10 @@ fn shard_worker(
                     det.observe_into(event, &mut scratch);
                 }
                 collector.absorb(shard, events.len() as u64, &mut scratch);
+            }
+            ShardMsg::One(event) => {
+                det.observe_into(&event, &mut scratch);
+                collector.absorb(shard, 1, &mut scratch);
             }
             ShardMsg::Checkpoint { now, events, snapshots, reply } => {
                 let _ = reply.send(det.checkpoint(now, &events, &snapshots));
@@ -425,16 +432,16 @@ impl ShardedDetector {
         self.register(monitor, spec, &initial, now);
     }
 
-    /// Ingests one event (a batch of one). Prefer
-    /// [`Self::observe_batch`] — batching is where the service's
-    /// dispatch amortisation comes from.
+    /// Ingests one event (no allocation — the event travels inline in
+    /// its message). Prefer [`Self::observe_batch`] — batching is where
+    /// the service's dispatch amortisation comes from.
     ///
     /// Unlike [`Detector::observe`] this is asynchronous: violations
     /// surface through [`Self::drain_violations`] (or the next
     /// [`Self::checkpoint`]'s ordering guarantee), not the call site.
     pub fn observe(&self, event: Event) {
         let shard = self.shard_of(event.monitor);
-        self.send(shard, ShardMsg::Batch(vec![event]));
+        self.send(shard, ShardMsg::One(event));
     }
 
     /// Ingests a batch of events: partitions them per shard and sends

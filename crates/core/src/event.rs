@@ -164,6 +164,63 @@ impl Event {
     }
 }
 
+/// K-way merges per-source event streams into one sequence ordered by
+/// [`Event::seq`] — the drain half of a sharded recording pipeline.
+///
+/// Each input stream must already be internally sorted by `seq` (true
+/// by construction for a per-thread recording segment: every thread
+/// pushes its events in the order it drew their sequence numbers from
+/// the shared counter). Streams may interleave arbitrarily; the merge
+/// restores the single total order `<L` the checking algorithms expect
+/// from a globally locked recorder.
+///
+/// Empty streams are skipped; a single non-empty stream is returned
+/// as-is (no copy beyond the move). The merge is a repeated min-head
+/// selection — the stream count is the *thread* count, small enough
+/// that a heap would cost more than it saves.
+///
+/// # Examples
+///
+/// ```
+/// use rmon_core::event::merge_by_seq;
+/// use rmon_core::{Event, MonitorId, Nanos, Pid, ProcName};
+///
+/// let e = |seq| Event::enter(seq, Nanos::new(seq), MonitorId::new(0), Pid::new(1), ProcName::new(0), true);
+/// let merged = merge_by_seq(vec![vec![e(1), e(4)], vec![e(2), e(3)]]);
+/// let seqs: Vec<u64> = merged.iter().map(|e| e.seq).collect();
+/// assert_eq!(seqs, [1, 2, 3, 4]);
+/// ```
+pub fn merge_by_seq(mut streams: Vec<Vec<Event>>) -> Vec<Event> {
+    streams.retain(|s| !s.is_empty());
+    match streams.len() {
+        0 => return Vec::new(),
+        1 => return streams.pop().expect("one stream"),
+        _ => {}
+    }
+    let total = streams.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    // Per-stream read cursors; exhausted streams are swap-removed.
+    let mut cursors: Vec<(usize, &[Event])> = streams.iter().map(|s| (0, s.as_slice())).collect();
+    while !cursors.is_empty() {
+        let mut best = 0;
+        let mut best_seq = cursors[0].1[cursors[0].0].seq;
+        for (i, (pos, stream)) in cursors.iter().enumerate().skip(1) {
+            let seq = stream[*pos].seq;
+            if seq < best_seq {
+                best = i;
+                best_seq = seq;
+            }
+        }
+        let (pos, stream) = &mut cursors[best];
+        out.push(stream[*pos]);
+        *pos += 1;
+        if *pos == stream.len() {
+            cursors.swap_remove(best);
+        }
+    }
+    out
+}
+
 impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.kind {
@@ -273,6 +330,23 @@ mod tests {
             "Signal-Exit"
         );
         assert_eq!(EventKind::Terminate.tag(), "Terminate");
+    }
+
+    #[test]
+    fn merge_by_seq_restores_total_order() {
+        let e = |seq: u64| {
+            Event::enter(seq, Nanos::new(seq), mid(), Pid::new(1), ProcName::new(0), true)
+        };
+        // Three interleaved streams, one empty.
+        let merged =
+            merge_by_seq(vec![vec![e(2), e(5), e(9)], vec![], vec![e(1), e(3)], vec![e(4), e(7)]]);
+        let seqs: Vec<u64> = merged.iter().map(|ev| ev.seq).collect();
+        assert_eq!(seqs, [1, 2, 3, 4, 5, 7, 9]);
+        // Degenerate shapes.
+        assert!(merge_by_seq(Vec::new()).is_empty());
+        assert!(merge_by_seq(vec![Vec::new()]).is_empty());
+        let single = merge_by_seq(vec![vec![e(8), e(11)]]);
+        assert_eq!(single.len(), 2);
     }
 
     #[test]

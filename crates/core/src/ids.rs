@@ -33,22 +33,26 @@ pub struct Pid(u32);
 
 impl Pid {
     /// Creates a process identifier from a raw index.
+    #[inline]
     pub const fn new(index: u32) -> Self {
         Pid(index)
     }
 
     /// Returns the raw index.
+    #[inline]
     pub const fn index(self) -> u32 {
         self.0
     }
 
     /// Returns the index as `usize` for table lookups.
+    #[inline]
     pub const fn as_usize(self) -> usize {
         self.0 as usize
     }
 }
 
 impl From<u32> for Pid {
+    #[inline]
     fn from(v: u32) -> Self {
         Pid(v)
     }
@@ -71,22 +75,26 @@ pub struct MonitorId(u32);
 
 impl MonitorId {
     /// Creates a monitor identifier from a raw index.
+    #[inline]
     pub const fn new(index: u32) -> Self {
         MonitorId(index)
     }
 
     /// Returns the raw index.
+    #[inline]
     pub const fn index(self) -> u32 {
         self.0
     }
 
     /// Returns the index as `usize` for table lookups.
+    #[inline]
     pub const fn as_usize(self) -> usize {
         self.0 as usize
     }
 }
 
 impl From<u32> for MonitorId {
+    #[inline]
     fn from(v: u32) -> Self {
         MonitorId(v)
     }
@@ -110,22 +118,26 @@ pub struct ProcName(u16);
 
 impl ProcName {
     /// Creates a procedure-name index.
+    #[inline]
     pub const fn new(index: u16) -> Self {
         ProcName(index)
     }
 
     /// Returns the raw index.
+    #[inline]
     pub const fn index(self) -> u16 {
         self.0
     }
 
     /// Returns the index as `usize` for table lookups.
+    #[inline]
     pub const fn as_usize(self) -> usize {
         self.0 as usize
     }
 }
 
 impl From<u16> for ProcName {
+    #[inline]
     fn from(v: u16) -> Self {
         ProcName(v)
     }
@@ -146,22 +158,26 @@ pub struct CondId(u16);
 
 impl CondId {
     /// Creates a condition-variable index.
+    #[inline]
     pub const fn new(index: u16) -> Self {
         CondId(index)
     }
 
     /// Returns the raw index.
+    #[inline]
     pub const fn index(self) -> u16 {
         self.0
     }
 
     /// Returns the index as `usize` for table lookups.
+    #[inline]
     pub const fn as_usize(self) -> usize {
         self.0 as usize
     }
 }
 
 impl From<u16> for CondId {
+    #[inline]
     fn from(v: u16) -> Self {
         CondId(v)
     }
@@ -185,6 +201,7 @@ pub struct PidProc {
 
 impl PidProc {
     /// Creates a `(process, procedure)` pair.
+    #[inline]
     pub const fn new(pid: Pid, proc_name: ProcName) -> Self {
         PidProc { pid, proc_name }
     }

@@ -67,7 +67,7 @@ mod assertion;
 mod config;
 pub mod detect;
 mod error;
-mod event;
+pub mod event;
 mod fault;
 mod history;
 mod ids;

@@ -136,18 +136,29 @@ impl<T: Send + 'static> BoundedBuffer<T> {
     /// timeout (only under injected faults or overload).
     pub fn send(&self, item: T) -> Result<(), MonitorError> {
         let mut g = self.mon.enter(self.send_proc)?;
-        let full = g.with(|d| d.queue.len() >= d.capacity);
-        let wait = if full {
-            // P4: skip the delay although full.
-            !self.bug_fires(BufferBug::MissingSendDelay)
-        } else {
-            // P1: delay although not full.
-            self.bug_fires(BufferBug::SpuriousSendDelay)
-        };
-        if wait {
+        // Guard check and deposit share one data-lock acquisition on
+        // the no-wait fast path; `item` survives in the `Option` when
+        // the guard decides to delay.
+        let mut item = Some(item);
+        let deposited = g.with(|d| {
+            let wait = if d.queue.len() >= d.capacity {
+                // P4: skip the delay although full.
+                !self.bug_fires(BufferBug::MissingSendDelay)
+            } else {
+                // P1: delay although not full.
+                self.bug_fires(BufferBug::SpuriousSendDelay)
+            };
+            if wait {
+                false
+            } else {
+                d.queue.push_back(item.take().expect("item not yet deposited"));
+                true
+            }
+        });
+        if !deposited {
             g.wait(self.full_cond)?;
+            g.with(|d| d.queue.push_back(item.take().expect("item not yet deposited")));
         }
-        g.with(|d| d.queue.push_back(item));
         // A send is "successful" at its completion: one slot consumed.
         g.signal_exit_adjust(Some(self.empty_cond), -1);
         Ok(())
@@ -165,18 +176,32 @@ impl<T: Send + 'static> BoundedBuffer<T> {
     /// timeout.
     pub fn receive(&self) -> Result<Option<T>, MonitorError> {
         let mut g = self.mon.enter(self.recv_proc)?;
-        let empty = g.with(|d| d.queue.is_empty());
-        let wait = if empty {
-            // P3: skip the delay although empty.
-            !self.bug_fires(BufferBug::MissingReceiveDelay)
-        } else {
-            // P2: delay although not empty.
-            self.bug_fires(BufferBug::SpuriousReceiveDelay)
+        // Guard check and removal share one data-lock acquisition on
+        // the no-wait fast path; the outer `None` means the guard
+        // decided to delay (the inner `Option` is the removed item,
+        // absent only when an injected bug let an empty receive
+        // proceed).
+        let fast = g.with(|d| {
+            let wait = if d.queue.is_empty() {
+                // P3: skip the delay although empty.
+                !self.bug_fires(BufferBug::MissingReceiveDelay)
+            } else {
+                // P2: delay although not empty.
+                self.bug_fires(BufferBug::SpuriousReceiveDelay)
+            };
+            if wait {
+                None
+            } else {
+                Some(d.queue.pop_front())
+            }
+        });
+        let item = match fast {
+            Some(item) => item,
+            None => {
+                g.wait(self.empty_cond)?;
+                g.with(|d| d.queue.pop_front())
+            }
         };
-        if wait {
-            g.wait(self.empty_cond)?;
-        }
-        let item = g.with(|d| d.queue.pop_front());
         // A receive is "successful" at its completion: one slot freed.
         g.signal_exit_adjust(Some(self.full_cond), 1);
         Ok(item)

@@ -9,6 +9,7 @@
 
 use parking_lot::Mutex;
 use rmon_core::FaultKind;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Protocol perturbations the real-thread core can realize.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,9 +49,18 @@ impl RtFault {
 }
 
 /// One-shot fault store consulted by the raw monitor core.
+///
+/// The monitor hot path consults the injector on every primitive, so
+/// the common nothing-armed case is answered by one relaxed atomic
+/// load — the armed list's mutex is only touched while a fault is
+/// actually pending. Arm faults *before* starting the operations that
+/// should observe them: an `arm` racing a concurrent `fire` on another
+/// thread may be missed by that one call.
 #[derive(Debug, Default)]
 pub struct RtInjector {
     armed: Mutex<Vec<RtFault>>,
+    /// Fast-path flag: whether `armed` might be non-empty.
+    any: AtomicBool,
 }
 
 impl RtInjector {
@@ -62,13 +72,20 @@ impl RtInjector {
     /// Arms a one-shot fault.
     pub fn arm(&self, fault: RtFault) {
         self.armed.lock().push(fault);
+        self.any.store(true, Ordering::Release);
     }
 
     /// Consumes and returns true if `fault` is armed.
     pub fn fire(&self, fault: RtFault) -> bool {
+        if !self.any.load(Ordering::Acquire) {
+            return false;
+        }
         let mut g = self.armed.lock();
         if let Some(i) = g.iter().position(|f| *f == fault) {
             g.remove(i);
+            if g.is_empty() {
+                self.any.store(false, Ordering::Release);
+            }
             true
         } else {
             false
@@ -77,7 +94,7 @@ impl RtInjector {
 
     /// Whether anything is still armed.
     pub fn any_armed(&self) -> bool {
-        !self.armed.lock().is_empty()
+        self.any.load(Ordering::Acquire) && !self.armed.lock().is_empty()
     }
 }
 

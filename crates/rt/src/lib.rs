@@ -61,6 +61,7 @@ mod recorder;
 mod recovery;
 pub mod registry;
 mod runtime;
+mod sync;
 
 pub use allocator::ResourceAllocator;
 pub use buffer::{BoundedBuffer, BufferBug};

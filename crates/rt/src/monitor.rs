@@ -6,7 +6,7 @@ use crate::inject::RtFault;
 use crate::raw::RawCore;
 use crate::registry::current_pid;
 use crate::runtime::Runtime;
-use parking_lot::Mutex;
+use crate::sync::FastMutex;
 use rmon_core::{CondId, MonitorId, MonitorSpec, MonitorState, Pid, ProcName};
 use std::sync::Arc;
 use std::sync::Weak;
@@ -45,7 +45,7 @@ use std::sync::Weak;
 #[derive(Debug)]
 pub struct Monitor<T> {
     core: Arc<RawCore>,
-    data: Arc<Mutex<T>>,
+    data: Arc<FastMutex<T>>,
 }
 
 impl<T> Clone for Monitor<T> {
@@ -58,7 +58,7 @@ impl<T> Monitor<T> {
     /// Creates a monitor in `rt` from its declaration and initial data.
     pub fn new(rt: &Runtime, spec: MonitorSpec, data: T) -> Monitor<T> {
         let core = RawCore::new(Arc::clone(&rt.inner), Arc::new(spec));
-        Monitor { core, data: Arc::new(Mutex::new(data)) }
+        Monitor { core, data: Arc::new(FastMutex::new(data)) }
     }
 
     /// The monitor's identifier.

@@ -17,8 +17,11 @@
 
 use crate::inject::{RtFault, RtInjector};
 use crate::runtime::RtInner;
+use crate::sync::{FastMutex, FastMutexGuard};
 use parking_lot::{Condvar, Mutex};
-use rmon_core::{CondId, EventKind, MonitorId, MonitorSpec, MonitorState, Pid, PidProc, ProcName};
+use rmon_core::{
+    CondId, EventKind, MonitorId, MonitorSpec, MonitorState, Pid, PidProc, ProcName, ProcRole,
+};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
@@ -57,7 +60,7 @@ struct Waiter {
 }
 
 #[derive(Debug, Default)]
-struct RawState {
+pub(crate) struct RawState {
     owner: Vec<PidProc>,
     eq: VecDeque<Waiter>,
     cqs: Vec<VecDeque<Waiter>>,
@@ -90,9 +93,16 @@ impl RawState {
 pub struct RawCore {
     id: MonitorId,
     spec: Arc<MonitorSpec>,
-    state: Mutex<RawState>,
+    state: FastMutex<RawState>,
     rt: Arc<RtInner>,
     injector: RtInjector,
+    /// Whether this monitor has calling-order concerns (a declared
+    /// path expression or Request/Release-role procedures). Computed
+    /// once at construction so the per-event hot path decides with a
+    /// plain field read whether to stream into the real-time
+    /// (Algorithm-3) pipeline; all other events are covered by the
+    /// periodic checkpoint catch-up.
+    needs_order: bool,
 }
 
 impl RawCore {
@@ -100,9 +110,14 @@ impl RawCore {
     /// snapshot registry.
     pub(crate) fn new(rt: Arc<RtInner>, spec: Arc<MonitorSpec>) -> Arc<RawCore> {
         let id = rt.allocate_monitor_id();
+        let needs_order = spec.call_order.is_some()
+            || spec
+                .procedures
+                .iter()
+                .any(|p| matches!(p.role, ProcRole::Request | ProcRole::Release));
         let core = Arc::new(RawCore {
             id,
-            state: Mutex::new(RawState {
+            state: FastMutex::new(RawState {
                 cqs: (0..spec.cond_count()).map(|_| VecDeque::new()).collect(),
                 resource_no: spec.capacity.map(|c| c as i64),
                 ..Default::default()
@@ -110,9 +125,17 @@ impl RawCore {
             spec: Arc::clone(&spec),
             rt: Arc::clone(&rt),
             injector: RtInjector::new(),
+            needs_order,
         });
         rt.register_monitor(&core);
         core
+    }
+
+    /// Records one scheduling event of this monitor (see
+    /// [`RtInner::record_observe`]).
+    #[inline]
+    fn observe(&self, pid: Pid, proc_name: ProcName, kind: EventKind) {
+        self.rt.record_observe(self.id, pid, proc_name, kind, self.needs_order);
     }
 
     /// The monitor id.
@@ -132,13 +155,31 @@ impl RawCore {
 
     /// Observed `⟨EQ, CQ[], Running, R#⟩` snapshot.
     pub fn snapshot_queues(&self) -> MonitorState {
-        let st = self.state.lock();
+        Self::snapshot_of(&self.state.lock())
+    }
+
+    /// Builds the observed snapshot from an already-held state guard
+    /// (the checkpoint path, which holds every monitor suspended).
+    pub(crate) fn snapshot_of(st: &RawState) -> MonitorState {
         MonitorState {
             entry_queue: st.eq.iter().map(|w| w.pp).collect(),
             cond_queues: st.cqs.iter().map(|q| q.iter().map(|w| w.pp).collect()).collect(),
             running: st.owner.clone(),
             available: st.resource_no.map(|v| v.max(0) as u64),
         }
+    }
+
+    /// Suspends this monitor's operations for the lifetime of the
+    /// returned guard — the checkpoint half of the paper's "all other
+    /// running processes are suspended" protocol. Every monitor
+    /// primitive mutates its queues **and records its scheduling
+    /// event** under this lock (an invariant of this module), so a
+    /// checkpoint holding the guards of all live monitors sees a
+    /// drained window and queue snapshots that are mutually
+    /// consistent, with no lock on the primitives' hot path beyond the
+    /// state lock they already take.
+    pub(crate) fn suspend(&self) -> FastMutexGuard<'_, RawState> {
+        self.state.lock()
     }
 
     /// The `Enter` primitive. Blocks (with the runtime's park timeout)
@@ -151,7 +192,6 @@ impl RawCore {
     pub fn enter(&self, pid: Pid, proc_name: ProcName) -> Result<(), crate::MonitorError> {
         let pp = PidProc::new(pid, proc_name);
         let gate = {
-            let _pause = self.rt.pause.read();
             let mut st = self.state.lock();
             // Fault E4: run inside without an observable Enter.
             if self.injector.fire(RtFault::SkipEnterEvent) {
@@ -164,43 +204,23 @@ impl RawCore {
                 if self.injector.fire(RtFault::BlockWhileFree) {
                     let gate = Arc::new(Gate::default());
                     st.eq.push_back(Waiter { pp, gate: Arc::clone(&gate) });
-                    self.rt.record_observe(
-                        self.id,
-                        pid,
-                        proc_name,
-                        EventKind::Enter { granted: false },
-                    );
+                    self.observe(pid, proc_name, EventKind::Enter { granted: false });
                     gate
                 } else {
                     st.owner.push(pp);
-                    self.rt.record_observe(
-                        self.id,
-                        pid,
-                        proc_name,
-                        EventKind::Enter { granted: true },
-                    );
+                    self.observe(pid, proc_name, EventKind::Enter { granted: true });
                     return Ok(());
                 }
             } else {
                 // Fault E1: grant although another thread is inside.
                 if self.injector.fire(RtFault::GrantWhileBusy) {
                     st.owner.push(pp);
-                    self.rt.record_observe(
-                        self.id,
-                        pid,
-                        proc_name,
-                        EventKind::Enter { granted: true },
-                    );
+                    self.observe(pid, proc_name, EventKind::Enter { granted: true });
                     return Ok(());
                 }
                 let gate = Arc::new(Gate::default());
                 st.eq.push_back(Waiter { pp, gate: Arc::clone(&gate) });
-                self.rt.record_observe(
-                    self.id,
-                    pid,
-                    proc_name,
-                    EventKind::Enter { granted: false },
-                );
+                self.observe(pid, proc_name, EventKind::Enter { granted: false });
                 gate
             }
         };
@@ -222,7 +242,6 @@ impl RawCore {
     ) -> Result<(), crate::MonitorError> {
         let pp = PidProc::new(pid, proc_name);
         let gate = {
-            let _pause = self.rt.pause.read();
             let mut st = self.state.lock();
             st.owner.retain(|o| o.pid != pid);
             let gate = Arc::new(Gate::default());
@@ -231,7 +250,7 @@ impl RawCore {
                 st.cqs.resize_with(c + 1, VecDeque::new);
             }
             st.cqs[c].push_back(Waiter { pp, gate: Arc::clone(&gate) });
-            self.rt.record_observe(self.id, pid, proc_name, EventKind::Wait { cond });
+            self.observe(pid, proc_name, EventKind::Wait { cond });
             if self.injector.fire(RtFault::StickLockOnWait) {
                 st.stuck = true;
             } else if st.eq.is_empty() || !self.injector.fire(RtFault::SkipHandoffOnWait) {
@@ -255,7 +274,6 @@ impl RawCore {
         cond: Option<CondId>,
         resource_delta: i64,
     ) {
-        let _pause = self.rt.pause.read();
         let mut st = self.state.lock();
         st.owner.retain(|o| o.pid != pid);
         if let Some(rn) = st.resource_no.as_mut() {
@@ -263,12 +281,7 @@ impl RawCore {
         }
         let flag =
             cond.map(|c| st.cqs.get(c.as_usize()).is_some_and(|q| !q.is_empty())).unwrap_or(false);
-        self.rt.record_observe(
-            self.id,
-            pid,
-            proc_name,
-            EventKind::SignalExit { cond, resumed_waiter: flag },
-        );
+        self.observe(pid, proc_name, EventKind::SignalExit { cond, resumed_waiter: flag });
         // Fault X1: nobody resumed although the flag claims the
         // hand-off (effective only when someone was due a resumption).
         if (flag || !st.eq.is_empty()) && self.injector.fire(RtFault::SkipResumeOnExit) {
@@ -296,11 +309,10 @@ impl RawCore {
     /// checker flags through the entry-queue timer on top of the
     /// immediate Terminate report.
     pub fn terminate_inside(&self, pid: Pid, proc_name: ProcName) {
-        let _pause = self.rt.pause.read();
         let mut st = self.state.lock();
         st.owner.retain(|o| o.pid != pid);
         st.stuck = true;
-        self.rt.record_observe(self.id, pid, proc_name, EventKind::Terminate);
+        self.observe(pid, proc_name, EventKind::Terminate);
     }
 
     /// Error-recovery hook (§5 extension): clears an injected/terminal
@@ -309,7 +321,6 @@ impl RawCore {
     /// that currently has a live owner. Returns whether anything was
     /// repaired.
     pub fn force_release(&self) -> bool {
-        let _pause = self.rt.pause.read();
         let mut st = self.state.lock();
         let mut acted = false;
         if st.stuck {

@@ -1,39 +1,401 @@
 //! The real-time data-gathering routine (§4): records scheduling
 //! events from monitor primitives into the history database.
+//!
+//! # The sharded recording pipeline
+//!
+//! The original recorder serialized every monitor operation through one
+//! global `Mutex` around the window `Vec` — measurably the hottest lock
+//! in the system (recording alone cost > 6× the bare monitor op in the
+//! Table-1 harness). This module replaces it with a design in which the
+//! hot path shares **nothing writable** between threads:
+//!
+//! * the total order `<L` comes from a single [`AtomicU64`] sequence
+//!   counter (`fetch_add`, no lock);
+//! * each recording thread appends into its own [`ThreadSegment`] — a
+//!   chunked, append-only buffer owned by exactly one writer thread and
+//!   published to the drain side with release/acquire stores on each
+//!   chunk's length (the classic single-producer publication protocol
+//!   of low-overhead tracers);
+//! * [`Recorder::drain_window`] k-way merges the per-thread segments by
+//!   `seq` ([`rmon_core::event::merge_by_seq`]), exploiting the fact
+//!   that every segment is internally sorted by construction, and hands
+//!   the checkpoint checkers the same globally-ordered window the
+//!   locked recorder produced.
+//!
+//! Within one thread, events still appear in exactly the order their
+//! sequence numbers were drawn, so the per-pid FIFO precondition of the
+//! detection backends holds by construction — which is what lets the
+//! runtime stream the same events straight into the thread's
+//! [`ProducerHandle`](rmon_core::detect::ProducerHandle) without any
+//! shared staging buffer (see `rmon_rt::registry`).
 
 use parking_lot::Mutex;
+use rmon_core::event::merge_by_seq;
 use rmon_core::{Event, EventKind, MonitorId, Nanos, Pid, ProcName};
+use std::cell::{RefCell, UnsafeCell};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
 use std::time::Instant;
 
+/// Events per segment chunk. Chunks are never reallocated, so a push
+/// is a plain slot write — no `Vec` growth memcpy on the hot path —
+/// and a long window costs a list of chunks instead of one huge
+/// reallocating buffer.
+const CHUNK_EVENTS: usize = 1024;
+
+/// Process-wide recorder identity source: keys the per-thread segment
+/// cache, so one thread can record into several recorders (tests do)
+/// without mixing their streams.
+static NEXT_RECORDER_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+/// One fixed-capacity chunk of a thread segment.
+///
+/// Single-producer publication: only the owning thread writes slots and
+/// stores `len` (release); drains load `len` (acquire) and read only
+/// slots below it. Slots below a published `len` are never written
+/// again, so the acquire load makes them safely readable.
+struct Chunk {
+    slots: Box<[UnsafeCell<MaybeUninit<Event>>]>,
+    /// Published element count. Writer-only store (release).
+    len: AtomicUsize,
+    /// Elements already consumed by a drain. Drainer-only, and drains
+    /// are serialized by the segment-registry lock.
+    taken: AtomicUsize,
+}
+
+// SAFETY: the only `UnsafeCell` access paths are `Chunk::push` (the
+// single writer thread, slots at or above `len`) and `Chunk::drain_into`
+// (readers of slots strictly below an acquire-loaded `len`, serialized
+// by the recorder's registry lock). Writer and reader never touch the
+// same slot concurrently: a slot becomes reader-visible only through
+// the release store that also makes the writer never touch it again.
+unsafe impl Sync for Chunk {}
+unsafe impl Send for Chunk {}
+
+impl Chunk {
+    fn new() -> Self {
+        let mut slots = Vec::with_capacity(CHUNK_EVENTS);
+        slots.resize_with(CHUNK_EVENTS, || UnsafeCell::new(MaybeUninit::uninit()));
+        Chunk {
+            slots: slots.into_boxed_slice(),
+            len: AtomicUsize::new(0),
+            taken: AtomicUsize::new(0),
+        }
+    }
+
+    /// Moves every event published since the last drain into `out`,
+    /// returning whether the chunk is exhausted (full and fully
+    /// consumed). Caller must hold the segment-registry lock.
+    fn drain_into(&self, out: &mut Vec<Event>) -> bool {
+        let n = self.len.load(Ordering::Acquire);
+        let t = self.taken.load(Ordering::Relaxed);
+        for slot in &self.slots[t..n] {
+            // SAFETY: slots below the acquire-loaded `len` are fully
+            // written and never written again.
+            out.push(unsafe { (*slot.get()).assume_init() });
+        }
+        self.taken.store(n, Ordering::Relaxed);
+        n == CHUNK_EVENTS
+    }
+
+    /// Published-but-undrained events.
+    fn pending(&self) -> usize {
+        self.len.load(Ordering::Acquire) - self.taken.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Chunk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Chunk")
+            .field("len", &self.len.load(Ordering::Relaxed))
+            .field("taken", &self.taken.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// The drain-side view of one thread's segment: the chunk list. The
+/// small mutex is touched by the writer only once per [`CHUNK_EVENTS`]
+/// pushes (to register a fresh chunk) and by drains.
 #[derive(Debug, Default)]
-struct RecInner {
-    next_seq: u64,
-    window: Vec<Event>,
-    total: u64,
+struct SegmentShared {
+    chunks: Mutex<Vec<Arc<Chunk>>>,
+    /// Set (release) by the writer handle's drop, after its final
+    /// push. A drain that acquire-loads `true` therefore
+    /// happens-after every publication this segment will ever see —
+    /// the edge that makes pruning a dead segment sound (an `Arc`
+    /// strong-count probe would not synchronize with the last push).
+    writer_closed: AtomicBool,
+}
+
+impl SegmentShared {
+    fn drain_into(&self, out: &mut Vec<Event>) {
+        self.chunks.lock().retain(|chunk| !chunk.drain_into(out));
+    }
+
+    fn pending(&self) -> usize {
+        self.chunks.lock().iter().map(|c| c.pending()).sum()
+    }
+
+    /// Whether the segment can never produce another event and has
+    /// nothing left to drain. The acquire load of `writer_closed`
+    /// orders the subsequent `pending` check after the writer's final
+    /// publication.
+    fn exhausted(&self) -> bool {
+        self.writer_closed.load(Ordering::Acquire) && self.pending() == 0
+    }
+}
+
+/// A thread's private writer handle into the recording pipeline: the
+/// hot-path half of the recorder. Created through
+/// [`Recorder::new_thread_segment`], cached in thread-local storage,
+/// never shared between threads.
+#[derive(Debug)]
+pub(crate) struct ThreadSegment {
+    shared: Arc<SegmentShared>,
+    current: Arc<Chunk>,
+    /// Writer-side mirror of `current.len`: the writer is the only
+    /// thread that advances the published length, so it never needs to
+    /// read the atomic back.
+    cursor: usize,
+}
+
+impl ThreadSegment {
+    /// Appends one event to this thread's stream.
+    #[inline(always)]
+    pub(crate) fn push(&mut self, event: Event) {
+        if self.cursor == CHUNK_EVENTS {
+            self.roll_over();
+        }
+        let i = self.cursor;
+        // SAFETY: `i < CHUNK_EVENTS` (checked above), the slot is at or
+        // above the published `len`, so no reader looks at it yet, and
+        // `&mut self` plus the thread-local handout make this the
+        // single writer thread (see the `Sync` justification on
+        // `Chunk`).
+        unsafe { (*self.current.slots.get_unchecked(i).get()).write(event) };
+        self.cursor = i + 1;
+        self.current.len.store(i + 1, Ordering::Release);
+    }
+
+    /// Starts a fresh chunk (once per [`CHUNK_EVENTS`] pushes).
+    #[cold]
+    fn roll_over(&mut self) {
+        let fresh = Arc::new(Chunk::new());
+        self.shared.chunks.lock().push(Arc::clone(&fresh));
+        self.current = fresh;
+        self.cursor = 0;
+    }
+}
+
+impl Drop for ThreadSegment {
+    fn drop(&mut self) {
+        // Publish "no further events" with release ordering: a drain
+        // that observes the flag also observes every push this writer
+        // made, so the segment can be pruned without losing events.
+        self.shared.writer_closed.store(true, Ordering::Release);
+    }
+}
+
+/// Everything the recorder shares with drains and live segments.
+#[derive(Debug, Default)]
+struct RecShared {
+    /// Every thread segment ever registered. Entries whose writer is
+    /// gone are pruned once fully drained.
+    segments: Mutex<Vec<Arc<SegmentShared>>>,
+}
+
+/// A monotonic nanosecond clock cheap enough to call once per recorded
+/// event.
+///
+/// `Instant::now` is a vDSO `clock_gettime` — fine in isolation, but
+/// the single largest cost of an instrumented monitor op once the
+/// locks are gone. On x86_64 the clock therefore self-calibrates to
+/// the TSC: early reads go through `Instant` while accumulating a
+/// calibration baseline; once [`CALIBRATION_WINDOW`] has elapsed, the
+/// measured tick rate is frozen and subsequent reads are one `rdtsc`
+/// plus a multiply. The calibrating read returns its `Instant` value
+/// and every later read is computed from a strictly larger tick count
+/// at the frozen rate, so the switch never steps backwards; rate error
+/// is bounded by the clock-read jitter over the calibration window
+/// (sub-ppm at 10 ms). Timer rules compare event stamps against
+/// checkpoint times from this same clock, so a bounded rate error
+/// cancels out of every age computation.
+#[derive(Debug)]
+struct FastClock {
+    origin: Instant,
+    /// Frozen ns-per-tick rate as `f64` bits; `0` while uncalibrated.
+    #[cfg(target_arch = "x86_64")]
+    rate_bits: AtomicU64,
+    /// TSC reading taken at `origin`.
+    #[cfg(target_arch = "x86_64")]
+    origin_ticks: u64,
+    /// Whether the TSC is invariant (see [`tsc_is_invariant`]);
+    /// `false` pins the clock to the `Instant` path forever.
+    #[cfg(target_arch = "x86_64")]
+    tsc_usable: bool,
+}
+
+/// How long the clock observes `Instant` before freezing the TSC rate.
+#[cfg(target_arch = "x86_64")]
+const CALIBRATION_WINDOW: u64 = 10_000_000; // 10 ms in ns
+
+/// Whether the CPU advertises an invariant TSC
+/// (CPUID.8000_0007H:EDX[8]): constant rate across P-/C-states and
+/// synchronized across cores. Without it the calibrated rate would be
+/// meaningless, so the clock then never leaves the `Instant` path.
+#[cfg(target_arch = "x86_64")]
+fn tsc_is_invariant() -> bool {
+    // CPUID is architecturally available on x86_64 (safe intrinsic).
+    if std::arch::x86_64::__cpuid(0x8000_0000).eax < 0x8000_0007 {
+        return false;
+    }
+    std::arch::x86_64::__cpuid(0x8000_0007).edx & (1 << 8) != 0
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn rdtsc() -> u64 {
+    // SAFETY: the TSC is architecturally guaranteed on x86_64.
+    unsafe { std::arch::x86_64::_rdtsc() }
+}
+
+impl FastClock {
+    fn new() -> Self {
+        FastClock {
+            origin: Instant::now(),
+            #[cfg(target_arch = "x86_64")]
+            rate_bits: AtomicU64::new(0),
+            #[cfg(target_arch = "x86_64")]
+            origin_ticks: rdtsc(),
+            #[cfg(target_arch = "x86_64")]
+            tsc_usable: tsc_is_invariant(),
+        }
+    }
+
+    /// Nanoseconds since the clock was created (see the type docs).
+    #[inline(always)]
+    fn now(&self) -> Nanos {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let bits = self.rate_bits.load(Ordering::Relaxed);
+            if bits != 0 {
+                let ticks = rdtsc().saturating_sub(self.origin_ticks);
+                Nanos::new((ticks as f64 * f64::from_bits(bits)) as u64)
+            } else {
+                self.calibrating_now()
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        Nanos::new(self.origin.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+    }
+
+    /// The pre-calibration slow path: answers from `Instant` and, once
+    /// the window has elapsed with a usable tick delta, freezes the
+    /// rate.
+    #[cfg(target_arch = "x86_64")]
+    #[cold]
+    fn calibrating_now(&self) -> Nanos {
+        let elapsed = self.origin.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let ticks = rdtsc().saturating_sub(self.origin_ticks);
+        if self.tsc_usable && elapsed >= CALIBRATION_WINDOW && ticks > 0 {
+            let rate = elapsed as f64 / ticks as f64;
+            if rate.is_finite() && rate > 0.0 {
+                // A racing calibrator computed an equally valid rate;
+                // either store wins.
+                self.rate_bits.store(rate.to_bits(), Ordering::Relaxed);
+            }
+        }
+        Nanos::new(elapsed)
+    }
 }
 
 /// Thread-safe event recorder with a monotonic wall clock.
+///
+/// The hot path ([`Recorder::record`]) draws the global sequence number
+/// from an atomic counter and appends to a per-thread segment — no lock
+/// shared between recording threads. [`Recorder::drain_window`] merges
+/// the segments back into the single globally-ordered window the
+/// checking algorithms expect. See the module docs above.
 #[derive(Debug)]
 pub struct Recorder {
-    inner: Mutex<RecInner>,
-    origin: Instant,
+    token: u64,
+    next_seq: AtomicU64,
+    shared: Arc<RecShared>,
+    clock: FastClock,
+}
+
+thread_local! {
+    /// The calling thread's writer segments, keyed by recorder token.
+    /// Entries whose recorder is gone are pruned when a new segment is
+    /// installed.
+    static SEGMENTS: RefCell<Vec<(u64, Weak<RecShared>, ThreadSegment)>> =
+        const { RefCell::new(Vec::new()) };
 }
 
 impl Recorder {
     /// Creates a recorder whose clock starts now.
     pub fn new() -> Self {
         Recorder {
-            inner: Mutex::new(RecInner { next_seq: 1, ..Default::default() }),
-            origin: Instant::now(),
+            token: NEXT_RECORDER_TOKEN.fetch_add(1, Ordering::Relaxed),
+            next_seq: AtomicU64::new(1),
+            shared: Arc::new(RecShared::default()),
+            clock: FastClock::new(),
         }
     }
 
-    /// Monotonic nanoseconds since the recorder was created.
+    /// Monotonic nanoseconds since the recorder was created (a
+    /// self-calibrating TSC clock on x86_64 — see `FastClock`).
+    #[inline]
     pub fn now(&self) -> Nanos {
-        Nanos::new(self.origin.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+        self.clock.now()
     }
 
-    /// Records one event at the current time.
+    /// Stamps an event with the current time and the next global
+    /// sequence number — the lock-free half of [`Recorder::record`],
+    /// for callers (the runtime) that append to a [`ThreadSegment`]
+    /// they already hold.
+    #[inline(always)]
+    pub(crate) fn stamp(
+        &self,
+        monitor: MonitorId,
+        pid: Pid,
+        proc_name: ProcName,
+        kind: EventKind,
+    ) -> Event {
+        Event {
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            time: self.now(),
+            monitor,
+            pid,
+            proc_name,
+            kind,
+        }
+    }
+
+    /// Registers (and returns) a fresh per-thread writer segment. The
+    /// caller owns the writer side; the recorder keeps the drain side.
+    pub(crate) fn new_thread_segment(&self) -> ThreadSegment {
+        let shared = Arc::new(SegmentShared::default());
+        let current = Arc::new(Chunk::new());
+        shared.chunks.lock().push(Arc::clone(&current));
+        self.shared.segments.lock().push(Arc::clone(&shared));
+        ThreadSegment { shared, current, cursor: 0 }
+    }
+
+    /// Records one event at the current time, into the calling thread's
+    /// segment (created and cached on first use).
+    ///
+    /// This is the **standalone** entry point (tests, benches, direct
+    /// recorder users) and keeps its own thread-local segment cache,
+    /// keyed by recorder token. The runtime does not come through
+    /// here: `rmon_rt::registry` caches a `ThreadSegment` (obtained
+    /// from `Recorder::new_thread_segment`) together with the
+    /// thread's producer handle under the *runtime* token, so its hot
+    /// path pays one thread-local lookup for both. Both caches hand
+    /// out segments from the same registry, and extra segments per
+    /// thread are sound by construction (any single-writer segment
+    /// is; the drain merge restores the global order).
     pub fn record(
         &self,
         monitor: MonitorId,
@@ -41,28 +403,54 @@ impl Recorder {
         proc_name: ProcName,
         kind: EventKind,
     ) -> Event {
-        let time = self.now();
-        let mut g = self.inner.lock();
-        let event = Event { seq: g.next_seq, time, monitor, pid, proc_name, kind };
-        g.next_seq += 1;
-        g.total += 1;
-        g.window.push(event);
+        let event = self.stamp(monitor, pid, proc_name, kind);
+        SEGMENTS.with(|cell| {
+            let mut entries = cell.borrow_mut();
+            if let Some(entry) = entries.iter_mut().find(|(t, ..)| *t == self.token) {
+                entry.2.push(event);
+                return;
+            }
+            entries.retain(|(_, rec, _)| rec.strong_count() > 0);
+            let mut segment = self.new_thread_segment();
+            segment.push(event);
+            entries.push((self.token, Arc::downgrade(&self.shared), segment));
+        });
         event
     }
 
-    /// Drains the current checking window.
+    /// Drains the current checking window: takes every event published
+    /// since the last drain, k-way merged back into global `seq` order.
+    ///
+    /// Concurrent drains are serialized on the segment registry; a
+    /// drain concurrent with recording takes a prefix of each thread's
+    /// stream (per-pid order is preserved — a thread's remaining events
+    /// all carry higher sequence numbers and land in the next window).
     pub fn drain_window(&self) -> Vec<Event> {
-        std::mem::take(&mut self.inner.lock().window)
+        let mut segments = self.shared.segments.lock();
+        let mut streams: Vec<Vec<Event>> = Vec::with_capacity(segments.len());
+        segments.retain(|seg| {
+            let mut stream = Vec::new();
+            seg.drain_into(&mut stream);
+            if !stream.is_empty() {
+                streams.push(stream);
+            }
+            // Prune segments whose writer handle is gone (thread exited
+            // or runtime state pruned) once nothing is left to drain;
+            // `exhausted` orders the emptiness check after the writer's
+            // final publication.
+            !seg.exhausted()
+        });
+        merge_by_seq(streams)
     }
 
-    /// Total events recorded.
+    /// Total events recorded (sequence numbers issued).
     pub fn total(&self) -> u64 {
-        self.inner.lock().total
+        self.next_seq.load(Ordering::Relaxed) - 1
     }
 
-    /// Buffered (undrained) events.
+    /// Buffered (undrained) events across all thread segments.
     pub fn pending(&self) -> usize {
-        self.inner.lock().window.len()
+        self.shared.segments.lock().iter().map(|s| s.pending()).sum()
     }
 }
 
@@ -112,7 +500,7 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_recording_keeps_unique_seqs() {
+    fn concurrent_recording_keeps_unique_seqs_and_merges_sorted() {
         use std::sync::Arc;
         let r = Arc::new(Recorder::new());
         let mut handles = Vec::new();
@@ -133,9 +521,63 @@ mod tests {
             h.join().unwrap();
         }
         let events = r.drain_window();
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq), "window sorted by seq");
         let mut seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
         seqs.sort_unstable();
         seqs.dedup();
         assert_eq!(seqs.len(), 400);
+        assert_eq!(r.total(), 400);
+    }
+
+    #[test]
+    fn chunk_rollover_loses_nothing() {
+        // Drive one thread far past a chunk boundary, draining
+        // mid-stream, and verify the union of windows is gapless.
+        let r = Recorder::new();
+        let total = CHUNK_EVENTS * 2 + 37;
+        let mut drained = Vec::new();
+        for i in 0..total {
+            r.record(
+                MonitorId::new(0),
+                Pid::new(1),
+                ProcName::new(0),
+                EventKind::Enter { granted: true },
+            );
+            if i % 777 == 0 {
+                drained.extend(r.drain_window());
+            }
+        }
+        drained.extend(r.drain_window());
+        assert_eq!(drained.len(), total);
+        assert!(drained.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn two_recorders_on_one_thread_keep_separate_streams() {
+        let a = Recorder::new();
+        let b = Recorder::new();
+        a.record(MonitorId::new(0), Pid::new(1), ProcName::new(0), EventKind::Terminate);
+        a.record(MonitorId::new(0), Pid::new(1), ProcName::new(0), EventKind::Terminate);
+        b.record(MonitorId::new(9), Pid::new(2), ProcName::new(0), EventKind::Terminate);
+        assert_eq!(a.drain_window().len(), 2);
+        let bw = b.drain_window();
+        assert_eq!(bw.len(), 1);
+        assert_eq!(bw[0].monitor, MonitorId::new(9));
+    }
+
+    #[test]
+    fn dead_thread_segments_are_drained_then_pruned() {
+        let r = Arc::new(Recorder::new());
+        let r2 = Arc::clone(&r);
+        std::thread::spawn(move || {
+            r2.record(MonitorId::new(0), Pid::new(7), ProcName::new(0), EventKind::Terminate);
+        })
+        .join()
+        .unwrap();
+        // The writer thread is gone; its events must still drain.
+        assert_eq!(r.drain_window().len(), 1);
+        // And its now-empty segment must have been pruned.
+        assert_eq!(r.shared.segments.lock().len(), 0);
     }
 }

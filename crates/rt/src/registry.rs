@@ -1,20 +1,24 @@
-//! Thread → process-identifier and thread → producer-handle registry.
+//! Thread → process-identifier and thread → recording-state registry.
 //!
 //! The detection model identifies callers by [`Pid`]. Real threads get
 //! their pid from a process-wide counter, cached in a thread-local, so
 //! every recorded event attributes correctly without threading pids
 //! through every call.
 //!
-//! The same thread-locality carries the ingestion side of the
-//! detection API: each (thread, runtime) pair owns one
-//! [`ProducerHandle`], created lazily on the thread's first observed
-//! event and reached through the crate-private `with_producer`. The
-//! hot path therefore
-//! touches only thread-local state plus whatever the handle itself
-//! owns — no mutex shared between observing threads. One thread = one
-//! [`Pid`] = one handle is also what upholds the backends' per-caller
-//! ordering precondition (see `rmon_core::detect::backend`).
+//! The same thread-locality carries the whole per-thread half of the
+//! recording pipeline: each (thread, runtime) pair owns one
+//! `ThreadState` bundling its recorder segment (the thread's private
+//! window buffer, see `crate::recorder`) with its
+//! [`ProducerHandle`] into the runtime's detection backend. One
+//! thread-local lookup per recorded event reaches both, so a hot-path
+//! observation appends to the segment and — for monitors with
+//! calling-order concerns — streams straight into the backend without
+//! touching any mutex shared between observing threads. One thread =
+//! one [`Pid`] = one segment = one handle is also what upholds the
+//! backends' per-caller ordering precondition (see
+//! `rmon_core::detect::backend`).
 
+use crate::recorder::{Recorder, ThreadSegment};
 use rmon_core::detect::{DetectionBackend, ProducerHandle};
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -24,32 +28,44 @@ use rmon_core::Pid;
 
 static NEXT_PID: AtomicU32 = AtomicU32::new(1);
 
-thread_local! {
-    static CURRENT: Cell<Option<Pid>> = const { Cell::new(None) };
-    /// This thread's producer handles, keyed by runtime token. Entries
-    /// whose backend has shut down (their runtime is gone) are pruned
-    /// whenever a new handle is installed.
-    static PRODUCERS: RefCell<Vec<(u64, Box<dyn ProducerHandle>)>> =
-        const { RefCell::new(Vec::new()) };
+/// One thread's private recording state for one runtime: its writer
+/// segment into the runtime's recorder plus its ingestion handle into
+/// the runtime's detection backend.
+#[derive(Debug)]
+pub(crate) struct ThreadState {
+    pub(crate) segment: ThreadSegment,
+    pub(crate) producer: Box<dyn ProducerHandle>,
 }
 
-/// Runs `f` over the calling thread's producer handle for the runtime
-/// identified by `token`, installing a fresh handle from `backend` on
-/// first use.
-pub(crate) fn with_producer<R>(
+thread_local! {
+    static CURRENT: Cell<Option<Pid>> = const { Cell::new(None) };
+    /// This thread's recording states, keyed by runtime token. Entries
+    /// whose backend has shut down (their runtime is gone) are pruned
+    /// whenever a new state is installed.
+    static STATES: RefCell<Vec<(u64, ThreadState)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` over the calling thread's recording state for the runtime
+/// identified by `token`, installing a fresh segment + producer handle
+/// on first use.
+pub(crate) fn with_thread_state<R>(
     token: u64,
+    recorder: &Recorder,
     backend: &Arc<dyn DetectionBackend>,
-    f: impl FnOnce(&mut dyn ProducerHandle) -> R,
+    f: impl FnOnce(&mut ThreadState) -> R,
 ) -> R {
-    PRODUCERS.with(|cell| {
-        let mut handles = cell.borrow_mut();
-        if let Some(entry) = handles.iter_mut().find(|(t, _)| *t == token) {
-            return f(entry.1.as_mut());
+    STATES.with(|cell| {
+        let mut states = cell.borrow_mut();
+        if let Some(entry) = states.iter_mut().find(|(t, _)| *t == token) {
+            return f(&mut entry.1);
         }
-        handles.retain(|(_, h)| !h.is_closed());
-        handles.push((token, backend.producer()));
-        let entry = handles.last_mut().expect("just pushed");
-        f(entry.1.as_mut())
+        states.retain(|(_, s)| !s.producer.is_closed());
+        states.push((
+            token,
+            ThreadState { segment: recorder.new_thread_segment(), producer: backend.producer() },
+        ));
+        let entry = states.last_mut().expect("just pushed");
+        f(&mut entry.1)
     })
 }
 

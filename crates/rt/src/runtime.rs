@@ -1,8 +1,10 @@
 //! The robust-monitor runtime: shared recorder, pluggable detection
-//! backend, snapshot registry and the pause lock that suspends monitor
-//! operations during checking (the paper: *"upon detection, all other
-//! running processes are suspended and are resumed only after the
-//! checking has finished"*).
+//! backend, snapshot registry and the checkpoint suspension protocol
+//! (the paper: *"upon detection, all other running processes are
+//! suspended and are resumed only after the checking has finished"* —
+//! realized by holding every live monitor's state lock for the
+//! duration of the check, so the hot path pays no extra lock; see
+//! [`RawCore::suspend`]).
 //!
 //! Detection is behind the [`DetectionBackend`] trait: the runtime
 //! holds an `Arc<dyn DetectionBackend>` and each observing thread
@@ -17,16 +19,15 @@
 use crate::raw::RawCore;
 use crate::recorder::Recorder;
 use crate::registry;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use rmon_core::detect::{
     ClockFn, DetectionBackend, InlineBackend, ServiceConfig, ServiceStats, ShardedBackend,
 };
 use rmon_core::{
-    DetectorConfig, Event, EventKind, FaultReport, MonitorId, Nanos, Pid, ProcName, ProcRole,
-    RuleId, Violation,
+    DetectorConfig, Event, EventKind, FaultReport, MonitorId, Nanos, Pid, ProcName, RuleId,
+    Violation,
 };
 use std::collections::HashMap;
-use std::collections::HashSet;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
@@ -120,19 +121,12 @@ pub(crate) struct RtInner {
     cfg: DetectorConfig,
     backend: Arc<dyn DetectionBackend>,
     token: u64,
-    pub(crate) pause: RwLock<()>,
     pub(crate) park_timeout: Duration,
     pub(crate) order_policy: OrderPolicy,
     monitors: Mutex<Vec<Weak<RawCore>>>,
     next_monitor_id: AtomicU32,
     reports: Mutex<Vec<FaultReport>>,
     realtime: Mutex<Vec<Violation>>,
-    /// Monitors with calling-order concerns (a declared path
-    /// expression or Request/Release-role procedures). Only their
-    /// events need the real-time check; everything else is covered by
-    /// the periodic checkpoint catch-up, so the hot path skips the
-    /// producer handle entirely.
-    order_monitors: Mutex<HashSet<MonitorId>>,
 }
 
 impl std::fmt::Debug for RtInner {
@@ -154,39 +148,43 @@ impl RtInner {
     pub(crate) fn register_monitor(self: &Arc<Self>, core: &Arc<RawCore>) {
         self.monitors.lock().push(Arc::downgrade(core));
         let spec = core.spec();
-        let needs_order = spec.call_order.is_some()
-            || spec
-                .procedures
-                .iter()
-                .any(|p| matches!(p.role, ProcRole::Request | ProcRole::Release));
-        if needs_order {
-            self.order_monitors.lock().insert(core.id());
-        }
         let initial = spec.empty_state();
         let now = self.recorder.now();
         self.backend.register(core.id(), Arc::clone(spec), &initial, now);
     }
 
-    /// Records an event and feeds the real-time (Algorithm-3) path:
-    /// the event joins the calling thread's producer handle, which
-    /// owns its own batch buffer — no cross-thread lock on this path.
-    /// Violations surface through the backend collector at the next
-    /// checkpoint or violation query.
+    /// Records an event into the calling thread's recorder segment and
+    /// — when `stream_realtime` is set (monitors with calling-order
+    /// concerns, see [`RawCore`]) — feeds the real-time (Algorithm-3)
+    /// path through the same thread's producer handle. One thread-local
+    /// lookup reaches both; no cross-thread lock is acquired on this
+    /// path. Violations surface through the backend collector at the
+    /// next checkpoint or violation query. Events of monitors without
+    /// order concerns skip the producer entirely: the periodic
+    /// checkpoint's catch-up replay covers them.
     pub(crate) fn record_observe(
         &self,
         monitor: MonitorId,
         pid: Pid,
         proc_name: ProcName,
         kind: EventKind,
+        stream_realtime: bool,
     ) {
-        let event = self.recorder.record(monitor, pid, proc_name, kind);
-        if !self.order_monitors.lock().contains(&monitor) {
-            // No calling-order concerns: the periodic checkpoint's
-            // Algorithm-3 catch-up covers this event; skip the
-            // real-time ingestion entirely.
-            return;
-        }
-        registry::with_producer(self.token, &self.backend, |p| p.observe(event));
+        let event = self.recorder.stamp(monitor, pid, proc_name, kind);
+        registry::with_thread_state(self.token, &self.recorder, &self.backend, |st| {
+            st.segment.push(event);
+            if stream_realtime {
+                st.producer.observe(event);
+            }
+        });
+    }
+
+    /// Flushes the calling thread's producer handle, so a subsequent
+    /// backend barrier reflects everything this thread observed.
+    fn flush_thread_producer(&self) {
+        registry::with_thread_state(self.token, &self.recorder, &self.backend, |st| {
+            st.producer.flush()
+        });
     }
 
     /// Non-mutating real-time calling-order lookahead. The calling
@@ -199,18 +197,25 @@ impl RtInner {
         pid: Pid,
         proc_name: ProcName,
     ) -> Option<RuleId> {
-        registry::with_producer(self.token, &self.backend, |p| p.flush());
+        self.flush_thread_producer();
         self.backend.call_would_violate(monitor, pid, proc_name)
     }
 
     /// Moves violations the backend has collected into the runtime's
     /// real-time list, after flushing the calling thread's handle.
     pub(crate) fn drain_backend_violations(&self) {
-        registry::with_producer(self.token, &self.backend, |p| p.flush());
+        self.flush_thread_producer();
         let vs = self.backend.drain_violations();
         if !vs.is_empty() {
             self.realtime.lock().extend(vs);
         }
+    }
+
+    /// Upgrades the live monitor list. The `monitors` mutex is released
+    /// before any state lock is taken, so registration (which appends
+    /// under the same mutex) never interleaves with a suspension sweep.
+    fn live_monitors(&self) -> Vec<Arc<RawCore>> {
+        self.monitors.lock().iter().filter_map(Weak::upgrade).collect()
     }
 
     /// The paper-faithful (§3.1, unoptimized) checking routine: keeps
@@ -219,54 +224,57 @@ impl RtInner {
     /// operations are suspended. Provided for the Table-1 ablation —
     /// the §3.3 checking lists exist precisely to avoid this cost.
     pub(crate) fn checkpoint_full_history(&self, history: &mut Vec<Event>) -> u64 {
-        let _w = self.pause.write();
+        let monitors = self.live_monitors();
+        let guards: Vec<_> = monitors.iter().map(|core| core.suspend()).collect();
         let now = self.recorder.now();
         history.extend(self.recorder.drain_window());
         let cfg = self.cfg;
         let mut checked = 0u64;
-        for weak in self.monitors.lock().iter() {
-            if let Some(core) = weak.upgrade() {
-                let id = core.id();
-                let events: Vec<Event> =
-                    history.iter().filter(|e| e.monitor == id).copied().collect();
-                checked += events.len() as u64;
-                let snapshot = core.snapshot_queues();
-                let violations = rmon_core::reference::check_history(
-                    id,
-                    core.spec(),
-                    &cfg,
-                    &events,
-                    Some(&snapshot),
-                    now,
-                );
-                if !violations.is_empty() {
-                    self.realtime.lock().extend(violations);
-                }
+        for (core, guard) in monitors.iter().zip(&guards) {
+            let id = core.id();
+            let events: Vec<Event> = history.iter().filter(|e| e.monitor == id).copied().collect();
+            checked += events.len() as u64;
+            let snapshot = RawCore::snapshot_of(guard);
+            let violations = rmon_core::reference::check_history(
+                id,
+                core.spec(),
+                &cfg,
+                &events,
+                Some(&snapshot),
+                now,
+            );
+            if !violations.is_empty() {
+                self.realtime.lock().extend(violations);
             }
         }
         checked
     }
 
-    /// Runs one checkpoint: suspends monitor operations, drains the
-    /// window, snapshots every live monitor, and invokes the periodic
-    /// checking routine on the backend.
+    /// Runs one checkpoint: suspends monitor operations (by holding
+    /// every live monitor's state lock — see [`RawCore::suspend`]),
+    /// drains the window, snapshots every suspended monitor, and
+    /// invokes the periodic checking routine on the backend. Monitors
+    /// created *while* the checkpoint runs are not suspended by it;
+    /// their events simply land in the next window.
     ///
     /// Events still buffered in *other* threads' producer handles are
     /// not lost: the drained window contains them (the recorder is the
     /// source of truth) and the backend's per-caller watermarks
     /// deduplicate their eventual arrival.
     pub(crate) fn checkpoint_now(&self) -> FaultReport {
-        let _w = self.pause.write();
+        let monitors = self.live_monitors();
+        let guards: Vec<_> = monitors.iter().map(|core| core.suspend()).collect();
         let now = self.recorder.now();
         let events = self.recorder.drain_window();
         let mut snaps = HashMap::new();
-        for weak in self.monitors.lock().iter() {
-            if let Some(core) = weak.upgrade() {
-                snaps.insert(core.id(), core.snapshot_queues());
-            }
+        for (core, guard) in monitors.iter().zip(&guards) {
+            snaps.insert(core.id(), RawCore::snapshot_of(guard));
         }
-        registry::with_producer(self.token, &self.backend, |p| p.flush());
+        self.flush_thread_producer();
         let report = self.backend.checkpoint(now, &events, &snaps);
+        // Monitor operations stay suspended until the checking has
+        // finished (the paper's protocol); release them now.
+        drop(guards);
         // Real-time violations found by the backend up to the
         // checkpoint barrier land in the runtime's list now.
         let vs = self.backend.drain_violations();
@@ -356,7 +364,7 @@ impl Runtime {
     /// calling thread's handle is flushed first, so the snapshot
     /// covers everything this thread observed.
     pub fn service_stats(&self) -> ServiceStats {
-        registry::with_producer(self.inner.token, &self.inner.backend, |p| p.flush());
+        self.inner.flush_thread_producer();
         self.inner.backend.stats()
     }
 
@@ -496,14 +504,12 @@ impl RuntimeBuilder {
                 cfg: self.cfg,
                 backend,
                 token: NEXT_RT_TOKEN.fetch_add(1, Ordering::Relaxed),
-                pause: RwLock::new(()),
                 park_timeout: self.park_timeout,
                 order_policy: self.order_policy,
                 monitors: Mutex::new(Vec::new()),
                 next_monitor_id: AtomicU32::new(0),
                 reports: Mutex::new(Vec::new()),
                 realtime: Mutex::new(Vec::new()),
-                order_monitors: Mutex::new(HashSet::new()),
             }),
         }
     }

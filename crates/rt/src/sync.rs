@@ -1,0 +1,174 @@
+//! A minimal fast-path mutex for the monitor hot path.
+//!
+//! The vendored `parking_lot` shim wraps `std::sync::Mutex`, whose
+//! lock/unlock round trip is the single largest fixed cost of a
+//! monitor primitive after the recording pipeline work. Real
+//! parking_lot earns its speed with an inline atomic fast path and an
+//! out-of-line parking slow path; [`FastMutex`] reproduces the shape
+//! for the two locks that need it — the monitor protocol state and the
+//! guarded user data — without a parking lot: the contended path spins
+//! briefly, then yields, then sleeps with capped exponential backoff.
+//!
+//! That waiting strategy is acceptable **only** because of how these
+//! two locks are used:
+//!
+//! * critical sections are a few hundred nanoseconds (queue pushes,
+//!   counter updates, one event append) — the spin phase absorbs
+//!   almost all contention;
+//! * the single long hold is a checkpoint suspending every monitor
+//!   ([`crate::RawCore::suspend`]), during which blocked ops *should*
+//!   get off the CPU — the backoff sleep does exactly that;
+//! * neither lock is ever paired with a condition variable (the
+//!   hand-off protocol parks on per-waiter [`crate::raw::Gate`]s,
+//!   which keep their own std primitives), so no wakeup protocol is
+//!   needed.
+//!
+//! Not a general-purpose mutex: no poisoning, no fairness guarantee,
+//! crate-private on purpose.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// A spin-then-yield-then-sleep mutex (see the [module docs](self)).
+#[derive(Debug, Default)]
+pub(crate) struct FastMutex<T: ?Sized> {
+    locked: AtomicBool,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the mutex provides the usual exclusive-access guarantee —
+// `lock` admits one holder at a time (the CAS on `locked`), and the
+// release store in `Drop` publishes the holder's writes to the next
+// acquirer.
+unsafe impl<T: ?Sized + Send> Send for FastMutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for FastMutex<T> {}
+
+impl<T> FastMutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub(crate) fn new(value: T) -> Self {
+        FastMutex { locked: AtomicBool::new(false), data: UnsafeCell::new(value) }
+    }
+}
+
+impl<T: ?Sized> FastMutex<T> {
+    /// Acquires the mutex, blocking until available.
+    #[inline]
+    pub(crate) fn lock(&self) -> FastMutexGuard<'_, T> {
+        if self
+            .locked
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.lock_contended();
+        }
+        FastMutexGuard { mutex: self }
+    }
+
+    /// The out-of-line contended path: spin, then yield, then sleep
+    /// with exponential backoff capped at 100 µs (a checkpoint may
+    /// hold every monitor's lock for milliseconds; sleepers must get
+    /// off the CPU so the checking finishes).
+    #[cold]
+    fn lock_contended(&self) {
+        let mut spins = 0u32;
+        let mut sleep = Duration::from_micros(1);
+        loop {
+            // Read-only wait loop: avoid hammering the line with CAS.
+            while self.locked.load(Ordering::Relaxed) {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else if spins < 96 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(sleep);
+                    sleep = (sleep * 2).min(Duration::from_micros(100));
+                }
+            }
+            if self
+                .locked
+                .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+}
+
+/// RAII guard for [`FastMutex`].
+#[derive(Debug)]
+pub(crate) struct FastMutexGuard<'a, T: ?Sized> {
+    mutex: &'a FastMutex<T>,
+}
+
+impl<T: ?Sized> Deref for FastMutexGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        // SAFETY: the guard witnesses exclusive ownership of the lock.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for FastMutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above, plus `&mut self` forbids aliasing guards.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for FastMutexGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        self.mutex.locked.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counts_correctly_under_contention() {
+        let m = Arc::new(FastMutex::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    *m.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 40_000);
+    }
+
+    #[test]
+    fn long_hold_parks_waiters_without_livelock() {
+        // Model the checkpoint pattern: one thread holds the lock for
+        // "a long time" while others queue up behind it.
+        let m = Arc::new(FastMutex::new(0u32));
+        let g = m.lock();
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                *m.lock() += 1;
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        drop(g);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 3);
+    }
+}

@@ -1,0 +1,239 @@
+//! Stress and equivalence tests for the sharded recording pipeline:
+//! N producer threads × M monitors hammering one [`Recorder`], with a
+//! concurrent drainer, checked for (a) per-pid sequence monotonicity
+//! across window boundaries, (b) zero lost or duplicated events after
+//! the drain merges, and (c) violation sequences identical to a
+//! globally-locked reference recorder fed the same logical trace.
+
+use rmon_core::detect::Detector;
+use rmon_core::{
+    DetectorConfig, Event, EventKind, MonitorId, MonitorSpec, Nanos, Pid, ProcName, RuleId,
+};
+use rmon_rt::Recorder;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const THREADS: u32 = 4;
+const MONITORS: u32 = 6;
+const ROUNDS: u32 = 200;
+
+/// The allocator spec shared by every monitor in the stress fleet.
+fn allocator() -> (Arc<MonitorSpec>, ProcName, ProcName) {
+    let al = MonitorSpec::allocator("res", 1);
+    (Arc::new(al.spec.clone()), al.request, al.release)
+}
+
+/// A minimal stand-in for the pre-pipeline recorder: one global mutex
+/// around the sequence counter and the window, exactly the structure
+/// the sharded pipeline replaced. Used as the behavioural reference.
+#[derive(Default)]
+struct LockedRecorder {
+    inner: Mutex<(u64, Vec<Event>)>,
+}
+
+impl LockedRecorder {
+    fn record(&self, monitor: MonitorId, pid: Pid, proc_name: ProcName, kind: EventKind) {
+        let mut g = self.inner.lock().unwrap();
+        g.0 += 1;
+        let seq = g.0;
+        let event = Event { seq, time: Nanos::new(seq * 10), monitor, pid, proc_name, kind };
+        g.1.push(event);
+    }
+
+    fn drain(&self) -> Vec<Event> {
+        std::mem::take(&mut self.inner.lock().unwrap().1)
+    }
+}
+
+/// Runs the deterministic faulty allocator script for one thread:
+/// every round on every monitor requests, duplicates the request
+/// (fault U3), releases, then double-releases (fault U1). The
+/// per-(monitor, pid) event sequence — and therefore the per-caller
+/// Algorithm-3 verdict sequence — is a pure function of this script,
+/// independent of cross-thread interleaving.
+fn drive(
+    record: &impl Fn(MonitorId, Pid, ProcName, EventKind),
+    pid: Pid,
+    request: ProcName,
+    release: ProcName,
+) {
+    for round in 0..ROUNDS {
+        for m in 0..MONITORS {
+            let monitor = MonitorId::new(m);
+            record(monitor, pid, request, EventKind::Enter { granted: true });
+            if round % 3 == 0 {
+                // U3: duplicate request while holding the right.
+                record(monitor, pid, request, EventKind::Enter { granted: false });
+            }
+            record(
+                monitor,
+                pid,
+                request,
+                EventKind::SignalExit { cond: None, resumed_waiter: false },
+            );
+            record(monitor, pid, release, EventKind::Enter { granted: true });
+            record(
+                monitor,
+                pid,
+                release,
+                EventKind::SignalExit { cond: None, resumed_waiter: false },
+            );
+            if round % 4 == 0 {
+                // U1: release without a preceding request.
+                record(monitor, pid, release, EventKind::Enter { granted: false });
+            }
+        }
+    }
+}
+
+/// Events each thread produces per run of the script.
+fn events_per_thread() -> u64 {
+    let mut n = 0u64;
+    for round in 0..ROUNDS {
+        n += u64::from(MONITORS) * 4;
+        if round % 3 == 0 {
+            n += u64::from(MONITORS);
+        }
+        if round % 4 == 0 {
+            n += u64::from(MONITORS);
+        }
+    }
+    n
+}
+
+/// Groups the violation rule sequences by `(monitor, pid)` in event
+/// order — the per-caller verdict streams the detection backends
+/// guarantee to be interleaving-independent.
+fn verdicts_by_caller(events: &[Event]) -> HashMap<(MonitorId, Pid), Vec<RuleId>> {
+    let (spec, _, _) = allocator();
+    let mut det = Detector::new(DetectorConfig::without_timeouts());
+    for m in 0..MONITORS {
+        det.register_empty(MonitorId::new(m), Arc::clone(&spec), Nanos::ZERO);
+    }
+    let violations = det.observe_batch(events);
+    let mut by_caller: HashMap<(MonitorId, Pid), Vec<RuleId>> = HashMap::new();
+    for v in violations {
+        by_caller
+            .entry((v.monitor, v.pid.expect("order violations carry a pid")))
+            .or_default()
+            .push(v.rule);
+    }
+    by_caller
+}
+
+#[test]
+fn stress_no_lost_events_and_per_pid_monotonicity() {
+    let recorder = Arc::new(Recorder::new());
+    let (_, request, release) = allocator();
+    let stop = Arc::new(AtomicBool::new(false));
+    let drained = Arc::new(AtomicU64::new(0));
+
+    // A concurrent drainer: windows taken mid-stream must each be
+    // seq-sorted, and their union must be gapless at the end.
+    let windows: Arc<Mutex<Vec<Vec<Event>>>> = Arc::new(Mutex::new(Vec::new()));
+    let drainer = {
+        let recorder = Arc::clone(&recorder);
+        let stop = Arc::clone(&stop);
+        let windows = Arc::clone(&windows);
+        let drained = Arc::clone(&drained);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                let w = recorder.drain_window();
+                if !w.is_empty() {
+                    drained.fetch_add(w.len() as u64, Ordering::Relaxed);
+                    windows.lock().unwrap().push(w);
+                }
+                std::thread::yield_now();
+            }
+        })
+    };
+
+    let mut producers = Vec::new();
+    for t in 0..THREADS {
+        let recorder = Arc::clone(&recorder);
+        producers.push(std::thread::spawn(move || {
+            let pid = Pid::new(t + 1);
+            let record = |m: MonitorId, p: Pid, pr: ProcName, k: EventKind| {
+                recorder.record(m, p, pr, k);
+            };
+            drive(&record, pid, request, release);
+        }));
+    }
+    for p in producers {
+        p.join().unwrap();
+    }
+    stop.store(true, Ordering::Release);
+    drainer.join().unwrap();
+    let final_window = recorder.drain_window();
+    let expected = u64::from(THREADS) * events_per_thread();
+    assert_eq!(recorder.total(), expected);
+    assert_eq!(recorder.pending(), 0);
+
+    let mut all: Vec<Event> = Vec::new();
+    for w in windows.lock().unwrap().iter() {
+        assert!(w.windows(2).all(|p| p[0].seq < p[1].seq), "each window is seq-sorted");
+        all.extend_from_slice(w);
+    }
+    assert!(final_window.windows(2).all(|p| p[0].seq < p[1].seq));
+    all.extend_from_slice(&final_window);
+
+    // No lost and no duplicated events: seqs are exactly 1..=expected.
+    assert_eq!(all.len() as u64, expected, "drained union covers every recorded event");
+    let mut seqs: Vec<u64> = all.iter().map(|e| e.seq).collect();
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert_eq!(seqs.len() as u64, expected, "no duplicate seq");
+    assert_eq!(seqs.first().copied(), Some(1));
+    assert_eq!(seqs.last().copied(), Some(expected));
+
+    // Per-pid monotonicity in drain order across window boundaries:
+    // concatenating the windows, each pid's seqs strictly increase —
+    // the FIFO precondition the detection backends rely on.
+    let mut last_seq: HashMap<Pid, u64> = HashMap::new();
+    for e in &all {
+        let last = last_seq.entry(e.pid).or_insert(0);
+        assert!(e.seq > *last, "pid {} went backwards: {} after {}", e.pid, e.seq, last);
+        *last = e.seq;
+    }
+}
+
+#[test]
+fn stress_violations_match_locked_reference_recorder() {
+    // The same logical trace through the sharded pipeline and through
+    // the old global-mutex shape: per-(monitor, pid) verdict sequences
+    // must be identical.
+    let recorder = Arc::new(Recorder::new());
+    let reference = Arc::new(LockedRecorder::default());
+    let (_, request, release) = allocator();
+
+    let mut producers = Vec::new();
+    for t in 0..THREADS {
+        let recorder = Arc::clone(&recorder);
+        let reference = Arc::clone(&reference);
+        producers.push(std::thread::spawn(move || {
+            let pid = Pid::new(100 + t);
+            let record = |m: MonitorId, p: Pid, pr: ProcName, k: EventKind| {
+                recorder.record(m, p, pr, k);
+                reference.record(m, p, pr, k);
+            };
+            drive(&record, pid, request, release);
+        }));
+    }
+    for p in producers {
+        p.join().unwrap();
+    }
+
+    let pipeline_events = recorder.drain_window();
+    let reference_events = reference.drain();
+    assert_eq!(pipeline_events.len(), reference_events.len());
+
+    let got = verdicts_by_caller(&pipeline_events);
+    let want = verdicts_by_caller(&reference_events);
+    assert!(!want.is_empty(), "the script must provoke violations");
+    assert!(
+        want.values().flatten().any(|r| *r == RuleId::St8DuplicateRequest),
+        "duplicate requests must be flagged"
+    );
+    assert_eq!(got, want, "per-caller verdict sequences must match the locked recorder");
+}

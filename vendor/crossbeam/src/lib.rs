@@ -10,7 +10,7 @@ pub mod channel {
     use std::sync::mpsc;
     use std::time::Duration;
 
-    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
 
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
@@ -54,6 +54,19 @@ pub mod channel {
             match &self.0 {
                 SenderImpl::Unbounded(tx) => tx.send(value),
                 SenderImpl::Bounded(tx) => tx.send(value),
+            }
+        }
+
+        /// Attempts to send without blocking: `Full` reports channel
+        /// pressure on a bounded channel (an unbounded channel is never
+        /// full), `Disconnected` that the receiver is gone. Mirrors
+        /// crossbeam's `Sender::try_send`.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                SenderImpl::Unbounded(tx) => {
+                    tx.send(value).map_err(|SendError(v)| TrySendError::Disconnected(v))
+                }
+                SenderImpl::Bounded(tx) => tx.try_send(value),
             }
         }
     }
