@@ -6,7 +6,11 @@
 //! * **EXP-ABL-RT** — detection latency vs. checking interval, down to
 //!   the paper's *"when T = 1, the checking becomes real-time"* limit;
 //! * **EXP-ABL-DET** — checkpoint cost as a function of the event-window
-//!   size (the scalability of the checking lists).
+//!   size (the scalability of the checking lists);
+//! * **EXP-ABL-CKPT** — the cost of one scoped per-shard checkpoint
+//!   sweep: timer-only (the scheduler's no-provider fallback) vs. the
+//!   full snapshot + Algorithm-1/2 comparison through a registered
+//!   `SnapshotProvider`.
 //!
 //! Run with: `cargo run --release -p rmon-bench --bin ablation`
 //!
@@ -18,7 +22,9 @@
 //! exercised on every push without owning the job's wall clock).
 
 use rmon_bench::{paper_second, row, rule_line};
-use rmon_core::detect::Detector;
+use rmon_core::detect::{
+    CheckpointScope, DetectionBackend, Detector, ServiceConfig, ShardedBackend,
+};
 use rmon_core::{DetectorConfig, FaultKind, Nanos};
 use rmon_rt::overhead::{measure, Mode, Workload};
 use rmon_workloads::{faultset, sweep};
@@ -34,7 +40,9 @@ fn main() {
     let latency = ablation_latency();
     println!();
     let det = ablation_detector_cost();
-    write_baseline(&out_path, &rec, &latency, &det);
+    println!();
+    let ckpt = ablation_checkpoint_sweep();
+    write_baseline(&out_path, &rec, &latency, &det, &ckpt);
     println!("\nwrote {out_path}");
 }
 
@@ -179,9 +187,65 @@ fn ablation_detector_cost() -> Vec<DetRow> {
     rows
 }
 
-/// Records the three ablations as a JSON baseline (hand-rolled JSON,
+/// One EXP-ABL-CKPT row: cost of a scoped per-shard checkpoint sweep.
+struct CkptRow {
+    mode: &'static str,
+    ns_per_sweep: f64,
+}
+
+/// EXP-ABL-CKPT: per-shard sweep cost, timer-only vs. the full
+/// snapshot + Algorithm-1/2 comparison through a `SnapshotProvider`.
+/// The backend is quiescent (stream fully ingested and replayed), so
+/// the rows isolate the steady-state sweep cost — what the scheduled
+/// backend's ticker pays per tick in each mode.
+fn ablation_checkpoint_sweep() -> Vec<CkptRow> {
+    const SHARDS: usize = 4;
+    println!("EXP-ABL-CKPT — per-shard sweep cost (8 monitors over {SHARDS} shards)");
+    let widths = [28usize, 16];
+    println!("{}", row(&["mode".into(), "ns/sweep".into()], &widths));
+    println!("{}", rule_line(&widths));
+    let fleet = sweep::fleet_trace(8, 30, 7);
+    let mut rows = Vec::new();
+    for (mode, with_provider) in [("timer-only sweep", false), ("snapshot + alg1/2 sweep", true)] {
+        let backend =
+            ShardedBackend::new(DetectorConfig::without_timeouts(), ServiceConfig::new(SHARDS));
+        for (&id, spec) in &fleet.specs {
+            backend.register_empty(id, Arc::clone(spec), Nanos::ZERO);
+        }
+        let mut producer = backend.producer();
+        for event in &fleet.events {
+            producer.observe(*event);
+        }
+        producer.flush();
+        // Consume the pending replay window once so the timed sweeps
+        // measure comparison + timers, not first-replay cost.
+        let _ = backend.checkpoint_window(fleet.end_time, &[], &fleet.snapshots);
+        if with_provider {
+            backend.set_snapshot_provider(fleet.snapshot_table());
+        }
+        let iters = 400u32;
+        let start = Instant::now();
+        for i in 0..iters {
+            let _ = backend.checkpoint(CheckpointScope::Shard(i as usize % SHARDS), fleet.end_time);
+        }
+        let per = start.elapsed() / iters;
+        let _ = backend.drain_violations();
+        backend.shutdown();
+        println!("{}", row(&[mode.into(), format!("{}", per.as_nanos())], &widths));
+        rows.push(CkptRow { mode, ns_per_sweep: per.as_nanos() as f64 });
+    }
+    rows
+}
+
+/// Records the four ablations as a JSON baseline (hand-rolled JSON,
 /// consistent with `BENCH_sharded.json` / `BENCH_table1.json`).
-fn write_baseline(out_path: &str, rec: &[RecRow], latency: &[LatencyRow], det: &[DetRow]) {
+fn write_baseline(
+    out_path: &str,
+    rec: &[RecRow],
+    latency: &[LatencyRow],
+    det: &[DetRow],
+    ckpt: &[CkptRow],
+) {
     let hw_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"experiment\": \"EXP-ABL recording/latency/detector ablations\",");
@@ -190,10 +254,13 @@ fn write_baseline(out_path: &str, rec: &[RecRow], latency: &[LatencyRow], det: &
     let _ = writeln!(
         json,
         "  \"caveats\": \"Recorded on a {hw_threads}-hardware-thread container: wall-clock \
-         rows (EXP-ABL-REC, EXP-ABL-DET) are time-sliced and noisy; re-record on a multi-core \
-         host. EXP-ABL-RT runs in simulator virtual time and is deterministic. The \
-         recording-only ratio here uses the RMON_ABLATION_ITEMS workload; the canonical \
-         recording_only_ratio baseline lives in BENCH_table1.json.\",",
+         rows (EXP-ABL-REC, EXP-ABL-DET, EXP-ABL-CKPT) are time-sliced and noisy; re-record \
+         on a multi-core host. EXP-ABL-RT runs in simulator virtual time and is \
+         deterministic. The recording-only ratio here uses the RMON_ABLATION_ITEMS workload; \
+         the canonical recording_only_ratio baseline lives in BENCH_table1.json. \
+         shard_sweep_cost times one scoped per-shard checkpoint round-trip on a quiescent \
+         4-shard backend: timer-only vs snapshot + Algorithm-1/2 through a \
+         SnapshotProvider.\",",
     );
     let _ = writeln!(json, "  \"recording_cost\": [");
     for (i, r) in rec.iter().enumerate() {
@@ -224,6 +291,16 @@ fn write_baseline(out_path: &str, rec: &[RecRow], latency: &[LatencyRow], det: &
             json,
             "    {{\"window_events\": {}, \"ns_per_event\": {:.1}}}{comma}",
             r.events, r.ns_per_event
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"shard_sweep_cost\": [");
+    for (i, r) in ckpt.iter().enumerate() {
+        let comma = if i + 1 == ckpt.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"mode\": \"{}\", \"ns_per_sweep\": {:.0}}}{comma}",
+            r.mode, r.ns_per_sweep
         );
     }
     let _ = writeln!(json, "  ]");

@@ -16,7 +16,13 @@
 //!   ingestion front-end — no mutex shared between the producers on
 //!   the observe path);
 //! * the scheduled backend at 4 shards (sharding plus the per-shard
-//!   checkpoint scheduler ticking in the background).
+//!   checkpoint scheduler ticking in the background);
+//! * the scheduled backend at 4 shards with the fleet's gated
+//!   `SnapshotTable` registered as its `SnapshotProvider`
+//!   (`scheduled-4-ckpt`): the background ticks are full per-shard
+//!   snapshot + Algorithm-1/2 sweeps instead of timer-only checks —
+//!   the cost of continuous full-fidelity checkpointing riding on the
+//!   same ingest path.
 //!
 //! Two throughputs are reported per mode, both in events per second of
 //! *measured wall time*:
@@ -124,6 +130,16 @@ fn scheduled_backend(shards: usize) -> ScheduledBackend {
     .with_batch(BATCH)
 }
 
+/// The checkpointing-scheduled mode: the background ticks run the full
+/// snapshot + Algorithm-1/2 sweep through the fleet's gated snapshot
+/// table (comparisons defer until the replay is quiescent, so mid-drive
+/// sweeps stay sound).
+fn scheduled_ckpt_backend(shards: usize, fleet: &FleetTrace) -> ScheduledBackend {
+    let backend = scheduled_backend(shards);
+    backend.set_snapshot_provider(fleet.snapshot_table());
+    backend
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sharded.json".to_string());
     let runs = env_usize("RMON_SHARDED_RUNS", 5);
@@ -187,6 +203,15 @@ fn main() {
     let (ingest, total) = measure(runs, events, || run_backend(&fleet, &scheduled_backend(4)));
     results.push(Measurement {
         mode: "scheduled-4".into(),
+        shards: 4,
+        producers: 1,
+        ingest_events_per_sec: ingest,
+        end_to_end_events_per_sec: total,
+    });
+    let (ingest, total) =
+        measure(runs, events, || run_backend(&fleet, &scheduled_ckpt_backend(4, &fleet)));
+    results.push(Measurement {
+        mode: "scheduled-4-ckpt".into(),
         shards: 4,
         producers: 1,
         ingest_events_per_sec: ingest,

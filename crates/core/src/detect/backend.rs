@@ -91,6 +91,181 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
+/// What a [`DetectionBackend::checkpoint`] covers: the whole backend,
+/// one worker shard, or one monitor.
+///
+/// Scopes exist so the periodic checking routine no longer has to be a
+/// global barrier: a scheduler (or an operator) can sweep one shard at
+/// a time, and a suspicious monitor can be checked on demand without
+/// touching its neighbours. On the [`InlineBackend`] — one pseudo-shard
+/// — `Shard(0)` is equivalent to `All` and any other shard index is an
+/// empty no-op, mirroring how [`DetectionBackend::stats`] reports a
+/// single pseudo-shard there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointScope {
+    /// Checkpoint every registered monitor (the full fan-out).
+    All,
+    /// Checkpoint the monitors owned by one worker shard.
+    Shard(usize),
+    /// Checkpoint a single monitor.
+    Monitor(MonitorId),
+}
+
+/// A source of live monitor-state observations — the paper's `s_t`
+/// (§3.3.2) behind a trait, so *any* backend can run the Algorithm-1/2
+/// snapshot comparisons without the caller hand-feeding it a snapshot
+/// map.
+///
+/// The embedding runtime implements this by reading each monitor's
+/// queues under its existing state lock (`rmon-rt` snapshots under the
+/// same per-monitor `FastMutex` its primitives record under); tests and
+/// trace drivers use a [`SnapshotTable`]. Register a provider with
+/// [`DetectionBackend::set_snapshot_provider`] and every
+/// [`DetectionBackend::checkpoint`] — including the scheduled backend's
+/// background shard sweeps — upgrades from timer-only checking to the
+/// full Algorithm-1/2/timer comparison.
+///
+/// # Consistency
+///
+/// A snapshot is only comparable against checking lists that have
+/// replayed **exactly** the events recorded up to the moment it was
+/// taken. Providers that observe live, concurrently-mutated monitors
+/// expose [`SnapshotProvider::events_recorded`] so the checkpoint can
+/// *gate* the comparison: the backend reads the counter before and
+/// after taking the snapshot (a seqlock — an unchanged count brackets a
+/// quiescent observation) and the engine compares only when its replay
+/// has caught up to that count. A gated-out monitor keeps its timers
+/// checked and its pending events replayed; the comparison simply waits
+/// for a quiescent sweep instead of fabricating mismatches from events
+/// still in flight. Providers serving fixed, already-consistent
+/// snapshots return `None` and are compared unconditionally.
+pub trait SnapshotProvider: Send + Sync + std::fmt::Debug {
+    /// Observes one monitor's current `⟨EQ, CQ[], Running, R#⟩` state,
+    /// or `None` if the provider does not know the monitor (it is then
+    /// checked in pure event-stream mode: replay and timers, no
+    /// comparison).
+    fn snapshot(&self, monitor: MonitorId, now: Nanos) -> Option<MonitorState>;
+
+    /// Bulk form of [`Self::snapshot`]: every monitor the provider can
+    /// observe right now.
+    fn snapshot_all(&self, now: Nanos) -> HashMap<MonitorId, MonitorState>;
+
+    /// How many events have been recorded for `monitor` so far, or
+    /// `None` if the provider's snapshots are consistent by
+    /// construction (fixtures over quiescent traces). See the
+    /// [consistency](SnapshotProvider#consistency) contract.
+    fn events_recorded(&self, monitor: MonitorId) -> Option<u64> {
+        let _ = monitor;
+        None
+    }
+}
+
+/// A [`SnapshotProvider`] over an updatable table — the fixture shape:
+/// tests pin the observed states a trace ends in, trace drivers publish
+/// the simulator's states as virtual time advances.
+///
+/// Optional per-monitor expected event counts turn the table into a
+/// *gated* provider (see [`SnapshotProvider::events_recorded`]): a
+/// backend sweeping mid-ingestion then defers the comparison until its
+/// replay has consumed exactly that many events — which is what makes
+/// it safe to register a table holding **final** states on a backend
+/// that checkpoints **during** the drive.
+///
+/// # Examples
+///
+/// ```
+/// use rmon_core::detect::SnapshotTable;
+/// use rmon_core::{MonitorId, MonitorState};
+/// use std::collections::HashMap;
+///
+/// let table = SnapshotTable::default();
+/// table.publish(MonitorId::new(0), MonitorState::with_resources(1, 2));
+/// ```
+#[derive(Debug, Default)]
+pub struct SnapshotTable {
+    inner: Mutex<SnapshotTableInner>,
+}
+
+#[derive(Debug, Default)]
+struct SnapshotTableInner {
+    snapshots: HashMap<MonitorId, MonitorState>,
+    counts: HashMap<MonitorId, u64>,
+}
+
+impl SnapshotTable {
+    /// A table pre-filled with `snapshots` and no consistency gates
+    /// (every comparison runs unconditionally).
+    pub fn from_snapshots(snapshots: HashMap<MonitorId, MonitorState>) -> Self {
+        SnapshotTable {
+            inner: Mutex::new(SnapshotTableInner { snapshots, counts: HashMap::new() }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SnapshotTableInner> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Publishes (or replaces) one monitor's observed state.
+    pub fn publish(&self, monitor: MonitorId, state: MonitorState) {
+        self.lock().snapshots.insert(monitor, state);
+    }
+
+    /// Publishes (or replaces) a whole batch of observed states.
+    pub fn publish_all(&self, snapshots: HashMap<MonitorId, MonitorState>) {
+        self.lock().snapshots.extend(snapshots);
+    }
+
+    /// Arms the consistency gate for `monitor`: its snapshot is only
+    /// compared by a checkpoint whose replay has consumed exactly
+    /// `events` events for it.
+    pub fn expect_events(&self, monitor: MonitorId, events: u64) {
+        self.lock().counts.insert(monitor, events);
+    }
+}
+
+impl SnapshotProvider for SnapshotTable {
+    fn snapshot(&self, monitor: MonitorId, _now: Nanos) -> Option<MonitorState> {
+        self.lock().snapshots.get(&monitor).cloned()
+    }
+
+    fn snapshot_all(&self, _now: Nanos) -> HashMap<MonitorId, MonitorState> {
+        self.lock().snapshots.clone()
+    }
+
+    fn events_recorded(&self, monitor: MonitorId) -> Option<u64> {
+        self.lock().counts.get(&monitor).copied()
+    }
+}
+
+/// Outcome of a non-blocking ingestion attempt
+/// ([`ProducerHandle::try_observe`] / [`ProducerHandle::try_flush`]).
+///
+/// `Full` never means the event was lost: the handle keeps it buffered
+/// and hands it over on a later (try-)flush. The value is the
+/// *backpressure signal* a caller that must not block (an async
+/// executor, a latency-critical hot path) reacts to — retry the flush
+/// later, or escalate to the blocking [`ProducerHandle::flush`] when
+/// giving up is not an option.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a Full result means buffered events still await delivery"]
+pub enum Backpressure {
+    /// Everything handed over (or buffered below the flush threshold);
+    /// nothing awaits a retry.
+    Accepted,
+    /// At least one shard inbox was full: part of the batch stays
+    /// buffered in the handle. Retry with
+    /// [`ProducerHandle::try_flush`], or block with
+    /// [`ProducerHandle::flush`].
+    Full,
+}
+
+impl Backpressure {
+    /// Whether the backend pushed back (buffered events remain).
+    pub fn is_full(self) -> bool {
+        matches!(self, Backpressure::Full)
+    }
+}
+
 /// A per-thread ingestion handle: the instrumentation side of the
 /// detection API.
 ///
@@ -113,10 +288,35 @@ pub trait ProducerHandle: Send + std::fmt::Debug {
     fn observe(&mut self, event: Event);
 
     /// Hands any buffered events to the backend. After `flush`, a
-    /// subsequent backend barrier ([`DetectionBackend::checkpoint`],
+    /// subsequent backend barrier ([`DetectionBackend::checkpoint_window`],
     /// [`DetectionBackend::drain_violations`]) reflects everything this
     /// handle observed.
     fn flush(&mut self);
+
+    /// Non-blocking [`Self::observe`]: ingests the event into the
+    /// handle's buffer and, if that crosses the flush threshold,
+    /// attempts a non-blocking hand-off. Returns
+    /// [`Backpressure::Full`] when a shard inbox pushed back — the
+    /// event (and the rest of the batch) stays buffered for a later
+    /// retry; nothing is ever dropped by backpressure.
+    ///
+    /// The default forwards to the blocking [`Self::observe`] and
+    /// reports [`Backpressure::Accepted`] — correct for handles that
+    /// never block on a queue (the inline backend's synchronous
+    /// handle).
+    fn try_observe(&mut self, event: Event) -> Backpressure {
+        self.observe(event);
+        Backpressure::Accepted
+    }
+
+    /// Non-blocking [`Self::flush`]: hands over whatever the shard
+    /// inboxes will take right now and reports whether anything had to
+    /// stay behind. Pairs with [`Self::try_observe`] for bounded-retry
+    /// ingestion policies (try, yield, retry, eventually block).
+    fn try_flush(&mut self) -> Backpressure {
+        self.flush();
+        Backpressure::Accepted
+    }
 
     /// Events observed but not yet handed to the backend.
     fn pending(&self) -> usize;
@@ -139,13 +339,24 @@ pub trait ProducerHandle: Send + std::fmt::Debug {
 /// * **Ingestion order** — each pid's events must reach the backend in
 ///   `seq` order (one thread, one handle satisfies this); different
 ///   pids and different handles may interleave freely.
-/// * **Barriers** — `checkpoint`, `drain_violations` and `stats` see
-///   every event previously *flushed* to the backend. Events still
-///   buffered in another thread's handle are picked up by the next
-///   checkpoint's window replay (per-pid watermarks deduplicate).
+/// * **Barriers** — `checkpoint_window`, `checkpoint`,
+///   `drain_violations` and `stats` see every event previously
+///   *flushed* to the backend. Events still buffered in another
+///   thread's handle are picked up by the next window checkpoint's
+///   replay (per-pid watermarks deduplicate), or by a later scoped
+///   checkpoint once they arrive.
 /// * **Lookahead** — `call_would_violate` answers from the caller's
 ///   per-pid order state; flush the calling thread's handle first so
 ///   the answer reflects that thread's own history.
+/// * **Retention** — ingested events are retained for the periodic
+///   Algorithm-1/2 replay until *some* checkpoint form consumes them
+///   (`checkpoint` or `checkpoint_window`; the scheduled backend's
+///   background sweeps do it automatically once a snapshot provider is
+///   registered, which an embedding runtime does at build time).
+///   Deployments that only ever drain real-time violations must still
+///   checkpoint periodically, exactly as the recorded window itself
+///   must be drained — otherwise the pending replay window grows with
+///   the stream.
 /// * **Shutdown** — stops background work and drops subsequent
 ///   ingestion; every method stays safe to call afterwards.
 pub trait DetectionBackend: Send + Sync + std::fmt::Debug {
@@ -173,10 +384,36 @@ pub trait DetectionBackend: Send + Sync + std::fmt::Debug {
         proc_name: ProcName,
     ) -> Option<RuleId>;
 
+    /// Registers the source of live monitor-state observations that
+    /// [`Self::checkpoint`] compares against. Without a provider,
+    /// scoped checkpoints run in pure event-stream mode (replay and
+    /// timers, no Algorithm-1/2 snapshot comparison) and the scheduled
+    /// backend's background sweeps stay timer-only.
+    ///
+    /// An embedding runtime registers itself here at build time; the
+    /// provider must observe the same monitors (same
+    /// [`MonitorId`] namespace) this backend was registered with.
+    fn set_snapshot_provider(&self, provider: Arc<dyn SnapshotProvider>);
+
+    /// Runs the periodic checking routine over `scope` **without a
+    /// caller-drained window**: each in-scope monitor's pending
+    /// real-time events are replayed through Algorithms 1–2, its state
+    /// is observed through the registered [`SnapshotProvider`] (gated
+    /// for consistency — see the provider's contract) and compared, and
+    /// its timers are checked. This is the full §3.3.2 check as a
+    /// *backend capability*: inline, sharded and scheduled backends all
+    /// honour every scope, so per-shard sweeps and on-demand per-monitor
+    /// checks need no global barrier.
+    fn checkpoint(&self, scope: CheckpointScope, now: Nanos) -> FaultReport;
+
     /// Runs the periodic checking routine (Algorithms 1–3 plus timers)
-    /// over the window `events` and the observed `snapshots`, returning
-    /// the merged report in canonical order.
-    fn checkpoint(
+    /// over the explicitly drained window `events` and the observed
+    /// `snapshots`, returning the merged report in canonical order —
+    /// the synchronous-barrier form [`Self::checkpoint`] generalizes.
+    /// Events the backend already ingested in real time are
+    /// deduplicated against the window by the engine's per-caller
+    /// watermarks.
+    fn checkpoint_window(
         &self,
         now: Nanos,
         events: &[Event],
@@ -209,6 +446,54 @@ pub trait DetectionBackend: Send + Sync + std::fmt::Debug {
     }
 }
 
+/// Gathers gated snapshots for `monitors` from a provider, running the
+/// seqlock dance per monitor: read the recorded-event counter, take the
+/// snapshot, read the counter again. An unchanged counter brackets a
+/// quiescent observation and becomes that monitor's consistency gate;
+/// a counter that moved (recording raced the observation) drops the
+/// snapshot from this sweep — the monitor is still replayed and
+/// timer-checked, and a later sweep picks the comparison up.
+///
+/// Providers without counters (`events_recorded` → `None`) are trusted:
+/// their snapshots are compared ungated.
+pub(crate) fn gather_snapshots(
+    provider: Option<&dyn SnapshotProvider>,
+    monitors: &[MonitorId],
+    now: Nanos,
+) -> (HashMap<MonitorId, MonitorState>, HashMap<MonitorId, u64>) {
+    let mut snapshots = HashMap::new();
+    let mut gates = HashMap::new();
+    if let Some(provider) = provider {
+        for &monitor in monitors {
+            let before = provider.events_recorded(monitor);
+            let Some(state) = provider.snapshot(monitor, now) else { continue };
+            match (before, provider.events_recorded(monitor)) {
+                (Some(a), Some(b)) if a == b => {
+                    gates.insert(monitor, a);
+                    snapshots.insert(monitor, state);
+                }
+                (None, None) => {
+                    snapshots.insert(monitor, state);
+                }
+                // The observation raced active recording: skip the
+                // comparison this sweep rather than risk a mismatch
+                // fabricated from in-flight events.
+                _ => {}
+            }
+        }
+    }
+    (snapshots, gates)
+}
+
+/// Shared storage for a backend's registered [`SnapshotProvider`] —
+/// `Arc`ed so detached consumers (the scheduler ticker) see later
+/// registrations.
+pub(crate) type ProviderSlot = Arc<Mutex<Option<Arc<dyn SnapshotProvider>>>>;
+
+pub(crate) fn provider_of(slot: &ProviderSlot) -> Option<Arc<dyn SnapshotProvider>> {
+    slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).clone()
+}
+
 // ---------------------------------------------------------------------
 // Inline
 // ---------------------------------------------------------------------
@@ -225,6 +510,7 @@ struct InlineState {
 struct InlineShared {
     state: Mutex<InlineState>,
     open: AtomicBool,
+    provider: ProviderSlot,
 }
 
 impl InlineShared {
@@ -262,6 +548,7 @@ impl InlineBackend {
                     counters: ShardStats::default(),
                 }),
                 open: AtomicBool::new(true),
+                provider: ProviderSlot::default(),
             }),
         }
     }
@@ -293,7 +580,32 @@ impl DetectionBackend for InlineBackend {
         self.shared.lock().det.call_would_violate(monitor, pid, proc_name)
     }
 
-    fn checkpoint(
+    fn set_snapshot_provider(&self, provider: Arc<dyn SnapshotProvider>) {
+        *self.shared.provider.lock().unwrap_or_else(|poisoned| poisoned.into_inner()) =
+            Some(provider);
+    }
+
+    fn checkpoint(&self, scope: CheckpointScope, now: Nanos) -> FaultReport {
+        // One pseudo-shard: Shard(0) covers everything, other indices
+        // cover nothing (mirrors `stats`).
+        let (monitors, only) = match scope {
+            CheckpointScope::All | CheckpointScope::Shard(0) => {
+                (self.shared.lock().det.monitor_ids(), None)
+            }
+            CheckpointScope::Shard(_) => return FaultReport::default(),
+            CheckpointScope::Monitor(m) => (vec![m], Some(m)),
+        };
+        // Snapshots are gathered *before* taking the detector lock: a
+        // live provider reads monitor state under the monitors' own
+        // locks, and observing threads acquire those locks before the
+        // detector lock (the observe path) — gathering under the
+        // detector lock would invert that order.
+        let provider = provider_of(&self.shared.provider);
+        let (snapshots, gates) = gather_snapshots(provider.as_deref(), &monitors, now);
+        self.shared.lock().det.checkpoint_scoped(now, &snapshots, &gates, only)
+    }
+
+    fn checkpoint_window(
         &self,
         now: Nanos,
         events: &[Event],
@@ -371,6 +683,9 @@ pub struct ShardedBackend {
     /// instead of using the fixed `batch`.
     adaptive: Option<AdaptiveBatch>,
     open: Arc<AtomicBool>,
+    /// The registered snapshot source, shared (`Arc`) so a scheduler
+    /// ticker holding a clone observes later registrations.
+    provider: ProviderSlot,
 }
 
 /// Default events buffered per handle before a flush.
@@ -461,6 +776,7 @@ impl ShardedBackend {
             batch: DEFAULT_INGEST_BATCH,
             adaptive: None,
             open: Arc::new(AtomicBool::new(true)),
+            provider: ProviderSlot::default(),
         }
     }
 
@@ -501,6 +817,12 @@ impl ShardedBackend {
     /// The per-handle ingest batch size.
     pub fn batch(&self) -> usize {
         self.batch
+    }
+
+    /// The shared provider slot, for wrappers (the scheduled backend's
+    /// ticker) that need to observe registrations after spawn time.
+    pub(crate) fn provider_slot(&self) -> ProviderSlot {
+        Arc::clone(&self.provider)
     }
 }
 
@@ -546,7 +868,40 @@ impl DetectionBackend for ShardedBackend {
         self.svc.call_would_violate(monitor, pid, proc_name)
     }
 
-    fn checkpoint(
+    fn set_snapshot_provider(&self, provider: Arc<dyn SnapshotProvider>) {
+        *self.provider.lock().unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(provider);
+    }
+
+    fn checkpoint(&self, scope: CheckpointScope, now: Nanos) -> FaultReport {
+        let n = self.svc.shards();
+        let (shards, only) = match scope {
+            CheckpointScope::All => ((0..n).collect::<Vec<_>>(), None),
+            CheckpointScope::Shard(s) if s < n => (vec![s], None),
+            CheckpointScope::Shard(_) => return FaultReport::default(),
+            CheckpointScope::Monitor(m) => (vec![self.svc.shard_of(m)], Some(m)),
+        };
+        let provider = provider_of(&self.provider);
+        let senders = self.svc.shard_senders();
+        // Request every in-scope shard first, then collect: the shards
+        // check concurrently, so the checkpoint costs the slowest
+        // shard's latency rather than the sum.
+        let replies: Vec<_> = shards
+            .into_iter()
+            .map(|shard| {
+                let monitors = match only {
+                    Some(m) => vec![m],
+                    None => self.svc.monitors_on(shard),
+                };
+                let (snapshots, gates) = gather_snapshots(provider.as_deref(), &monitors, now);
+                ShardedDetector::request_checkpoint_on(
+                    &senders, shard, now, snapshots, gates, only, false,
+                )
+            })
+            .collect();
+        FaultReport::merged(replies.into_iter().map(|rx| rx.recv().unwrap_or_default()))
+    }
+
+    fn checkpoint_window(
         &self,
         now: Nanos,
         events: &[Event],
@@ -628,6 +983,57 @@ impl ProducerHandle for ShardedProducer {
         self.buffered = 0;
         if let Some(policy) = &mut self.adaptive {
             self.batch = policy.on_flush(pressured);
+        }
+    }
+
+    fn try_observe(&mut self, event: Event) -> Backpressure {
+        if !self.open.load(Ordering::Acquire) {
+            // Post-shutdown observes are dropped, like observe();
+            // nothing awaits a retry.
+            return Backpressure::Accepted;
+        }
+        let shard = shard_for(event.monitor, self.senders.len());
+        self.bufs[shard].push(event);
+        self.buffered += 1;
+        if self.buffered >= self.batch {
+            self.try_flush()
+        } else {
+            Backpressure::Accepted
+        }
+    }
+
+    fn try_flush(&mut self) -> Backpressure {
+        if self.buffered == 0 {
+            return Backpressure::Accepted;
+        }
+        let mut pressured = false;
+        for (shard, buf) in self.bufs.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                match self.senders[shard].try_send(ShardMsg::Batch(std::mem::take(buf))) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(msg)) => {
+                        // The inbox pushed back: keep the batch in the
+                        // handle for a later retry (never dropped).
+                        if let ShardMsg::Batch(batch) = msg {
+                            *buf = batch;
+                        }
+                        pressured = true;
+                    }
+                    Err(TrySendError::Disconnected(_)) => {}
+                }
+            }
+        }
+        self.buffered = self.bufs.iter().map(Vec::len).sum();
+        // Pressure feeds the same adaptive policy as a blocking flush —
+        // a refused hand-off halves the batch exactly like a blocking
+        // one (pinned by unit test).
+        if let Some(policy) = &mut self.adaptive {
+            self.batch = policy.on_flush(pressured);
+        }
+        if pressured {
+            Backpressure::Full
+        } else {
+            Backpressure::Accepted
         }
     }
 
@@ -906,6 +1312,287 @@ mod tests {
         want_p.flush();
         got_p.flush();
         assert_eq!(drain_after_flush(&adaptive), drain_after_flush(&fixed));
+    }
+
+    /// A handle wired to a 1-deep inbox nobody drains: the
+    /// deterministic way to hit real channel backpressure.
+    fn stalled_producer(
+        adaptive: Option<AdaptiveBatch>,
+    ) -> (ShardedProducer, crossbeam::channel::Receiver<ShardMsg>) {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        let producer = ShardedProducer {
+            senders: vec![tx],
+            bufs: vec![Vec::new()],
+            buffered: 0,
+            batch: adaptive.map(|a| a.current()).unwrap_or(1),
+            adaptive,
+            open: Arc::new(AtomicBool::new(true)),
+        };
+        (producer, rx)
+    }
+
+    fn event_for(seq: u64, proc_name: crate::ids::ProcName) -> Event {
+        Event::enter(seq, Nanos::new(seq * 10), MonitorId::new(0), Pid::new(1), proc_name, true)
+    }
+
+    #[test]
+    fn try_observe_reports_full_on_a_full_inbox_and_keeps_the_events() {
+        let (_, al) = allocator_spec();
+        let (mut p, rx) = stalled_producer(None);
+        // First batch fills the 1-deep inbox.
+        assert_eq!(p.try_observe(event_for(1, al.request)), Backpressure::Accepted);
+        assert_eq!(p.pending(), 0);
+        // Second batch has nowhere to go: Full, and the event stays
+        // buffered in the handle — backpressure never drops.
+        assert_eq!(p.try_observe(event_for(2, al.release)), Backpressure::Full);
+        assert_eq!(p.pending(), 1);
+        // Retrying without draining stays Full.
+        assert_eq!(p.try_flush(), Backpressure::Full);
+        assert_eq!(p.pending(), 1);
+        // Drain the inbox: the retry now delivers the retained batch.
+        assert!(matches!(rx.recv(), Ok(ShardMsg::Batch(b)) if b.len() == 1));
+        assert_eq!(p.try_flush(), Backpressure::Accepted);
+        assert_eq!(p.pending(), 0);
+        assert!(matches!(rx.recv(), Ok(ShardMsg::Batch(b)) if b.len() == 1 && b[0].seq == 2));
+    }
+
+    #[test]
+    fn try_flush_on_an_empty_handle_is_accepted() {
+        let (mut p, _rx) = stalled_producer(None);
+        assert_eq!(p.try_flush(), Backpressure::Accepted);
+    }
+
+    #[test]
+    fn try_observe_pressure_still_halves_the_adaptive_batch() {
+        // The adaptive policy must see non-blocking pressure exactly
+        // like blocking pressure: a refused hand-off halves the batch.
+        let (_, al) = allocator_spec();
+        let (mut p, rx) = stalled_producer(Some(AdaptiveBatch::new(1, 8)));
+        // Clean flushes grow the batch 1 → 2 → 4 while the inbox is
+        // drained promptly.
+        assert_eq!(p.try_observe(event_for(1, al.request)), Backpressure::Accepted);
+        assert!(rx.try_recv().is_ok());
+        assert_eq!(p.batch, 2);
+        for seq in 2..=3 {
+            let _ = p.try_observe(event_for(seq, al.request));
+        }
+        assert!(rx.try_recv().is_ok());
+        assert_eq!(p.batch, 4);
+        for seq in 4..=7 {
+            let _ = p.try_observe(event_for(seq, al.request));
+        }
+        assert_eq!(p.batch, 8, "unpressured growth doubles");
+        // Fill the inbox, then force a pressured try_flush: halve.
+        assert!(rx.try_recv().is_ok());
+        for seq in 8..=15 {
+            let _ = p.try_observe(event_for(seq, al.request));
+        }
+        // Inbox holds the seq 8..=15 batch now; the next flush is
+        // refused — nobody drains it in this test, so the outcome is
+        // deterministic.
+        assert_eq!(p.try_observe(event_for(16, al.request)), Backpressure::Accepted);
+        assert_eq!(p.try_flush(), Backpressure::Full);
+        assert_eq!(p.batch, 4, "pressure halves the batch: {p:?}");
+    }
+
+    #[test]
+    fn inline_try_observe_checks_synchronously_and_never_pushes_back() {
+        let (spec, al) = allocator_spec();
+        let backend = InlineBackend::new(DetectorConfig::without_timeouts());
+        backend.register_empty(MonitorId::new(0), Arc::clone(&spec), Nanos::ZERO);
+        let mut p = backend.producer();
+        assert_eq!(p.try_observe(event_for(1, al.release)), Backpressure::Accepted);
+        assert!(!backend.drain_violations().is_empty(), "release without request");
+    }
+
+    /// Scoped, provider-backed checkpoints must report exactly what the
+    /// caller-drained window form reports on the same trace.
+    #[test]
+    fn scoped_checkpoint_matches_window_checkpoint() {
+        let (spec, _) = allocator_spec();
+        let events = faulty_events(8);
+        let make = |sharded: Option<usize>| -> Box<dyn DetectionBackend> {
+            match sharded {
+                None => Box::new(InlineBackend::new(DetectorConfig::without_timeouts())),
+                Some(shards) => Box::new(ShardedBackend::new(
+                    DetectorConfig::without_timeouts(),
+                    ServiceConfig::new(shards),
+                )),
+            }
+        };
+        for flavor in [None, Some(1), Some(3)] {
+            // Reference: the window form over the same trace.
+            let reference = make(flavor);
+            for id in 0..8 {
+                reference.register_empty(MonitorId::new(id), Arc::clone(&spec), Nanos::ZERO);
+            }
+            let mut p = reference.producer();
+            for e in &events {
+                p.observe(*e);
+            }
+            p.flush();
+            let mut want = reference.checkpoint_window(Nanos::new(1000), &events, &HashMap::new());
+            want.violations.extend(reference.drain_violations());
+            reference.shutdown();
+
+            let scoped = make(flavor);
+            for id in 0..8 {
+                scoped.register_empty(MonitorId::new(id), Arc::clone(&spec), Nanos::ZERO);
+            }
+            let mut p = scoped.producer();
+            for e in &events {
+                p.observe(*e);
+            }
+            p.flush();
+            let mut got = scoped.checkpoint(CheckpointScope::All, Nanos::new(1000));
+            got.violations.extend(scoped.drain_violations());
+            scoped.shutdown();
+
+            let key = |v: &Violation| (v.monitor, v.pid, v.event_seq, v.rule);
+            let mut want_v = want.violations;
+            let mut got_v = got.violations;
+            want_v.sort_by_key(key);
+            got_v.sort_by_key(key);
+            assert_eq!(got_v, want_v, "flavor {flavor:?}");
+            assert_eq!(got.events_checked, want.events_checked, "flavor {flavor:?}");
+        }
+    }
+
+    #[test]
+    fn shard_scopes_partition_the_full_checkpoint() {
+        let (spec, _) = allocator_spec();
+        let events = faulty_events(10);
+        let drive = |backend: &ShardedBackend| {
+            for id in 0..10 {
+                backend.register_empty(MonitorId::new(id), Arc::clone(&spec), Nanos::ZERO);
+            }
+            let mut p = backend.producer();
+            for e in &events {
+                p.observe(*e);
+            }
+            p.flush();
+        };
+        let all = ShardedBackend::new(DetectorConfig::without_timeouts(), ServiceConfig::new(4));
+        drive(&all);
+        let want = all.checkpoint(CheckpointScope::All, Nanos::new(1000));
+        let _ = all.drain_violations();
+
+        let by_shard =
+            ShardedBackend::new(DetectorConfig::without_timeouts(), ServiceConfig::new(4));
+        drive(&by_shard);
+        let mut merged = FaultReport::default();
+        for shard in 0..4 {
+            merged.merge(by_shard.checkpoint(CheckpointScope::Shard(shard), Nanos::new(1000)));
+        }
+        merged.sort_canonical();
+        let _ = by_shard.drain_violations();
+        assert_eq!(merged.violations, want.violations);
+        assert_eq!(merged.events_checked, want.events_checked);
+        // Out-of-range shard scope is an empty no-op.
+        assert!(by_shard.checkpoint(CheckpointScope::Shard(9), Nanos::new(2000)).is_clean());
+        all.shutdown();
+        by_shard.shutdown();
+    }
+
+    #[test]
+    fn monitor_scope_checks_one_monitor_only() {
+        let (spec, al) = allocator_spec();
+        let backend =
+            ShardedBackend::new(DetectorConfig::without_timeouts(), ServiceConfig::new(2));
+        for id in 0..4 {
+            backend.register_empty(MonitorId::new(id), Arc::clone(&spec), Nanos::ZERO);
+        }
+        // A bare exit on monitor 2 (flagged by Algorithm-1 replay) and
+        // one on monitor 3.
+        let mut p = backend.producer();
+        for id in [2u32, 3] {
+            p.observe(Event::signal_exit(
+                u64::from(id),
+                Nanos::new(10),
+                MonitorId::new(id),
+                Pid::new(1),
+                al.request,
+                None,
+                false,
+            ));
+        }
+        p.flush();
+        let _ = backend.drain_violations();
+        let report =
+            backend.checkpoint(CheckpointScope::Monitor(MonitorId::new(2)), Nanos::new(100));
+        assert_eq!(report.events_checked, 1, "{report}");
+        assert!(report.violations.iter().all(|v| v.monitor == MonitorId::new(2)), "{report}");
+        assert!(!report.is_clean(), "exit without enter must be flagged");
+        // Monitor 3's pending window is untouched: a later full scoped
+        // checkpoint still finds it.
+        let rest = backend.checkpoint(CheckpointScope::All, Nanos::new(200));
+        assert!(rest.violations.iter().any(|v| v.monitor == MonitorId::new(3)), "{rest}");
+        backend.shutdown();
+    }
+
+    #[test]
+    fn provider_snapshots_feed_scoped_comparisons() {
+        // A tampered observation (a phantom process running inside the
+        // monitor) must be caught by the scoped checkpoint through the
+        // provider, exactly like the window form catches it through
+        // the snapshot map.
+        let (spec, al) = allocator_spec();
+        let m = MonitorId::new(0);
+        let backend =
+            ShardedBackend::new(DetectorConfig::without_timeouts(), ServiceConfig::new(2));
+        backend.register_empty(m, Arc::clone(&spec), Nanos::ZERO);
+        let mut p = backend.producer();
+        // One clean request/release cycle: the true final state has
+        // nobody running.
+        p.observe(Event::enter(1, Nanos::new(10), m, Pid::new(1), al.request, true));
+        p.observe(Event::signal_exit(2, Nanos::new(20), m, Pid::new(1), al.request, None, false));
+        p.observe(Event::enter(3, Nanos::new(30), m, Pid::new(1), al.release, true));
+        p.observe(Event::signal_exit(4, Nanos::new(40), m, Pid::new(1), al.release, None, false));
+        p.flush();
+        let table = Arc::new(SnapshotTable::default());
+        let mut tampered = MonitorState::with_resources(0, 1);
+        tampered.running.push(crate::ids::PidProc::new(Pid::new(9), al.request));
+        table.publish(m, tampered);
+        table.expect_events(m, 4);
+        backend.set_snapshot_provider(Arc::clone(&table) as Arc<dyn SnapshotProvider>);
+        let report = backend.checkpoint(CheckpointScope::All, Nanos::new(100));
+        assert!(
+            report.violates_any(&[RuleId::St1EntrySnapshot]),
+            "phantom running process must be flagged: {report}"
+        );
+        let _ = backend.drain_violations();
+        backend.shutdown();
+    }
+
+    #[test]
+    fn consistency_gate_defers_comparison_until_replay_catches_up() {
+        let (spec, al) = allocator_spec();
+        let m = MonitorId::new(0);
+        let backend = InlineBackend::new(DetectorConfig::without_timeouts());
+        backend.register_empty(m, Arc::clone(&spec), Nanos::ZERO);
+        let table = Arc::new(SnapshotTable::default());
+        // The observation says "pid 1 is inside, mid-request" and was
+        // taken after 1 recorded event — which has not been ingested
+        // yet. Compared against the (still empty) replayed lists it
+        // would be a mismatch; the gate must hold it back.
+        let mut observed = MonitorState::with_resources(0, 0);
+        observed.running.push(crate::ids::PidProc::new(Pid::new(1), al.request));
+        table.publish(m, observed);
+        table.expect_events(m, 1);
+        backend.set_snapshot_provider(Arc::clone(&table) as Arc<dyn SnapshotProvider>);
+        // Gate closed: 0 events replayed != 1 expected — no comparison,
+        // no fabricated mismatch.
+        let early = backend.checkpoint(CheckpointScope::All, Nanos::new(50));
+        assert!(early.is_clean(), "gated-out comparison must not run: {early}");
+        // Ingest the event the observation covers; now the gate opens
+        // and the (consistent) comparison runs clean.
+        let mut p = backend.producer();
+        p.observe(Event::enter(1, Nanos::new(10), m, Pid::new(1), al.request, true));
+        p.flush();
+        let _ = backend.drain_violations();
+        let late = backend.checkpoint(CheckpointScope::All, Nanos::new(100));
+        assert_eq!(late.events_checked, 1);
+        assert!(late.is_clean(), "{late}");
     }
 
     #[test]

@@ -33,8 +33,9 @@ pub struct MonitorChecker {
     resource: ResourceState,
     order: OrderState,
     /// Per-caller high-water marks of event sequence numbers already
-    /// processed by the real-time order checks, so checkpoint catch-up
-    /// never double-reports.
+    /// ingested (order-checked in real time, and queued in [`pending`]
+    /// or replayed through Algorithms 1–2), so neither the real-time
+    /// path nor checkpoint catch-up ever double-processes an event.
     ///
     /// The marks are per-[`Pid`] rather than per-monitor because the
     /// Algorithm-3 state ([`OrderState`]) is itself keyed by caller:
@@ -42,7 +43,22 @@ pub struct MonitorChecker {
     /// keep each pid's events in order — which is exactly what a
     /// per-thread [`crate::detect::ProducerHandle`] guarantees — while
     /// batches from different producers may interleave freely.
+    ///
+    /// [`pending`]: MonitorChecker::pending_events
     order_marks: HashMap<Pid, u64>,
+    /// Events ingested in real time but not yet replayed through the
+    /// periodic Algorithms 1–2: the window a *scoped* checkpoint
+    /// ([`Detector::checkpoint_scoped`]) replays when no explicit event
+    /// window is supplied. Consumed (and deduplicated against any
+    /// explicit window by `seq`) at every checkpoint — like the
+    /// recorded window itself, it grows with the stream until a
+    /// checkpoint drains it, so run one periodically
+    /// ([`Detector::checkpoint_timers`] deliberately leaves it alone).
+    pending: Vec<Event>,
+    /// Distinct events replayed through Algorithms 1–2 so far — the
+    /// engine side of the snapshot consistency gate (see
+    /// [`Detector::checkpoint_scoped`]).
+    replayed: u64,
     last_check: Nanos,
 }
 
@@ -56,6 +72,8 @@ impl MonitorChecker {
             order: OrderState::new(monitor, &spec),
             spec,
             order_marks: HashMap::new(),
+            pending: Vec::new(),
+            replayed: 0,
             last_check: now,
         }
     }
@@ -83,6 +101,17 @@ impl MonitorChecker {
     /// Time of the last completed checkpoint.
     pub fn last_check(&self) -> Nanos {
         self.last_check
+    }
+
+    /// Events ingested but not yet replayed through Algorithms 1–2
+    /// (the window the next scoped checkpoint will consume).
+    pub fn pending_events(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Distinct events replayed through Algorithms 1–2 so far.
+    pub fn replayed_events(&self) -> u64 {
+        self.replayed
     }
 }
 
@@ -158,6 +187,18 @@ impl Detector {
         self.monitors.get(&monitor)
     }
 
+    /// The registered monitors, in no particular order.
+    pub fn monitor_ids(&self) -> Vec<MonitorId> {
+        self.monitors.keys().copied().collect()
+    }
+
+    /// Total events queued in the pending replay windows across all
+    /// monitors — the quantity a periodic checkpoint drains (timer-only
+    /// sweeps use it as their memory-backstop trigger).
+    pub fn pending_total(&self) -> usize {
+        self.monitors.values().map(|c| c.pending.len()).sum()
+    }
+
     /// Real-time observation of one event: runs the Algorithm-3 checks
     /// (duplicate request, release-without-request, declared call
     /// order) synchronously and returns any violations.
@@ -181,16 +222,21 @@ impl Detector {
     /// violations to `out` and returns how many were added.
     ///
     /// The fast path — an unregistered monitor, or an event already
-    /// covered by its caller's Algorithm-3 watermark — touches no
-    /// memory beyond the lookups. Batch ingestion loops (the sharded
-    /// service, the runtime recorder) call this with one reused buffer
-    /// so the common no-violation case never allocates.
+    /// covered by its caller's watermark — touches no memory beyond the
+    /// lookups, and a fresh event costs one (amortized) append to the
+    /// monitor's pending replay window on top of the order checks.
+    /// Batch ingestion loops (the sharded service, the runtime
+    /// recorder) call this with one reused buffer so the common
+    /// no-violation case never allocates an output.
     ///
     /// Events of one [`Pid`] must arrive in `seq` order; events of
     /// different pids may interleave arbitrarily (the order state is
     /// per-caller, see [`MonitorChecker`]). An event at or below its
     /// pid's watermark is skipped — it was already checked, either here
-    /// or by a checkpoint's catch-up replay.
+    /// or by a checkpoint's catch-up replay. A fresh event is also
+    /// queued for the next checkpoint's Algorithm-1/2 replay (see
+    /// [`Self::checkpoint_scoped`]); checkpoints that receive an
+    /// explicit window deduplicate the overlap by `seq`.
     pub fn observe_into(&mut self, event: &Event, out: &mut Vec<Violation>) -> usize {
         let Some(checker) = self.monitors.get_mut(&event.monitor) else {
             return 0;
@@ -200,6 +246,7 @@ impl Detector {
             return 0;
         }
         *mark = event.seq;
+        checker.pending.push(*event);
         let before = out.len();
         checker.order.apply(&checker.spec, event, out);
         if matches!(event.kind, crate::event::EventKind::Terminate) {
@@ -269,9 +316,11 @@ impl Detector {
     }
 
     /// Periodic checkpoint: replays `events` (the window since the last
-    /// checkpoint, any monitor mix), compares each monitor's replayed
-    /// lists against its observed snapshot, checks all timers, then
-    /// re-bases the lists on the snapshots for the next window.
+    /// checkpoint, any monitor mix) merged with each monitor's pending
+    /// real-time window (deduplicated by `seq` and per-caller
+    /// watermark), compares each monitor's replayed lists against its
+    /// observed snapshot, checks all timers, then re-bases the lists on
+    /// the snapshots for the next window.
     ///
     /// Monitors without a snapshot entry keep their replayed lists
     /// (pure event-stream mode).
@@ -281,6 +330,49 @@ impl Detector {
         events: &[Event],
         snapshots: &HashMap<MonitorId, MonitorState>,
     ) -> FaultReport {
+        self.checkpoint_inner(now, events, snapshots, &HashMap::new(), None)
+    }
+
+    /// Scoped checkpoint: the window-less form behind
+    /// [`crate::detect::DetectionBackend::checkpoint`]. Replays each
+    /// in-scope monitor's **pending** real-time window (the events
+    /// ingested through [`Self::observe_into`] since the last
+    /// checkpoint) through Algorithms 1–2, compares against the
+    /// supplied snapshots, checks the timers, and re-bases — without
+    /// the caller having to drain and partition a recorded window.
+    ///
+    /// `only` restricts the checkpoint to one monitor (the
+    /// [`crate::detect::CheckpointScope::Monitor`] case); `None` checks
+    /// every registered monitor.
+    ///
+    /// `gates` is the snapshot **consistency gate** for asynchronous
+    /// callers: an entry `(monitor, n)` asserts that the monitor's
+    /// snapshot was taken after exactly `n` events had been recorded
+    /// for it. The comparison (and the resync it would imply) runs only
+    /// when the engine has replayed exactly `n` events for that monitor
+    /// — otherwise events are still in flight (buffered in a producer
+    /// handle or a shard inbox, or never streamed at all) and comparing
+    /// a lagging replay against a newer observation would fabricate
+    /// mismatches. Gated-out monitors still get their pending replay
+    /// and timer checks; the snapshot comparison simply waits for a
+    /// quiescent sweep. Monitors without a gate entry are compared
+    /// unconditionally (the trusted-fixture case: the caller knows the
+    /// snapshot matches what was ingested).
+    pub fn checkpoint_scoped(
+        &mut self,
+        now: Nanos,
+        snapshots: &HashMap<MonitorId, MonitorState>,
+        gates: &HashMap<MonitorId, u64>,
+        only: Option<MonitorId>,
+    ) -> FaultReport {
+        self.checkpoint_inner(now, &[], snapshots, gates, only)
+    }
+
+    /// Timer-only checkpoint: checks the non-termination, starvation
+    /// and hold-limit timers of the in-scope monitors without replaying
+    /// any events or touching the pending windows — the shape of a
+    /// scheduler sweep with no snapshot provider registered.
+    pub fn checkpoint_timers(&mut self, now: Nanos, only: Option<MonitorId>) -> FaultReport {
         let mut report = FaultReport {
             violations: Vec::new(),
             events_checked: 0,
@@ -288,6 +380,38 @@ impl Detector {
             window_end: now,
         };
         for (&monitor, checker) in self.monitors.iter_mut() {
+            if only.is_some_and(|m| m != monitor) {
+                continue;
+            }
+            if checker.last_check < report.window_start {
+                report.window_start = checker.last_check;
+            }
+            checker.general.check_timers(&self.cfg, now, &mut report.violations);
+            checker.order.check_hold_timeout(&self.cfg, now, &mut report.violations);
+            checker.last_check = now;
+        }
+        report.sort_canonical();
+        report
+    }
+
+    fn checkpoint_inner(
+        &mut self,
+        now: Nanos,
+        events: &[Event],
+        snapshots: &HashMap<MonitorId, MonitorState>,
+        gates: &HashMap<MonitorId, u64>,
+        only: Option<MonitorId>,
+    ) -> FaultReport {
+        let mut report = FaultReport {
+            violations: Vec::new(),
+            events_checked: 0,
+            window_start: now,
+            window_end: now,
+        };
+        for (&monitor, checker) in self.monitors.iter_mut() {
+            if only.is_some_and(|m| m != monitor) {
+                continue;
+            }
             if checker.last_check < report.window_start {
                 report.window_start = checker.last_check;
             }
@@ -297,7 +421,34 @@ impl Detector {
             // Violations accumulate straight into the report (sorted
             // once at the end) — no per-monitor scratch allocation.
             let out = &mut report.violations;
+            // The replay window: the monitor's pending real-time events
+            // plus whatever the explicit window adds. Watermarks make
+            // the union exact — an explicit-window event at or below
+            // its caller's mark is either already replayed (skip) or
+            // sitting in `pending` (counted once from there), so the
+            // merged window holds every outstanding event exactly once.
+            let mut merged = std::mem::take(&mut checker.pending);
             for event in events.iter().filter(|e| e.monitor == monitor) {
+                let mark = checker.order_marks.entry(event.pid).or_insert(0);
+                if event.seq > *mark {
+                    *mark = event.seq;
+                    // Algorithm-3 catch-up for events that never passed
+                    // through observe() (e.g. monitors that do not
+                    // stream in real time). Terminate frees the
+                    // caller's order state — see observe_into.
+                    checker.order.apply(&checker.spec, event, out);
+                    if matches!(event.kind, crate::event::EventKind::Terminate) {
+                        checker.order.forget_caller(event.pid);
+                    }
+                    merged.push(*event);
+                }
+            }
+            // Restore the one total order <L within the monitor: pended
+            // batches from concurrent producers and the explicit window
+            // may interleave, but `seq` is globally unique and assigned
+            // in real order.
+            merged.sort_unstable_by_key(|e| e.seq);
+            for event in &merged {
                 report.events_checked += 1;
                 // Algorithm-1 replay.
                 checker.general.apply(&checker.spec, event, out);
@@ -305,22 +456,13 @@ impl Detector {
                 if coordinator {
                     checker.resource.apply(&checker.spec, event, out);
                 }
-                // Algorithm-3 catch-up for events not seen by observe()
-                // (per-caller watermark: late batches still buffered in
-                // a producer handle are covered here, and their eventual
-                // arrival is deduplicated by the same mark). Terminate
-                // frees the caller's order state — see observe_into.
-                let mark = checker.order_marks.entry(event.pid).or_insert(0);
-                if event.seq > *mark {
-                    *mark = event.seq;
-                    checker.order.apply(&checker.spec, event, out);
-                    if matches!(event.kind, crate::event::EventKind::Terminate) {
-                        checker.order.forget_caller(event.pid);
-                    }
-                }
             }
+            checker.replayed += merged.len() as u64;
             // Step 2: snapshot comparison, user assertions and timers.
-            if let Some(observed) = snapshots.get(&monitor) {
+            // The consistency gate (see checkpoint_scoped) may defer
+            // the comparison to a later, quiescent sweep.
+            let gate_open = gates.get(&monitor).is_none_or(|&want| want == checker.replayed);
+            if let Some(observed) = snapshots.get(&monitor).filter(|_| gate_open) {
                 checker.general.compare_snapshot(observed, now, out);
                 if coordinator {
                     checker.resource.compare_snapshot(observed, now, out);
@@ -332,7 +474,7 @@ impl Detector {
             checker.general.check_timers(&self.cfg, now, out);
             checker.order.check_hold_timeout(&self.cfg, now, out);
             // Re-base on the observed state for the next window.
-            if let Some(observed) = snapshots.get(&monitor) {
+            if let Some(observed) = snapshots.get(&monitor).filter(|_| gate_open) {
                 checker.general.resync(observed, now);
                 if coordinator {
                     checker.resource.resync(observed);
@@ -340,7 +482,7 @@ impl Detector {
             }
             checker.last_check = now;
         }
-        report.violations.sort_by_key(|v| (v.event_seq.unwrap_or(u64::MAX), v.rule));
+        report.sort_canonical();
         report
     }
 }

@@ -31,7 +31,12 @@
 //! (cheap per-thread ingestion handles that own their own batch
 //! buffers), with [`InlineBackend`], [`ShardedBackend`] and — adding a
 //! per-shard checkpoint [`scheduler`] — [`ScheduledBackend`] as the
-//! provided implementations.
+//! provided implementations. The checkpoint half of the API is a trait
+//! pair of its own: a [`SnapshotProvider`] supplies live monitor-state
+//! observations (the paper's `s_t`) and
+//! [`DetectionBackend::checkpoint`] runs the full Algorithm-1/2/timer
+//! comparison over a [`CheckpointScope`] — the whole backend, one
+//! shard, or one monitor — with no caller-drained window required.
 
 pub mod algorithm1;
 pub mod algorithm2;
@@ -41,7 +46,10 @@ mod engine;
 pub mod scheduler;
 pub mod service;
 
-pub use backend::{AdaptiveBatch, DetectionBackend, InlineBackend, ProducerHandle, ShardedBackend};
+pub use backend::{
+    AdaptiveBatch, Backpressure, CheckpointScope, DetectionBackend, InlineBackend, ProducerHandle,
+    ShardedBackend, SnapshotProvider, SnapshotTable,
+};
 pub use engine::{Detector, MonitorChecker};
 pub use scheduler::{ClockFn, ScheduledBackend, SchedulerConfig};
 pub use service::{ServiceConfig, ServiceStats, ShardStats, ShardedDetector};

@@ -13,16 +13,19 @@
 //!   visits exactly one shard, round-robin — a full sweep takes
 //!   `shards × interval`, and at no point do two shards pause
 //!   together;
-//! * each visit runs a **shard-local** checkpoint: the shard's own
-//!   detector checks its timers (non-termination `Tmax`, starvation
-//!   `Tio`, hold-limit `Tlimit`) against its shard-local checking
-//!   lists. No events are replayed and no snapshots are compared —
-//!   those need the recorded window and the observed monitor states,
-//!   which only the embedding runtime has; its full
-//!   [`DetectionBackend::checkpoint`] remains the consistency barrier.
-//!   What the sweeps buy is **detection latency**: a process stuck
-//!   past a timer bound is flagged after at most one sweep, instead of
-//!   waiting for the next caller-driven checkpoint;
+//! * each visit runs a **shard-local** checkpoint. With a registered
+//!   [`SnapshotProvider`] the visit is
+//!   the full §3.3.2 check: the shard replays its pending real-time
+//!   window through Algorithms 1–2, observes each of its monitors
+//!   through the provider (consistency-gated — see the provider's
+//!   contract) and compares, and checks the timers (non-termination
+//!   `Tmax`, starvation `Tio`, hold-limit `Tlimit`). Without a
+//!   provider the visit degrades to the timer-only sweep: snapshots
+//!   need a state source, which only the embedding runtime has. Either
+//!   way the sweeps buy **detection latency**: a process stuck past a
+//!   timer bound — or, with a provider, a monitor whose observed state
+//!   disagrees with its replayed lists — is flagged after at most one
+//!   sweep, instead of waiting for the next caller-driven checkpoint;
 //! * violations found by the sweeps surface through the ordinary
 //!   [`DetectionBackend::drain_violations`], merged with the ones the
 //!   shard workers found in real time.
@@ -33,7 +36,11 @@
 //! epoch injects its clock via [`ScheduledBackend::with_clock`].
 
 use crate::config::DetectorConfig;
-use crate::detect::backend::{DetectionBackend, ProducerHandle, ShardedBackend};
+use crate::detect::backend::{
+    gather_snapshots, provider_of, CheckpointScope, DetectionBackend, ProducerHandle,
+    ShardedBackend, SnapshotProvider,
+};
+use crate::detect::service::shard_for;
 use crate::detect::{ServiceConfig, ServiceStats, ShardedDetector};
 use crate::event::Event;
 use crate::ids::{MonitorId, Pid, ProcName};
@@ -124,6 +131,8 @@ impl ScheduledBackend {
     ) -> Self {
         let sharded = ShardedBackend::new(cfg, service);
         let senders = sharded.service().shard_senders();
+        let directory = sharded.service().directory();
+        let provider_slot = sharded.provider_slot();
         let extra = Arc::new(Mutex::new(Vec::new()));
         let ticks = Arc::new(AtomicU64::new(0));
         let (stop, stop_rx) = bounded::<()>(1);
@@ -135,20 +144,50 @@ impl ScheduledBackend {
             .spawn(move || {
                 let shards = senders.len();
                 let mut cursor = 0usize;
-                // Per-shard dedup: a timer violation persists across
-                // sweeps (the engine re-reports it while the condition
-                // holds), so only the *edge* — a violation absent from
-                // the shard's previous sweep — is recorded. A fault
-                // that clears and recurs is reported again; a fault
-                // that persists costs one entry, not one per tick.
-                let mut last: Vec<HashSet<(MonitorId, RuleId, Option<Pid>)>> =
-                    vec![HashSet::new(); shards.max(1)];
-                let key = |v: &Violation| (v.monitor, v.rule, v.pid);
+                // Per-shard dedup: a timer or snapshot-mismatch
+                // violation persists across sweeps (the engine
+                // re-reports it while the condition holds), so only the
+                // *edge* — a violation absent from the shard's previous
+                // sweep — is recorded. A fault that clears and recurs
+                // is reported again; a fault that persists costs one
+                // entry, not one per tick. One-shot replay violations
+                // carry distinct event seqs and are never suppressed.
+                type SweepKey = (MonitorId, RuleId, Option<Pid>, Option<u64>);
+                let mut last: Vec<HashSet<SweepKey>> = vec![HashSet::new(); shards.max(1)];
+                let key = |v: &Violation| (v.monitor, v.rule, v.pid, v.event_seq);
                 // recv_timeout doubles as the sleep and the stop signal:
                 // a message (or disconnection) ends the loop.
                 while let Err(RecvTimeoutError::Timeout) = stop_rx.recv_timeout(interval) {
                     let now = clock();
-                    let report = ShardedDetector::checkpoint_on(&senders, cursor, now);
+                    // With a registered snapshot provider the visit is
+                    // a real per-shard Algorithm-1/2 sweep; without one
+                    // it stays the timer-only shard-local checkpoint.
+                    let provider: Option<Arc<dyn SnapshotProvider>> = provider_of(&provider_slot);
+                    let report = match provider {
+                        Some(provider) => {
+                            let monitors: Vec<MonitorId> = directory
+                                .lock()
+                                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                                .iter()
+                                .copied()
+                                .filter(|&m| shard_for(m, shards) == cursor)
+                                .collect();
+                            let (snapshots, gates) =
+                                gather_snapshots(Some(provider.as_ref()), &monitors, now);
+                            ShardedDetector::checkpoint_on(
+                                &senders, cursor, now, snapshots, gates, None, false,
+                            )
+                        }
+                        None => ShardedDetector::checkpoint_on(
+                            &senders,
+                            cursor,
+                            now,
+                            HashMap::new(),
+                            HashMap::new(),
+                            None,
+                            true,
+                        ),
+                    };
                     let seen: HashSet<_> = report.violations.iter().map(key).collect();
                     let fresh: Vec<Violation> = report
                         .violations
@@ -228,13 +267,23 @@ impl DetectionBackend for ScheduledBackend {
         self.sharded.call_would_violate(monitor, pid, proc_name)
     }
 
-    fn checkpoint(
+    fn set_snapshot_provider(&self, provider: Arc<dyn SnapshotProvider>) {
+        // The slot is shared with the ticker: from the next tick on,
+        // the background sweeps are full snapshot sweeps.
+        self.sharded.set_snapshot_provider(provider);
+    }
+
+    fn checkpoint(&self, scope: CheckpointScope, now: Nanos) -> FaultReport {
+        self.sharded.checkpoint(scope, now)
+    }
+
+    fn checkpoint_window(
         &self,
         now: Nanos,
         events: &[Event],
         snapshots: &HashMap<MonitorId, MonitorState>,
     ) -> FaultReport {
-        self.sharded.checkpoint(now, events, snapshots)
+        self.sharded.checkpoint_window(now, events, snapshots)
     }
 
     fn stats(&self) -> ServiceStats {
@@ -341,6 +390,49 @@ mod tests {
     }
 
     #[test]
+    fn provider_upgrades_sweeps_to_snapshot_checks() {
+        use crate::detect::backend::{SnapshotProvider, SnapshotTable};
+        use crate::ids::PidProc;
+        use crate::state::MonitorState;
+
+        // No timers could fire here: whatever the sweeps find must come
+        // from the Algorithm-1 snapshot comparison.
+        let backend = ScheduledBackend::new(
+            DetectorConfig::without_timeouts(),
+            ServiceConfig::new(2),
+            SchedulerConfig::new(Duration::from_millis(1)),
+        );
+        let (spec, al) = allocator_spec();
+        let m = MonitorId::new(0);
+        backend.register_empty(m, Arc::clone(&spec), Nanos::ZERO);
+        // Observed state disagrees with the replayed truth: a phantom
+        // process is inside the monitor. Gated on the 2 events below.
+        let mut tampered = MonitorState::with_resources(0, 1);
+        tampered.running.push(PidProc::new(Pid::new(9), al.request));
+        let table = Arc::new(SnapshotTable::default());
+        table.publish(m, tampered);
+        table.expect_events(m, 2);
+        backend.set_snapshot_provider(Arc::clone(&table) as Arc<dyn SnapshotProvider>);
+        let mut p = backend.producer();
+        p.observe(Event::enter(1, Nanos::new(10), m, Pid::new(1), al.request, true));
+        p.observe(Event::signal_exit(2, Nanos::new(20), m, Pid::new(1), al.request, None, false));
+        p.flush();
+        // The background sweeps alone — no caller checkpoint — must
+        // flag the mismatch once the shard's replay catches up.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut found = Vec::new();
+        while found.is_empty() && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(2));
+            found = backend.drain_violations();
+        }
+        assert!(
+            found.iter().any(|v| v.rule == RuleId::St1EntrySnapshot),
+            "sweeps must compare against the provider's snapshot: {found:?}"
+        );
+        backend.shutdown();
+    }
+
+    #[test]
     fn clean_traffic_stays_clean_under_sweeps() {
         let backend = ScheduledBackend::new(
             DetectorConfig::without_timeouts(),
@@ -370,7 +462,7 @@ mod tests {
         }
         p.flush();
         thread::sleep(Duration::from_millis(10));
-        let report = backend.checkpoint(Nanos::new(seq + 1), &[], &HashMap::new());
+        let report = backend.checkpoint_window(Nanos::new(seq + 1), &[], &HashMap::new());
         assert!(report.is_clean(), "{report}");
         assert!(backend.drain_violations().is_empty());
         backend.shutdown();

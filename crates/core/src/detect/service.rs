@@ -76,8 +76,10 @@
 //! let stats = svc.stats();
 //! assert_eq!(stats.total_events(), 2);
 //! assert!(!svc.drain_violations().is_empty());
+//! // Even with no explicit window, the checkpoint replays the events
+//! // the shards ingested in real time (their pending windows).
 //! let report = svc.checkpoint(Nanos::new(30), &[], &HashMap::new());
-//! assert_eq!(report.events_checked, 0);
+//! assert_eq!(report.events_checked, 2);
 //! ```
 
 use crate::config::DetectorConfig;
@@ -249,6 +251,38 @@ impl Collector {
     }
 }
 
+/// One checkpoint round-trip through a shard worker: everything the
+/// worker's detector needs to run the periodic checking routine, plus
+/// the reply channel the merged report travels back on.
+///
+/// Three shapes share the message:
+///
+/// * **window** — `events` non-empty: the caller drained a recorded
+///   window and split it per shard (the synchronous barrier path);
+/// * **scoped** — `events` empty, `timers_only` false: the shard
+///   replays its own pending real-time window against the supplied
+///   `snapshots`, guarded by the consistency `gates` (the
+///   [`crate::detect::DetectionBackend::checkpoint`] /
+///   [`crate::detect::SnapshotProvider`] path);
+/// * **timer sweep** — `timers_only` true: the shard checks its timers
+///   against its shard-local lists and touches nothing else (the
+///   scheduler's no-provider fallback).
+#[derive(Debug)]
+pub(crate) struct CheckpointReq {
+    pub(crate) now: Nanos,
+    pub(crate) events: Vec<Event>,
+    pub(crate) snapshots: HashMap<MonitorId, MonitorState>,
+    /// Snapshot consistency gates, per monitor (see
+    /// [`crate::detect::Detector::checkpoint_scoped`]).
+    pub(crate) gates: HashMap<MonitorId, u64>,
+    /// Restrict the checkpoint to one monitor
+    /// ([`crate::detect::CheckpointScope::Monitor`]).
+    pub(crate) only: Option<MonitorId>,
+    /// Check timers only; replay nothing, compare nothing.
+    pub(crate) timers_only: bool,
+    pub(crate) reply: Sender<FaultReport>,
+}
+
 /// Messages on a shard's bounded inbox. Registration, ingestion and
 /// checkpointing all travel on the same FIFO channel, which is what
 /// makes the service sequentially consistent per monitor without any
@@ -265,12 +299,7 @@ pub(crate) enum ShardMsg {
     /// A single event — [`ShardedDetector::observe`]'s message shape,
     /// so the convenience path costs no per-event `Vec` allocation.
     One(Event),
-    Checkpoint {
-        now: Nanos,
-        events: Vec<Event>,
-        snapshots: HashMap<MonitorId, MonitorState>,
-        reply: Sender<FaultReport>,
-    },
+    Checkpoint(CheckpointReq),
     WouldViolate {
         monitor: MonitorId,
         pid: Pid,
@@ -286,6 +315,13 @@ pub(crate) enum ShardMsg {
     /// message ends the worker as soon as its inbox drains to it.
     Shutdown,
 }
+
+/// Pending-replay events a shard tolerates across timer-only sweeps
+/// before a sweep force-drains them (see the `Checkpoint` arm of
+/// [`shard_worker`]). High enough that deterministic tests and any
+/// deployment running real checkpoints never trip it; low enough to
+/// bound a drain-less shard to a few MiB of retained events.
+const PENDING_REPLAY_HIGH_WATER: usize = 1 << 16;
 
 /// One shard worker: owns a private [`Detector`] and drains its inbox
 /// until the service handle is dropped.
@@ -313,8 +349,35 @@ fn shard_worker(
                 det.observe_into(&event, &mut scratch);
                 collector.absorb(shard, 1, &mut scratch);
             }
-            ShardMsg::Checkpoint { now, events, snapshots, reply } => {
-                let _ = reply.send(det.checkpoint(now, &events, &snapshots));
+            ShardMsg::Checkpoint(req) => {
+                let report = if req.timers_only {
+                    let mut report = det.checkpoint_timers(req.now, req.only);
+                    // Memory backstop: timer-only sweeps deliberately
+                    // leave the pending replay window alone, but a
+                    // backend that only ever sees timer sweeps (a
+                    // standalone scheduled backend with no snapshot
+                    // provider and no caller checkpoints) must not
+                    // grow without bound. Past the high-water mark the
+                    // sweep drains it in pure event-stream mode —
+                    // replaying exactly what the next window
+                    // checkpoint would have replayed anyway (watermark
+                    // dedup keeps later windows exact).
+                    if det.pending_total() > PENDING_REPLAY_HIGH_WATER {
+                        report.merge(det.checkpoint_scoped(
+                            req.now,
+                            &HashMap::new(),
+                            &HashMap::new(),
+                            req.only,
+                        ));
+                        report.sort_canonical();
+                    }
+                    report
+                } else if req.events.is_empty() {
+                    det.checkpoint_scoped(req.now, &req.snapshots, &req.gates, req.only)
+                } else {
+                    det.checkpoint(req.now, &req.events, &req.snapshots)
+                };
+                let _ = req.reply.send(report);
             }
             ShardMsg::WouldViolate { monitor, pid, proc_name, reply } => {
                 let _ = reply.send(det.call_would_violate(monitor, pid, proc_name));
@@ -373,6 +436,11 @@ pub struct ShardedDetector {
     senders: Vec<Sender<ShardMsg>>,
     workers: Mutex<Vec<thread::JoinHandle<()>>>,
     collector: Arc<Collector>,
+    /// Registered monitors, in registration order — the directory a
+    /// scoped checkpoint (or a scheduler sweep) walks to know which
+    /// monitors live on which shard. Shared (`Arc`) so a detached
+    /// scheduler ticker can consult it without borrowing the service.
+    directory: Arc<Mutex<Vec<MonitorId>>>,
 }
 
 impl ShardedDetector {
@@ -393,7 +461,13 @@ impl ShardedDetector {
             senders.push(tx);
             workers.push(handle);
         }
-        ShardedDetector { cfg, senders, workers: Mutex::new(workers), collector }
+        ShardedDetector {
+            cfg,
+            senders,
+            workers: Mutex::new(workers),
+            collector,
+            directory: Arc::new(Mutex::new(Vec::new())),
+        }
     }
 
     /// The timing configuration every shard's detector was built from.
@@ -421,8 +495,32 @@ impl ShardedDetector {
         initial: &MonitorState,
         now: Nanos,
     ) {
+        {
+            let mut directory =
+                self.directory.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            if !directory.contains(&monitor) {
+                directory.push(monitor);
+            }
+        }
         let shard = self.shard_of(monitor);
         self.send(shard, ShardMsg::Register { monitor, spec, initial: initial.clone(), now });
+    }
+
+    /// The registered monitors, in registration order.
+    pub fn monitor_ids(&self) -> Vec<MonitorId> {
+        self.directory.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).clone()
+    }
+
+    /// The registered monitors owned by `shard` (see [`shard_for`]).
+    pub fn monitors_on(&self, shard: usize) -> Vec<MonitorId> {
+        let n = self.senders.len();
+        self.monitor_ids().into_iter().filter(|&m| shard_for(m, n) == shard).collect()
+    }
+
+    /// Shared handle to the monitor directory, for detached consumers
+    /// (the scheduler ticker).
+    pub(crate) fn directory(&self) -> Arc<Mutex<Vec<MonitorId>>> {
+        Arc::clone(&self.directory)
     }
 
     /// Registers a monitor starting from the canonical empty state
@@ -515,22 +613,22 @@ impl ShardedDetector {
             .enumerate()
             .map(|(shard, (events, snapshots))| {
                 let (tx, rx) = bounded(1);
-                self.send(shard, ShardMsg::Checkpoint { now, events, snapshots, reply: tx });
+                self.send(
+                    shard,
+                    ShardMsg::Checkpoint(CheckpointReq {
+                        now,
+                        events,
+                        snapshots,
+                        gates: HashMap::new(),
+                        only: None,
+                        timers_only: false,
+                        reply: tx,
+                    }),
+                );
                 rx
             })
             .collect();
-        let mut merged: Option<FaultReport> = None;
-        for rx in replies {
-            if let Ok(report) = rx.recv() {
-                match &mut merged {
-                    Some(m) => m.merge(report),
-                    None => merged = Some(report),
-                }
-            }
-        }
-        let mut report = merged.unwrap_or_default();
-        report.violations.sort_by_key(|v| (v.event_seq.unwrap_or(u64::MAX), v.rule));
-        report
+        FaultReport::merged(replies.into_iter().filter_map(|rx| rx.recv().ok()))
     }
 
     /// Non-mutating real-time lookahead, answered synchronously by the
@@ -596,24 +694,55 @@ impl ShardedDetector {
         self.senders.clone()
     }
 
-    /// Timer-only checkpoint of one shard through detached sender
+    /// Enqueues a checkpoint on one shard through detached sender
     /// clones (no `&self` — this is what a scheduler thread, which
-    /// cannot borrow the service, runs per tick). Empty events and
-    /// snapshots: the shard checks its timers against its shard-local
-    /// lists and keeps them (pure event-stream mode).
+    /// cannot borrow the service, runs per tick, and what a scoped
+    /// [`crate::detect::DetectionBackend::checkpoint`] fans out over),
+    /// returning the reply channel so independent shards can be
+    /// requested first and collected after — checkpointing N shards
+    /// costs the slowest shard's latency, not the sum.
+    ///
+    /// With `timers_only` the shard checks its timers against its
+    /// shard-local lists and keeps them; otherwise it replays its
+    /// pending real-time window and compares against `snapshots` under
+    /// the consistency `gates` (see
+    /// [`crate::detect::Detector::checkpoint_scoped`]).
+    pub(crate) fn request_checkpoint_on(
+        senders: &[Sender<ShardMsg>],
+        shard: usize,
+        now: Nanos,
+        snapshots: HashMap<MonitorId, MonitorState>,
+        gates: HashMap<MonitorId, u64>,
+        only: Option<MonitorId>,
+        timers_only: bool,
+    ) -> Receiver<FaultReport> {
+        let (tx, rx) = bounded(1);
+        let _ = senders[shard].send(ShardMsg::Checkpoint(CheckpointReq {
+            now,
+            events: Vec::new(),
+            snapshots,
+            gates,
+            only,
+            timers_only,
+            reply: tx,
+        }));
+        rx
+    }
+
+    /// Blocking single-shard form of [`Self::request_checkpoint_on`]
+    /// (the scheduler's per-tick call).
     pub(crate) fn checkpoint_on(
         senders: &[Sender<ShardMsg>],
         shard: usize,
         now: Nanos,
+        snapshots: HashMap<MonitorId, MonitorState>,
+        gates: HashMap<MonitorId, u64>,
+        only: Option<MonitorId>,
+        timers_only: bool,
     ) -> FaultReport {
-        let (tx, rx) = bounded(1);
-        let _ = senders[shard].send(ShardMsg::Checkpoint {
-            now,
-            events: Vec::new(),
-            snapshots: HashMap::new(),
-            reply: tx,
-        });
-        rx.recv().unwrap_or_default()
+        Self::request_checkpoint_on(senders, shard, now, snapshots, gates, only, timers_only)
+            .recv()
+            .unwrap_or_default()
     }
 
     fn send(&self, shard: usize, msg: ShardMsg) {
@@ -885,9 +1014,42 @@ mod tests {
         svc.flush();
         let senders = svc.shard_senders();
         let late = Nanos::from_secs(1);
-        let other = ShardedDetector::checkpoint_on(&senders, (shard + 1) % 4, late);
+        let sweep = |s: usize| {
+            ShardedDetector::checkpoint_on(
+                &senders,
+                s,
+                late,
+                HashMap::new(),
+                HashMap::new(),
+                None,
+                true,
+            )
+        };
+        let other = sweep((shard + 1) % 4);
         assert!(other.is_clean(), "{other}");
-        let owner = ShardedDetector::checkpoint_on(&senders, shard, late);
+        let owner = sweep(shard);
         assert!(owner.violates_any(&[RuleId::St8HoldTimeout]), "{owner}");
+    }
+
+    #[test]
+    fn directory_tracks_registered_monitors_per_shard() {
+        let (spec, _) = allocator_spec();
+        let svc = service(4);
+        for id in 0..12u32 {
+            svc.register_empty(MonitorId::new(id), Arc::clone(&spec), Nanos::ZERO);
+        }
+        // Duplicate registration does not duplicate the directory entry.
+        svc.register_empty(MonitorId::new(3), Arc::clone(&spec), Nanos::ZERO);
+        assert_eq!(svc.monitor_ids().len(), 12);
+        let mut union: Vec<MonitorId> = (0..4).flat_map(|s| svc.monitors_on(s)).collect();
+        union.sort();
+        let mut want: Vec<MonitorId> = (0..12u32).map(MonitorId::new).collect();
+        want.sort();
+        assert_eq!(union, want, "shard partitions must cover every monitor exactly once");
+        for s in 0..4 {
+            for m in svc.monitors_on(s) {
+                assert_eq!(svc.shard_of(m), s);
+            }
+        }
     }
 }

@@ -131,6 +131,32 @@ impl FaultReport {
             self.window_end = other.window_end;
         }
     }
+
+    /// Restores the canonical violation order every checkpoint entry
+    /// point reports in — by offending event, then rule (timer and
+    /// snapshot violations, which have no event, sort last). Call after
+    /// [`Self::merge`]-assembling a report from parts.
+    pub fn sort_canonical(&mut self) {
+        self.violations.sort_by_key(|v| (v.event_seq.unwrap_or(u64::MAX), v.rule));
+    }
+
+    /// Folds per-shard (or per-monitor) reports into one canonical
+    /// report: [`Self::merge`] over every part, then
+    /// [`Self::sort_canonical`]. The first report seeds the window
+    /// bounds, so an empty iterator yields the default report rather
+    /// than one with a zeroed window start.
+    pub fn merged(reports: impl IntoIterator<Item = FaultReport>) -> FaultReport {
+        let mut merged: Option<FaultReport> = None;
+        for report in reports {
+            match &mut merged {
+                Some(m) => m.merge(report),
+                None => merged = Some(report),
+            }
+        }
+        let mut report = merged.unwrap_or_default();
+        report.sort_canonical();
+        report
+    }
 }
 
 impl fmt::Display for FaultReport {

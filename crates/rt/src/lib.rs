@@ -73,9 +73,7 @@ pub use monitor::{Monitor, MonitorGuard};
 pub use raw::RawCore;
 pub use recorder::Recorder;
 pub use recovery::{RecoveryAction, RecoveryChecker, RecoveryLog};
-#[allow(deprecated)]
-pub use runtime::DetectorBackend;
-pub use runtime::{OrderPolicy, Runtime, RuntimeBuilder};
+pub use runtime::{OrderPolicy, Runtime, RuntimeBuilder, RuntimeSnapshotProvider};
 
 #[cfg(test)]
 mod crate_tests {

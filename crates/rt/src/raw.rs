@@ -23,6 +23,7 @@ use rmon_core::{
     CondId, EventKind, MonitorId, MonitorSpec, MonitorState, Pid, PidProc, ProcName, ProcRole,
 };
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -103,6 +104,14 @@ pub struct RawCore {
     /// (Algorithm-3) pipeline; all other events are covered by the
     /// periodic checkpoint catch-up.
     needs_order: bool,
+    /// Events recorded for this monitor so far, incremented under the
+    /// state lock as part of recording — the runtime half of the
+    /// snapshot consistency gate
+    /// ([`rmon_core::detect::SnapshotProvider::events_recorded`]): an
+    /// unchanged count bracketing a [`Self::snapshot_queues`] read
+    /// proves the observation is consistent with exactly that many
+    /// recorded events.
+    recorded: AtomicU64,
 }
 
 impl RawCore {
@@ -126,16 +135,27 @@ impl RawCore {
             rt: Arc::clone(&rt),
             injector: RtInjector::new(),
             needs_order,
+            recorded: AtomicU64::new(0),
         });
         rt.register_monitor(&core);
         core
     }
 
     /// Records one scheduling event of this monitor (see
-    /// [`RtInner::record_observe`]).
+    /// [`RtInner::record_observe`]). Always called with the state lock
+    /// held (an invariant of this module), so the recorded-event
+    /// counter moves atomically with the queue state it describes.
     #[inline]
     fn observe(&self, pid: Pid, proc_name: ProcName, kind: EventKind) {
         self.rt.record_observe(self.id, pid, proc_name, kind, self.needs_order);
+        self.recorded.fetch_add(1, Ordering::Release);
+    }
+
+    /// Events recorded for this monitor so far (see the `recorded`
+    /// field). Safe to read without the state lock; pair two reads
+    /// around a [`Self::snapshot_queues`] to detect racing recordings.
+    pub(crate) fn events_recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Acquire)
     }
 
     /// The monitor id.

@@ -13,7 +13,11 @@
 //! thread-local lookup per recorded event reaches both, so a hot-path
 //! observation appends to the segment and — for monitors with
 //! calling-order concerns — streams straight into the backend without
-//! touching any mutex shared between observing threads. One thread =
+//! touching any mutex shared between observing threads (non-blocking
+//! first: the recording path uses
+//! [`ProducerHandle::try_observe`] with a bounded yield-retry before it
+//! ever blocks on a full shard inbox — see
+//! `crate::runtime::RtInner::record_observe`). One thread =
 //! one [`Pid`] = one segment = one handle is also what upholds the
 //! backends' per-caller ordering precondition (see
 //! `rmon_core::detect::backend`).

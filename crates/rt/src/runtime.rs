@@ -21,11 +21,11 @@ use crate::recorder::Recorder;
 use crate::registry;
 use parking_lot::Mutex;
 use rmon_core::detect::{
-    ClockFn, DetectionBackend, InlineBackend, ServiceConfig, ServiceStats, ShardedBackend,
+    CheckpointScope, ClockFn, DetectionBackend, InlineBackend, ServiceStats, SnapshotProvider,
 };
 use rmon_core::{
-    DetectorConfig, Event, EventKind, FaultReport, MonitorId, Nanos, Pid, ProcName, RuleId,
-    Violation,
+    DetectorConfig, Event, EventKind, FaultReport, MonitorId, MonitorState, Nanos, Pid, ProcName,
+    RuleId, Violation,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -42,48 +42,6 @@ pub enum OrderPolicy {
     /// Refuse the call with [`crate::MonitorError::Denied`] before it
     /// executes (fault *prevention* — a natural extension).
     Deny,
-}
-
-/// Legacy backend selector, superseded by passing a
-/// [`DetectionBackend`] to [`RuntimeBuilder::backend`] (or a factory to
-/// [`RuntimeBuilder::backend_with`]).
-///
-/// The enum survives as a convenience constructor: existing call sites
-/// keep compiling, and each variant materializes into the trait
-/// implementation that replaced it ([`InlineBackend`] /
-/// [`ShardedBackend`]). New code — and anything that wants the
-/// scheduled backend or a custom engine — should use the trait.
-#[deprecated(
-    since = "0.1.0",
-    note = "construct a detection backend directly: \
-            `RuntimeBuilder::backend(Arc::new(ShardedBackend::new(..)))` \
-            (see rmon_core::detect)"
-)]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DetectorBackend {
-    /// One inline detector (the default; zero extra threads).
-    Inline,
-    /// A sharded detection service with `shards` worker threads;
-    /// producer handles buffer `batch` events before flushing.
-    Sharded {
-        /// Worker shard count (clamped to at least 1).
-        shards: usize,
-        /// Per-handle ingest batch size (clamped to at least 1).
-        batch: usize,
-    },
-}
-
-#[allow(deprecated)]
-impl DetectorBackend {
-    /// Materializes the legacy selector into its trait implementation.
-    fn materialize(self, cfg: DetectorConfig) -> Arc<dyn DetectionBackend> {
-        match self {
-            DetectorBackend::Inline => Arc::new(InlineBackend::new(cfg)),
-            DetectorBackend::Sharded { shards, batch } => {
-                Arc::new(ShardedBackend::new(cfg, ServiceConfig::new(shards)).with_batch(batch))
-            }
-        }
-    }
 }
 
 /// How a [`RuntimeBuilder`] obtains its backend at build time.
@@ -123,7 +81,12 @@ pub(crate) struct RtInner {
     token: u64,
     pub(crate) park_timeout: Duration,
     pub(crate) order_policy: OrderPolicy,
-    monitors: Mutex<Vec<Weak<RawCore>>>,
+    /// Live monitors indexed by id: the snapshot provider resolves a
+    /// monitor in O(1) (it runs three lookups per monitor per sweep),
+    /// and the checkpoint paths take an id-sorted view so concurrent
+    /// suspension sweeps always acquire state locks in one global
+    /// order.
+    monitors: Mutex<HashMap<MonitorId, Weak<RawCore>>>,
     next_monitor_id: AtomicU32,
     reports: Mutex<Vec<FaultReport>>,
     realtime: Mutex<Vec<Violation>>,
@@ -146,7 +109,7 @@ impl RtInner {
     }
 
     pub(crate) fn register_monitor(self: &Arc<Self>, core: &Arc<RawCore>) {
-        self.monitors.lock().push(Arc::downgrade(core));
+        self.monitors.lock().insert(core.id(), Arc::downgrade(core));
         let spec = core.spec();
         let initial = spec.empty_state();
         let now = self.recorder.now();
@@ -162,6 +125,15 @@ impl RtInner {
     /// next checkpoint or violation query. Events of monitors without
     /// order concerns skip the producer entirely: the periodic
     /// checkpoint's catch-up replay covers them.
+    ///
+    /// Ingestion is non-blocking first: the handle's
+    /// [`try_observe`](rmon_core::detect::ProducerHandle::try_observe)
+    /// either hands the batch over or reports backpressure, and the
+    /// recording thread then retries a bounded number of times
+    /// (yielding between attempts, so a single-core host lets the shard
+    /// workers drain) before escalating to the blocking flush — events
+    /// are never dropped, but a transiently full inbox no longer parks
+    /// the monitored thread on the first refusal.
     pub(crate) fn record_observe(
         &self,
         monitor: MonitorId,
@@ -170,11 +142,24 @@ impl RtInner {
         kind: EventKind,
         stream_realtime: bool,
     ) {
+        /// Non-blocking flush attempts before falling back to the
+        /// blocking hand-off.
+        const INGEST_RETRIES: usize = 8;
         let event = self.recorder.stamp(monitor, pid, proc_name, kind);
         registry::with_thread_state(self.token, &self.recorder, &self.backend, |st| {
             st.segment.push(event);
-            if stream_realtime {
-                st.producer.observe(event);
+            if stream_realtime && st.producer.try_observe(event).is_full() {
+                let mut delivered = false;
+                for _ in 0..INGEST_RETRIES {
+                    std::thread::yield_now();
+                    if !st.producer.try_flush().is_full() {
+                        delivered = true;
+                        break;
+                    }
+                }
+                if !delivered {
+                    st.producer.flush();
+                }
             }
         });
     }
@@ -211,11 +196,24 @@ impl RtInner {
         }
     }
 
-    /// Upgrades the live monitor list. The `monitors` mutex is released
-    /// before any state lock is taken, so registration (which appends
-    /// under the same mutex) never interleaves with a suspension sweep.
+    /// Upgrades the live monitor list, **sorted by id**. The `monitors`
+    /// mutex is released before any state lock is taken, so
+    /// registration (which inserts under the same mutex) never
+    /// interleaves with a suspension sweep; the sort gives every
+    /// suspension sweep the same lock-acquisition order, so two
+    /// concurrent checkpoints cannot deadlock on each other's held
+    /// guards.
     fn live_monitors(&self) -> Vec<Arc<RawCore>> {
-        self.monitors.lock().iter().filter_map(Weak::upgrade).collect()
+        let mut cores: Vec<Arc<RawCore>> =
+            self.monitors.lock().values().filter_map(Weak::upgrade).collect();
+        cores.sort_unstable_by_key(|core| core.id());
+        cores
+    }
+
+    /// Looks one live monitor up by id (the snapshot-provider path —
+    /// three lookups per monitor per sweep, so this is O(1)).
+    fn find_monitor(&self, monitor: MonitorId) -> Option<Arc<RawCore>> {
+        self.monitors.lock().get(&monitor)?.upgrade()
     }
 
     /// The paper-faithful (§3.1, unoptimized) checking routine: keeps
@@ -271,7 +269,7 @@ impl RtInner {
             snaps.insert(core.id(), RawCore::snapshot_of(guard));
         }
         self.flush_thread_producer();
-        let report = self.backend.checkpoint(now, &events, &snaps);
+        let report = self.backend.checkpoint_window(now, &events, &snaps);
         // Monitor operations stay suspended until the checking has
         // finished (the paper's protocol); release them now.
         drop(guards);
@@ -297,6 +295,52 @@ impl Drop for RtInner {
         if Arc::strong_count(&self.backend) == 1 {
             self.backend.shutdown();
         }
+    }
+}
+
+/// The runtime's [`SnapshotProvider`]: observes live monitor state by
+/// reading each monitor's queues under its own state lock — the same
+/// per-monitor `FastMutex` the primitives record their events under, so
+/// every observation is internally consistent without any global pause.
+///
+/// Automatically registered on the runtime's detection backend at build
+/// time, which is what upgrades scoped backend checkpoints (and the
+/// scheduled backend's background shard sweeps) from timer-only checks
+/// to the full Algorithm-1/2 comparison.
+///
+/// Consistency with the *ingested* event stream is answered through
+/// [`SnapshotProvider::events_recorded`]: the per-monitor recorded
+/// count moves atomically with the queue state (both mutate under the
+/// state lock), so a backend bracketing its snapshot between two equal
+/// counter reads knows exactly how many events the observation
+/// reflects, and defers the comparison until its replay has consumed
+/// that many. Monitors that do not stream in real time (no
+/// calling-order concerns) therefore keep their snapshot comparisons
+/// for the synchronous [`Runtime::checkpoint_now`] barrier — the gate
+/// simply never opens for them between windows.
+///
+/// Holds only a [`Weak`] reference: a provider outliving its runtime
+/// degrades to answering `None`, it never keeps the runtime alive.
+#[derive(Debug, Clone)]
+pub struct RuntimeSnapshotProvider {
+    inner: Weak<RtInner>,
+}
+
+impl SnapshotProvider for RuntimeSnapshotProvider {
+    fn snapshot(&self, monitor: MonitorId, _now: Nanos) -> Option<MonitorState> {
+        let inner = self.inner.upgrade()?;
+        let core = inner.find_monitor(monitor)?;
+        Some(core.snapshot_queues())
+    }
+
+    fn snapshot_all(&self, _now: Nanos) -> HashMap<MonitorId, MonitorState> {
+        let Some(inner) = self.inner.upgrade() else { return HashMap::new() };
+        inner.live_monitors().iter().map(|core| (core.id(), core.snapshot_queues())).collect()
+    }
+
+    fn events_recorded(&self, monitor: MonitorId) -> Option<u64> {
+        let inner = self.inner.upgrade()?;
+        Some(inner.find_monitor(monitor)?.events_recorded())
     }
 }
 
@@ -338,9 +382,44 @@ impl Runtime {
 
     /// Runs the periodic checking routine once, right now (suspending
     /// monitor operations for the duration, as the paper's prototype
-    /// does).
+    /// does): drains the recorded window, snapshots every suspended
+    /// monitor and routes both through
+    /// [`DetectionBackend::checkpoint_window`] — the synchronous
+    /// full-fidelity barrier. For the asynchronous, no-pause variant
+    /// see [`Self::checkpoint_scope`].
     pub fn checkpoint_now(&self) -> FaultReport {
         self.inner.checkpoint_now()
+    }
+
+    /// Runs a **scoped**, provider-backed checkpoint through
+    /// [`DetectionBackend::checkpoint`]: no window is drained and no
+    /// monitor is suspended — the backend replays the events it
+    /// ingested in real time and compares against state observed
+    /// through the runtime's [`RuntimeSnapshotProvider`] (registered at
+    /// build time), consistency-gated per monitor. The cheap form for
+    /// per-shard sweeps and on-demand checks of a single suspicious
+    /// monitor; [`Self::checkpoint_now`] remains the stop-the-world
+    /// consistency barrier.
+    ///
+    /// The report is folded into [`Self::reports`] like any other
+    /// checkpoint.
+    pub fn checkpoint_scope(&self, scope: CheckpointScope) -> FaultReport {
+        self.inner.flush_thread_producer();
+        let now = self.inner.recorder.now();
+        let report = self.inner.backend.checkpoint(scope, now);
+        let vs = self.inner.backend.drain_violations();
+        if !vs.is_empty() {
+            self.inner.realtime.lock().extend(vs);
+        }
+        self.inner.reports.lock().push(report.clone());
+        report
+    }
+
+    /// A fresh [`SnapshotProvider`] over this runtime's live monitors —
+    /// the same provider the builder registers on the detection
+    /// backend, for callers wiring up external or composite backends.
+    pub fn snapshot_provider(&self) -> Arc<dyn SnapshotProvider> {
+        Arc::new(RuntimeSnapshotProvider { inner: Arc::downgrade(&self.inner) })
     }
 
     /// All checkpoint reports so far.
@@ -474,19 +553,10 @@ impl RuntimeBuilder {
         self
     }
 
-    /// Selects a backend through the legacy enum.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use RuntimeBuilder::backend / backend_with with a \
-                rmon_core::detect backend"
-    )]
-    #[allow(deprecated)]
-    pub fn detector_backend(mut self, backend: DetectorBackend) -> Self {
-        self.backend = BackendChoice::Ready(backend.materialize(self.cfg));
-        self
-    }
-
-    /// Finishes the runtime.
+    /// Finishes the runtime and registers its snapshot provider on the
+    /// backend (see [`RuntimeSnapshotProvider`]), so scoped backend
+    /// checkpoints — including scheduled per-shard sweeps — run the
+    /// full Algorithm-1/2 comparison from day one.
     pub fn build(self) -> Runtime {
         let recorder = Arc::new(Recorder::new());
         let backend = match self.backend {
@@ -498,7 +568,7 @@ impl RuntimeBuilder {
                 factory(self.cfg, clock)
             }
         };
-        Runtime {
+        let rt = Runtime {
             inner: Arc::new(RtInner {
                 recorder,
                 cfg: self.cfg,
@@ -506,19 +576,21 @@ impl RuntimeBuilder {
                 token: NEXT_RT_TOKEN.fetch_add(1, Ordering::Relaxed),
                 park_timeout: self.park_timeout,
                 order_policy: self.order_policy,
-                monitors: Mutex::new(Vec::new()),
+                monitors: Mutex::new(HashMap::new()),
                 next_monitor_id: AtomicU32::new(0),
                 reports: Mutex::new(Vec::new()),
                 realtime: Mutex::new(Vec::new()),
             }),
-        }
+        };
+        rt.inner.backend.set_snapshot_provider(rt.snapshot_provider());
+        rt
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rmon_core::detect::{ScheduledBackend, SchedulerConfig};
+    use rmon_core::detect::{ScheduledBackend, SchedulerConfig, ServiceConfig, ShardedBackend};
 
     #[test]
     fn runtime_defaults() {
@@ -557,18 +629,66 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_enum_still_selects_backends() {
-        let rt = Runtime::builder(DetectorConfig::without_timeouts())
-            .detector_backend(DetectorBackend::Sharded { shards: 2, batch: 4 })
-            .park_timeout(Duration::from_millis(200))
-            .build();
-        assert_eq!(rt.backend_label(), "sharded");
-        let al = crate::ResourceAllocator::new(&rt, "res", 1);
-        al.request().unwrap();
-        al.release().unwrap();
-        assert!(rt.checkpoint_now().is_clean());
-        assert_eq!(rt.service_stats().shard_count(), 2);
+    fn scoped_checkpoint_matches_checkpoint_now_on_streaming_monitors() {
+        // The same deterministic single-thread faulty script on two
+        // identical runtimes: the provider-backed scoped checkpoint
+        // must report what the synchronous barrier reports (allocator
+        // monitors stream every event, so the consistency gate opens
+        // at quiescence).
+        let drive = |rt: &Runtime| {
+            let allocators: Vec<_> =
+                (0..6).map(|i| crate::ResourceAllocator::new(rt, &format!("r{i}"), 2)).collect();
+            for al in &allocators {
+                al.request().unwrap();
+                let _ = al.request(); // U3: duplicate request
+                al.release().unwrap();
+                let _ = al.release(); // U1: release without request
+            }
+        };
+        // Compare on the stable identity (detected_at is wall clock and
+        // differs between runs by construction).
+        type Key = (MonitorId, Option<Pid>, Option<u64>, RuleId);
+        let keys = |mut vs: Vec<Violation>| -> Vec<Key> {
+            vs.sort_by_key(|v| (v.monitor, v.pid, v.event_seq, v.rule));
+            vs.into_iter().map(|v| (v.monitor, v.pid, v.event_seq, v.rule)).collect()
+        };
+        let sync_rt = sharded_rt(2, 4);
+        drive(&sync_rt);
+        let _ = sync_rt.checkpoint_now();
+        let want = keys(sync_rt.all_violations());
+
+        let scoped_rt = sharded_rt(2, 4);
+        drive(&scoped_rt);
+        let _ = scoped_rt.checkpoint_scope(CheckpointScope::All);
+        let got = keys(scoped_rt.all_violations());
+        assert_eq!(got, want, "scoped checkpoint must match the synchronous barrier");
+        assert!(!got.is_empty(), "the script injects U1/U3 faults");
+
+        // Per-shard scopes cover the same ground as All.
+        let by_shard_rt = sharded_rt(2, 4);
+        drive(&by_shard_rt);
+        for shard in 0..2 {
+            let _ = by_shard_rt.checkpoint_scope(CheckpointScope::Shard(shard));
+        }
+        let by_shard = keys(by_shard_rt.all_violations());
+        assert_eq!(by_shard, want, "per-shard scopes must union to All");
+    }
+
+    #[test]
+    fn monitor_scope_checks_one_monitor_on_demand() {
+        let rt = sharded_rt(2, 64);
+        let good = crate::ResourceAllocator::new(&rt, "good", 1);
+        let bad = crate::ResourceAllocator::new(&rt, "bad", 1);
+        good.request().unwrap();
+        good.release().unwrap();
+        bad.request().unwrap(); // held past the checkpoint: still consistent
+        let bad_id = MonitorId::new(1); // ids are allocated in creation order
+        let report = rt.checkpoint_scope(CheckpointScope::Monitor(bad_id));
+        // Only `bad`'s two events (request = Enter + Signal-Exit) are
+        // replayed; `good`'s pending window stays untouched.
+        assert_eq!(report.events_checked, 2, "{report}");
+        assert!(report.is_clean(), "a held right is a consistent state: {report}");
+        bad.release().unwrap();
     }
 
     fn sharded_rt(shards: usize, batch: usize) -> Runtime {

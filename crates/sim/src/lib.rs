@@ -58,7 +58,9 @@ pub use kernel::{Sim, StepOutcome};
 pub use metrics::SimMetrics;
 pub use monitor::{EnterOutcome, ExitOutcome, MonitorData, SimMonitor, WaitOutcome};
 pub use process::{BodyStage, Phase, SimProcess};
-pub use runner::{run_plain, run_with_backend, run_with_detection, RunOutcome};
+pub use runner::{
+    run_plain, run_with_backend, run_with_backend_checkpointed, run_with_detection, RunOutcome,
+};
 pub use script::{CallKind, Op, Script, ScriptBuilder};
 pub use trace::TraceRecorder;
 

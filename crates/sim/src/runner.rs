@@ -5,8 +5,10 @@
 //! checking routine fires every `check_interval` of virtual time.
 
 use crate::kernel::{Sim, StepOutcome};
-use rmon_core::detect::DetectionBackend;
-use rmon_core::{DetectorConfig, FaultReport, Nanos, Violation};
+use rmon_core::detect::{CheckpointScope, DetectionBackend, SnapshotProvider, SnapshotTable};
+use rmon_core::{DetectorConfig, FaultReport, MonitorId, Nanos, Violation};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Everything a detection-enabled run produced.
 #[derive(Debug, Clone)]
@@ -64,7 +66,7 @@ pub fn run_with_detection(sim: &mut Sim, det_cfg: DetectorConfig) -> RunOutcome 
 /// [`rmon_core::detect::ProducerHandle`] (the simulator is one
 /// ingesting "thread"), and the periodic checking routine fires every
 /// `check_interval` of virtual time via
-/// [`DetectionBackend::checkpoint`].
+/// [`DetectionBackend::checkpoint_window`].
 ///
 /// Simulated and real-thread traffic thereby exercise the identical
 /// ingestion API; an inline backend reproduces
@@ -79,12 +81,55 @@ pub fn run_with_backend(
     backend: &dyn DetectionBackend,
     check_interval: Nanos,
 ) -> RunOutcome {
+    run_backend_loop(sim, backend, check_interval, None)
+}
+
+/// [`run_with_backend`] plus a **scoped checkpoint cadence**: every
+/// `sweep_interval` of virtual time the driver publishes the
+/// simulator's current monitor states into a
+/// [`SnapshotTable`] registered on the backend and invokes the scoped
+/// [`DetectionBackend::checkpoint`] — the backend replays what it
+/// ingested in real time and runs the full Algorithm-1/2/timer
+/// comparison with **no window drained** and no global barrier, exactly
+/// the way an embedding runtime's per-shard sweeps do. The periodic
+/// window checkpoints (every `check_interval`) still run and remain
+/// the consistency barrier; per-pid watermarks deduplicate the overlap,
+/// so verdicts never double-report.
+///
+/// What the sweeps buy in the simulator is the same thing they buy at
+/// run time: detection latency. A fault visible in the observed state
+/// (a lost process, an inconsistent queue) is flagged at the next sweep
+/// instead of the next full checkpoint.
+pub fn run_with_backend_checkpointed(
+    sim: &mut Sim,
+    backend: &dyn DetectionBackend,
+    check_interval: Nanos,
+    sweep_interval: Nanos,
+) -> RunOutcome {
+    run_backend_loop(sim, backend, check_interval, Some(sweep_interval.max(Nanos::new(1))))
+}
+
+fn run_backend_loop(
+    sim: &mut Sim,
+    backend: &dyn DetectionBackend,
+    check_interval: Nanos,
+    sweep_interval: Option<Nanos>,
+) -> RunOutcome {
     for m in sim.monitors() {
         backend.register_empty(m.id, m.spec.clone(), sim.clock());
     }
+    // The scoped-sweep plumbing: the driver is the backend's snapshot
+    // provider, publishing the simulator's states (with per-monitor
+    // ingested-event counts as consistency gates) before each sweep.
+    let table = Arc::new(SnapshotTable::default());
+    if sweep_interval.is_some() {
+        backend.set_snapshot_provider(Arc::clone(&table) as Arc<dyn SnapshotProvider>);
+    }
+    let mut ingested: HashMap<MonitorId, u64> = HashMap::new();
     let mut producer = backend.producer();
     let interval = check_interval.max(Nanos::new(1));
     let mut next_check = sim.clock() + interval;
+    let mut next_sweep = sweep_interval.map(|iv| sim.clock() + iv);
     let mut reports = Vec::new();
     let mut realtime: Vec<Violation> = Vec::new();
     let mut first_detection_at: Option<Nanos> = None;
@@ -103,18 +148,36 @@ pub fn run_with_backend(
     loop {
         let outcome = sim.step();
         steps += 1;
+        let horizon = next_sweep.map_or(next_check, |s| s.min(next_check));
         match outcome {
             StepOutcome::Progressed => {}
             StepOutcome::Idle { next_wake: Some(t) } => {
-                sim.advance_to(t.min(next_check));
+                sim.advance_to(t.min(horizon));
             }
             StepOutcome::Idle { next_wake: None } => {
-                sim.advance_to(next_check);
+                sim.advance_to(horizon);
             }
             StepOutcome::Finished => break,
         }
         for e in sim.take_fresh_events() {
+            *ingested.entry(e.monitor).or_insert(0) += 1;
             producer.observe(e);
+        }
+        if next_sweep.is_some_and(|s| sim.clock() >= s) {
+            producer.flush();
+            table.publish_all(sim.snapshots());
+            for (&monitor, &count) in &ingested {
+                table.expect_events(monitor, count);
+            }
+            let report = backend.checkpoint(CheckpointScope::All, sim.clock());
+            let drained = backend.drain_violations();
+            note_first(&drained, &mut first_detection_at);
+            realtime.extend(drained);
+            if first_detection_at.is_none() && !report.violations.is_empty() {
+                first_detection_at = Some(report.window_end);
+            }
+            reports.push(report);
+            next_sweep = sweep_interval.map(|iv| sim.clock() + iv);
         }
         if sim.clock() >= next_check {
             producer.flush();
@@ -123,7 +186,7 @@ pub fn run_with_backend(
             realtime.extend(drained);
             let events = sim.drain_window();
             let snaps = sim.snapshots();
-            let report = backend.checkpoint(sim.clock(), &events, &snaps);
+            let report = backend.checkpoint_window(sim.clock(), &events, &snaps);
             if first_detection_at.is_none() && !report.violations.is_empty() {
                 first_detection_at = Some(report.window_end);
             }
@@ -137,6 +200,7 @@ pub fn run_with_backend(
 
     // Final checkpoint over whatever remains in the window.
     for e in sim.take_fresh_events() {
+        *ingested.entry(e.monitor).or_insert(0) += 1;
         producer.observe(e);
     }
     producer.flush();
@@ -145,7 +209,7 @@ pub fn run_with_backend(
     realtime.extend(drained);
     let events = sim.drain_window();
     let snaps = sim.snapshots();
-    let report = backend.checkpoint(sim.clock(), &events, &snaps);
+    let report = backend.checkpoint_window(sim.clock(), &events, &snaps);
     if first_detection_at.is_none() && !report.violations.is_empty() {
         first_detection_at = Some(report.window_end);
     }
@@ -326,6 +390,69 @@ mod tests {
         let out = run_with_backend(&mut sim, &backend, det_cfg().check_interval);
         assert!(out.finished);
         assert!(out.is_clean(), "{}", out.combined);
+    }
+
+    #[test]
+    fn checkpointed_runner_clean_run_stays_clean() {
+        use rmon_core::detect::{ServiceConfig, ShardedBackend};
+        // Scoped sweeps 5× as frequent as the full checkpoints: the
+        // published snapshots must never fabricate a mismatch on a
+        // clean run, and the window checkpoints must still dedup
+        // against what the sweeps already replayed.
+        let mut b = SimBuilder::new();
+        let buf = b.bounded_buffer("buf", 2);
+        b.process("p", Script::builder().repeat(50, |s| s.send(buf)).build());
+        b.process("c", Script::builder().repeat(50, |s| s.receive(buf)).build());
+        let mut sim = b.build().unwrap();
+        let backend = ShardedBackend::new(det_cfg(), ServiceConfig::new(2));
+        let out = run_with_backend_checkpointed(
+            &mut sim,
+            &backend,
+            det_cfg().check_interval,
+            Nanos::from_micros(5),
+        );
+        assert!(out.finished);
+        assert!(out.is_clean(), "{}", out.combined);
+        assert!(
+            out.reports.len() > 2,
+            "sweeps must add checkpoints between the windows: {}",
+            out.reports.len()
+        );
+    }
+
+    #[test]
+    fn checkpointed_runner_detects_faults_like_the_window_runner() {
+        use rmon_core::detect::{ServiceConfig, ShardedBackend};
+        let build = || {
+            let mut b = SimBuilder::new();
+            let buf = b.bounded_buffer("buf", 1);
+            b.inject(InjectionPlan::once(FaultKind::EnterMutualExclusion, buf));
+            b.process("p1", Script::builder().repeat(4, |s| s.send(buf)).build());
+            b.process("p2", Script::builder().repeat(4, |s| s.receive(buf)).build());
+            b.build().unwrap()
+        };
+        let mut sim = build();
+        let want = run_with_detection(&mut sim, det_cfg());
+        let want_rules: std::collections::BTreeSet<RuleId> =
+            want.combined.violations.iter().map(|v| v.rule).collect();
+        assert!(!want_rules.is_empty());
+
+        let mut sim = build();
+        let backend = ShardedBackend::new(det_cfg(), ServiceConfig::new(2));
+        let out = run_with_backend_checkpointed(
+            &mut sim,
+            &backend,
+            det_cfg().check_interval,
+            Nanos::from_micros(250),
+        );
+        let got_rules: std::collections::BTreeSet<RuleId> =
+            out.combined.violations.iter().map(|v| v.rule).collect();
+        assert!(
+            got_rules.is_superset(&want_rules),
+            "sweeping runner must detect at least the window runner's rules: \
+             {got_rules:?} vs {want_rules:?}"
+        );
+        assert!(out.first_detection_at.is_some());
     }
 
     #[test]

@@ -9,8 +9,8 @@
 
 use crate::producer_consumer::PcWorkload;
 use rmon_core::detect::{
-    DetectionBackend, Detector, ScheduledBackend, SchedulerConfig, ServiceConfig, ServiceStats,
-    ShardedBackend,
+    CheckpointScope, DetectionBackend, Detector, ScheduledBackend, SchedulerConfig, ServiceConfig,
+    ServiceStats, ShardedBackend, SnapshotProvider, SnapshotTable,
 };
 use rmon_core::{
     DetectorConfig, Event, FaultReport, MonitorId, MonitorSpec, MonitorState, Nanos, Pid,
@@ -110,6 +110,25 @@ impl FleetTrace {
     /// Number of monitors in the fleet.
     pub fn monitors(&self) -> usize {
         self.specs.len()
+    }
+
+    /// A consistency-gated [`SnapshotTable`] over the fleet's **final**
+    /// observed states: each monitor's snapshot is gated on its total
+    /// event count, so a backend that checkpoints *during* the drive
+    /// (scheduled sweeps, [`drive_fleet_checkpointed`]) defers the
+    /// Algorithm-1/2 comparison until its replay has consumed the whole
+    /// stream — mid-drive sweeps stay replay-and-timers-only instead of
+    /// comparing a half-ingested trace against the end state.
+    pub fn snapshot_table(&self) -> Arc<SnapshotTable> {
+        let table = Arc::new(SnapshotTable::from_snapshots(self.snapshots.clone()));
+        let mut counts: HashMap<MonitorId, u64> = HashMap::new();
+        for event in &self.events {
+            *counts.entry(event.monitor).or_insert(0) += 1;
+        }
+        for (&monitor, &count) in &counts {
+            table.expect_events(monitor, count);
+        }
+        table
     }
 }
 
@@ -287,9 +306,10 @@ pub fn drive_fleet_backend(
     }
     producer.flush();
     let ingest = t0.elapsed();
-    // checkpoint() is a barrier for everything flushed above (per-shard
-    // FIFO), so the collector and counters are quiescent afterwards.
-    let mut report = backend.checkpoint(fleet.end_time, &fleet.events, &fleet.snapshots);
+    // checkpoint_window() is a barrier for everything flushed above
+    // (per-shard FIFO), so the collector and counters are quiescent
+    // afterwards.
+    let mut report = backend.checkpoint_window(fleet.end_time, &fleet.events, &fleet.snapshots);
     let total = t0.elapsed();
     report.violations.extend(backend.drain_violations());
     let stats = backend.stats();
@@ -335,7 +355,47 @@ pub fn drive_fleet_multi(
         }
     });
     let ingest = t0.elapsed();
-    let mut report = backend.checkpoint(fleet.end_time, &fleet.events, &fleet.snapshots);
+    let mut report = backend.checkpoint_window(fleet.end_time, &fleet.events, &fleet.snapshots);
+    let total = t0.elapsed();
+    report.violations.extend(backend.drain_violations());
+    let stats = backend.stats();
+    (report, stats, FleetTiming { ingest, total })
+}
+
+/// Drives a [`FleetTrace`] through a backend using **per-shard scoped
+/// checkpoints** instead of one caller-drained window: the fleet's
+/// gated [`SnapshotTable`] is registered as the backend's
+/// [`SnapshotProvider`], the stream is ingested through one handle,
+/// and the final verdict is assembled by sweeping
+/// [`CheckpointScope::Shard`] 0..`shards` — each sweep replaying that
+/// shard's pending events and running the Algorithm-1/2 snapshot
+/// comparison through the provider. No recorded window ever changes
+/// hands; this is the ingestion-plus-sweeps shape an embedding runtime
+/// with an asynchronous checkpointer has.
+///
+/// Equivalence with [`drive_fleet_backend`] (same violations, same
+/// events checked) is the acceptance property of
+/// `tests/checkpoint_equivalence.rs`.
+pub fn drive_fleet_checkpointed(
+    fleet: &FleetTrace,
+    backend: &dyn DetectionBackend,
+    shards: usize,
+) -> (FaultReport, ServiceStats, FleetTiming) {
+    for (&id, spec) in &fleet.specs {
+        backend.register_empty(id, Arc::clone(spec), Nanos::ZERO);
+    }
+    backend.set_snapshot_provider(fleet.snapshot_table() as Arc<dyn SnapshotProvider>);
+    let mut producer = backend.producer();
+    let t0 = std::time::Instant::now();
+    for event in &fleet.events {
+        producer.observe(*event);
+    }
+    producer.flush();
+    let ingest = t0.elapsed();
+    let mut report = FaultReport::merged(
+        (0..shards.max(1))
+            .map(|shard| backend.checkpoint(CheckpointScope::Shard(shard), fleet.end_time)),
+    );
     let total = t0.elapsed();
     report.violations.extend(backend.drain_violations());
     let stats = backend.stats();
@@ -548,6 +608,30 @@ mod tests {
             // Allocator events go through the real-time (order) path,
             // so the backend ingested every one of them.
             assert_eq!(stats.total_events(), events, "{label}");
+        }
+    }
+
+    #[test]
+    fn checkpointed_drive_matches_window_drive() {
+        let key = |v: &rmon_core::Violation| (v.monitor, v.pid, v.event_seq, v.rule);
+        // Faulty fleet (no snapshots: pure event-stream) and clean
+        // fleet (with snapshots: the Algorithm-1/2 comparison path).
+        for (label, fleet) in
+            [("faulty", allocator_fleet_trace(8, 4, 3)), ("clean", fleet_trace(8, 3, 7))]
+        {
+            let window =
+                ShardedBackend::new(DetectorConfig::without_timeouts(), ServiceConfig::new(2));
+            let (want, _, _) = drive_fleet_backend(&fleet, &window);
+            let scoped =
+                ShardedBackend::new(DetectorConfig::without_timeouts(), ServiceConfig::new(2));
+            let (got, stats, _) = drive_fleet_checkpointed(&fleet, &scoped, 2);
+            let mut want_v = want.violations.clone();
+            let mut got_v = got.violations.clone();
+            want_v.sort_by_key(key);
+            got_v.sort_by_key(key);
+            assert_eq!(got_v, want_v, "{label}");
+            assert_eq!(got.events_checked, want.events_checked, "{label}");
+            assert_eq!(stats.total_events(), fleet.events.len() as u64, "{label}");
         }
     }
 

@@ -54,23 +54,22 @@ pub use rmon_workloads as workloads;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use rmon_core::detect::{
-        DetectionBackend, InlineBackend, ProducerHandle, ScheduledBackend, SchedulerConfig,
-        ServiceConfig, ServiceStats, ShardedBackend, ShardedDetector,
+        Backpressure, CheckpointScope, DetectionBackend, InlineBackend, ProducerHandle,
+        ScheduledBackend, SchedulerConfig, ServiceConfig, ServiceStats, ShardedBackend,
+        ShardedDetector, SnapshotProvider, SnapshotTable,
     };
     pub use rmon_core::{
         taxonomy, DetectorConfig, Event, EventKind, FaultKind, FaultLevel, FaultReport,
         MonitorClass, MonitorId, MonitorSpec, MonitorState, Nanos, PathExpr, Pid, RuleId,
         Violation,
     };
-    #[allow(deprecated)]
-    pub use rmon_rt::DetectorBackend;
     pub use rmon_rt::{
         BoundedBuffer, BufferBug, CheckerHandle, Monitor, MonitorError, OperationCell, OrderPolicy,
-        ResourceAllocator, RtFault, Runtime,
+        ResourceAllocator, RtFault, Runtime, RuntimeSnapshotProvider,
     };
     pub use rmon_sim::{
-        run_plain, run_with_backend, run_with_detection, InjectionPlan, Script, Sim, SimBuilder,
-        SimConfig,
+        run_plain, run_with_backend, run_with_backend_checkpointed, run_with_detection,
+        InjectionPlan, Script, Sim, SimBuilder, SimConfig,
     };
     pub use rmon_workloads::{AllocatorMix, PcWorkload, Philosophers, ReadersWriters};
 }

@@ -1,0 +1,263 @@
+//! Checkpoint equivalence: the acceptance property of the
+//! `SnapshotProvider` + first-class checkpoint API.
+//!
+//! For identical traces, the violation set produced by **backend-routed
+//! checkpoints** — the scoped [`DetectionBackend::checkpoint`] driven
+//! per shard through a registered snapshot provider, with no
+//! caller-drained window — must match the seed synchronous path (the
+//! explicit-window [`DetectionBackend::checkpoint_window`] /
+//! `Runtime::checkpoint_now` barrier), on every backend: inline,
+//! sharded at 1·2·4 shards, and scheduled. Where the snapshots come
+//! from and which scope triggers the check changes nothing about *what*
+//! is detected — including the ST-7a–d resource-consistency checks on a
+//! communication-coordinator fleet.
+
+use rmon::prelude::*;
+use rmon::workloads::sweep::{
+    allocator_fleet_trace, drive_fleet_backend, drive_fleet_checkpointed, FleetTrace,
+};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn cfg() -> DetectorConfig {
+    DetectorConfig::without_timeouts()
+}
+
+/// The backends whose scoped checkpoints are under test, with the shard
+/// count their `CheckpointScope::Shard` sweeps cover. The scheduled
+/// backends use an hour-long tick so their background sweeps never race
+/// the explicit per-shard checkpoints the driver issues — determinism
+/// of the background-sweep path itself is covered by the scheduler's
+/// own unit tests.
+fn scoped_backends() -> Vec<(String, Box<dyn DetectionBackend>, usize)> {
+    let mut out: Vec<(String, Box<dyn DetectionBackend>, usize)> =
+        vec![("inline".into(), Box::new(InlineBackend::new(cfg())), 1)];
+    for shards in SHARD_COUNTS {
+        out.push((
+            format!("sharded-{shards}"),
+            Box::new(ShardedBackend::new(cfg(), ServiceConfig::new(shards)).with_batch(7)),
+            shards,
+        ));
+        out.push((
+            format!("scheduled-{shards}"),
+            Box::new(
+                ScheduledBackend::new(
+                    cfg(),
+                    ServiceConfig::new(shards),
+                    SchedulerConfig::new(Duration::from_secs(3600)),
+                )
+                .with_batch(7),
+            ),
+            shards,
+        ));
+    }
+    out
+}
+
+/// Per-monitor, order-sensitive violation signature (detection times
+/// excluded — wall clock differs across runs by construction).
+type Signature = BTreeMap<MonitorId, Vec<(Option<u64>, RuleId, Option<Pid>)>>;
+
+fn signature(violations: &[Violation]) -> Signature {
+    let mut sorted = violations.to_vec();
+    sorted.sort_by_key(|v| (v.monitor, v.event_seq, v.rule, v.pid));
+    let mut sig: Signature = BTreeMap::new();
+    for v in &sorted {
+        sig.entry(v.monitor).or_default().push((v.event_seq, v.rule, v.pid));
+    }
+    sig
+}
+
+/// Reference verdict: the seed synchronous path — one inline backend,
+/// events ingested then checkpointed with the explicitly supplied
+/// window and snapshot map.
+fn window_reference(fleet: &FleetTrace) -> Signature {
+    let backend = InlineBackend::new(cfg());
+    let (report, _, _) = drive_fleet_backend(fleet, &backend);
+    backend.shutdown();
+    signature(&report.violations)
+}
+
+#[test]
+fn faulty_allocator_fleet_matches_the_synchronous_path() {
+    let fleet = allocator_fleet_trace(12, 6, 5);
+    let want = window_reference(&fleet);
+    assert!(want.len() >= 8, "faults must spread across monitors: {} hit", want.len());
+    for (name, backend, shards) in scoped_backends() {
+        let (report, stats, _) = drive_fleet_checkpointed(&fleet, backend.as_ref(), shards);
+        assert_eq!(signature(&report.violations), want, "{name}");
+        assert_eq!(stats.total_events(), fleet.events.len() as u64, "{name}");
+        backend.shutdown();
+    }
+}
+
+/// A deterministic faulty **communication-coordinator** fleet: five
+/// bounded buffers, each carrying one class of resource-state fault,
+/// plus interleaved clean traffic. The snapshots are the states a
+/// sound observer would report — including the tampered `R#` on the
+/// St7-b monitor.
+fn coordinator_fleet() -> (FleetTrace, rmon::core::spec::BoundedBufferSpec) {
+    let bb = MonitorSpec::bounded_buffer("buf", 1);
+    let spec = Arc::new(bb.spec.clone());
+    let mut specs = HashMap::new();
+    let mut snapshots = HashMap::new();
+    let mut events = Vec::new();
+    let mut seq = 0u64;
+    let mut push = |events: &mut Vec<Event>, e: Event| {
+        seq += 1;
+        let mut e = e;
+        e.seq = seq;
+        e.time = Nanos::new(seq * 10);
+        events.push(e);
+    };
+    let z = Nanos::ZERO;
+
+    // m0 — ST-7a (r > s): a receive completes before any send.
+    let m0 = MonitorId::new(0);
+    push(&mut events, Event::enter(0, z, m0, Pid::new(1), bb.receive, true));
+    push(&mut events, Event::signal_exit(0, z, m0, Pid::new(1), bb.receive, None, false));
+    snapshots.insert(m0, MonitorState::with_resources(2, 1));
+
+    // m1 — ST-7a (s > r + Rmax): two sends complete into capacity 1.
+    let m1 = MonitorId::new(1);
+    for _ in 0..2 {
+        push(&mut events, Event::enter(0, z, m1, Pid::new(2), bb.send, true));
+        push(&mut events, Event::signal_exit(0, z, m1, Pid::new(2), bb.send, None, false));
+    }
+    snapshots.insert(m1, MonitorState::with_resources(2, 0));
+
+    // m2 — ST-7c: a sender is delayed on buffer_full while free
+    // capacity exists (Resource-No = 1 ≠ 0).
+    let m2 = MonitorId::new(2);
+    push(&mut events, Event::enter(0, z, m2, Pid::new(3), bb.send, true));
+    push(&mut events, Event::wait(0, z, m2, Pid::new(3), bb.send, bb.full_cond));
+    let mut s2 = MonitorState::with_resources(2, 1);
+    s2.cond_queues[bb.full_cond.as_usize()].push(rmon::core::PidProc::new(Pid::new(3), bb.send));
+    snapshots.insert(m2, s2);
+
+    // m3 — ST-7d: a send fills the buffer, then a receiver is delayed
+    // on buffer_empty although the buffer is not empty.
+    let m3 = MonitorId::new(3);
+    push(&mut events, Event::enter(0, z, m3, Pid::new(4), bb.send, true));
+    push(&mut events, Event::signal_exit(0, z, m3, Pid::new(4), bb.send, None, false));
+    push(&mut events, Event::enter(0, z, m3, Pid::new(5), bb.receive, true));
+    push(&mut events, Event::wait(0, z, m3, Pid::new(5), bb.receive, bb.empty_cond));
+    let mut s3 = MonitorState::with_resources(2, 0);
+    s3.cond_queues[bb.empty_cond.as_usize()]
+        .push(rmon::core::PidProc::new(Pid::new(5), bb.receive));
+    snapshots.insert(m3, s3);
+
+    // m4 — ST-7b: a clean send/receive cycle, but the observed R# is
+    // tampered (reads 0, truth is 1): the checkpoint count equation
+    // must flag it.
+    let m4 = MonitorId::new(4);
+    push(&mut events, Event::enter(0, z, m4, Pid::new(6), bb.send, true));
+    push(&mut events, Event::signal_exit(0, z, m4, Pid::new(6), bb.send, None, false));
+    push(&mut events, Event::enter(0, z, m4, Pid::new(7), bb.receive, true));
+    push(&mut events, Event::signal_exit(0, z, m4, Pid::new(7), bb.receive, None, false));
+    snapshots.insert(m4, MonitorState::with_resources(2, 0));
+
+    for id in 0..5u32 {
+        specs.insert(MonitorId::new(id), Arc::clone(&spec));
+    }
+    let end_time = Nanos::new((seq + 1) * 10);
+    (FleetTrace { specs, events, snapshots, end_time }, bb)
+}
+
+#[test]
+fn coordinator_fleet_st7_checks_match_the_synchronous_path() {
+    let (fleet, _) = coordinator_fleet();
+    let want = window_reference(&fleet);
+    // The reference itself must exercise the whole ST-7 family.
+    let all_rules: Vec<RuleId> = want.values().flatten().map(|(_, rule, _)| *rule).collect();
+    for rule in [
+        RuleId::St7CountInvariant,
+        RuleId::St7WaitSendBufferFull,
+        RuleId::St7WaitReceiveBufferEmpty,
+    ] {
+        assert!(all_rules.contains(&rule), "fixture must trigger {rule:?}: {all_rules:?}");
+    }
+    for (name, backend, shards) in scoped_backends() {
+        let (report, _, _) = drive_fleet_checkpointed(&fleet, backend.as_ref(), shards);
+        assert_eq!(signature(&report.violations), want, "{name}");
+        backend.shutdown();
+    }
+}
+
+/// The real-thread flavor: the same deterministic single-thread faulty
+/// script on identical runtimes, one checked through the synchronous
+/// `checkpoint_now` barrier, the others through provider-backed scoped
+/// checkpoints (`Runtime::checkpoint_scope`, per-shard and all-at-once)
+/// on every backend.
+#[test]
+fn rt_scoped_checkpoints_match_checkpoint_now() {
+    fn make(label: &str, shards: usize) -> Runtime {
+        let b = Runtime::builder(cfg()).park_timeout(Duration::from_millis(500));
+        match label {
+            "inline" => b.build(),
+            "sharded" => b
+                .backend_with(move |cfg, _clock| {
+                    Arc::new(ShardedBackend::new(cfg, ServiceConfig::new(shards)).with_batch(3))
+                })
+                .build(),
+            "scheduled" => b
+                .backend_with(move |cfg, clock| {
+                    Arc::new(
+                        ScheduledBackend::with_clock(
+                            cfg,
+                            ServiceConfig::new(shards),
+                            SchedulerConfig::new(Duration::from_secs(3600)),
+                            clock,
+                        )
+                        .with_batch(3),
+                    )
+                })
+                .build(),
+            _ => unreachable!(),
+        }
+    }
+    fn drive(rt: &Runtime) {
+        let allocators: Vec<_> =
+            (0..6).map(|i| rmon::rt::ResourceAllocator::new(rt, &format!("r{i}"), 2)).collect();
+        for _ in 0..3 {
+            for al in &allocators {
+                al.request().unwrap();
+                let _ = al.request(); // U3: duplicate request
+                al.release().unwrap();
+                let _ = al.release(); // U1: release without request
+            }
+        }
+    }
+    fn keys(mut vs: Vec<Violation>) -> Vec<(MonitorId, Option<Pid>, Option<u64>, RuleId)> {
+        vs.sort_by_key(|v| (v.monitor, v.pid, v.event_seq, v.rule));
+        vs.into_iter().map(|v| (v.monitor, v.pid, v.event_seq, v.rule)).collect()
+    }
+
+    // Seed path: the synchronous suspend-drain-compare barrier.
+    let sync_rt = make("inline", 1);
+    drive(&sync_rt);
+    let _ = sync_rt.checkpoint_now();
+    let want = keys(sync_rt.all_violations());
+    assert!(!want.is_empty(), "the script injects U1/U3 faults");
+
+    for (label, shards) in
+        [("inline", 1), ("sharded", 1), ("sharded", 2), ("sharded", 4), ("scheduled", 2)]
+    {
+        // Backend-routed: one all-scope checkpoint.
+        let rt = make(label, shards);
+        drive(&rt);
+        let _ = rt.checkpoint_scope(CheckpointScope::All);
+        assert_eq!(keys(rt.all_violations()), want, "{label}-{shards} (All)");
+
+        // Backend-routed: per-shard sweeps union to the same verdict.
+        let rt = make(label, shards);
+        drive(&rt);
+        for shard in 0..shards {
+            let _ = rt.checkpoint_scope(CheckpointScope::Shard(shard));
+        }
+        assert_eq!(keys(rt.all_violations()), want, "{label}-{shards} (per-shard)");
+    }
+}
