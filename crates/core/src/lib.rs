@@ -72,6 +72,7 @@ mod fault;
 mod history;
 mod ids;
 mod lists;
+pub mod oplog;
 pub mod path;
 pub mod reference;
 mod rule;
@@ -88,6 +89,7 @@ pub use fault::{taxonomy, FaultInfo, FaultKind, FaultLevel};
 pub use history::HistoryDb;
 pub use ids::{CondId, MonitorId, Pid, PidProc, ProcName};
 pub use lists::{GeneralLists, OrderState, ResourceState};
+pub use oplog::{EventSink, MemorySink, ViolationSink};
 pub use path::{CompiledPath, OrderViolation, PathError, PathExpr, PathTracker};
 pub use rule::RuleId;
 pub use spec::{

@@ -24,8 +24,8 @@ use rmon_core::detect::{
     CheckpointScope, ClockFn, DetectionBackend, InlineBackend, ServiceStats, SnapshotProvider,
 };
 use rmon_core::{
-    DetectorConfig, Event, EventKind, FaultReport, MonitorId, MonitorState, Nanos, Pid, ProcName,
-    RuleId, Violation,
+    DetectorConfig, Event, EventKind, EventSink, FaultReport, MonitorId, MonitorState, Nanos, Pid,
+    ProcName, RuleId, Violation, ViolationSink,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -90,6 +90,68 @@ pub(crate) struct RtInner {
     next_monitor_id: AtomicU32,
     reports: Mutex<Vec<FaultReport>>,
     realtime: Mutex<Vec<Violation>>,
+    /// Durable journal endpoints (usually two views of one
+    /// `rmon-storage` `DurableSink`). Appends happen at registration
+    /// time and checkpoint barriers only — never on the per-event hot
+    /// path; the recorder's in-memory window is the staging area.
+    event_sink: Option<Arc<dyn EventSink>>,
+    violation_sink: Option<Arc<dyn ViolationSink>>,
+    /// Journal commit state. The mutex also serializes checkpoint
+    /// commit sequences, so two concurrent barriers cannot interleave
+    /// their `Events → Realtime → Checkpoint` records.
+    journal: Mutex<JournalState>,
+    /// Journal appends that failed (disk errors). Detection itself
+    /// never blocks or panics on a failing journal; operators watch
+    /// this counter ([`Runtime::journal_errors`]).
+    journal_errors: AtomicU64,
+}
+
+/// Bookkeeping for the journal's commit protocol. A verdict may only be
+/// journaled once the event it refers to sits in a *committed* window —
+/// otherwise a crash that tears the next window off the log would leave
+/// a recorded verdict with no recorded cause, and differential replay
+/// could not reproduce it. The backend can hand us such early verdicts:
+/// an event recorded just after the barrier's window drain can be
+/// ingested, checked and collected before the same barrier drains the
+/// backend's violations.
+#[derive(Debug, Default)]
+struct JournalState {
+    /// How much of the runtime's `realtime` list has been examined.
+    examined_realtime: usize,
+    /// Highest event `seq` seen in any committed window.
+    seq_high: u64,
+    /// Seqs at or below `seq_high` that no committed window contained:
+    /// stamped but not yet published when their window drained (seq
+    /// assignment and segment publication are two steps). They arrive
+    /// in a later window; until then their verdicts are held back. The
+    /// set stays tiny — bounded by in-flight recording threads.
+    gaps: std::collections::BTreeSet<u64>,
+    /// Verdicts whose events are not yet committed, carried to the
+    /// next barrier.
+    holdback: Vec<Violation>,
+}
+
+impl JournalState {
+    /// Folds a freshly committed window into the frontier.
+    fn commit_window(&mut self, events: &[Event]) {
+        let Some(max) = events.iter().map(|e| e.seq).max() else { return };
+        let seen: std::collections::HashSet<u64> = events.iter().map(|e| e.seq).collect();
+        for s in &seen {
+            self.gaps.remove(s);
+        }
+        for s in self.seq_high + 1..=max {
+            if !seen.contains(&s) {
+                self.gaps.insert(s);
+            }
+        }
+        self.seq_high = self.seq_high.max(max);
+    }
+
+    /// Whether a verdict's cause is in a committed window (verdicts
+    /// with no event reference pass — they carry their own cause).
+    fn committed(&self, v: &Violation) -> bool {
+        v.event_seq.is_none_or(|s| s <= self.seq_high && !self.gaps.contains(&s))
+    }
 }
 
 impl std::fmt::Debug for RtInner {
@@ -114,6 +176,20 @@ impl RtInner {
         let initial = spec.empty_state();
         let now = self.recorder.now();
         self.backend.register(core.id(), Arc::clone(spec), &initial, now);
+        // Journal the registration before any of the monitor's events
+        // can drain: a replayer resolving the name back to its spec
+        // then always sees the Register record first.
+        if let Some(sink) = &self.event_sink {
+            self.journal_try(sink.append_register(core.id(), &spec.name, now));
+        }
+    }
+
+    /// Folds a journal append result into the error counter — the
+    /// journal is an observer, never a gate on detection.
+    fn journal_try(&self, result: std::io::Result<()>) {
+        if result.is_err() {
+            self.journal_errors.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Records an event into the calling thread's recorder segment and
@@ -280,7 +356,52 @@ impl RtInner {
             self.realtime.lock().extend(vs);
         }
         self.reports.lock().push(report.clone());
+        self.journal_checkpoint(now, &events, &snaps, &report);
         report
+    }
+
+    /// Journals one checkpoint commit sequence: `Events(window)` →
+    /// `Realtime(verdicts since the last barrier)` → `Checkpoint`
+    /// (the commit marker) → sync. A crash anywhere inside the
+    /// sequence leaves the journal with a clean committed prefix —
+    /// the replayer discards trailing records with no marker. Empty
+    /// windows and empty verdict batches are elided (the replayer
+    /// stages nothing for them anyway).
+    fn journal_checkpoint(
+        &self,
+        now: Nanos,
+        events: &[Event],
+        snaps: &HashMap<MonitorId, MonitorState>,
+        report: &FaultReport,
+    ) {
+        if self.event_sink.is_none() && self.violation_sink.is_none() {
+            return;
+        }
+        let mut journal = self.journal.lock();
+        if let Some(sink) = &self.event_sink {
+            if !events.is_empty() {
+                self.journal_try(sink.append_events(events));
+            }
+        }
+        if let Some(sink) = &self.violation_sink {
+            journal.commit_window(events);
+            let mut candidates = std::mem::take(&mut journal.holdback);
+            {
+                let realtime = self.realtime.lock();
+                candidates.extend_from_slice(&realtime[journal.examined_realtime..]);
+                journal.examined_realtime = realtime.len();
+            }
+            let (ready, held): (Vec<Violation>, Vec<Violation>) =
+                candidates.into_iter().partition(|v| journal.committed(v));
+            journal.holdback = held;
+            if !ready.is_empty() {
+                self.journal_try(sink.append_realtime(&ready));
+            }
+            self.journal_try(sink.append_checkpoint(now, snaps, report));
+        }
+        if let Some(sink) = &self.event_sink {
+            self.journal_try(sink.sync());
+        }
     }
 }
 
@@ -367,6 +488,8 @@ impl Runtime {
             park_timeout: Duration::from_secs(5),
             order_policy: OrderPolicy::Report,
             backend: BackendChoice::Default,
+            event_sink: None,
+            violation_sink: None,
         }
     }
 
@@ -477,6 +600,15 @@ impl Runtime {
     pub fn config(&self) -> DetectorConfig {
         self.inner.cfg
     }
+
+    /// Journal appends that have failed so far (disk errors on the
+    /// configured [`EventSink`] / [`ViolationSink`]). Detection never
+    /// blocks on a failing journal; a nonzero counter means the durable
+    /// log is missing records and operators should treat replay from it
+    /// as incomplete.
+    pub fn journal_errors(&self) -> u64 {
+        self.inner.journal_errors.load(Ordering::Relaxed)
+    }
 }
 
 /// Builder for [`Runtime`].
@@ -486,6 +618,8 @@ pub struct RuntimeBuilder {
     park_timeout: Duration,
     order_policy: OrderPolicy,
     backend: BackendChoice,
+    event_sink: Option<Arc<dyn EventSink>>,
+    violation_sink: Option<Arc<dyn ViolationSink>>,
 }
 
 impl RuntimeBuilder {
@@ -553,6 +687,34 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Installs a durable sink for the event-side journal stream
+    /// (epoch markers, registrations, drained windows). For a journal
+    /// the differential replayer can verify, install *both* streams —
+    /// [`Self::journal`] does that from one sink.
+    pub fn event_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.event_sink = Some(sink);
+        self
+    }
+
+    /// Installs a durable sink for the verdict-side journal stream
+    /// (real-time violations, checkpoint reports with snapshots).
+    pub fn violation_sink(mut self, sink: Arc<dyn ViolationSink>) -> Self {
+        self.violation_sink = Some(sink);
+        self
+    }
+
+    /// Journals both streams through one sink (typically an
+    /// `rmon-storage` `DurableSink`), so events and verdicts interleave
+    /// in a single totally ordered log — the layout the commit protocol
+    /// and the differential replayer assume. An `Epoch` record is
+    /// appended at [`Self::build`]; every [`Runtime::checkpoint_now`]
+    /// barrier then commits `Events → Realtime → Checkpoint` and syncs.
+    pub fn journal<S: EventSink + ViolationSink + 'static>(mut self, sink: Arc<S>) -> Self {
+        self.event_sink = Some(Arc::clone(&sink) as Arc<dyn EventSink>);
+        self.violation_sink = Some(sink as Arc<dyn ViolationSink>);
+        self
+    }
+
     /// Finishes the runtime and registers its snapshot provider on the
     /// backend (see [`RuntimeSnapshotProvider`]), so scoped backend
     /// checkpoints — including scheduled per-shard sweeps — run the
@@ -580,9 +742,20 @@ impl RuntimeBuilder {
                 next_monitor_id: AtomicU32::new(0),
                 reports: Mutex::new(Vec::new()),
                 realtime: Mutex::new(Vec::new()),
+                event_sink: self.event_sink,
+                violation_sink: self.violation_sink,
+                journal: Mutex::new(JournalState::default()),
+                journal_errors: AtomicU64::new(0),
             }),
         };
         rt.inner.backend.set_snapshot_provider(rt.snapshot_provider());
+        // Mark the journal attach point: monitor ids and event sequence
+        // numbers restart from zero behind this record, so a replayer
+        // resets its detector state here (process restarts journal into
+        // the same log as fresh epochs).
+        if let Some(sink) = &rt.inner.event_sink {
+            rt.inner.journal_try(sink.append_epoch(rt.inner.recorder.now()));
+        }
         rt
     }
 }
@@ -885,6 +1058,42 @@ mod tests {
         assert!(!probe.is_closed(), "shared backend must survive the runtime");
         drop(probe);
         drop(backend); // last owner: workers join here
+    }
+
+    #[test]
+    fn journal_commit_protocol_orders_records() {
+        use rmon_core::oplog::Record;
+        use rmon_core::MemorySink;
+
+        let sink = Arc::new(MemorySink::new());
+        let rt =
+            Runtime::builder(DetectorConfig::without_timeouts()).journal(Arc::clone(&sink)).build();
+        // Epoch lands at build time, registrations as monitors appear.
+        let al = crate::ResourceAllocator::new(&rt, "res", 2);
+        al.request().unwrap();
+        let _ = al.release(); // ok
+        let _ = al.release(); // U1: release without request → realtime verdict
+        let _ = rt.checkpoint_now();
+        assert_eq!(rt.journal_errors(), 0);
+
+        let records = sink.records();
+        assert!(matches!(records[0], Record::Epoch { .. }));
+        assert!(matches!(&records[1], Record::Register { name, .. } if name == "res"));
+        // The barrier commits Events → Realtime → Checkpoint, in order.
+        let tags: Vec<u8> = records[2..].iter().map(Record::tag).collect();
+        assert_eq!(tags, vec![3, 4, 5], "commit sequence: {records:?}");
+        let Record::Checkpoint { snapshots, report, .. } = records.last().unwrap() else {
+            panic!("last record must be the commit marker");
+        };
+        assert_eq!(snapshots.len(), 1, "one live monitor observed");
+        assert!(report.events_checked > 0);
+
+        // An empty barrier elides the empty window and verdict batch
+        // but still writes its commit marker.
+        let _ = rt.checkpoint_now();
+        let records = sink.records();
+        assert!(matches!(records.last().unwrap(), Record::Checkpoint { .. }));
+        assert_eq!(records.len(), 6);
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Differential replay: re-running detection over a persisted journal
+//! and checking that it reproduces the recorded verdict sequence.
+//!
+//! The journal stores the complete detection *inputs* — registration
+//! order, every drained event window, the observed snapshots each
+//! checkpoint compared against, and the checking times — so a fresh
+//! [`Detector`] driven over them must reach exactly the verdicts the
+//! live run reached (detection is deterministic given its inputs; only
+//! the wall-clock `detected_at` stamps differ). [`ReplayOutcome`]
+//! carries both verdict sets and compares them on the repo's canonical
+//! violation key `(monitor, pid, event_seq, rule)`.
+//!
+//! ## Commit protocol
+//!
+//! `Events` and `Realtime` records are *staged* until the following
+//! `Checkpoint` record commits them (see `rmon_core::oplog`). Staged
+//! records with no committing checkpoint — the tail a crash leaves, or
+//! records orphaned by a restart's `Epoch` — are discarded and counted
+//! in [`ReplayOutcome::uncommitted_records`]. Each `Epoch` starts a
+//! fresh detector: monitor ids and event sequence numbers restart
+//! behind it.
+//!
+//! ## What replay needs from the caller
+//!
+//! Monitor *declarations* are code, not data: the journal records only
+//! each monitor's name, and the caller resolves names back to
+//! [`MonitorSpec`]s. Names that do not resolve are collected in
+//! [`ReplayOutcome::unresolved`] (and fail [`ReplayOutcome::matches`]).
+//! The [`DetectorConfig`] must be the live run's — timer verdicts
+//! depend on it.
+//!
+//! Exact reproduction additionally requires the log to be complete from
+//! its first epoch: a retention policy that deleted old segments has
+//! discarded inputs (see [`crate::oplog::ReadReport::first_lsn`]).
+
+use crate::oplog::{Oplog, ReadReport};
+use rmon_core::detect::Detector;
+use rmon_core::oplog::{decode_record, Record};
+use rmon_core::{DetectorConfig, Event, MonitorId, MonitorSpec, Pid, RuleId, Violation};
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Resolves a journaled monitor registration back to its declaration.
+/// Invoked once per `Register` record with the id the live runtime
+/// assigned and the declared name.
+pub type SpecResolver<'a> = dyn Fn(MonitorId, &str) -> Option<Arc<MonitorSpec>> + 'a;
+
+/// The canonical identity of a violation across runs: wall-clock
+/// stamps and message text vary, these four fields do not.
+pub type VerdictKey = (MonitorId, Option<Pid>, Option<u64>, RuleId);
+
+/// Sorts violations into their canonical key sequence.
+pub fn verdict_keys(violations: &[Violation]) -> Vec<VerdictKey> {
+    let mut keys: Vec<VerdictKey> =
+        violations.iter().map(|v| (v.monitor, v.pid, v.event_seq, v.rule)).collect();
+    keys.sort_unstable();
+    keys
+}
+
+/// What a differential replay produced. Built by [`replay_records`] /
+/// [`replay_dir`]; [`ReplayOutcome::matches`] is the acceptance check.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayOutcome {
+    /// Every committed verdict the journal recorded: realtime records
+    /// plus checkpoint-report violations, in log order.
+    pub recorded: Vec<Violation>,
+    /// Every verdict the fresh detector produced over the same inputs.
+    pub recomputed: Vec<Violation>,
+    /// Events replayed through the detector (committed windows only).
+    pub events_replayed: u64,
+    /// Committed checkpoints replayed.
+    pub checkpoints: u64,
+    /// Epoch (runtime attach) records seen.
+    pub epochs: u64,
+    /// Staged `Events`/`Realtime` records discarded for lack of a
+    /// committing checkpoint (crash tails, restart orphans).
+    pub uncommitted_records: u64,
+    /// Records appearing before the first `Epoch` — a log whose head
+    /// was retired by retention; replay of the remainder is best-effort.
+    pub pre_epoch_records: u64,
+    /// Monitor names the resolver could not map to a spec.
+    pub unresolved: Vec<String>,
+}
+
+impl ReplayOutcome {
+    /// Whether replay reproduced the recorded verdict sequence exactly:
+    /// every spec resolved and the canonical key sets are equal.
+    pub fn matches(&self) -> bool {
+        self.unresolved.is_empty() && verdict_keys(&self.recorded) == verdict_keys(&self.recomputed)
+    }
+
+    /// A diagnostic for the first divergence, if any.
+    pub fn mismatch(&self) -> Option<String> {
+        if let Some(name) = self.unresolved.first() {
+            return Some(format!("unresolved monitor spec {name:?}"));
+        }
+        let recorded = verdict_keys(&self.recorded);
+        let recomputed = verdict_keys(&self.recomputed);
+        if recorded == recomputed {
+            return None;
+        }
+        let i = recorded.iter().zip(&recomputed).take_while(|(a, b)| a == b).count();
+        Some(format!(
+            "verdicts diverge at index {i}: recorded {:?} vs recomputed {:?} \
+             ({} recorded, {} recomputed)",
+            recorded.get(i),
+            recomputed.get(i),
+            recorded.len(),
+            recomputed.len(),
+        ))
+    }
+}
+
+/// Replays a decoded record stream through a fresh detector per epoch.
+/// See the module docs for the protocol.
+pub fn replay_records(
+    records: &[Record],
+    cfg: DetectorConfig,
+    resolve: &SpecResolver<'_>,
+) -> ReplayOutcome {
+    let mut out = ReplayOutcome::default();
+    let mut det: Option<Detector> = None;
+    let mut staged_events: Vec<Event> = Vec::new();
+    let mut staged_realtime: Vec<Violation> = Vec::new();
+    let mut staged: u64 = 0;
+    for record in records {
+        match record {
+            Record::Epoch { .. } => {
+                out.uncommitted_records += staged;
+                staged = 0;
+                staged_events.clear();
+                staged_realtime.clear();
+                det = Some(Detector::new(cfg));
+                out.epochs += 1;
+            }
+            Record::Register { monitor, name, time } => {
+                let Some(det) = det.as_mut() else {
+                    out.pre_epoch_records += 1;
+                    continue;
+                };
+                match resolve(*monitor, name) {
+                    Some(spec) => det.register_empty(*monitor, spec, *time),
+                    None => out.unresolved.push(name.clone()),
+                }
+            }
+            Record::Events(events) => {
+                if det.is_none() {
+                    out.pre_epoch_records += 1;
+                    continue;
+                }
+                staged_events.extend_from_slice(events);
+                staged += 1;
+            }
+            Record::Realtime(violations) => {
+                if det.is_none() {
+                    out.pre_epoch_records += 1;
+                    continue;
+                }
+                staged_realtime.extend_from_slice(violations);
+                staged += 1;
+            }
+            Record::Checkpoint { now, snapshots, report } => {
+                let Some(det) = det.as_mut() else {
+                    out.pre_epoch_records += 1;
+                    continue;
+                };
+                // Mirror the live ingestion order: events stream through
+                // the real-time path first (Algorithm 3), then the
+                // barrier replays the window (per-caller watermarks
+                // dedupe) and compares against the journaled snapshots.
+                for event in &staged_events {
+                    det.observe_into(event, &mut out.recomputed);
+                }
+                out.events_replayed += staged_events.len() as u64;
+                let snaps: HashMap<_, _> = snapshots.iter().cloned().collect();
+                let recomputed_report = det.checkpoint(*now, &staged_events, &snaps);
+                out.recomputed.extend(recomputed_report.violations);
+                out.recorded.append(&mut staged_realtime);
+                out.recorded.extend(report.violations.iter().cloned());
+                staged_events.clear();
+                staged = 0;
+                out.checkpoints += 1;
+            }
+        }
+    }
+    out.uncommitted_records += staged;
+    out
+}
+
+/// Replays a journal directory: reads every segment (see
+/// [`Oplog::read_dir_records`]), decodes the payloads and runs
+/// [`replay_records`]. Undecodable payloads end the stream (a CRC-valid
+/// frame that does not parse is a format mismatch) — everything up to
+/// that point replays.
+pub fn replay_dir(
+    dir: &Path,
+    max_record_bytes: u32,
+    cfg: DetectorConfig,
+    resolve: &SpecResolver<'_>,
+) -> io::Result<(ReplayOutcome, ReadReport)> {
+    let (payloads, report) = Oplog::read_dir_records(dir, max_record_bytes)?;
+    let mut records = Vec::with_capacity(payloads.len());
+    for payload in &payloads {
+        match decode_record(payload) {
+            Ok(record) => records.push(record),
+            Err(_) => break,
+        }
+    }
+    Ok((replay_records(&records, cfg, resolve), report))
+}

@@ -1,0 +1,154 @@
+//! [`DurableSink`]: both `rmon-core` sink traits over one segmented
+//! [`Oplog`] — the piece a runtime plugs in to journal durably.
+
+use crate::oplog::{Oplog, OplogConfig, RecoveryReport};
+use parking_lot::Mutex;
+use rmon_core::oplog::{encode_record, EventSink, Record, ViolationSink};
+use rmon_core::{Event, FaultReport, MonitorId, MonitorState, Nanos, Violation};
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+
+/// A durable journal endpoint: implements both [`EventSink`] and
+/// [`ViolationSink`] by encoding each record ([`encode_record`]) and
+/// appending it to a shared [`Oplog`].
+///
+/// Both trait objects are usually the *same* `Arc<DurableSink>` — the
+/// event and verdict streams then interleave in one totally ordered
+/// log, which is what the commit protocol (Events → Realtime →
+/// Checkpoint, see `rmon_core::oplog`) and the differential replayer
+/// assume. The internal mutex serializes appends; all appends happen on
+/// checkpoint/registration paths, never per event.
+#[derive(Debug)]
+pub struct DurableSink {
+    oplog: Mutex<Oplog>,
+}
+
+impl DurableSink {
+    /// Opens (creating if necessary) the oplog directory, recovering
+    /// any torn tail left by a crash. See [`Oplog::open`].
+    pub fn open(dir: impl Into<PathBuf>, cfg: OplogConfig) -> io::Result<Self> {
+        Ok(DurableSink { oplog: Mutex::new(Oplog::open(dir, cfg)?) })
+    }
+
+    fn append(&self, record: &Record) -> io::Result<()> {
+        let payload = encode_record(record);
+        self.oplog.lock().append(&payload)?;
+        Ok(())
+    }
+
+    /// What opening found and repaired (torn-tail truncation).
+    pub fn recovery(&self) -> RecoveryReport {
+        self.oplog.lock().recovery()
+    }
+
+    /// The LSN the next append will get.
+    pub fn next_lsn(&self) -> u64 {
+        self.oplog.lock().next_lsn()
+    }
+
+    /// Segment files currently on disk.
+    pub fn segment_count(&self) -> usize {
+        self.oplog.lock().segment_count()
+    }
+
+    /// Segment rotations performed since open.
+    pub fn rotated(&self) -> u64 {
+        self.oplog.lock().rotated()
+    }
+
+    /// Segments deleted by retention since open.
+    pub fn retired(&self) -> u64 {
+        self.oplog.lock().retired()
+    }
+}
+
+impl EventSink for DurableSink {
+    fn append_epoch(&self, now: Nanos) -> io::Result<()> {
+        self.append(&Record::Epoch { time: now })
+    }
+
+    fn append_register(&self, monitor: MonitorId, name: &str, now: Nanos) -> io::Result<()> {
+        self.append(&Record::Register { monitor, name: name.to_string(), time: now })
+    }
+
+    fn append_events(&self, events: &[Event]) -> io::Result<()> {
+        self.append(&Record::Events(events.to_vec()))
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        self.oplog.lock().sync()
+    }
+}
+
+impl ViolationSink for DurableSink {
+    fn append_realtime(&self, violations: &[Violation]) -> io::Result<()> {
+        self.append(&Record::Realtime(violations.to_vec()))
+    }
+
+    fn append_checkpoint(
+        &self,
+        now: Nanos,
+        snapshots: &HashMap<MonitorId, MonitorState>,
+        report: &FaultReport,
+    ) -> io::Result<()> {
+        let mut snaps: Vec<(MonitorId, MonitorState)> =
+            snapshots.iter().map(|(&id, s)| (id, s.clone())).collect();
+        snaps.sort_by_key(|(id, _)| *id);
+        self.append(&Record::Checkpoint { now, snapshots: snaps, report: report.clone() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmon_core::oplog::decode_record;
+    use rmon_core::{Pid, ProcName};
+    use std::path::Path;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("rmon-sink-{tag}-{}", std::process::id()))
+            .join(format!("{:?}", std::thread::current().id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn read_records(dir: &Path) -> Vec<Record> {
+        let (payloads, report) = Oplog::read_dir_records(dir, 16 << 20).unwrap();
+        assert!(!report.stopped_mid_log);
+        payloads.iter().map(|p| decode_record(p).unwrap()).collect()
+    }
+
+    #[test]
+    fn both_streams_interleave_in_one_log() {
+        let dir = tmp_dir("interleave");
+        let sink = DurableSink::open(&dir, OplogConfig::default()).unwrap();
+        let m = MonitorId::new(0);
+        sink.append_epoch(Nanos::new(1)).unwrap();
+        sink.append_register(m, "alloc", Nanos::new(2)).unwrap();
+        let events = [Event::enter(1, Nanos::new(3), m, Pid::new(1), ProcName::new(0), true)];
+        sink.append_events(&events).unwrap();
+        sink.append_realtime(&[]).unwrap();
+        let mut snaps = HashMap::new();
+        snaps.insert(m, MonitorState::new(0));
+        sink.append_checkpoint(Nanos::new(9), &snaps, &FaultReport::default()).unwrap();
+        EventSink::sync(&sink).unwrap();
+        assert_eq!(sink.next_lsn(), 5);
+        drop(sink);
+
+        let records = read_records(&dir);
+        assert_eq!(records.len(), 5);
+        assert_eq!(records[0], Record::Epoch { time: Nanos::new(1) });
+        assert!(matches!(&records[1], Record::Register { name, .. } if name == "alloc"));
+        assert!(matches!(&records[2], Record::Events(evs) if evs.len() == 1));
+        assert!(matches!(&records[3], Record::Realtime(vs) if vs.is_empty()));
+        assert!(matches!(&records[4], Record::Checkpoint { now, .. } if *now == Nanos::new(9)));
+
+        // Re-opening attaches after the existing records.
+        let sink = DurableSink::open(&dir, OplogConfig::default()).unwrap();
+        assert_eq!(sink.next_lsn(), 5);
+        assert_eq!(sink.recovery().tail_records, 5);
+    }
+}

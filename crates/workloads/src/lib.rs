@@ -17,7 +17,10 @@
 //! * [`faultset`] — the coverage campaign: one scenario per taxonomy
 //!   class (EXP-COV);
 //! * [`sweep`] — synthetic traces and parameter sweeps for the
-//!   benchmark harness.
+//!   benchmark harness;
+//! * [`soak`] — the soak/chaos driver over the durable oplog: monitor
+//!   churn, backpressure storms, crash injection and the closing
+//!   differential replay.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -27,9 +30,11 @@ pub mod faultset;
 pub mod philosophers;
 pub mod producer_consumer;
 pub mod readers_writers;
+pub mod soak;
 pub mod sweep;
 
 pub use allocator_clients::{AllocatorMix, ClientKind};
 pub use philosophers::Philosophers;
 pub use producer_consumer::PcWorkload;
 pub use readers_writers::ReadersWriters;
+pub use soak::{run_soak, SoakConfig, SoakReport};

@@ -18,8 +18,11 @@
 //!   whose protocol can be fault-injected (all 21 classes);
 //! * [`rt`] (`rmon-rt`) — the robust monitor runtime for real threads
 //!   (hand-off monitor, recorder, periodic checker, overhead harness);
-//! * [`workloads`] (`rmon-workloads`) — evaluation workloads and the
-//!   canonical fault-injection campaign.
+//! * [`storage`] (`rmon-storage`) — the durable operations layer: an
+//!   append-only, CRC-framed, segmented oplog for events and verdicts,
+//!   crash recovery, and the differential replayer;
+//! * [`workloads`] (`rmon-workloads`) — evaluation workloads, the
+//!   canonical fault-injection campaign, and the soak/chaos driver.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +52,7 @@
 pub use rmon_core as core;
 pub use rmon_rt as rt;
 pub use rmon_sim as sim;
+pub use rmon_storage as storage;
 pub use rmon_workloads as workloads;
 
 /// The most commonly used items, re-exported flat.
@@ -59,9 +63,9 @@ pub mod prelude {
         ShardedDetector, SnapshotProvider, SnapshotTable,
     };
     pub use rmon_core::{
-        taxonomy, DetectorConfig, Event, EventKind, FaultKind, FaultLevel, FaultReport,
-        MonitorClass, MonitorId, MonitorSpec, MonitorState, Nanos, PathExpr, Pid, RuleId,
-        Violation,
+        taxonomy, DetectorConfig, Event, EventKind, EventSink, FaultKind, FaultLevel, FaultReport,
+        MemorySink, MonitorClass, MonitorId, MonitorSpec, MonitorState, Nanos, PathExpr, Pid,
+        RuleId, Violation, ViolationSink,
     };
     pub use rmon_rt::{
         BoundedBuffer, BufferBug, CheckerHandle, Monitor, MonitorError, OperationCell, OrderPolicy,
@@ -71,7 +75,10 @@ pub mod prelude {
         run_plain, run_with_backend, run_with_backend_checkpointed, run_with_detection,
         InjectionPlan, Script, Sim, SimBuilder, SimConfig,
     };
-    pub use rmon_workloads::{AllocatorMix, PcWorkload, Philosophers, ReadersWriters};
+    pub use rmon_storage::{replay_dir, DurableSink, FsyncPolicy, OplogConfig, ReplayOutcome};
+    pub use rmon_workloads::{
+        run_soak, AllocatorMix, PcWorkload, Philosophers, ReadersWriters, SoakConfig,
+    };
 }
 
 #[cfg(test)]

@@ -1,0 +1,113 @@
+//! Documentation hygiene: every internal markdown link in README.md and
+//! docs/*.md must resolve to a file in the repository. CI's docs job
+//! runs this alongside the rustdoc build, so a renamed doc or a stale
+//! path fails the push that broke it.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Extracts `[text](target)` link targets from markdown, skipping
+/// fenced code blocks and inline code spans.
+fn link_targets(md: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut fenced = false;
+    for line in md.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") {
+            fenced = !fenced;
+            continue;
+        }
+        if fenced {
+            continue;
+        }
+        // Strip inline code spans so `[i](x)` inside backticks is text.
+        let mut clean = String::with_capacity(line.len());
+        let mut in_code = false;
+        for ch in line.chars() {
+            if ch == '`' {
+                in_code = !in_code;
+            } else if !in_code {
+                clean.push(ch);
+            }
+        }
+        let bytes = clean.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b'[' {
+                if let Some(close) = clean[i..].find("](") {
+                    let start = i + close + 2;
+                    if let Some(end) = clean[start..].find(')') {
+                        out.push(clean[start..start + end].to_string());
+                        i = start + end + 1;
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+fn check_file(repo: &Path, md_path: &Path, broken: &mut Vec<String>) {
+    let text = fs::read_to_string(md_path).unwrap_or_else(|e| panic!("read {md_path:?}: {e}"));
+    for target in link_targets(&text) {
+        if target.starts_with("http://")
+            || target.starts_with("https://")
+            || target.starts_with("mailto:")
+        {
+            continue;
+        }
+        // GitHub-relative links that climb out of the repository (the
+        // CI badge) resolve server-side, not in the checkout.
+        if target.starts_with("../../") {
+            continue;
+        }
+        // Fragment-only links point within the same document.
+        let path_part = target.split('#').next().unwrap_or("");
+        if path_part.is_empty() {
+            continue;
+        }
+        let resolved = if let Some(rooted) = path_part.strip_prefix('/') {
+            repo.join(rooted)
+        } else {
+            md_path.parent().unwrap_or(repo).join(path_part)
+        };
+        if !resolved.exists() {
+            broken.push(format!(
+                "{}: broken link `{target}` (resolved to {})",
+                md_path.display(),
+                resolved.display()
+            ));
+        }
+    }
+}
+
+#[test]
+fn readme_and_docs_links_resolve() {
+    let repo = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut files = vec![repo.join("README.md")];
+    let docs = repo.join("docs");
+    let mut entries: Vec<PathBuf> = fs::read_dir(&docs)
+        .expect("docs/ directory")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "md"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "docs/ must contain markdown");
+    files.extend(entries);
+
+    let mut broken = Vec::new();
+    for f in &files {
+        check_file(&repo, f, &mut broken);
+    }
+    assert!(broken.is_empty(), "broken internal links:\n{}", broken.join("\n"));
+}
+
+#[test]
+fn extractor_handles_code_and_fragments() {
+    let md = "see [guide](docs/STORAGE.md#frames) and `[not](a-link.md)`\n\
+              ```\n[also not](x.md)\n```\n[web](https://example.com) [frag](#local)";
+    let targets = link_targets(md);
+    assert_eq!(targets, vec!["docs/STORAGE.md#frames", "https://example.com", "#local"]);
+}
