@@ -10,7 +10,11 @@
 //! * **EXP-ABL-CKPT** — the cost of one scoped per-shard checkpoint
 //!   sweep: timer-only (the scheduler's no-provider fallback) vs. the
 //!   full snapshot + Algorithm-1/2 comparison through a registered
-//!   `SnapshotProvider`.
+//!   `SnapshotProvider`;
+//! * **EXP-ABL-PRD** — the cost of the predictive pass
+//!   (`rmon_core::detect::predict`) at a checkpoint over a contended
+//!   seeded schedule: `PredictMode::Off` (the default — the pass must
+//!   cost nothing) vs. `PredictMode::Checkpoint`.
 //!
 //! Run with: `cargo run --release -p rmon-bench --bin ablation`
 //!
@@ -25,7 +29,7 @@ use rmon_bench::{paper_second, row, rule_line};
 use rmon_core::detect::{
     CheckpointScope, DetectionBackend, Detector, ServiceConfig, ShardedBackend,
 };
-use rmon_core::{DetectorConfig, FaultKind, Nanos};
+use rmon_core::{DetectorConfig, FaultKind, MonitorId, MonitorState, Nanos, PredictMode};
 use rmon_rt::overhead::{measure, Mode, Workload};
 use rmon_workloads::{faultset, sweep};
 use std::collections::HashMap;
@@ -42,7 +46,9 @@ fn main() {
     let det = ablation_detector_cost();
     println!();
     let ckpt = ablation_checkpoint_sweep();
-    write_baseline(&out_path, &rec, &latency, &det, &ckpt);
+    println!();
+    let predict = ablation_predict_sweep();
+    write_baseline(&out_path, &rec, &latency, &det, &ckpt, &predict);
     println!("\nwrote {out_path}");
 }
 
@@ -237,7 +243,70 @@ fn ablation_checkpoint_sweep() -> Vec<CkptRow> {
     rows
 }
 
-/// Records the four ablations as a JSON baseline (hand-rolled JSON,
+/// One EXP-ABL-PRD row: checkpoint cost with the predictive pass off
+/// vs. on, over the same contended window.
+struct PredictRow {
+    mode: &'static str,
+    ns_per_checkpoint: f64,
+    predictions: usize,
+}
+
+/// EXP-ABL-PRD: cost of the happens-before predictive pass at a
+/// checkpoint. Both rows replay the same seeded contended allocator
+/// schedule (`sweep::seeded_allocator_schedule`) through a fresh
+/// `Detector`; the only difference is the `PredictMode` knob. The off
+/// row is the default configuration — its cost must match plain
+/// checkpointing, which is the "default-off hot path is unchanged"
+/// claim the baseline records.
+fn ablation_predict_sweep() -> Vec<PredictRow> {
+    println!("EXP-ABL-PRD — predictive pass cost at a checkpoint (contended window)");
+    let widths = [26usize, 18, 14];
+    println!("{}", row(&["mode".into(), "ns/checkpoint".into(), "predicted".into()], &widths));
+    println!("{}", rule_line(&widths));
+    let (al, events) = sweep::seeded_allocator_schedule(4, 3, 11);
+    let spec = Arc::new(al.spec.clone());
+    let conds = al.spec.cond_count();
+    let monitor = MonitorId::new(0);
+    let end = Nanos::new(10 * (events.len() as u64 + 1));
+    let mut rows = Vec::new();
+    for (mode, predict) in [
+        ("predict off (default)", PredictMode::Off),
+        ("predict at checkpoint", PredictMode::Checkpoint),
+    ] {
+        let cfg = DetectorConfig::builder()
+            .t_max(Nanos::MAX)
+            .t_io(Nanos::MAX)
+            .t_limit(Nanos::new(150))
+            .predict(predict)
+            .build();
+        let iters = 200u32;
+        let mut total = std::time::Duration::ZERO;
+        let mut predictions = 0usize;
+        for _ in 0..iters {
+            let mut det = Detector::new(cfg);
+            det.register(
+                monitor,
+                Arc::clone(&spec),
+                &MonitorState::with_resources(conds, 1),
+                Nanos::ZERO,
+            );
+            let snaps: HashMap<_, _> = HashMap::new();
+            let start = Instant::now();
+            let report = det.checkpoint(end, &events, &snaps);
+            total += start.elapsed();
+            predictions = report.predicted.len();
+        }
+        let per = total / iters;
+        println!(
+            "{}",
+            row(&[mode.into(), format!("{}", per.as_nanos()), predictions.to_string()], &widths)
+        );
+        rows.push(PredictRow { mode, ns_per_checkpoint: per.as_nanos() as f64, predictions });
+    }
+    rows
+}
+
+/// Records the five ablations as a JSON baseline (hand-rolled JSON,
 /// consistent with `BENCH_sharded.json` / `BENCH_table1.json`).
 fn write_baseline(
     out_path: &str,
@@ -245,6 +314,7 @@ fn write_baseline(
     latency: &[LatencyRow],
     det: &[DetRow],
     ckpt: &[CkptRow],
+    predict: &[PredictRow],
 ) {
     let hw_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut json = String::from("{\n");
@@ -260,7 +330,10 @@ fn write_baseline(
          the canonical recording_only_ratio baseline lives in BENCH_table1.json. \
          shard_sweep_cost times one scoped per-shard checkpoint round-trip on a quiescent \
          4-shard backend: timer-only vs snapshot + Algorithm-1/2 through a \
-         SnapshotProvider.\",",
+         SnapshotProvider. predict_sweep_cost times one full-window checkpoint over a \
+         contended seeded allocator schedule with PredictMode Off (the default) vs \
+         Checkpoint; the off row documents that the predictive pass costs nothing unless \
+         opted in.\",",
     );
     let _ = writeln!(json, "  \"recording_cost\": [");
     for (i, r) in rec.iter().enumerate() {
@@ -301,6 +374,16 @@ fn write_baseline(
             json,
             "    {{\"mode\": \"{}\", \"ns_per_sweep\": {:.0}}}{comma}",
             r.mode, r.ns_per_sweep
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"predict_sweep_cost\": [");
+    for (i, r) in predict.iter().enumerate() {
+        let comma = if i + 1 == predict.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"mode\": \"{}\", \"ns_per_checkpoint\": {:.0}, \"predictions\": {}}}{comma}",
+            r.mode, r.ns_per_checkpoint, r.predictions
         );
     }
     let _ = writeln!(json, "  ]");

@@ -15,6 +15,31 @@
 use crate::time::Nanos;
 use serde::{Deserialize, Serialize};
 
+/// Whether (and when) the detector runs the predictive pass over the
+/// recorded happens-before partial order (see
+/// [`crate::detect::predict`]).
+///
+/// Default **off**: prediction adds clock bookkeeping on the recording
+/// hot path and an enumeration pass at checkpoints, so it is strictly
+/// opt-in (the `recording_only_ratio` budget is measured with it off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PredictMode {
+    /// No prediction: only the executed schedule is judged.
+    #[default]
+    Off,
+    /// At every checkpoint, enumerate feasible commutations of the
+    /// window's concurrent events and report violations that exist in
+    /// an equivalent reordering as [`crate::PredictedViolation`]s.
+    Checkpoint,
+}
+
+impl PredictMode {
+    /// Whether prediction is enabled at all.
+    pub fn is_on(self) -> bool {
+        self != PredictMode::Off
+    }
+}
+
 /// Timing parameters for the detection algorithms.
 ///
 /// # Examples
@@ -39,6 +64,8 @@ pub struct DetectorConfig {
     pub t_limit: Nanos,
     /// Periodic checking interval (`T`).
     pub check_interval: Nanos,
+    /// Predictive-detection mode (default [`PredictMode::Off`]).
+    pub predict: PredictMode,
 }
 
 impl DetectorConfig {
@@ -57,6 +84,7 @@ impl DetectorConfig {
             t_io: Nanos::MAX,
             t_limit: Nanos::MAX,
             check_interval: Nanos::from_millis(100),
+            predict: PredictMode::Off,
         }
     }
 }
@@ -70,6 +98,7 @@ impl Default for DetectorConfig {
             t_io: Nanos::from_millis(200),
             t_limit: Nanos::from_millis(500),
             check_interval: Nanos::from_millis(50),
+            predict: PredictMode::Off,
         }
     }
 }
@@ -105,6 +134,12 @@ impl DetectorConfigBuilder {
         self
     }
 
+    /// Sets the predictive-detection mode.
+    pub fn predict(mut self, v: PredictMode) -> Self {
+        self.cfg.predict = v;
+        self
+    }
+
     /// Finishes the configuration.
     pub fn build(self) -> DetectorConfig {
         self.cfg
@@ -134,6 +169,14 @@ mod tests {
         assert_eq!(c.t_io, Nanos::from_secs(2));
         assert_eq!(c.t_limit, Nanos::from_secs(3));
         assert_eq!(c.check_interval, Nanos::from_millis(10));
+    }
+
+    #[test]
+    fn predict_defaults_off_and_builder_enables() {
+        assert_eq!(DetectorConfig::default().predict, PredictMode::Off);
+        assert!(!DetectorConfig::without_timeouts().predict.is_on());
+        let c = DetectorConfig::builder().predict(PredictMode::Checkpoint).build();
+        assert!(c.predict.is_on());
     }
 
     #[test]

@@ -438,6 +438,17 @@ pub trait DetectionBackend: Send + Sync + std::fmt::Debug {
     /// `"scheduled"`, …).
     fn label(&self) -> &'static str;
 
+    /// The shard a monitor's checking runs on. Backends without
+    /// sharding live on a single pseudo-shard `0`; sharded backends
+    /// override this with their partition function so callers (e.g. a
+    /// scoped-checkpoint barrier resolving
+    /// [`CheckpointScope::Shard`] to the monitors it covers) can map
+    /// monitors to shards without knowing the backend flavour.
+    fn shard_of(&self, monitor: MonitorId) -> usize {
+        let _ = monitor;
+        0
+    }
+
     /// Registers a monitor starting from the canonical empty state
     /// ([`MonitorSpec::empty_state`]).
     fn register_empty(&self, monitor: MonitorId, spec: Arc<MonitorSpec>, now: Nanos) {
@@ -927,6 +938,10 @@ impl DetectionBackend for ShardedBackend {
 
     fn label(&self) -> &'static str {
         "sharded"
+    }
+
+    fn shard_of(&self, monitor: MonitorId) -> usize {
+        self.svc.shard_of(monitor)
     }
 }
 

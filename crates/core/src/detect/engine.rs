@@ -15,6 +15,7 @@
 //! run in [`Detector::checkpoint`].
 
 use crate::config::DetectorConfig;
+use crate::detect::predict;
 use crate::event::Event;
 use crate::ids::{MonitorId, Pid};
 use crate::lists::{GeneralLists, OrderState, ResourceState};
@@ -375,6 +376,7 @@ impl Detector {
     pub fn checkpoint_timers(&mut self, now: Nanos, only: Option<MonitorId>) -> FaultReport {
         let mut report = FaultReport {
             violations: Vec::new(),
+            predicted: Vec::new(),
             events_checked: 0,
             window_start: now,
             window_end: now,
@@ -404,10 +406,13 @@ impl Detector {
     ) -> FaultReport {
         let mut report = FaultReport {
             violations: Vec::new(),
+            predicted: Vec::new(),
             events_checked: 0,
             window_start: now,
             window_end: now,
         };
+        let predict_on = self.cfg.predict.is_on();
+        let mut predict_windows: Vec<(MonitorId, Vec<Event>)> = Vec::new();
         for (&monitor, checker) in self.monitors.iter_mut() {
             if only.is_some_and(|m| m != monitor) {
                 continue;
@@ -458,6 +463,12 @@ impl Detector {
                 }
             }
             checker.replayed += merged.len() as u64;
+            // The predictive pass works over the whole checkpoint's
+            // windows at once (cross-monitor happens-before edges), so
+            // park this monitor's window until the loop is done.
+            if predict_on && !merged.is_empty() {
+                predict_windows.push((monitor, std::mem::take(&mut merged)));
+            }
             // Step 2: snapshot comparison, user assertions and timers.
             // The consistency gate (see checkpoint_scoped) may defer
             // the comparison to a later, quiescent sweep.
@@ -481,6 +492,22 @@ impl Detector {
                 }
             }
             checker.last_check = now;
+        }
+        if predict_on && !predict_windows.is_empty() {
+            let annotation = predict::Annotation::over(&predict_windows);
+            for (monitor, window) in &predict_windows {
+                if let Some(checker) = self.monitors.get(monitor) {
+                    predict::predict_window(
+                        *monitor,
+                        &checker.spec,
+                        &self.cfg,
+                        window,
+                        &annotation,
+                        now,
+                        &mut report.predicted,
+                    );
+                }
+            }
         }
         report.sort_canonical();
         report

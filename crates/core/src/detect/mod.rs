@@ -43,6 +43,7 @@ pub mod algorithm2;
 pub mod algorithm3;
 pub mod backend;
 mod engine;
+pub mod predict;
 pub mod scheduler;
 pub mod service;
 

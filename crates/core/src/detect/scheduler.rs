@@ -305,6 +305,10 @@ impl DetectionBackend for ScheduledBackend {
     fn label(&self) -> &'static str {
         "scheduled"
     }
+
+    fn shard_of(&self, monitor: MonitorId) -> usize {
+        self.sharded.shard_of(monitor)
+    }
 }
 
 impl Drop for ScheduledBackend {

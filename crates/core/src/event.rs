@@ -24,6 +24,7 @@
 
 use crate::ids::{CondId, MonitorId, Pid, PidProc, ProcName};
 use crate::time::Nanos;
+use crate::vclock::VClock;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -84,6 +85,11 @@ pub struct Event {
     pub proc_name: ProcName,
     /// Which primitive was invoked, with its payload.
     pub kind: EventKind,
+    /// Happens-before stamp attached at segment publication when the
+    /// recorder runs with vector clocks enabled (see
+    /// [`crate::vclock`]); [`VClock::UNSET`] otherwise. Unset clocks
+    /// are sound everywhere: they order the event by `seq` alone.
+    pub vc: VClock,
 }
 
 impl Event {
@@ -96,7 +102,15 @@ impl Event {
         proc_name: ProcName,
         granted: bool,
     ) -> Self {
-        Event { seq, time, monitor, pid, proc_name, kind: EventKind::Enter { granted } }
+        Event {
+            seq,
+            time,
+            monitor,
+            pid,
+            proc_name,
+            kind: EventKind::Enter { granted },
+            vc: VClock::UNSET,
+        }
     }
 
     /// Convenience constructor for a `Wait` event.
@@ -108,7 +122,15 @@ impl Event {
         proc_name: ProcName,
         cond: CondId,
     ) -> Self {
-        Event { seq, time, monitor, pid, proc_name, kind: EventKind::Wait { cond } }
+        Event {
+            seq,
+            time,
+            monitor,
+            pid,
+            proc_name,
+            kind: EventKind::Wait { cond },
+            vc: VClock::UNSET,
+        }
     }
 
     /// Convenience constructor for a `Signal-Exit` event.
@@ -128,6 +150,7 @@ impl Event {
             pid,
             proc_name,
             kind: EventKind::SignalExit { cond, resumed_waiter },
+            vc: VClock::UNSET,
         }
     }
 
@@ -139,7 +162,31 @@ impl Event {
         pid: Pid,
         proc_name: ProcName,
     ) -> Self {
-        Event { seq, time, monitor, pid, proc_name, kind: EventKind::Terminate }
+        Event { seq, time, monitor, pid, proc_name, kind: EventKind::Terminate, vc: VClock::UNSET }
+    }
+
+    /// The same event carrying a happens-before stamp.
+    pub fn with_vc(mut self, vc: VClock) -> Self {
+        self.vc = vc;
+        self
+    }
+
+    /// Whether this event happens-before `other` in the recorded
+    /// partial order.
+    ///
+    /// With real stamps on both sides the answer is the clock test
+    /// `other.vc[slot(self)] ≥ self.vc[slot(self)]`; if either stamp is
+    /// unset or saturated the events fall back to sequence order (the
+    /// executed linearization), which is always a sound
+    /// over-approximation of happens-before.
+    pub fn happens_before(&self, other: &Event) -> bool {
+        if self.seq == other.seq {
+            return false;
+        }
+        match (self.vc.owner(), other.vc.owner()) {
+            (Some(slot), Some(_)) => other.vc.get(slot) >= self.vc.get(slot),
+            _ => self.seq < other.seq,
+        }
     }
 
     /// The `(pid, proc)` pair of this event — the element the checking

@@ -14,6 +14,7 @@
 use crate::event::{Event, EventKind};
 use crate::ids::{MonitorId, Pid, ProcName};
 use crate::time::Nanos;
+use crate::vclock::VClock;
 use std::collections::VecDeque;
 
 /// Event log with sequence numbering, windowed draining and bounded
@@ -50,7 +51,8 @@ impl HistoryDb {
         proc_name: ProcName,
         kind: EventKind,
     ) -> Event {
-        let event = Event { seq: self.next_seq, time, monitor, pid, proc_name, kind };
+        let event =
+            Event { seq: self.next_seq, time, monitor, pid, proc_name, kind, vc: VClock::UNSET };
         self.next_seq += 1;
         self.events.push_back(event);
         if let Some(max) = self.max_len {

@@ -79,10 +79,11 @@ mod rule;
 pub mod spec;
 mod state;
 mod time;
+pub mod vclock;
 mod violation;
 
 pub use assertion::StateAssertion;
-pub use config::{DetectorConfig, DetectorConfigBuilder};
+pub use config::{DetectorConfig, DetectorConfigBuilder, PredictMode};
 pub use error::CoreError;
 pub use event::{Event, EventKind};
 pub use fault::{taxonomy, FaultInfo, FaultKind, FaultLevel};
@@ -98,7 +99,8 @@ pub use spec::{
 };
 pub use state::MonitorState;
 pub use time::Nanos;
-pub use violation::{FaultReport, Violation};
+pub use vclock::VClock;
+pub use violation::{FaultReport, PredictedViolation, Violation};
 
 #[cfg(test)]
 mod crate_tests {

@@ -38,7 +38,8 @@ use crate::ids::{CondId, MonitorId, Pid, PidProc, ProcName};
 use crate::rule::RuleId;
 use crate::state::MonitorState;
 use crate::time::Nanos;
-use crate::violation::{FaultReport, Violation};
+use crate::vclock::VClock;
+use crate::violation::{FaultReport, PredictedViolation, Violation};
 use std::collections::HashMap;
 use std::fmt;
 use std::io;
@@ -392,11 +393,57 @@ fn put_event(out: &mut Vec<u8>, e: &Event) {
         }
         EventKind::Terminate => out.push(KIND_TERMINATE),
     }
+    put_vclock(out, &e.vc);
 }
 
-/// Minimum encoded size of one event (Terminate): used as the
-/// allocation cap for event-vector length prefixes.
-const EVENT_MIN_BYTES: usize = 8 + 8 + 4 + 4 + 2 + 1;
+/// Vector-clock presence tags (trailing field of every event).
+const VC_UNSET: u8 = 0;
+const VC_SET: u8 = 1;
+const VC_SATURATED: u8 = 2;
+
+fn put_vclock(out: &mut Vec<u8>, vc: &VClock) {
+    if !vc.is_set() {
+        out.push(VC_UNSET);
+        return;
+    }
+    if vc.is_saturated() {
+        out.push(VC_SATURATED);
+        return;
+    }
+    out.push(VC_SET);
+    out.push(vc.owner().expect("set clock has an owner") as u8);
+    // Canonical form: counters trimmed to the highest non-zero slot.
+    let slots = vc.raw_slots();
+    let hi = slots.iter().rposition(|&c| c != 0).map_or(0, |i| i + 1);
+    out.push(hi as u8);
+    for &c in &slots[..hi] {
+        put_u32(out, c);
+    }
+}
+
+fn read_vclock(r: &mut Reader<'_>) -> Result<VClock, DecodeError> {
+    match r.u8()? {
+        VC_UNSET => Ok(VClock::UNSET),
+        VC_SATURATED => Ok(VClock::saturated()),
+        VC_SET => {
+            let owner = r.u8()? as usize;
+            let n = r.u8()? as usize;
+            if owner >= VClock::CAPACITY || n > VClock::CAPACITY {
+                return Err(r.err(format!("bad vclock shape owner={owner} len={n}")));
+            }
+            let mut slots = [0u32; VClock::CAPACITY];
+            for slot in slots.iter_mut().take(n) {
+                *slot = r.u32()?;
+            }
+            Ok(VClock::from_parts(owner, slots))
+        }
+        t => Err(r.err(format!("bad vclock tag {t}"))),
+    }
+}
+
+/// Minimum encoded size of one event (Terminate, no clock): used as
+/// the allocation cap for event-vector length prefixes.
+const EVENT_MIN_BYTES: usize = 8 + 8 + 4 + 4 + 2 + 1 + 1;
 
 fn read_event(r: &mut Reader<'_>) -> Result<Event, DecodeError> {
     let seq = r.u64()?;
@@ -419,7 +466,8 @@ fn read_event(r: &mut Reader<'_>) -> Result<Event, DecodeError> {
         KIND_TERMINATE => EventKind::Terminate,
         t => return Err(r.err(format!("bad event kind {t}"))),
     };
-    Ok(Event { seq, time, monitor, pid, proc_name, kind })
+    let vc = read_vclock(r)?;
+    Ok(Event { seq, time, monitor, pid, proc_name, kind, vc })
 }
 
 fn put_violation(out: &mut Vec<u8>, v: &Violation) {
@@ -523,6 +571,14 @@ fn read_state(r: &mut Reader<'_>) -> Result<MonitorState, DecodeError> {
 
 fn put_report(out: &mut Vec<u8>, report: &FaultReport) {
     put_violations(out, &report.violations);
+    put_u32(out, report.predicted.len() as u32);
+    for p in &report.predicted {
+        put_violation(out, &p.violation);
+        put_u32(out, p.witness.len() as u32);
+        for &seq in &p.witness {
+            put_u64(out, seq);
+        }
+    }
     put_u64(out, report.events_checked);
     put_u64(out, report.window_start.as_nanos());
     put_u64(out, report.window_end.as_nanos());
@@ -530,10 +586,21 @@ fn put_report(out: &mut Vec<u8>, report: &FaultReport) {
 
 fn read_report(r: &mut Reader<'_>) -> Result<FaultReport, DecodeError> {
     let violations = read_violations(r)?;
+    let predictions = r.len(VIOLATION_MIN_BYTES + 4)?;
+    let mut predicted = Vec::with_capacity(predictions);
+    for _ in 0..predictions {
+        let violation = read_violation(r)?;
+        let n = r.len(8)?;
+        let mut witness = Vec::with_capacity(n);
+        for _ in 0..n {
+            witness.push(r.u64()?);
+        }
+        predicted.push(PredictedViolation { violation, witness });
+    }
     let events_checked = r.u64()?;
     let window_start = Nanos::new(r.u64()?);
     let window_end = Nanos::new(r.u64()?);
-    Ok(FaultReport { violations, events_checked, window_start, window_end })
+    Ok(FaultReport { violations, predicted, events_checked, window_start, window_end })
 }
 
 // ---------------------------------------------------------------------
@@ -747,6 +814,12 @@ mod tests {
                     false,
                 ),
                 Event::terminate(5, Nanos::new(14), m, Pid::new(2), ProcName::new(1)),
+                // Clock-stamped events: a real stamp and the saturated
+                // degenerate, exercising every vclock wire tag.
+                Event::enter(6, Nanos::new(15), m, Pid::new(3), ProcName::new(0), false)
+                    .with_vc(sample_vclock()),
+                Event::terminate(7, Nanos::new(16), m, Pid::new(3), ProcName::new(0))
+                    .with_vc(VClock::saturated()),
             ]),
             Record::Realtime(vec![sample_violation(1), sample_violation(2)]),
             Record::Checkpoint {
@@ -754,12 +827,26 @@ mod tests {
                 snapshots: vec![(m, sample_state()), (MonitorId::new(9), MonitorState::new(0))],
                 report: FaultReport {
                     violations: vec![sample_violation(3)],
+                    predicted: vec![PredictedViolation {
+                        violation: sample_violation(4),
+                        witness: vec![1, 3, 2, 4, 5],
+                    }],
                     events_checked: 5,
                     window_start: Nanos::new(1),
                     window_end: Nanos::new(99),
                 },
             },
         ]
+    }
+
+    fn sample_vclock() -> VClock {
+        let mut a = VClock::for_slot(0);
+        a.tick();
+        let mut b = VClock::for_slot(2);
+        b.tick();
+        b.tick();
+        b.merge(&a);
+        b
     }
 
     #[test]

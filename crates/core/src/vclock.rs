@@ -1,0 +1,299 @@
+//! Vector clocks over the monitor-mediated happens-before relation.
+//!
+//! The recorder serializes one *total* order (a single sequence
+//! counter), but the paper's scheduling events only constrain a
+//! *partial* order: two critical sections of the same monitor are
+//! ordered, two blocked entry attempts of different threads are not.
+//! [`VClock`] captures that partial order so the predictive pass
+//! (`crate::detect::predict`) can reason about feasible reorderings of
+//! the recorded schedule.
+//!
+//! ## Representation
+//!
+//! A clock is a fixed array of [`VClock::CAPACITY`] counters, one per
+//! *slot* (a slot is a thread, assigned on first recorded event), plus
+//! the owner slot of the thread that stamped it. Keeping the clock
+//! `Copy` with a fixed footprint lets [`crate::Event`] carry it by
+//! value through the lock-free recording pipeline (whose segment chunks
+//! store events in `MaybeUninit` slots and k-way-merge them by `seq`).
+//!
+//! Three degenerate states keep the type total:
+//!
+//! * **unset** ([`VClock::UNSET`]) — the event was recorded without
+//!   clock attachment (the default; prediction is opt-in). Unset clocks
+//!   compare as *ordered by sequence number* everywhere, which is
+//!   always sound: the executed total order is a linear extension of
+//!   happens-before, so treating it as the partial order itself merely
+//!   forbids every commutation.
+//! * **saturated** ([`VClock::saturated`]) — the thread population
+//!   outgrew [`VClock::CAPACITY`]. An overflowing thread's events
+//!   degrade to "ordered with everything", the same sound fallback.
+//! * **set** — a real stamp: the owning slot has been ticked at least
+//!   once, so `clock.get(owner) ≥ 1`.
+//!
+//! ## Laws
+//!
+//! [`VClock::merge`] is the least upper bound of the slot-wise lattice:
+//! idempotent, commutative and associative, with `UNSET` as identity
+//! and `saturated` as absorbing top. `a ≤ b` iff every slot of `a` is
+//! `≤` the corresponding slot of `b` ([`VClock::le`]); the property
+//! suite in `tests/property.rs` checks these laws over arbitrary
+//! clocks.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Owner tag of an unset clock.
+const OWNER_NONE: u8 = u8::MAX;
+/// Owner tag of a saturated clock (slot population overflow).
+const OWNER_SATURATED: u8 = u8::MAX - 1;
+
+/// A fixed-capacity vector clock stamped on recorded events.
+///
+/// See the [module docs](self) for representation and laws.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VClock {
+    /// Per-slot event counters.
+    slots: [u32; VClock::CAPACITY],
+    /// Slot of the stamping thread, or one of the degenerate tags.
+    owner: u8,
+}
+
+impl VClock {
+    /// Number of thread slots a clock can track. Threads beyond this
+    /// population saturate (soundly losing commutation freedom, never
+    /// ordering guarantees).
+    pub const CAPACITY: usize = 8;
+
+    /// The unset clock: no stamp attached.
+    pub const UNSET: VClock = VClock { slots: [0; VClock::CAPACITY], owner: OWNER_NONE };
+
+    /// The saturated clock: ordered with everything.
+    pub const fn saturated() -> VClock {
+        VClock { slots: [0; VClock::CAPACITY], owner: OWNER_SATURATED }
+    }
+
+    /// A fresh zero clock owned by `slot` (not yet ticked). Slots at or
+    /// beyond [`Self::CAPACITY`] yield a saturated clock.
+    pub fn for_slot(slot: usize) -> VClock {
+        if slot >= Self::CAPACITY {
+            return Self::saturated();
+        }
+        VClock { slots: [0; Self::CAPACITY], owner: slot as u8 }
+    }
+
+    /// Whether a stamp is attached (set or saturated — anything but
+    /// [`Self::UNSET`]).
+    pub fn is_set(&self) -> bool {
+        self.owner != OWNER_NONE
+    }
+
+    /// Whether the clock is the saturated (ordered-with-everything)
+    /// degenerate.
+    pub fn is_saturated(&self) -> bool {
+        self.owner == OWNER_SATURATED
+    }
+
+    /// The owning slot of a set clock; `None` for unset / saturated.
+    pub fn owner(&self) -> Option<usize> {
+        (self.owner < Self::CAPACITY as u8).then_some(self.owner as usize)
+    }
+
+    /// The counter of `slot` (0 when out of range).
+    pub fn get(&self, slot: usize) -> u32 {
+        self.slots.get(slot).copied().unwrap_or(0)
+    }
+
+    /// Advances the owner's counter by one (the stamp of one event).
+    /// No-op on unset and saturated clocks.
+    pub fn tick(&mut self) {
+        if let Some(slot) = self.owner() {
+            self.slots[slot] = self.slots[slot].saturating_add(1);
+        }
+    }
+
+    /// Least upper bound: slot-wise max, keeping the receiver's
+    /// identity. Merging a saturated clock in saturates; merging a
+    /// fresh [`Self::UNSET`] clock is the identity (its counters are
+    /// all zero). An ownerless receiver stays ownerless but still
+    /// accumulates counters — the shape of a *monitor* clock, which
+    /// gathers the stamps of every releasing thread without ever
+    /// stamping events itself.
+    pub fn merge(&mut self, other: &VClock) {
+        if self.is_saturated() {
+            return;
+        }
+        if other.is_saturated() {
+            *self = Self::saturated();
+            return;
+        }
+        for (mine, theirs) in self.slots.iter_mut().zip(other.slots.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// The merged (least-upper-bound) clock of `a` and `b`.
+    pub fn merged(a: &VClock, b: &VClock) -> VClock {
+        let mut out = *a;
+        out.merge(b);
+        out
+    }
+
+    /// Componentwise `≤`. Degenerate operands order conservatively:
+    /// anything involving an unset or saturated clock answers `true`
+    /// (callers must fall back to sequence order — see
+    /// [`crate::detect::predict`]).
+    pub fn le(&self, other: &VClock) -> bool {
+        if !self.is_set() || !other.is_set() || self.is_saturated() || other.is_saturated() {
+            return true;
+        }
+        self.slots.iter().zip(other.slots.iter()).all(|(a, b)| a <= b)
+    }
+
+    /// The partial order of *set, unsaturated* clocks: `Less`/`Greater`
+    /// for strictly ordered clocks, `Equal` for identical counters,
+    /// `None` for concurrent ones — and `None` whenever either operand
+    /// is degenerate (no counter information to compare).
+    pub fn partial_cmp(&self, other: &VClock) -> Option<Ordering> {
+        if !self.is_set() || !other.is_set() || self.is_saturated() || other.is_saturated() {
+            return None;
+        }
+        let mut le = true;
+        let mut ge = true;
+        for (a, b) in self.slots.iter().zip(other.slots.iter()) {
+            le &= a <= b;
+            ge &= a >= b;
+        }
+        match (le, ge) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+
+    /// Whether two set clocks are concurrent (neither `≤` the other).
+    /// Degenerate operands are never concurrent.
+    pub fn concurrent_with(&self, other: &VClock) -> bool {
+        self.partial_cmp(other).is_none()
+            && self.is_set()
+            && other.is_set()
+            && !self.is_saturated()
+            && !other.is_saturated()
+    }
+
+    /// Raw slot counters (for the oplog codec).
+    pub fn raw_slots(&self) -> &[u32; VClock::CAPACITY] {
+        &self.slots
+    }
+
+    /// Rebuilds a set clock from codec fields. `slot` values at or
+    /// beyond capacity yield the saturated clock.
+    pub fn from_parts(owner: usize, slots: [u32; VClock::CAPACITY]) -> VClock {
+        if owner >= Self::CAPACITY {
+            return Self::saturated();
+        }
+        VClock { slots, owner: owner as u8 }
+    }
+}
+
+impl Default for VClock {
+    fn default() -> Self {
+        Self::UNSET
+    }
+}
+
+impl fmt::Debug for VClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.is_set() {
+            return f.write_str("vc(unset)");
+        }
+        if self.is_saturated() {
+            return f.write_str("vc(saturated)");
+        }
+        let hi = self.slots.iter().rposition(|&c| c != 0).map_or(0, |i| i + 1);
+        write!(f, "vc[{}]{:?}", self.owner, &self.slots[..hi.max(1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock(owner: usize, counts: &[u32]) -> VClock {
+        let mut slots = [0u32; VClock::CAPACITY];
+        slots[..counts.len()].copy_from_slice(counts);
+        VClock::from_parts(owner, slots)
+    }
+
+    #[test]
+    fn unset_is_default_and_identity() {
+        assert_eq!(VClock::default(), VClock::UNSET);
+        assert!(!VClock::UNSET.is_set());
+        let a = clock(0, &[3, 1]);
+        assert_eq!(VClock::merged(&a, &VClock::UNSET), a);
+        let mut adopted = VClock::UNSET;
+        adopted.merge(&a);
+        assert_eq!(adopted.raw_slots(), a.raw_slots());
+        assert_eq!(adopted.owner(), None, "identity is not adopted");
+    }
+
+    #[test]
+    fn tick_advances_owner_slot_only() {
+        let mut c = VClock::for_slot(2);
+        c.tick();
+        c.tick();
+        assert_eq!(c.get(2), 2);
+        assert_eq!(c.get(0), 0);
+        assert_eq!(c.owner(), Some(2));
+    }
+
+    #[test]
+    fn merge_is_lub() {
+        let a = clock(0, &[3, 0, 5]);
+        let b = clock(1, &[1, 4, 2]);
+        let m = VClock::merged(&a, &b);
+        assert_eq!(m.get(0), 3);
+        assert_eq!(m.get(1), 4);
+        assert_eq!(m.get(2), 5);
+        assert_eq!(m.owner(), Some(0), "merge keeps the receiver's identity");
+        // Lattice laws (the property suite fuzzes these).
+        assert_eq!(VClock::merged(&a, &a), a);
+        assert_eq!(VClock::merged(&a, &b).raw_slots(), VClock::merged(&b, &a).raw_slots());
+    }
+
+    #[test]
+    fn partial_order_and_concurrency() {
+        let a = clock(0, &[1, 0]);
+        let b = clock(0, &[2, 1]);
+        let c = clock(1, &[0, 2]);
+        assert_eq!(a.partial_cmp(&b), Some(Ordering::Less));
+        assert_eq!(b.partial_cmp(&a), Some(Ordering::Greater));
+        assert!(a.le(&b) && !b.le(&a));
+        assert!(b.concurrent_with(&c) && c.concurrent_with(&b));
+        assert!(!a.concurrent_with(&a));
+    }
+
+    #[test]
+    fn saturation_is_absorbing_and_orders_with_everything() {
+        assert_eq!(VClock::for_slot(VClock::CAPACITY), VClock::saturated());
+        let a = clock(0, &[1]);
+        let mut s = VClock::saturated();
+        s.tick(); // no-op
+        assert!(s.is_saturated());
+        assert_eq!(VClock::merged(&a, &s), VClock::saturated());
+        assert_eq!(VClock::merged(&s, &a), VClock::saturated());
+        assert!(s.le(&a) && a.le(&s), "degenerates order conservatively");
+        assert_eq!(s.partial_cmp(&a), None);
+        assert!(!s.concurrent_with(&a), "degenerates are never concurrent");
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        assert_eq!(format!("{:?}", VClock::UNSET), "vc(unset)");
+        assert_eq!(format!("{:?}", VClock::saturated()), "vc(saturated)");
+        let mut c = VClock::for_slot(1);
+        c.tick();
+        assert_eq!(format!("{c:?}"), "vc[1][0, 1]");
+    }
+}

@@ -84,12 +84,48 @@ impl fmt::Display for Violation {
     }
 }
 
+/// A violation that did **not** occur in the executed schedule but
+/// exists in a feasible reordering of it — the output class of the
+/// predictive pass ([`crate::detect::predict`]).
+///
+/// Predicted verdicts are deliberately kept apart from
+/// [`FaultReport::violations`]: they are warnings about an equivalent
+/// schedule the program *could* have taken, not faults the monitored
+/// run exhibited, so [`FaultReport::is_clean`] ignores them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictedViolation {
+    /// The violation as it would be reported in the witness schedule.
+    pub violation: Violation,
+    /// The witness linearization: the checked window's event sequence
+    /// numbers, reordered into a legal linear extension of the recorded
+    /// happens-before partial order under which the violation fires.
+    pub witness: Vec<u64>,
+}
+
+impl fmt::Display for PredictedViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "predicted {} (witness ", self.violation)?;
+        for (i, seq) in self.witness.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "l{seq}")?;
+        }
+        f.write_str(")")
+    }
+}
+
 /// The result of one invocation of the detection routines — a batch of
 /// violations plus bookkeeping about the checked window.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct FaultReport {
     /// All violations found in this checking window.
     pub violations: Vec<Violation>,
+    /// Violations found only in feasible reorderings of this window
+    /// (empty unless [`crate::PredictMode`] enables the predictive
+    /// pass). A distinct verdict class: not counted by
+    /// [`Self::is_clean`].
+    pub predicted: Vec<PredictedViolation>,
     /// Number of events examined.
     pub events_checked: u64,
     /// Start of the window (last checking time `t_p`).
@@ -119,10 +155,22 @@ impl FaultReport {
         self.violations.iter().any(|v| rules.contains(&v.rule))
     }
 
+    /// Whether the predictive pass found violations in feasible
+    /// reorderings of the window.
+    pub fn has_predictions(&self) -> bool {
+        !self.predicted.is_empty()
+    }
+
+    /// Predicted violations attributed to a specific rule.
+    pub fn predicted_by_rule(&self, rule: RuleId) -> impl Iterator<Item = &PredictedViolation> {
+        self.predicted.iter().filter(move |p| p.violation.rule == rule)
+    }
+
     /// Merges another report into this one (e.g. per-monitor reports
     /// into a global one).
     pub fn merge(&mut self, other: FaultReport) {
         self.violations.extend(other.violations);
+        self.predicted.extend(other.predicted);
         self.events_checked += other.events_checked;
         if other.window_start < self.window_start {
             self.window_start = other.window_start;
@@ -138,6 +186,8 @@ impl FaultReport {
     /// [`Self::merge`]-assembling a report from parts.
     pub fn sort_canonical(&mut self) {
         self.violations.sort_by_key(|v| (v.event_seq.unwrap_or(u64::MAX), v.rule));
+        self.predicted
+            .sort_by_key(|p| (p.violation.event_seq.unwrap_or(u64::MAX), p.violation.rule));
     }
 
     /// Folds per-shard (or per-monitor) reports into one canonical
@@ -171,6 +221,9 @@ impl fmt::Display for FaultReport {
         )?;
         for v in &self.violations {
             writeln!(f, "  {v}")?;
+        }
+        for p in &self.predicted {
+            writeln!(f, "  {p}")?;
         }
         Ok(())
     }
@@ -221,15 +274,21 @@ mod tests {
             events_checked: 3,
             window_start: Nanos::new(10),
             window_end: Nanos::new(20),
+            ..FaultReport::default()
         };
         let b = FaultReport {
             violations: vec![v(RuleId::St2CondSnapshot)],
+            predicted: vec![PredictedViolation {
+                violation: v(RuleId::St8HoldTimeout),
+                witness: vec![2, 1],
+            }],
             events_checked: 4,
             window_start: Nanos::new(5),
             window_end: Nanos::new(30),
         };
         a.merge(b);
         assert_eq!(a.violations.len(), 2);
+        assert_eq!(a.predicted.len(), 1);
         assert_eq!(a.events_checked, 7);
         assert_eq!(a.window_start, Nanos::new(5));
         assert_eq!(a.window_end, Nanos::new(30));
@@ -242,9 +301,28 @@ mod tests {
             events_checked: 1,
             window_start: Nanos::ZERO,
             window_end: Nanos::new(1),
+            ..FaultReport::default()
         };
         let s = r.to_string();
         assert!(s.contains("1 violation(s)"), "{s}");
         assert!(s.contains("ST-1"), "{s}");
+    }
+
+    #[test]
+    fn predicted_is_a_distinct_class() {
+        let mut r = FaultReport::default();
+        r.predicted.push(PredictedViolation {
+            violation: v(RuleId::St8CallOrder).with_event(4),
+            witness: vec![1, 4, 2, 3],
+        });
+        // A prediction does not dirty the executed run's verdict …
+        assert!(r.is_clean());
+        assert!(r.has_predictions());
+        assert_eq!(r.predicted_by_rule(RuleId::St8CallOrder).count(), 1);
+        assert_eq!(r.predicted_by_rule(RuleId::St8HoldTimeout).count(), 0);
+        // … and renders with its witness linearization.
+        let s = r.to_string();
+        assert!(s.contains("predicted"), "{s}");
+        assert!(s.contains("witness l1 l4 l2 l3"), "{s}");
     }
 }

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use rmon_core::detect::Detector;
 use rmon_core::{
     CondId, DetectorConfig, Event, EventKind, GeneralLists, MonitorId, MonitorSpec, Nanos,
-    PathExpr, Pid, ProcName,
+    PathExpr, Pid, ProcName, VClock,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -37,6 +37,7 @@ fn arb_events(max: usize) -> impl Strategy<Value = Vec<Event>> {
                 pid: Pid::new(pid),
                 proc_name: ProcName::new(proc_idx),
                 kind,
+                vc: VClock::UNSET,
             })
             .collect()
     })

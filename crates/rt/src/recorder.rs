@@ -31,8 +31,9 @@
 
 use parking_lot::Mutex;
 use rmon_core::event::merge_by_seq;
-use rmon_core::{Event, EventKind, MonitorId, Nanos, Pid, ProcName};
+use rmon_core::{Event, EventKind, MonitorId, Nanos, Pid, ProcName, VClock};
 use std::cell::{RefCell, UnsafeCell};
+use std::collections::HashMap;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
@@ -158,6 +159,14 @@ pub(crate) struct ThreadSegment {
     /// thread that advances the published length, so it never needs to
     /// read the atomic back.
     cursor: usize,
+    /// The owning thread's happens-before clock, maintained by
+    /// [`Recorder::record_on`] when the recorder was built with clocks
+    /// enabled ([`Recorder::with_clocks`]); [`VClock::UNSET`] until the
+    /// thread's first clocked event assigns it a slot. Living in the
+    /// single-writer segment, it needs no synchronization of its own —
+    /// cross-thread ordering flows exclusively through the recorder's
+    /// monitor-clock table.
+    clock: VClock,
 }
 
 impl ThreadSegment {
@@ -323,6 +332,26 @@ pub struct Recorder {
     next_seq: AtomicU64,
     shared: Arc<RecShared>,
     clock: FastClock,
+    /// Happens-before clock table, present only when the recorder was
+    /// built with [`Recorder::with_clocks`] (the predictive-detection
+    /// opt-in). `None` keeps the hot path exactly as lock-free as
+    /// before — [`Recorder::record_on`] never touches a lock then.
+    vclocks: Option<Mutex<ClockTable>>,
+}
+
+/// The shared half of vector-clock maintenance: slot assignment and the
+/// per-monitor clocks that carry cross-thread edges. Guarded by one
+/// mutex; [`Recorder::record_on`] draws the event's sequence number
+/// *inside* the critical section, which is what makes every
+/// happens-before edge point at a smaller `seq` (the executed total
+/// order stays a linear extension of the recorded partial order).
+#[derive(Debug, Default)]
+struct ClockTable {
+    /// Next thread slot to hand out (first clocked event of a thread).
+    /// Slots at or beyond [`VClock::CAPACITY`] saturate — soundly.
+    next_slot: usize,
+    /// Per-monitor clocks: the lub of every releasing thread's clock.
+    monitors: HashMap<MonitorId, VClock>,
 }
 
 thread_local! {
@@ -341,7 +370,25 @@ impl Recorder {
             next_seq: AtomicU64::new(1),
             shared: Arc::new(RecShared::default()),
             clock: FastClock::new(),
+            vclocks: None,
         }
+    }
+
+    /// Creates a recorder that additionally stamps every event with a
+    /// happens-before [`VClock`] at segment publication — the recording
+    /// half of predictive detection (`rmon_core::detect::predict`).
+    ///
+    /// Clocked recording serializes the merge/tick/publish dance (and
+    /// the sequence draw) through one mutex, trading the lock-free hot
+    /// path for annotated events; that is why it is a constructor-time
+    /// opt-in rather than a default.
+    pub fn with_clocks() -> Self {
+        Recorder { vclocks: Some(Mutex::new(ClockTable::default())), ..Self::new() }
+    }
+
+    /// Whether events are being stamped with happens-before clocks.
+    pub fn clocks_enabled(&self) -> bool {
+        self.vclocks.is_some()
     }
 
     /// Monotonic nanoseconds since the recorder was created (a
@@ -370,7 +417,56 @@ impl Recorder {
             pid,
             proc_name,
             kind,
+            vc: VClock::UNSET,
         }
+    }
+
+    /// Stamps one event and appends it to `segment` — the entry point
+    /// shared by [`Recorder::record`] and the runtime's recording path.
+    ///
+    /// Without clocks this is exactly the old stamp-and-push. With
+    /// clocks ([`Recorder::with_clocks`]) the whole dance runs under
+    /// the clock-table mutex: assign the thread a slot on first use,
+    /// merge the monitor clock on synchronizing events (everything but
+    /// a *blocked* `Enter`, which is recorded before acquisition), tick
+    /// the thread clock, stamp, publish the thread clock to the monitor
+    /// on releasing events (`Wait` / `Signal-Exit` / `Terminate`), and
+    /// draw `seq` — inside the lock, so happens-before edges always
+    /// point at smaller sequence numbers.
+    pub(crate) fn record_on(
+        &self,
+        segment: &mut ThreadSegment,
+        monitor: MonitorId,
+        pid: Pid,
+        proc_name: ProcName,
+        kind: EventKind,
+    ) -> Event {
+        let event = match &self.vclocks {
+            None => self.stamp(monitor, pid, proc_name, kind),
+            Some(table) => {
+                let mut table = table.lock();
+                if !segment.clock.is_set() {
+                    let slot = table.next_slot;
+                    table.next_slot += 1;
+                    segment.clock = VClock::for_slot(slot);
+                }
+                if !matches!(kind, EventKind::Enter { granted: false }) {
+                    if let Some(m) = table.monitors.get(&monitor) {
+                        segment.clock.merge(m);
+                    }
+                }
+                segment.clock.tick();
+                if matches!(
+                    kind,
+                    EventKind::Wait { .. } | EventKind::SignalExit { .. } | EventKind::Terminate
+                ) {
+                    table.monitors.entry(monitor).or_insert(VClock::UNSET).merge(&segment.clock);
+                }
+                self.stamp(monitor, pid, proc_name, kind).with_vc(segment.clock)
+            }
+        };
+        segment.push(event);
+        event
     }
 
     /// Registers (and returns) a fresh per-thread writer segment. The
@@ -380,7 +476,7 @@ impl Recorder {
         let current = Arc::new(Chunk::new());
         shared.chunks.lock().push(Arc::clone(&current));
         self.shared.segments.lock().push(Arc::clone(&shared));
-        ThreadSegment { shared, current, cursor: 0 }
+        ThreadSegment { shared, current, cursor: 0, clock: VClock::UNSET }
     }
 
     /// Records one event at the current time, into the calling thread's
@@ -403,19 +499,17 @@ impl Recorder {
         proc_name: ProcName,
         kind: EventKind,
     ) -> Event {
-        let event = self.stamp(monitor, pid, proc_name, kind);
         SEGMENTS.with(|cell| {
             let mut entries = cell.borrow_mut();
             if let Some(entry) = entries.iter_mut().find(|(t, ..)| *t == self.token) {
-                entry.2.push(event);
-                return;
+                return self.record_on(&mut entry.2, monitor, pid, proc_name, kind);
             }
             entries.retain(|(_, rec, _)| rec.strong_count() > 0);
             let mut segment = self.new_thread_segment();
-            segment.push(event);
+            let event = self.record_on(&mut segment, monitor, pid, proc_name, kind);
             entries.push((self.token, Arc::downgrade(&self.shared), segment));
-        });
-        event
+            event
+        })
     }
 
     /// Drains the current checking window: takes every event published

@@ -35,6 +35,12 @@ static NEXT_PID: AtomicU32 = AtomicU32::new(1);
 /// One thread's private recording state for one runtime: its writer
 /// segment into the runtime's recorder plus its ingestion handle into
 /// the runtime's detection backend.
+///
+/// The segment also carries the thread's **vector clock** when the
+/// recorder attaches happens-before stamps (see
+/// `Recorder::with_clocks`): keeping exactly one segment per (thread,
+/// runtime) pair is what gives each thread a stable clock slot for the
+/// runtime's lifetime.
 #[derive(Debug)]
 pub(crate) struct ThreadState {
     pub(crate) segment: ThreadSegment,
@@ -107,6 +113,34 @@ mod tests {
         let main = current_pid();
         let other = std::thread::spawn(current_pid).join().unwrap();
         assert_ne!(main, other);
+    }
+
+    #[test]
+    fn thread_state_keeps_one_clock_identity_per_runtime() {
+        use rmon_core::detect::InlineBackend;
+        use rmon_core::{DetectorConfig, EventKind, MonitorId, ProcName};
+
+        let recorder = Recorder::with_clocks();
+        let backend: Arc<dyn DetectionBackend> =
+            Arc::new(InlineBackend::new(DetectorConfig::default()));
+        let token = 0xC10C;
+        let record = |kind| {
+            with_thread_state(token, &recorder, &backend, |st| {
+                recorder.record_on(
+                    &mut st.segment,
+                    MonitorId::new(0),
+                    Pid::new(1),
+                    ProcName::new(0),
+                    kind,
+                )
+            })
+        };
+        let a = record(EventKind::Enter { granted: true });
+        let b = record(EventKind::SignalExit { cond: None, resumed_waiter: false });
+        // Same cached segment ⇒ same clock slot, strictly advancing.
+        assert_eq!(a.vc.owner(), b.vc.owner());
+        assert!(a.vc.owner().is_some());
+        assert_eq!(a.vc.partial_cmp(&b.vc), Some(std::cmp::Ordering::Less));
     }
 
     #[test]

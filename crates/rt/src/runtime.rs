@@ -221,9 +221,8 @@ impl RtInner {
         /// Non-blocking flush attempts before falling back to the
         /// blocking hand-off.
         const INGEST_RETRIES: usize = 8;
-        let event = self.recorder.stamp(monitor, pid, proc_name, kind);
         registry::with_thread_state(self.token, &self.recorder, &self.backend, |st| {
-            st.segment.push(event);
+            let event = self.recorder.record_on(&mut st.segment, monitor, pid, proc_name, kind);
             if stream_realtime && st.producer.try_observe(event).is_full() {
                 let mut delivered = false;
                 for _ in 0..INGEST_RETRIES {
@@ -360,6 +359,46 @@ impl RtInner {
         report
     }
 
+    /// The journaled form of a scoped checkpoint: a **scoped barrier**.
+    /// Only the in-scope monitors are suspended and snapshotted
+    /// (scope resolution maps monitors to shards through
+    /// [`DetectionBackend::shard_of`]), but the recorder window is
+    /// drained in full — the journal's commit protocol tracks one
+    /// global committed frontier, so narrowing the drain would poke
+    /// permanent holes in it. The drained window, scoped snapshots and
+    /// report then journal through the same `Events → Realtime →
+    /// Checkpoint` commit sequence as [`RtInner::checkpoint_now`],
+    /// which is what keeps the differential replayer oblivious to
+    /// which scope produced a checkpoint record.
+    pub(crate) fn checkpoint_scope_journaled(&self, scope: CheckpointScope) -> FaultReport {
+        let in_scope: Vec<Arc<RawCore>> = self
+            .live_monitors()
+            .into_iter()
+            .filter(|core| match scope {
+                CheckpointScope::All => true,
+                CheckpointScope::Monitor(m) => core.id() == m,
+                CheckpointScope::Shard(s) => self.backend.shard_of(core.id()) == s,
+            })
+            .collect();
+        let guards: Vec<_> = in_scope.iter().map(|core| core.suspend()).collect();
+        let now = self.recorder.now();
+        let events = self.recorder.drain_window();
+        let mut snaps = HashMap::new();
+        for (core, guard) in in_scope.iter().zip(&guards) {
+            snaps.insert(core.id(), RawCore::snapshot_of(guard));
+        }
+        self.flush_thread_producer();
+        let report = self.backend.checkpoint_window(now, &events, &snaps);
+        drop(guards);
+        let vs = self.backend.drain_violations();
+        if !vs.is_empty() {
+            self.realtime.lock().extend(vs);
+        }
+        self.reports.lock().push(report.clone());
+        self.journal_checkpoint(now, &events, &snaps, &report);
+        report
+    }
+
     /// Journals one checkpoint commit sequence: `Events(window)` →
     /// `Realtime(verdicts since the last barrier)` → `Checkpoint`
     /// (the commit marker) → sync. A crash anywhere inside the
@@ -397,7 +436,24 @@ impl RtInner {
             if !ready.is_empty() {
                 self.journal_try(sink.append_realtime(&ready));
             }
-            self.journal_try(sink.append_checkpoint(now, snaps, report));
+            // The checkpoint report itself can cite events outside the
+            // committed window: a *scoped* barrier leaves out-of-scope
+            // monitors running, so their freshly recorded events may
+            // reach the backend (through other threads' producer
+            // flushes) and be judged before any window drains them.
+            // Journal only the committed verdicts; hold the rest back —
+            // they re-surface as realtime records once their window
+            // commits, and the replayer compares verdict keys over the
+            // whole log, not per record.
+            let (committed, uncommitted): (Vec<Violation>, Vec<Violation>) =
+                report.violations.iter().cloned().partition(|v| journal.committed(v));
+            if uncommitted.is_empty() {
+                self.journal_try(sink.append_checkpoint(now, snaps, report));
+            } else {
+                journal.holdback.extend(uncommitted);
+                let sanitized = FaultReport { violations: committed, ..report.clone() };
+                self.journal_try(sink.append_checkpoint(now, snaps, &sanitized));
+            }
         }
         if let Some(sink) = &self.event_sink {
             self.journal_try(sink.sync());
@@ -526,7 +582,18 @@ impl Runtime {
     ///
     /// The report is folded into [`Self::reports`] like any other
     /// checkpoint.
+    ///
+    /// With a journal installed ([`RuntimeBuilder::journal`] or either
+    /// sink), scoped checkpoints **commit**: the call becomes a scoped
+    /// barrier that suspends only the in-scope monitors, drains the
+    /// full recorder window and journals the same `Events → Realtime →
+    /// Checkpoint` sequence as [`Self::checkpoint_now`] — previously
+    /// only the global barrier journaled, so a crash between scoped
+    /// checkpoints lost their windows.
     pub fn checkpoint_scope(&self, scope: CheckpointScope) -> FaultReport {
+        if self.inner.event_sink.is_some() || self.inner.violation_sink.is_some() {
+            return self.inner.checkpoint_scope_journaled(scope);
+        }
         self.inner.flush_thread_producer();
         let now = self.inner.recorder.now();
         let report = self.inner.backend.checkpoint(scope, now);
@@ -720,7 +787,13 @@ impl RuntimeBuilder {
     /// checkpoints — including scheduled per-shard sweeps — run the
     /// full Algorithm-1/2 comparison from day one.
     pub fn build(self) -> Runtime {
-        let recorder = Arc::new(Recorder::new());
+        // Prediction needs happens-before stamps on the recorded
+        // events; everything else keeps the lock-free recorder.
+        let recorder = Arc::new(if self.cfg.predict.is_on() {
+            Recorder::with_clocks()
+        } else {
+            Recorder::new()
+        });
         let backend = match self.backend {
             BackendChoice::Default => Arc::new(InlineBackend::new(self.cfg)) as _,
             BackendChoice::Ready(backend) => backend,

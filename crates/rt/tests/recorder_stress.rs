@@ -7,7 +7,7 @@
 
 use rmon_core::detect::Detector;
 use rmon_core::{
-    DetectorConfig, Event, EventKind, MonitorId, MonitorSpec, Nanos, Pid, ProcName, RuleId,
+    DetectorConfig, Event, EventKind, MonitorId, MonitorSpec, Nanos, Pid, ProcName, RuleId, VClock,
 };
 use rmon_rt::Recorder;
 use std::collections::HashMap;
@@ -37,7 +37,15 @@ impl LockedRecorder {
         let mut g = self.inner.lock().unwrap();
         g.0 += 1;
         let seq = g.0;
-        let event = Event { seq, time: Nanos::new(seq * 10), monitor, pid, proc_name, kind };
+        let event = Event {
+            seq,
+            time: Nanos::new(seq * 10),
+            monitor,
+            pid,
+            proc_name,
+            kind,
+            vc: VClock::UNSET,
+        };
         g.1.push(event);
     }
 
@@ -195,6 +203,117 @@ fn stress_no_lost_events_and_per_pid_monotonicity() {
         let last = last_seq.entry(e.pid).or_insert(0);
         assert!(e.seq > *last, "pid {} went backwards: {} after {}", e.pid, e.seq, last);
         *last = e.seq;
+    }
+}
+
+/// The clock-attaching recorder under the same concurrency pattern:
+/// four producer threads with a concurrent drainer. Publication must
+/// stay lossless, every published event must carry a stamp, and the
+/// stamps must be consistent with the sequence order — within one
+/// thread consecutive events are strictly clock-ordered, and across
+/// threads every clock-ordered pair agrees with `seq` (the recorder
+/// draws `seq` and the clock under the same lock, so the executed
+/// total order is a linear extension of happens-before).
+#[test]
+fn stress_clocked_recorder_stamps_are_consistent_with_seq_order() {
+    const CLOCK_ROUNDS: u32 = 50;
+    const CLOCK_MONITORS: u32 = 2;
+    let recorder = Arc::new(Recorder::with_clocks());
+    assert!(recorder.clocks_enabled());
+    let (_, request, release) = allocator();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let windows: Arc<Mutex<Vec<Vec<Event>>>> = Arc::new(Mutex::new(Vec::new()));
+    let drainer = {
+        let recorder = Arc::clone(&recorder);
+        let stop = Arc::clone(&stop);
+        let windows = Arc::clone(&windows);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                let w = recorder.drain_window();
+                if !w.is_empty() {
+                    windows.lock().unwrap().push(w);
+                }
+                std::thread::yield_now();
+            }
+        })
+    };
+
+    let mut producers = Vec::new();
+    for t in 0..THREADS {
+        let recorder = Arc::clone(&recorder);
+        producers.push(std::thread::spawn(move || {
+            let pid = Pid::new(t + 1);
+            for _ in 0..CLOCK_ROUNDS {
+                for m in 0..CLOCK_MONITORS {
+                    let monitor = MonitorId::new(m);
+                    recorder.record(monitor, pid, request, EventKind::Enter { granted: true });
+                    recorder.record(
+                        monitor,
+                        pid,
+                        request,
+                        EventKind::SignalExit { cond: None, resumed_waiter: false },
+                    );
+                    recorder.record(monitor, pid, release, EventKind::Enter { granted: true });
+                    recorder.record(
+                        monitor,
+                        pid,
+                        release,
+                        EventKind::SignalExit { cond: None, resumed_waiter: false },
+                    );
+                }
+            }
+        }));
+    }
+    for p in producers {
+        p.join().unwrap();
+    }
+    stop.store(true, Ordering::Release);
+    drainer.join().unwrap();
+
+    // Lossless under concurrent drains, exactly as the unclocked one.
+    let mut all: Vec<Event> = windows.lock().unwrap().iter().flatten().copied().collect();
+    all.extend(recorder.drain_window());
+    let expected = u64::from(THREADS) * u64::from(CLOCK_ROUNDS) * u64::from(CLOCK_MONITORS) * 4;
+    assert_eq!(all.len() as u64, expected);
+    let mut seqs: Vec<u64> = all.iter().map(|e| e.seq).collect();
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert_eq!(seqs.len() as u64, expected, "no lost or duplicated events");
+    assert_eq!(seqs.last().copied(), Some(expected));
+
+    // Every published event carries a set, unsaturated stamp (four
+    // threads fit the clock capacity).
+    assert!(all.iter().all(|e| e.vc.is_set() && !e.vc.is_saturated()));
+
+    // Same-thread events are strictly clock-ordered in seq order.
+    all.sort_unstable_by_key(|e| e.seq);
+    let mut last_of: HashMap<Pid, &Event> = HashMap::new();
+    for e in &all {
+        if let Some(prev) = last_of.insert(e.pid, e) {
+            assert_eq!(
+                prev.vc.partial_cmp(&e.vc),
+                Some(std::cmp::Ordering::Less),
+                "pid {}: stamp of l{} must precede l{}",
+                e.pid,
+                prev.seq,
+                e.seq
+            );
+        }
+    }
+
+    // Across all pairs: clock order never contradicts seq order — the
+    // executed schedule is a linear extension of happens-before.
+    for (i, a) in all.iter().enumerate() {
+        for b in &all[i + 1..] {
+            assert_ne!(
+                a.vc.partial_cmp(&b.vc),
+                Some(std::cmp::Ordering::Greater),
+                "l{} is stamped after l{} but sequenced before it",
+                a.seq,
+                b.seq
+            );
+        }
     }
 }
 

@@ -1,7 +1,7 @@
 //! Event recording for the simulator — the paper's *data-gathering
 //! routine* (§4), virtual-time edition.
 
-use rmon_core::{Event, EventKind, MonitorId, Nanos, Pid, ProcName};
+use rmon_core::{Event, EventKind, MonitorId, Nanos, Pid, ProcName, VClock};
 
 /// Records scheduling events with global sequence numbers.
 ///
@@ -42,7 +42,8 @@ impl TraceRecorder {
         proc_name: ProcName,
         kind: EventKind,
     ) -> Event {
-        let event = Event { seq: self.next_seq, time, monitor, pid, proc_name, kind };
+        let event =
+            Event { seq: self.next_seq, time, monitor, pid, proc_name, kind, vc: VClock::UNSET };
         self.next_seq += 1;
         self.total += 1;
         self.window.push(event);

@@ -151,4 +151,39 @@ mod tests {
         assert_eq!(sink.next_lsn(), 5);
         assert_eq!(sink.recovery().tail_records, 5);
     }
+
+    #[test]
+    fn vector_clock_stamps_and_predictions_round_trip_through_disk() {
+        use rmon_core::{PredictedViolation, RuleId, VClock, Violation};
+
+        let dir = tmp_dir("vclock");
+        let sink = DurableSink::open(&dir, OplogConfig::default()).unwrap();
+        let m = MonitorId::new(0);
+        let mut vc = VClock::for_slot(2);
+        vc.tick();
+        vc.tick();
+        let stamped =
+            Event::enter(1, Nanos::new(3), m, Pid::new(1), ProcName::new(0), true).with_vc(vc);
+        let plain = Event::enter(2, Nanos::new(4), m, Pid::new(2), ProcName::new(0), false);
+        sink.append_events(&[stamped, plain]).unwrap();
+
+        let mut report = FaultReport::default();
+        report.predicted.push(PredictedViolation {
+            violation: Violation::new(m, RuleId::St8HoldTimeout, Nanos::new(9), "predicted"),
+            witness: vec![2, 1],
+        });
+        sink.append_checkpoint(Nanos::new(9), &HashMap::new(), &report).unwrap();
+        EventSink::sync(&sink).unwrap();
+        drop(sink);
+
+        let records = read_records(&dir);
+        let Record::Events(evs) = &records[0] else { panic!("{records:?}") };
+        assert_eq!(evs[0].vc, vc, "carried stamp must survive the disk round-trip");
+        assert_eq!(evs[0].vc.owner(), Some(2));
+        assert!(!evs[1].vc.is_set(), "unset stamps stay unset");
+        let Record::Checkpoint { report: got, .. } = &records[1] else { panic!("{records:?}") };
+        assert_eq!(got.predicted.len(), 1);
+        assert_eq!(got.predicted[0].witness, vec![2, 1]);
+        assert_eq!(got.predicted[0].violation.rule, RuleId::St8HoldTimeout);
+    }
 }

@@ -490,6 +490,120 @@ pub fn run_sharded_fleet(
     (report, stats)
 }
 
+/// A tiny deterministic xorshift for seeded-schedule choices.
+struct ScheduleRng(u64);
+
+impl ScheduleRng {
+    fn pick(&mut self, n: usize) -> usize {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 % n as u64) as usize
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum SchedPhase {
+    NeedRequest,
+    InRequest,
+    NeedRelease,
+    InRelease,
+    Done,
+}
+
+/// The seeded-schedule driver behind the predictive-detection
+/// campaign: a random single-unit-allocator window with the exact
+/// event shapes the rt recorder emits. At most one process is inside
+/// the monitor at a time; an entry attempt while it is busy records
+/// `Enter { granted: false }` and queues (the window's only recorded
+/// concurrency — see `rmon_core::detect::predict`), and the queue head
+/// is admitted without a second `Enter` when the occupant exits. The
+/// interleaving — and with it the amount of commutation freedom the
+/// predictive pass gets to search — is a pure function of `seed`.
+/// Event `l` has timestamp `10·l` ns.
+pub fn seeded_allocator_schedule(
+    procs: usize,
+    cycles: usize,
+    seed: u64,
+) -> (rmon_core::spec::AllocatorSpec, Vec<Event>) {
+    use std::collections::VecDeque;
+
+    let al = MonitorSpec::allocator("res", 1);
+    let monitor = MonitorId::new(0);
+    let mut rng = ScheduleRng(seed | 1);
+    let mut phase = vec![SchedPhase::NeedRequest; procs];
+    let mut left = vec![cycles; procs];
+    let mut blocked = vec![false; procs]; // a pending Enter{false} was recorded
+    let mut occupant: Option<usize> = None;
+    let mut eq: VecDeque<usize> = VecDeque::new();
+    let mut events = Vec::new();
+    let mut seq = 0u64;
+    loop {
+        let mut runnable: Vec<usize> = Vec::new();
+        if let Some(p) = occupant {
+            runnable.push(p);
+        }
+        for p in 0..procs {
+            if matches!(phase[p], SchedPhase::NeedRequest | SchedPhase::NeedRelease) && !blocked[p]
+            {
+                runnable.push(p);
+            }
+        }
+        if runnable.is_empty() {
+            break;
+        }
+        let p = runnable[rng.pick(runnable.len())];
+        seq += 1;
+        let t = Nanos::new(seq * 10);
+        let pid = Pid::new(p as u32 + 1);
+        let admit = |eq: &mut VecDeque<usize>,
+                     blocked: &mut [bool],
+                     phase: &mut [SchedPhase]|
+         -> Option<usize> {
+            eq.pop_front().inspect(|&q| {
+                blocked[q] = false;
+                phase[q] = if phase[q] == SchedPhase::NeedRequest {
+                    SchedPhase::InRequest
+                } else {
+                    SchedPhase::InRelease
+                };
+            })
+        };
+        match phase[p] {
+            SchedPhase::NeedRequest | SchedPhase::NeedRelease => {
+                let proc_name =
+                    if phase[p] == SchedPhase::NeedRequest { al.request } else { al.release };
+                if occupant.is_none() {
+                    events.push(Event::enter(seq, t, monitor, pid, proc_name, true));
+                    occupant = Some(p);
+                    phase[p] = if phase[p] == SchedPhase::NeedRequest {
+                        SchedPhase::InRequest
+                    } else {
+                        SchedPhase::InRelease
+                    };
+                } else {
+                    events.push(Event::enter(seq, t, monitor, pid, proc_name, false));
+                    eq.push_back(p);
+                    blocked[p] = true;
+                }
+            }
+            SchedPhase::InRequest => {
+                events.push(Event::signal_exit(seq, t, monitor, pid, al.request, None, false));
+                phase[p] = SchedPhase::NeedRelease;
+                occupant = admit(&mut eq, &mut blocked, &mut phase);
+            }
+            SchedPhase::InRelease => {
+                events.push(Event::signal_exit(seq, t, monitor, pid, al.release, None, false));
+                left[p] -= 1;
+                phase[p] = if left[p] == 0 { SchedPhase::Done } else { SchedPhase::NeedRequest };
+                occupant = admit(&mut eq, &mut blocked, &mut phase);
+            }
+            SchedPhase::Done => unreachable!("done processes are never runnable"),
+        }
+    }
+    (al, events)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -504,6 +618,25 @@ mod tests {
         for w in t.events.windows(2) {
             assert!(w[0].seq < w[1].seq);
         }
+    }
+
+    #[test]
+    fn seeded_allocator_schedule_is_complete_and_deterministic() {
+        use rmon_core::EventKind;
+        let (al, w) = seeded_allocator_schedule(3, 2, 42);
+        let (_, again) = seeded_allocator_schedule(3, 2, 42);
+        assert_eq!(w, again, "same seed, same schedule");
+        // Every process finishes every cycle: each of its request and
+        // release calls records exactly one Enter (granted or blocked)
+        // and one SignalExit.
+        assert_eq!(w.len(), 3 * 2 * 4);
+        for (i, e) in w.iter().enumerate() {
+            assert_eq!(e.seq, i as u64 + 1, "dense seqs");
+        }
+        // A single process never contends.
+        let (_, solo) = seeded_allocator_schedule(1, 3, 42);
+        assert!(solo.iter().all(|e| !matches!(e.kind, EventKind::Enter { granted: false })));
+        let _ = al;
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub mod prelude {
     pub use rmon_core::{
         taxonomy, DetectorConfig, Event, EventKind, EventSink, FaultKind, FaultLevel, FaultReport,
         MemorySink, MonitorClass, MonitorId, MonitorSpec, MonitorState, Nanos, PathExpr, Pid,
-        RuleId, Violation, ViolationSink,
+        PredictMode, PredictedViolation, RuleId, VClock, Violation, ViolationSink,
     };
     pub use rmon_rt::{
         BoundedBuffer, BufferBug, CheckerHandle, Monitor, MonitorError, OperationCell, OrderPolicy,

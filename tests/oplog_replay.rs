@@ -49,6 +49,42 @@ fn run_epoch(dir: &Path, rounds: usize) -> Arc<DurableSink> {
     sink
 }
 
+/// The same epoch script, but committed through **scoped** barriers:
+/// odd rounds checkpoint one monitor at a time
+/// ([`CheckpointScope::Monitor`]), even rounds sweep the single inline
+/// pseudo-shard ([`CheckpointScope::Shard`]). Scoped checkpoints must
+/// journal the same `Events → Realtime → Checkpoint` sequence the
+/// global barrier writes, so the replayer needs no changes.
+fn run_epoch_scoped(dir: &Path, rounds: usize) -> Arc<DurableSink> {
+    let sink = Arc::new(
+        DurableSink::open(dir, OplogConfig { segment_bytes: 4 << 10, ..OplogConfig::default() })
+            .expect("open oplog"),
+    );
+    let rt = Runtime::builder(DetectorConfig::without_timeouts())
+        .journal(Arc::clone(&sink))
+        .order_policy(OrderPolicy::Report)
+        .build();
+    let fleet: Vec<ResourceAllocator> =
+        (0..4).map(|i| ResourceAllocator::new(&rt, &format!("res-{i}"), UNITS)).collect();
+    for round in 0..rounds {
+        for al in &fleet {
+            let _ = al.request();
+            let _ = al.request(); // U3: duplicate request
+            let _ = al.release();
+            let _ = al.release(); // U1: release without request
+        }
+        if round % 2 == 0 {
+            for al in &fleet {
+                let _ = rt.checkpoint_scope(CheckpointScope::Monitor(al.id()));
+            }
+        } else {
+            let _ = rt.checkpoint_scope(CheckpointScope::Shard(0));
+        }
+    }
+    assert_eq!(rt.journal_errors(), 0, "scoped journal appends must succeed");
+    sink
+}
+
 fn replay(dir: &Path) -> rmon::storage::ReplayOutcome {
     let resolve = move |_id, name: &str| Some(Arc::new(MonitorSpec::allocator(name, UNITS).spec));
     let (outcome, read) = replay_dir(
@@ -71,6 +107,51 @@ fn replay_reproduces_live_verdicts() {
     assert!(outcome.checkpoints >= 8, "{outcome:?}");
     assert!(outcome.events_replayed > 0);
     assert!(!outcome.recorded.is_empty(), "fault script must produce verdicts");
+    assert!(outcome.matches(), "diverged: {:?}", outcome.mismatch());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// ROADMAP item 5's durability gap, closed: scoped checkpoints commit
+/// to the journal, and replaying the scoped-barrier log reproduces the
+/// live verdicts exactly — including across a crash torn into the
+/// journal tail between scoped epochs.
+#[test]
+fn scoped_checkpoints_commit_and_replay_equivalently() {
+    let dir = tmp_dir("scoped");
+    run_epoch_scoped(&dir, 6);
+    let outcome = replay(&dir);
+    assert_eq!(outcome.epochs, 1);
+    assert!(outcome.checkpoints >= 6, "scoped barriers must commit: {outcome:?}");
+    assert!(outcome.events_replayed > 0);
+    assert!(!outcome.recorded.is_empty(), "fault script must produce verdicts");
+    assert!(outcome.matches(), "diverged: {:?}", outcome.mismatch());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scoped_checkpoint_crash_replay_equivalence() {
+    let dir = tmp_dir("scoped-torn");
+    run_epoch_scoped(&dir, 8);
+
+    // Crash mid-write after the scoped epoch: tear into the newest
+    // segment's last frame.
+    let mut segments: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "seg"))
+        .collect();
+    segments.sort();
+    let tail = segments.pop().expect("at least one segment");
+    let len = fs::metadata(&tail).unwrap().len();
+    fs::OpenOptions::new().write(true).open(&tail).unwrap().set_len(len - 5).unwrap();
+
+    // A recovering reopen runs another scoped epoch on the same log.
+    let sink = run_epoch_scoped(&dir, 4);
+    assert!(sink.recovery().truncated_bytes > 0, "recovery must truncate the torn frame");
+
+    let outcome = replay(&dir);
+    assert_eq!(outcome.epochs, 2, "{outcome:?}");
+    assert!(!outcome.recorded.is_empty());
     assert!(outcome.matches(), "diverged: {:?}", outcome.mismatch());
     let _ = fs::remove_dir_all(&dir);
 }

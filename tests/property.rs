@@ -10,9 +10,17 @@
 //! * **Conservation** — replaying any recorded clean trace through the
 //!   checking lists preserves the process population (nobody is
 //!   created or lost by the bookkeeping itself).
+//! * **Vector-clock lattice laws** — `merge` is the least upper bound
+//!   of the stamp lattice, and `le` is exactly the componentwise
+//!   order.
+//! * **Witness legality** — every violation the predictive pass emits
+//!   carries a witness that is a legal linearization of the recorded
+//!   happens-before partial order, on arbitrarily scheduled allocator
+//!   windows; schedules without contention predict nothing.
 
 use proptest::prelude::*;
-use rmon::core::{DetectorConfig, GeneralLists, Nanos, PathExpr};
+use rmon::core::detect::predict::{is_legal_linearization, predict_window, Annotation};
+use rmon::core::{DetectorConfig, GeneralLists, Nanos, PathExpr, VClock};
 use rmon::prelude::*;
 use rmon::workloads::sweep;
 
@@ -151,5 +159,158 @@ proptest! {
                 break;
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Vector clocks: lattice laws
+// ---------------------------------------------------------------------
+
+/// Arbitrary *set, unsaturated* clocks: any owner slot, any counters.
+fn arb_vclock() -> impl Strategy<Value = VClock> {
+    (0usize..VClock::CAPACITY, proptest::collection::vec(0u32..1_000, 8..9)).prop_map(
+        |(owner, slots)| {
+            let slots: [u32; VClock::CAPACITY] = slots.try_into().expect("exactly 8 counters");
+            VClock::from_parts(owner, slots)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `merge` is idempotent, commutative and associative on the
+    /// counters (ownership is the receiver's identity, not part of the
+    /// lattice value).
+    #[test]
+    fn vclock_merge_is_a_semilattice(
+        a in arb_vclock(),
+        b in arb_vclock(),
+        c in arb_vclock(),
+    ) {
+        prop_assert_eq!(VClock::merged(&a, &a).raw_slots(), a.raw_slots());
+        prop_assert_eq!(
+            VClock::merged(&a, &b).raw_slots(),
+            VClock::merged(&b, &a).raw_slots()
+        );
+        prop_assert_eq!(
+            VClock::merged(&VClock::merged(&a, &b), &c).raw_slots(),
+            VClock::merged(&a, &VClock::merged(&b, &c)).raw_slots()
+        );
+    }
+
+    /// `merge` computes the least upper bound of `le`: an upper bound
+    /// of both operands, and below every other common upper bound.
+    #[test]
+    fn vclock_merge_is_the_least_upper_bound(
+        a in arb_vclock(),
+        b in arb_vclock(),
+        c in arb_vclock(),
+    ) {
+        let lub = VClock::merged(&a, &b);
+        prop_assert!(a.le(&lub));
+        prop_assert!(b.le(&lub));
+        if a.le(&c) && b.le(&c) {
+            prop_assert!(lub.le(&c));
+        }
+    }
+
+    /// `le` is exactly the componentwise order, and `partial_cmp` is
+    /// consistent with it in both directions.
+    #[test]
+    fn vclock_le_is_the_componentwise_order(a in arb_vclock(), b in arb_vclock()) {
+        let componentwise =
+            a.raw_slots().iter().zip(b.raw_slots().iter()).all(|(x, y)| x <= y);
+        prop_assert_eq!(a.le(&b), componentwise);
+        use std::cmp::Ordering;
+        match a.partial_cmp(&b) {
+            Some(Ordering::Equal) => prop_assert!(a.le(&b) && b.le(&a)),
+            Some(Ordering::Less) => prop_assert!(a.le(&b) && !b.le(&a)),
+            Some(Ordering::Greater) => prop_assert!(!a.le(&b) && b.le(&a)),
+            None => {
+                prop_assert!(!a.le(&b) && !b.le(&a));
+                prop_assert!(a.concurrent_with(&b));
+            }
+        }
+    }
+
+    /// The degenerate elements behave as lattice constants: a fresh
+    /// [`VClock::UNSET`] is the identity of `merge`, the saturated
+    /// clock is absorbing (and stays sticky through ticks).
+    #[test]
+    fn vclock_degenerates_are_identity_and_top(a in arb_vclock()) {
+        prop_assert_eq!(VClock::merged(&a, &VClock::UNSET).raw_slots(), a.raw_slots());
+        prop_assert!(VClock::merged(&a, &VClock::saturated()).is_saturated());
+        prop_assert!(VClock::merged(&VClock::saturated(), &a).is_saturated());
+        let mut s = VClock::saturated();
+        s.tick();
+        s.merge(&a);
+        prop_assert!(s.is_saturated());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Predictive detection: witness legality on random schedules
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every prediction the pass emits on an arbitrarily interleaved
+    /// allocator window — whatever the rule and whatever `Tlimit` —
+    /// carries a witness that is a legal linearization of the recorded
+    /// partial order.
+    #[test]
+    fn every_predicted_witness_is_a_legal_linearization(
+        seed in any::<u64>(),
+        procs in 2usize..5,
+        cycles in 1usize..4,
+        t_limit_steps in 1u64..40,
+    ) {
+        let (al, w) = sweep::seeded_allocator_schedule(procs, cycles, seed);
+        let ann = Annotation::over_window(&w);
+        let cfg = DetectorConfig::builder()
+            .t_limit(Nanos::new(t_limit_steps * 10))
+            .predict(rmon::core::PredictMode::Checkpoint)
+            .build();
+        let now = Nanos::new((w.len() as u64 + 1) * 10);
+        let mut out = Vec::new();
+        predict_window(MonitorId::new(0), &al.spec, &cfg, &w, &ann, now, &mut out);
+        for p in &out {
+            prop_assert!(
+                is_legal_linearization(&p.witness, &w, &ann),
+                "seed {}: illegal witness {:?} for {}",
+                seed,
+                p.witness,
+                p.violation
+            );
+        }
+        // The executed schedule is always a legal linearization too.
+        let executed: Vec<u64> = w.iter().map(|e| e.seq).collect();
+        prop_assert!(is_legal_linearization(&executed, &w, &ann));
+    }
+
+    /// Contention-free schedules (one process, or any schedule that
+    /// happened to record no blocked entry attempt) admit exactly one
+    /// linearization: the pass must predict nothing.
+    #[test]
+    fn contention_free_schedules_predict_nothing(
+        seed in any::<u64>(),
+        cycles in 1usize..5,
+        t_limit_steps in 1u64..40,
+    ) {
+        let (al, w) = sweep::seeded_allocator_schedule(1, cycles, seed);
+        prop_assert!(
+            w.iter().all(|e| !matches!(e.kind, rmon::core::EventKind::Enter { granted: false }))
+        );
+        let ann = Annotation::over_window(&w);
+        let cfg = DetectorConfig::builder()
+            .t_limit(Nanos::new(t_limit_steps * 10))
+            .predict(rmon::core::PredictMode::Checkpoint)
+            .build();
+        let now = Nanos::new((w.len() as u64 + 1) * 10);
+        let mut out = Vec::new();
+        predict_window(MonitorId::new(0), &al.spec, &cfg, &w, &ann, now, &mut out);
+        prop_assert!(out.is_empty(), "seed {}: {:?}", seed, out);
     }
 }
