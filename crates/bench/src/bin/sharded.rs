@@ -22,7 +22,14 @@
 //!   (`scheduled-4-ckpt`): the background ticks are full per-shard
 //!   snapshot + Algorithm-1/2 sweeps instead of timer-only checks —
 //!   the cost of continuous full-fidelity checkpointing riding on the
-//!   same ingest path.
+//!   same ingest path;
+//! * the distributed path (`distributed-w1/2/4`): the same fleet
+//!   split across 1 / 2 / 4 `rmon-net` remote workers streaming over
+//!   an in-process duplex transport into one `DetectionService` over
+//!   the inline backend — the wire-protocol + session-layer overhead
+//!   relative to the in-process rows. On one hardware thread the
+//!   workers and the service time-slice, so these rows price the
+//!   codec and session machinery, not network parallelism.
 //!
 //! Two throughputs are reported per mode, both in events per second of
 //! *measured wall time*:
@@ -48,19 +55,23 @@
 
 use rmon_bench::{row, rule_line};
 use rmon_core::detect::{
-    DetectionBackend, ScheduledBackend, SchedulerConfig, ServiceConfig, ShardedBackend,
+    DetectionBackend, InlineBackend, ScheduledBackend, SchedulerConfig, ServiceConfig,
+    ShardedBackend,
 };
 use rmon_core::DetectorConfig;
+use rmon_workloads::distributed::{drive_fleet_distributed, DistributedConfig};
 use rmon_workloads::sweep::{
     drive_fleet_backend, drive_fleet_multi, drive_inline_fleet, fleet_trace, FleetTrace,
 };
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Duration;
 
 const FLEET_MONITORS: usize = 8;
 const BATCH: usize = 256;
 const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 const PRODUCER_COUNTS: [usize; 2] = [2, 4];
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
 
 /// One mode's best-of-N measurement.
 struct Measurement {
@@ -95,6 +106,20 @@ fn run_multi(fleet: &FleetTrace, backend: &dyn DetectionBackend, producers: usiz
     let (report, _, timing) = drive_fleet_multi(fleet, backend, producers);
     assert!(report.is_clean(), "clean fleet must stay clean");
     (timing.ingest.as_secs_f64(), timing.total.as_secs_f64())
+}
+
+/// Times one distributed run: `workers` remote workers over in-process
+/// duplex transports into a `DetectionService` over the inline
+/// backend. `ingest` spans until the service has ingested the whole
+/// stream (wire + session + remap included), `total` adds the fleet
+/// checkpoint sweep.
+fn run_distributed(fleet: &FleetTrace, workers: usize) -> (f64, f64) {
+    let backend = Arc::new(InlineBackend::new(DetectorConfig::without_timeouts()));
+    let cfg = DistributedConfig { workers, batch: BATCH, ..DistributedConfig::default() };
+    let outcome = drive_fleet_distributed(fleet, backend, &cfg);
+    assert!(outcome.verdicts.is_empty(), "clean fleet must stay clean");
+    assert!(outcome.quarantined.is_empty(), "healthy workers must not be quarantined");
+    (outcome.ingest.as_secs_f64(), outcome.total.as_secs_f64())
 }
 
 fn measure<F: FnMut() -> (f64, f64)>(runs: usize, events: u64, mut f: F) -> (f64, f64) {
@@ -217,6 +242,16 @@ fn main() {
         ingest_events_per_sec: ingest,
         end_to_end_events_per_sec: total,
     });
+    for &workers in &WORKER_COUNTS {
+        let (ingest, total) = measure(runs, events, || run_distributed(&fleet, workers));
+        results.push(Measurement {
+            mode: format!("distributed-w{workers}"),
+            shards: 0,
+            producers: workers,
+            ingest_events_per_sec: ingest,
+            end_to_end_events_per_sec: total,
+        });
+    }
 
     let widths = [14usize, 8, 10, 18, 18];
     println!(
@@ -280,7 +315,10 @@ fn main() {
          multi-producer ingest numbers measure time-sliced, not concurrent, producers; \
          re-record on a multi-core host for the parallel-checking and concurrent-ingest \
          wins. Ingest speedups (caller-side offload) are meaningful at any thread \
-         count.\","
+         count. The distributed rows run worker sessions and the service time-sliced \
+         on the same thread over an in-process transport: they price the wire codec \
+         and session layer, not network parallelism — per-worker rates divide the \
+         fleet rate by the worker count.\","
     );
     let _ = writeln!(json, "  \"results\": [");
     for (i, m) in results.iter().enumerate() {
@@ -293,6 +331,20 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"distributed_per_worker_events_per_sec\": {{");
+    for (i, &workers) in WORKER_COUNTS.iter().enumerate() {
+        let m = results
+            .iter()
+            .find(|m| m.mode == format!("distributed-w{workers}"))
+            .expect("distributed mode measured");
+        let comma = if i + 1 == WORKER_COUNTS.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    \"w{workers}\": {:.0}{comma}",
+            m.ingest_events_per_sec / workers as f64
+        );
+    }
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"sharded4_vs_inline_ingest_speedup\": {ingest_speedup:.3},");
     let _ = writeln!(json, "  \"sharded4_vs_inline_end_to_end_ratio\": {e2e_ratio:.3}");
     json.push_str("}\n");

@@ -467,7 +467,12 @@ pub trait DetectionBackend: Send + Sync + std::fmt::Debug {
 ///
 /// Providers without counters (`events_recorded` → `None`) are trusted:
 /// their snapshots are compared ungated.
-pub(crate) fn gather_snapshots(
+///
+/// Public because remote deployments run the dance on the *worker*
+/// side: `rmon-net`'s `RemoteBackend` answers the service's checkpoint
+/// fan-out by gathering gated snapshots from its local provider and
+/// shipping `(snapshots, gates)` over the wire.
+pub fn gather_snapshots(
     provider: Option<&dyn SnapshotProvider>,
     monitors: &[MonitorId],
     now: Nanos,

@@ -48,8 +48,8 @@ pub mod scheduler;
 pub mod service;
 
 pub use backend::{
-    AdaptiveBatch, Backpressure, CheckpointScope, DetectionBackend, InlineBackend, ProducerHandle,
-    ShardedBackend, SnapshotProvider, SnapshotTable,
+    gather_snapshots, AdaptiveBatch, Backpressure, CheckpointScope, DetectionBackend,
+    InlineBackend, ProducerHandle, ShardedBackend, SnapshotProvider, SnapshotTable,
 };
 pub use engine::{Detector, MonitorChecker};
 pub use scheduler::{ClockFn, ScheduledBackend, SchedulerConfig};

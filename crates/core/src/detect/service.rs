@@ -334,59 +334,85 @@ fn shard_worker(
     let mut det = Detector::new(cfg);
     let mut scratch: Vec<Violation> = Vec::new();
     while let Ok(msg) = rx.recv() {
-        match msg {
-            ShardMsg::Register { monitor, spec, initial, now } => {
-                det.register(monitor, spec, &initial, now);
-                collector.note_monitor(shard);
+        if matches!(msg, ShardMsg::Shutdown) {
+            // Drain before exit: messages already enqueued behind the
+            // shutdown marker — a scoped checkpoint, a lookahead or a
+            // flush racing teardown — still get a real answer instead
+            // of having their reply sender dropped with the inbox.
+            // Only messages in the queue *now* are in-flight; anything
+            // sent after the inbox disconnects degrades at the caller
+            // (`recv().unwrap_or_default()`).
+            while let Ok(msg) = rx.try_recv() {
+                handle_shard_msg(shard, &mut det, &mut scratch, &collector, msg);
             }
-            ShardMsg::Batch(events) => {
-                for event in &events {
-                    det.observe_into(event, &mut scratch);
-                }
-                collector.absorb(shard, events.len() as u64, &mut scratch);
-            }
-            ShardMsg::One(event) => {
-                det.observe_into(&event, &mut scratch);
-                collector.absorb(shard, 1, &mut scratch);
-            }
-            ShardMsg::Checkpoint(req) => {
-                let report = if req.timers_only {
-                    let mut report = det.checkpoint_timers(req.now, req.only);
-                    // Memory backstop: timer-only sweeps deliberately
-                    // leave the pending replay window alone, but a
-                    // backend that only ever sees timer sweeps (a
-                    // standalone scheduled backend with no snapshot
-                    // provider and no caller checkpoints) must not
-                    // grow without bound. Past the high-water mark the
-                    // sweep drains it in pure event-stream mode —
-                    // replaying exactly what the next window
-                    // checkpoint would have replayed anyway (watermark
-                    // dedup keeps later windows exact).
-                    if det.pending_total() > PENDING_REPLAY_HIGH_WATER {
-                        report.merge(det.checkpoint_scoped(
-                            req.now,
-                            &HashMap::new(),
-                            &HashMap::new(),
-                            req.only,
-                        ));
-                        report.sort_canonical();
-                    }
-                    report
-                } else if req.events.is_empty() {
-                    det.checkpoint_scoped(req.now, &req.snapshots, &req.gates, req.only)
-                } else {
-                    det.checkpoint(req.now, &req.events, &req.snapshots)
-                };
-                let _ = req.reply.send(report);
-            }
-            ShardMsg::WouldViolate { monitor, pid, proc_name, reply } => {
-                let _ = reply.send(det.call_would_violate(monitor, pid, proc_name));
-            }
-            ShardMsg::Flush { reply } => {
-                let _ = reply.send(());
-            }
-            ShardMsg::Shutdown => break,
+            break;
         }
+        handle_shard_msg(shard, &mut det, &mut scratch, &collector, msg);
+    }
+}
+
+/// Processes one inbox message against the shard's detector. A nested
+/// `Shutdown` (possible during the drain pass) is a no-op — the worker
+/// loop owns termination.
+fn handle_shard_msg(
+    shard: usize,
+    det: &mut Detector,
+    scratch: &mut Vec<Violation>,
+    collector: &Collector,
+    msg: ShardMsg,
+) {
+    match msg {
+        ShardMsg::Register { monitor, spec, initial, now } => {
+            det.register(monitor, spec, &initial, now);
+            collector.note_monitor(shard);
+        }
+        ShardMsg::Batch(events) => {
+            for event in &events {
+                det.observe_into(event, scratch);
+            }
+            collector.absorb(shard, events.len() as u64, scratch);
+        }
+        ShardMsg::One(event) => {
+            det.observe_into(&event, scratch);
+            collector.absorb(shard, 1, scratch);
+        }
+        ShardMsg::Checkpoint(req) => {
+            let report = if req.timers_only {
+                let mut report = det.checkpoint_timers(req.now, req.only);
+                // Memory backstop: timer-only sweeps deliberately
+                // leave the pending replay window alone, but a
+                // backend that only ever sees timer sweeps (a
+                // standalone scheduled backend with no snapshot
+                // provider and no caller checkpoints) must not
+                // grow without bound. Past the high-water mark the
+                // sweep drains it in pure event-stream mode —
+                // replaying exactly what the next window
+                // checkpoint would have replayed anyway (watermark
+                // dedup keeps later windows exact).
+                if det.pending_total() > PENDING_REPLAY_HIGH_WATER {
+                    report.merge(det.checkpoint_scoped(
+                        req.now,
+                        &HashMap::new(),
+                        &HashMap::new(),
+                        req.only,
+                    ));
+                    report.sort_canonical();
+                }
+                report
+            } else if req.events.is_empty() {
+                det.checkpoint_scoped(req.now, &req.snapshots, &req.gates, req.only)
+            } else {
+                det.checkpoint(req.now, &req.events, &req.snapshots)
+            };
+            let _ = req.reply.send(report);
+        }
+        ShardMsg::WouldViolate { monitor, pid, proc_name, reply } => {
+            let _ = reply.send(det.call_would_violate(monitor, pid, proc_name));
+        }
+        ShardMsg::Flush { reply } => {
+            let _ = reply.send(());
+        }
+        ShardMsg::Shutdown => {}
     }
 }
 
@@ -993,6 +1019,66 @@ mod tests {
         // Ingestion after shutdown is dropped, not a panic or a hang.
         svc.observe(Event::enter(2, Nanos::new(20), m, Pid::new(1), al.release, true));
         assert!(svc.drain_violations().is_empty());
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_checkpoint_round_trips() {
+        // A scoped checkpoint racing shutdown: the checkpoint request is
+        // already in the shard's inbox *behind* the shutdown marker.
+        // The worker must answer it (with a real report) before exiting
+        // instead of dropping the reply channel.
+        let (spec, al) = allocator_spec();
+        let svc = service(2);
+        let m = MonitorId::new(1);
+        let shard = svc.shard_of(m);
+        svc.register_empty(m, Arc::clone(&spec), Nanos::ZERO);
+        svc.observe(Event::enter(1, Nanos::new(10), m, Pid::new(1), al.request, true));
+        svc.flush();
+        let senders = svc.shard_senders();
+        // Deterministically park the worker: a lookahead whose reply
+        // channel is pre-filled blocks the worker's reply send until we
+        // drain it, so everything below is queued before the worker
+        // moves again.
+        let (park_tx, park_rx) = bounded(1);
+        park_tx.send(None).unwrap();
+        senders[shard]
+            .send(ShardMsg::WouldViolate {
+                monitor: m,
+                pid: Pid::new(1),
+                proc_name: al.request,
+                reply: park_tx,
+            })
+            .unwrap();
+        senders[shard].send(ShardMsg::Shutdown).unwrap();
+        let reply = ShardedDetector::request_checkpoint_on(
+            &senders,
+            shard,
+            Nanos::new(100),
+            HashMap::new(),
+            HashMap::new(),
+            None,
+            false,
+        );
+        // Unblock the worker; it then sees Shutdown and must drain the
+        // checkpoint behind it.
+        assert_eq!(park_rx.recv().unwrap(), None);
+        let report = reply
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("in-flight checkpoint must be answered during shutdown");
+        assert_eq!(report.events_checked, 1, "drain must run the real checkpoint: {report}");
+        svc.shutdown();
+        // After the workers are gone, a late checkpoint degrades to a
+        // disconnected reply (default at the caller) — never a hang.
+        let late = ShardedDetector::checkpoint_on(
+            &senders,
+            shard,
+            Nanos::new(200),
+            HashMap::new(),
+            HashMap::new(),
+            None,
+            false,
+        );
+        assert_eq!(late, FaultReport::default());
     }
 
     #[test]

@@ -70,6 +70,7 @@ mod error;
 pub mod event;
 mod fault;
 mod history;
+pub mod hlc;
 mod ids;
 mod lists;
 pub mod oplog;
@@ -88,6 +89,7 @@ pub use error::CoreError;
 pub use event::{Event, EventKind};
 pub use fault::{taxonomy, FaultInfo, FaultKind, FaultLevel};
 pub use history::HistoryDb;
+pub use hlc::{Hlc, HlcStamp};
 pub use ids::{CondId, MonitorId, Pid, PidProc, ProcName};
 pub use lists::{GeneralLists, OrderState, ResourceState};
 pub use oplog::{EventSink, MemorySink, ViolationSink};

@@ -687,6 +687,73 @@ pub fn decode_record(payload: &[u8]) -> Result<Record, DecodeError> {
 }
 
 // ---------------------------------------------------------------------
+// Public component codecs
+// ---------------------------------------------------------------------
+//
+// The record codec above is the journal's unit of framing; the wire
+// protocol in `rmon-net` reuses `Record` for event batches but its
+// control frames also carry bare states, violation lists and fault
+// reports. These wrappers expose the component codecs so every byte
+// that crosses a socket uses the same canonical encoding the journal
+// uses — one codec to fuzz, one format document.
+
+/// Appends the canonical encoding of one [`MonitorState`] to `out`.
+pub fn encode_state(out: &mut Vec<u8>, state: &MonitorState) {
+    put_state(out, state);
+}
+
+/// Decodes a [`MonitorState`] from `payload` at `*pos`, advancing
+/// `*pos` past it.
+///
+/// # Examples
+///
+/// ```
+/// use rmon_core::oplog::{decode_state, encode_state};
+/// use rmon_core::MonitorState;
+///
+/// let mut buf = Vec::new();
+/// encode_state(&mut buf, &MonitorState::with_resources(2, 1));
+/// let mut pos = 0;
+/// let state = decode_state(&buf, &mut pos).unwrap();
+/// assert_eq!(state, MonitorState::with_resources(2, 1));
+/// assert_eq!(pos, buf.len());
+/// ```
+pub fn decode_state(payload: &[u8], pos: &mut usize) -> Result<MonitorState, DecodeError> {
+    let mut r = Reader { buf: payload, pos: *pos };
+    let state = read_state(&mut r)?;
+    *pos = r.pos;
+    Ok(state)
+}
+
+/// Appends the canonical encoding of a violation list to `out`.
+pub fn encode_violations(out: &mut Vec<u8>, violations: &[Violation]) {
+    put_violations(out, violations);
+}
+
+/// Decodes a violation list from `payload` at `*pos`, advancing `*pos`
+/// past it.
+pub fn decode_violations(payload: &[u8], pos: &mut usize) -> Result<Vec<Violation>, DecodeError> {
+    let mut r = Reader { buf: payload, pos: *pos };
+    let violations = read_violations(&mut r)?;
+    *pos = r.pos;
+    Ok(violations)
+}
+
+/// Appends the canonical encoding of one [`FaultReport`] to `out`.
+pub fn encode_report(out: &mut Vec<u8>, report: &FaultReport) {
+    put_report(out, report);
+}
+
+/// Decodes a [`FaultReport`] from `payload` at `*pos`, advancing `*pos`
+/// past it.
+pub fn decode_report(payload: &[u8], pos: &mut usize) -> Result<FaultReport, DecodeError> {
+    let mut r = Reader { buf: payload, pos: *pos };
+    let report = read_report(&mut r)?;
+    *pos = r.pos;
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------
 // MemorySink
 // ---------------------------------------------------------------------
 

@@ -1,0 +1,260 @@
+//! Fault-injecting transport for distributed-detection tests: wraps
+//! one direction of a [`duplex`](crate::transport::duplex)-style link
+//! with deterministic partition, reordering, duplication and delayed
+//! delivery.
+//!
+//! The fault model matches what the session layer is built for: frames
+//! may be **delayed, reordered or duplicated, never lost or
+//! corrupted** — the no-loss discipline of a reliable byte stream with
+//! retransmission underneath it. A partition holds frames back (like an
+//! unplugged cable in front of TCP's retransmit queue) and releases
+//! them on heal; reordering stashes a frame and releases the stash
+//! shuffled; duplication re-sends a frame verbatim. All randomness is
+//! a seeded [`rand::rngs::StdRng`], so every schedule is reproducible
+//! from its [`ChaosConfig`].
+//!
+//! Only the wrapped direction misbehaves (tests typically chaos the
+//! worker→service event path and keep the reply path clean, isolating
+//! what each layer must tolerate); wrap both directions with two
+//! [`chaos_pair`] calls if needed.
+
+use crate::transport::{ChannelRx, ChannelTx, Endpoint, FrameTx};
+use crossbeam::channel::bounded;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Deterministic fault schedule for one chaotic direction.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Seed for the fault schedule (same seed, same faults).
+    pub seed: u64,
+    /// Per-mille probability a frame is stashed for later, reordered
+    /// delivery (0 = off, 1000 = every frame).
+    pub hold_per_mille: u32,
+    /// Per-mille probability a delivered frame is sent twice.
+    pub dup_per_mille: u32,
+    /// Stash size at which held frames are force-released (shuffled),
+    /// bounding how far behind a reordered frame can fall.
+    pub reorder_window: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig { seed: 0, hold_per_mille: 200, dup_per_mille: 100, reorder_window: 4 }
+    }
+}
+
+impl ChaosConfig {
+    /// A schedule that only partitions (no reorder/duplication) — the
+    /// config for pure partition/heal tests.
+    pub fn partition_only(seed: u64) -> Self {
+        ChaosConfig { seed, hold_per_mille: 0, dup_per_mille: 0, reorder_window: 4 }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ChaosShared {
+    partitioned: AtomicBool,
+    calm: AtomicBool,
+    held: Mutex<Vec<Vec<u8>>>,
+}
+
+/// Operator handle for one chaotic direction: partition it, heal it,
+/// flush anything still held.
+#[derive(Debug, Clone)]
+pub struct ChaosController {
+    shared: Arc<ChaosShared>,
+    out: ChannelTx,
+}
+
+impl ChaosController {
+    /// Starts holding every sent frame (nothing is delivered until
+    /// [`Self::heal`]).
+    pub fn partition(&self) {
+        self.shared.partitioned.store(true, Ordering::SeqCst);
+    }
+
+    /// Ends the partition and delivers everything held, in send order
+    /// (the retransmit-after-reconnect shape).
+    pub fn heal(&self) -> io::Result<()> {
+        self.shared.partitioned.store(false, Ordering::SeqCst);
+        self.flush()
+    }
+
+    /// Delivers every held frame (partition backlog and reorder stash)
+    /// in send order. Call once traffic stops to guarantee nothing is
+    /// still sitting in the harness.
+    pub fn flush(&self) -> io::Result<()> {
+        let drained: Vec<Vec<u8>> = {
+            let mut held = self.shared.held.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *held)
+        };
+        let mut out = self.out.clone();
+        for frame in drained {
+            out.send_frame(&frame)?;
+        }
+        Ok(())
+    }
+
+    /// Ends the chaotic phase for good: releases everything held and
+    /// delivers every subsequent frame cleanly (later
+    /// [`Self::partition`] calls are ignored). Drive this before a
+    /// phase that needs timely replies — e.g. chaos the event stream,
+    /// then `calm()` before a checkpoint fan-out so its replies are
+    /// not stuck in the reorder stash.
+    pub fn calm(&self) -> io::Result<()> {
+        self.shared.calm.store(true, Ordering::SeqCst);
+        self.shared.partitioned.store(false, Ordering::SeqCst);
+        self.flush()
+    }
+
+    /// Whether the direction is currently partitioned.
+    pub fn is_partitioned(&self) -> bool {
+        self.shared.partitioned.load(Ordering::SeqCst)
+    }
+
+    /// Frames currently held (partition backlog + reorder stash).
+    pub fn held_frames(&self) -> usize {
+        self.shared.held.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+/// The chaotic sending half: applies the fault schedule frame by frame.
+#[derive(Debug)]
+pub struct ChaosTx {
+    out: ChannelTx,
+    shared: Arc<ChaosShared>,
+    cfg: ChaosConfig,
+    rng: StdRng,
+}
+
+impl FrameTx for ChaosTx {
+    fn send_frame(&mut self, payload: &[u8]) -> io::Result<()> {
+        if self.shared.calm.load(Ordering::SeqCst) {
+            return self.out.send_frame(payload);
+        }
+        if self.shared.partitioned.load(Ordering::SeqCst) {
+            self.shared.held.lock().unwrap_or_else(|e| e.into_inner()).push(payload.to_vec());
+            return Ok(());
+        }
+        if self.cfg.hold_per_mille > 0 && self.rng.gen_range(0u32..1000) < self.cfg.hold_per_mille {
+            let release = {
+                let mut held = self.shared.held.lock().unwrap_or_else(|e| e.into_inner());
+                held.push(payload.to_vec());
+                if held.len() >= self.cfg.reorder_window.max(1) {
+                    Some(std::mem::take(&mut *held))
+                } else {
+                    None
+                }
+            };
+            if let Some(mut stash) = release {
+                // Fisher–Yates off the seeded stream: the release order
+                // is scrambled but reproducible.
+                for i in (1..stash.len()).rev() {
+                    let j = self.rng.gen_range(0usize..i + 1);
+                    stash.swap(i, j);
+                }
+                for frame in stash {
+                    self.out.send_frame(&frame)?;
+                }
+            }
+            return Ok(());
+        }
+        self.out.send_frame(payload)?;
+        if self.cfg.dup_per_mille > 0 && self.rng.gen_range(0u32..1000) < self.cfg.dup_per_mille {
+            self.out.send_frame(payload)?;
+        }
+        Ok(())
+    }
+}
+
+/// A connected endpoint pair whose **A→B direction** runs through the
+/// fault harness (B→A is clean). Returns `(a, b, controller)`; give
+/// `a` to the worker, `b` to the service, keep the controller to drive
+/// partitions. `cap` bounds each direction's in-flight frames, as in
+/// [`crate::transport::duplex`].
+pub fn chaos_pair(cap: usize, cfg: ChaosConfig) -> (Endpoint, Endpoint, ChaosController) {
+    let cap = cap.max(1);
+    let (a_tx_raw, b_rx) = bounded::<Vec<u8>>(cap);
+    let (b_tx, a_rx) = bounded::<Vec<u8>>(cap);
+    let shared = Arc::new(ChaosShared::default());
+    let chaotic = ChaosTx {
+        out: ChannelTx(a_tx_raw.clone()),
+        shared: Arc::clone(&shared),
+        cfg,
+        rng: StdRng::seed_from_u64(cfg.seed),
+    };
+    let controller = ChaosController { shared, out: ChannelTx(a_tx_raw) };
+    let a = Endpoint { tx: Box::new(chaotic), rx: Box::new(ChannelRx(a_rx)) };
+    let b = Endpoint { tx: Box::new(ChannelTx(b_tx)), rx: Box::new(ChannelRx(b_rx)) };
+    (a, b, controller)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{FrameRx, Recv};
+    use std::collections::BTreeSet;
+
+    fn drain(rx: &mut dyn FrameRx) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        for _ in 0..2000 {
+            match rx.recv_frame().unwrap() {
+                Recv::Frame(p) => out.push(p),
+                Recv::Idle => break,
+                Recv::Closed => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn partition_holds_frames_and_heal_releases_them_in_order() {
+        let (mut a, mut b, ctl) = chaos_pair(64, ChaosConfig::partition_only(7));
+        ctl.partition();
+        for i in 0..5u8 {
+            a.tx.send_frame(&[i]).unwrap();
+        }
+        assert_eq!(drain(b.rx.as_mut()), Vec::<Vec<u8>>::new());
+        assert_eq!(ctl.held_frames(), 5);
+        ctl.heal().unwrap();
+        assert_eq!(drain(b.rx.as_mut()), vec![vec![0], vec![1], vec![2], vec![3], vec![4]]);
+        assert!(!ctl.is_partitioned());
+    }
+
+    #[test]
+    fn chaos_reorders_and_duplicates_but_never_loses() {
+        let cfg =
+            ChaosConfig { seed: 42, hold_per_mille: 400, dup_per_mille: 300, reorder_window: 3 };
+        let (mut a, mut b, ctl) = chaos_pair(4096, cfg);
+        let sent: Vec<Vec<u8>> = (0..200u8).map(|i| vec![i]).collect();
+        for f in &sent {
+            a.tx.send_frame(f).unwrap();
+        }
+        ctl.flush().unwrap();
+        let got = drain(b.rx.as_mut());
+        assert!(got.len() >= sent.len(), "duplication only adds: {} >= {}", got.len(), sent.len());
+        let distinct: BTreeSet<_> = got.iter().cloned().collect();
+        assert_eq!(distinct.len(), sent.len(), "no frame is ever lost");
+        assert_ne!(got[..sent.len()], sent[..], "seed 42 must actually reorder");
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg =
+            ChaosConfig { seed: 9, hold_per_mille: 300, dup_per_mille: 200, reorder_window: 2 };
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let (mut a, mut b, ctl) = chaos_pair(4096, cfg);
+            for i in 0..50u8 {
+                a.tx.send_frame(&[i]).unwrap();
+            }
+            ctl.flush().unwrap();
+            runs.push(drain(b.rx.as_mut()));
+        }
+        assert_eq!(runs[0], runs[1]);
+    }
+}

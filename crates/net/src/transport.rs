@@ -1,0 +1,333 @@
+//! Pluggable byte transports carrying one frame stream each way.
+//!
+//! A transport is just a pair of directional halves — [`FrameTx`] /
+//! [`FrameRx`] — moving whole frame *payloads* (the framing itself is
+//! [`rmon_storage::frame`]'s, shared with the on-disk segment format).
+//! Three carriers are provided:
+//!
+//! * [`tcp_endpoint`] / [`unix_endpoint`] — a connected stream socket,
+//!   split with `try_clone`; the reader uses a short read timeout so
+//!   [`FrameRx::recv_frame`] degrades to [`Recv::Idle`] instead of
+//!   blocking forever (session loops interleave receiving with other
+//!   work).
+//! * [`duplex`] — an in-process pair over bounded channels, the
+//!   deterministic transport tests and benchmarks use. Frames cross at
+//!   payload granularity (already parsed), which keeps the fault
+//!   harness ([`crate::harness`]) byte-exact and allocation-cheap.
+//!
+//! Everything here is `std`-only — no async runtime, no vendored
+//! network stack; blocking reads with timeouts are all a detection
+//! session needs.
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use rmon_storage::frame::{frame_into, FrameBuf};
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// Maximum frame payload a transport will decode (16 MiB, matching the
+/// oplog's default record cap).
+pub const MAX_FRAME_BYTES: u32 = 16 << 20;
+
+/// How long a socket reader blocks before reporting [`Recv::Idle`].
+const READ_TIMEOUT: Duration = Duration::from_millis(25);
+
+/// How long a duplex reader blocks before reporting [`Recv::Idle`].
+const DUPLEX_TIMEOUT: Duration = Duration::from_millis(2);
+
+/// One receive attempt's outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Recv {
+    /// A whole frame payload arrived.
+    Frame(Vec<u8>),
+    /// Nothing arrived within the transport's poll interval; the
+    /// connection is still up.
+    Idle,
+    /// The peer closed the connection (every buffered frame was
+    /// delivered first).
+    Closed,
+}
+
+/// The sending half of a transport: delivers whole frame payloads,
+/// preserving send order. An `Err` means the connection is unusable.
+pub trait FrameTx: Send + fmt::Debug {
+    /// Sends one frame payload.
+    fn send_frame(&mut self, payload: &[u8]) -> io::Result<()>;
+}
+
+/// The receiving half of a transport. `recv_frame` blocks briefly and
+/// reports [`Recv::Idle`] on timeout so callers can interleave work; a
+/// corrupt byte stream is an `Err` (stream decoders cannot resync).
+pub trait FrameRx: Send + fmt::Debug {
+    /// Receives the next frame, [`Recv::Idle`] on timeout,
+    /// [`Recv::Closed`] once the peer is gone.
+    fn recv_frame(&mut self) -> io::Result<Recv>;
+}
+
+/// One direction-complete connection end: a tx half and an rx half.
+#[derive(Debug)]
+pub struct Endpoint {
+    /// The sending half.
+    pub tx: Box<dyn FrameTx>,
+    /// The receiving half.
+    pub rx: Box<dyn FrameRx>,
+}
+
+// --- in-process duplex ------------------------------------------------
+
+/// Creates a connected in-process transport pair: frames sent on one
+/// endpoint arrive on the other, each direction a bounded channel of
+/// `cap` frames (backpressure via blocking send, like a socket buffer).
+pub fn duplex(cap: usize) -> (Endpoint, Endpoint) {
+    let (a_tx, b_rx) = bounded::<Vec<u8>>(cap.max(1));
+    let (b_tx, a_rx) = bounded::<Vec<u8>>(cap.max(1));
+    (
+        Endpoint { tx: Box::new(ChannelTx(a_tx)), rx: Box::new(ChannelRx(a_rx)) },
+        Endpoint { tx: Box::new(ChannelTx(b_tx)), rx: Box::new(ChannelRx(b_rx)) },
+    )
+}
+
+/// The sending half of a [`duplex`] direction. Public so the fault
+/// harness can wrap raw channel ends.
+#[derive(Debug, Clone)]
+pub struct ChannelTx(pub(crate) Sender<Vec<u8>>);
+
+impl FrameTx for ChannelTx {
+    fn send_frame(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.0
+            .send(payload.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "duplex peer gone"))
+    }
+}
+
+/// The receiving half of a [`duplex`] direction.
+#[derive(Debug)]
+pub struct ChannelRx(pub(crate) Receiver<Vec<u8>>);
+
+impl FrameRx for ChannelRx {
+    fn recv_frame(&mut self) -> io::Result<Recv> {
+        match self.0.recv_timeout(DUPLEX_TIMEOUT) {
+            Ok(payload) => Ok(Recv::Frame(payload)),
+            Err(RecvTimeoutError::Timeout) => Ok(Recv::Idle),
+            Err(RecvTimeoutError::Disconnected) => Ok(Recv::Closed),
+        }
+    }
+}
+
+// --- stream sockets ---------------------------------------------------
+
+/// Frame writer over any byte sink: frames each payload with the
+/// shared `[len][crc32][payload]` codec and writes it whole.
+pub struct StreamTx<W: Write + Send> {
+    inner: W,
+    scratch: Vec<u8>,
+}
+
+impl<W: Write + Send> fmt::Debug for StreamTx<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamTx").finish_non_exhaustive()
+    }
+}
+
+impl<W: Write + Send> StreamTx<W> {
+    /// Wraps a byte sink.
+    pub fn new(inner: W) -> Self {
+        StreamTx { inner, scratch: Vec::new() }
+    }
+}
+
+impl<W: Write + Send> FrameTx for StreamTx<W> {
+    fn send_frame(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.scratch.clear();
+        frame_into(&mut self.scratch, payload);
+        self.inner.write_all(&self.scratch)?;
+        self.inner.flush()
+    }
+}
+
+/// Frame reader over any byte source with read timeouts: accumulates
+/// bytes in a [`FrameBuf`] and pops whole payloads. A decode error is
+/// terminal (`InvalidData`).
+pub struct StreamRx<R: Read + Send> {
+    inner: R,
+    buf: FrameBuf,
+    ready: VecDeque<Vec<u8>>,
+    chunk: Vec<u8>,
+}
+
+impl<R: Read + Send> fmt::Debug for StreamRx<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamRx").field("buffered", &self.ready.len()).finish_non_exhaustive()
+    }
+}
+
+impl<R: Read + Send> StreamRx<R> {
+    /// Wraps a byte source whose reads time out (the constructor
+    /// functions below configure the socket timeout).
+    pub fn new(inner: R) -> Self {
+        StreamRx {
+            inner,
+            buf: FrameBuf::new(MAX_FRAME_BYTES),
+            ready: VecDeque::new(),
+            chunk: vec![0; 64 << 10],
+        }
+    }
+
+    fn drain_decoded(&mut self) -> io::Result<()> {
+        while let Some(payload) = self
+            .buf
+            .next_frame()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+        {
+            self.ready.push_back(payload);
+        }
+        Ok(())
+    }
+}
+
+impl<R: Read + Send> FrameRx for StreamRx<R> {
+    fn recv_frame(&mut self) -> io::Result<Recv> {
+        if let Some(payload) = self.ready.pop_front() {
+            return Ok(Recv::Frame(payload));
+        }
+        match self.inner.read(&mut self.chunk) {
+            Ok(0) => Ok(Recv::Closed),
+            Ok(n) => {
+                let chunk = std::mem::take(&mut self.chunk);
+                self.buf.extend(&chunk[..n]);
+                self.chunk = chunk;
+                self.drain_decoded()?;
+                match self.ready.pop_front() {
+                    Some(payload) => Ok(Recv::Frame(payload)),
+                    None => Ok(Recv::Idle),
+                }
+            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                Ok(Recv::Idle)
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(Recv::Idle),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::ConnectionReset | io::ErrorKind::BrokenPipe
+                ) =>
+            {
+                Ok(Recv::Closed)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Splits a connected TCP stream into an [`Endpoint`] (clones the
+/// descriptor, arms the read timeout, disables Nagle so small event
+/// batches are not held back).
+pub fn tcp_endpoint(stream: TcpStream) -> io::Result<Endpoint> {
+    stream.set_nodelay(true)?;
+    let reader = stream.try_clone()?;
+    reader.set_read_timeout(Some(READ_TIMEOUT))?;
+    Ok(Endpoint { tx: Box::new(StreamTx::new(stream)), rx: Box::new(StreamRx::new(reader)) })
+}
+
+/// Splits a connected Unix-domain stream into an [`Endpoint`].
+#[cfg(unix)]
+pub fn unix_endpoint(stream: UnixStream) -> io::Result<Endpoint> {
+    let reader = stream.try_clone()?;
+    reader.set_read_timeout(Some(READ_TIMEOUT))?;
+    Ok(Endpoint { tx: Box::new(StreamTx::new(stream)), rx: Box::new(StreamRx::new(reader)) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recv_until_frame(rx: &mut dyn FrameRx, budget: u32) -> Option<Vec<u8>> {
+        for _ in 0..budget {
+            match rx.recv_frame().expect("recv") {
+                Recv::Frame(p) => return Some(p),
+                Recv::Idle => continue,
+                Recv::Closed => return None,
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn duplex_delivers_both_directions_in_order() {
+        let (mut a, mut b) = duplex(8);
+        a.tx.send_frame(b"one").unwrap();
+        a.tx.send_frame(b"two").unwrap();
+        b.tx.send_frame(b"ack").unwrap();
+        assert_eq!(recv_until_frame(b.rx.as_mut(), 10).unwrap(), b"one");
+        assert_eq!(recv_until_frame(b.rx.as_mut(), 10).unwrap(), b"two");
+        assert_eq!(recv_until_frame(a.rx.as_mut(), 10).unwrap(), b"ack");
+        drop(a);
+        assert_eq!(b.rx.recv_frame().unwrap(), Recv::Closed);
+        assert!(b.tx.send_frame(b"x").is_err(), "send to a gone peer errors");
+    }
+
+    #[test]
+    fn tcp_endpoints_frame_and_reassemble() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let mut c = tcp_endpoint(client).unwrap();
+        let mut s = tcp_endpoint(server).unwrap();
+        let big = vec![0xABu8; 100_000];
+        c.tx.send_frame(&big).unwrap();
+        c.tx.send_frame(b"tail").unwrap();
+        assert_eq!(recv_until_frame(s.rx.as_mut(), 400).unwrap(), big);
+        assert_eq!(recv_until_frame(s.rx.as_mut(), 400).unwrap(), b"tail");
+        // Idle while the peer is quiet, Closed once it hangs up.
+        assert_eq!(s.rx.recv_frame().unwrap(), Recv::Idle);
+        drop(c);
+        let mut saw_closed = false;
+        for _ in 0..400 {
+            if s.rx.recv_frame().unwrap() == Recv::Closed {
+                saw_closed = true;
+                break;
+            }
+        }
+        assert!(saw_closed);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_endpoints_roundtrip() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let mut a = unix_endpoint(a).unwrap();
+        let mut b = unix_endpoint(b).unwrap();
+        a.tx.send_frame(b"over unix").unwrap();
+        assert_eq!(recv_until_frame(b.rx.as_mut(), 400).unwrap(), b"over unix");
+    }
+
+    #[test]
+    fn corrupt_stream_bytes_are_a_terminal_error() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let mut s = tcp_endpoint(server).unwrap();
+        // A frame header claiming a zero-length payload is invalid.
+        client.write_all(&[0u8; 16]).unwrap();
+        client.flush().unwrap();
+        let mut saw_err = false;
+        for _ in 0..400 {
+            match s.rx.recv_frame() {
+                Err(e) => {
+                    assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+                    saw_err = true;
+                    break;
+                }
+                Ok(Recv::Idle) => continue,
+                Ok(other) => panic!("expected decode error, got {other:?}"),
+            }
+        }
+        assert!(saw_err);
+    }
+}

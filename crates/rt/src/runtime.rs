@@ -716,6 +716,13 @@ impl RuntimeBuilder {
     /// namespace. The runtime shuts the backend down when it is
     /// dropped as the sole owner; callers that keep their own `Arc`
     /// keep it alive (and responsible for its shutdown).
+    ///
+    /// This is also the seam for *distributed* detection: a
+    /// `rmon_net::RemoteBackend` connected to a detection service in
+    /// another process is an ordinary `DetectionBackend`, and
+    /// [`Self::build`] registers the runtime's snapshot provider with
+    /// it like any other backend, so service-initiated checkpoint
+    /// fan-outs can gather this runtime's live monitor states.
     pub fn backend(mut self, backend: Arc<dyn DetectionBackend>) -> Self {
         self.backend = BackendChoice::Ready(backend);
         self

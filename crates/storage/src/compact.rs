@@ -1,0 +1,411 @@
+//! Sealed-segment archival: dropping committed windows whose inputs no
+//! longer affect any replayable verdict.
+//!
+//! Retention ([`crate::oplog::OplogConfig::max_segments`]) bounds disk
+//! by *deleting history* — after it fires, differential replay is
+//! best-effort. Compaction reclaims space without giving that up: an
+//! epoch whose commits have been superseded by a later `Epoch` record
+//! (the runtime restarted and re-registered everything behind it) and
+//! whose committed windows recorded **no verdicts** contributes nothing
+//! to the replayable verdict sequence — each epoch replays through a
+//! fresh detector, so its inputs cannot influence any later epoch's
+//! recomputation. [`Oplog::compact_sealed`] drops exactly those
+//! records, wholesale per epoch, from sealed segments only.
+//!
+//! The pass is self-verifying: before rewriting anything it replays the
+//! original and the compacted record streams and requires identical
+//! canonical verdict keys (recorded *and* recomputed). If the check
+//! fails — an unresolvable spec, an undecodable record, any surprise —
+//! the log is left untouched and [`CompactReport::skipped`] says why.
+//! Epochs that recorded verdicts are never dropped: their windows are
+//! the evidence.
+//!
+//! Rewrites are crash-safe: each affected segment is rebuilt in a
+//! `.tmp` file (invisible to segment listing), synced, then renamed
+//! over the original. Segment files keep their names — after
+//! compaction a name's `first_lsn` records where the segment began in
+//! the *original* stream, so LSNs are no longer dense within compacted
+//! segments (readers never relied on density inside a file).
+
+use crate::oplog::Oplog;
+use crate::replay::{replay_records, verdict_keys, SpecResolver};
+use crate::segment::{scan_segment, SegmentWriter};
+use rmon_core::oplog::{decode_record, Record};
+use rmon_core::DetectorConfig;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// What one [`Oplog::compact_sealed`] pass examined, dropped and
+/// reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactReport {
+    /// Sealed segments examined.
+    pub sealed_segments: usize,
+    /// Sealed segments rewritten (their files shrank in place).
+    pub segments_rewritten: usize,
+    /// Superseded verdict-clean epochs archived away.
+    pub epochs_archived: u64,
+    /// Records dropped across all rewritten segments.
+    pub records_dropped: u64,
+    /// Events inside dropped `Events` windows.
+    pub events_dropped: u64,
+    /// Bytes reclaimed on disk.
+    pub bytes_reclaimed: u64,
+    /// Whether the before/after replay equivalence check ran and
+    /// passed. `false` only together with a [`CompactReport::skipped`]
+    /// reason.
+    pub verified: bool,
+    /// Why the pass declined to change anything, if it did.
+    pub skipped: Option<&'static str>,
+}
+
+impl CompactReport {
+    fn declined(sealed_segments: usize, reason: &'static str) -> CompactReport {
+        CompactReport { sealed_segments, skipped: Some(reason), ..CompactReport::default() }
+    }
+}
+
+impl Oplog {
+    /// Archives sealed segments: drops every record of a *superseded,
+    /// verdict-clean* epoch (see the module docs in
+    /// `crates/storage/src/compact.rs` for
+    /// the exact rule and its safety argument), after proving with a
+    /// differential replay over `resolve`/`cfg` — which must be the
+    /// live run's — that the recorded and recomputed verdict sequences
+    /// are unchanged. The active segment is never touched.
+    ///
+    /// Returns what was examined and reclaimed; on any doubt the pass
+    /// declines (`skipped` set, nothing rewritten) rather than risking
+    /// replay fidelity. `Err` is reserved for I/O failures.
+    pub fn compact_sealed(
+        &mut self,
+        cfg: DetectorConfig,
+        resolve: &SpecResolver<'_>,
+    ) -> io::Result<CompactReport> {
+        let sealed: Vec<PathBuf> = self.sealed_paths();
+        let report = compact_sealed_impl(
+            &sealed,
+            self.active_path(),
+            self.config().max_record_bytes,
+            cfg,
+            resolve,
+        )?;
+        Ok(report)
+    }
+}
+
+pub(crate) fn compact_sealed_impl(
+    sealed: &[PathBuf],
+    active_path: &Path,
+    max_record_bytes: u32,
+    cfg: DetectorConfig,
+    resolve: &SpecResolver<'_>,
+) -> io::Result<CompactReport> {
+    let examined = sealed.len();
+    if sealed.is_empty() {
+        return Ok(CompactReport { verified: true, ..CompactReport::default() });
+    }
+
+    // Gather every payload, remembering which sealed segment each came
+    // from (`None` marks the active tail, which is read for replay
+    // context but never rewritten).
+    let mut payloads: Vec<Vec<u8>> = Vec::new();
+    let mut origin: Vec<Option<usize>> = Vec::new();
+    for (i, path) in sealed.iter().enumerate() {
+        let scan = scan_segment(path, max_record_bytes)?;
+        if !scan.header_ok || scan.torn_bytes > 0 {
+            return Ok(CompactReport::declined(examined, "sealed segment torn or headerless"));
+        }
+        origin.extend(std::iter::repeat_n(Some(i), scan.records.len()));
+        payloads.extend(scan.records);
+    }
+    let scan = scan_segment(active_path, max_record_bytes)?;
+    origin.extend(std::iter::repeat_n(None, scan.records.len()));
+    payloads.extend(scan.records);
+
+    let mut records: Vec<Record> = Vec::with_capacity(payloads.len());
+    for payload in &payloads {
+        match decode_record(payload) {
+            Ok(record) => records.push(record),
+            Err(_) => return Ok(CompactReport::declined(examined, "undecodable record")),
+        }
+    }
+
+    // Epoch spans, and which are droppable: superseded (a later Epoch
+    // exists), wholly sealed, and verdict-clean.
+    let sealed_count = origin.iter().filter(|o| o.is_some()).count();
+    let epoch_starts: Vec<usize> = records
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| matches!(r, Record::Epoch { .. }).then_some(i))
+        .collect();
+    let mut drop = vec![false; records.len()];
+    let mut report =
+        CompactReport { sealed_segments: examined, verified: true, ..CompactReport::default() };
+    for pair in epoch_starts.windows(2) {
+        let (start, end) = (pair[0], pair[1]);
+        if end > sealed_count {
+            continue; // spills into the active segment
+        }
+        let clean = records[start..end].iter().all(|r| match r {
+            Record::Realtime(vs) => vs.is_empty(),
+            Record::Checkpoint { report, .. } => {
+                report.violations.is_empty() && report.predicted.is_empty()
+            }
+            _ => true,
+        });
+        if !clean {
+            continue;
+        }
+        for (i, record) in records.iter().enumerate().take(end).skip(start) {
+            drop[i] = true;
+            if let Record::Events(events) = record {
+                report.events_dropped += events.len() as u64;
+            }
+        }
+        report.epochs_archived += 1;
+        report.records_dropped += (end - start) as u64;
+    }
+    if report.records_dropped == 0 {
+        return Ok(report);
+    }
+
+    // Prove verdict preservation before touching any file.
+    let kept: Vec<Record> =
+        records.iter().zip(&drop).filter(|(_, &d)| !d).map(|(r, _)| r.clone()).collect();
+    let before = replay_records(&records, cfg, resolve);
+    let after = replay_records(&kept, cfg, resolve);
+    let preserved = before.unresolved.is_empty()
+        && after.unresolved.is_empty()
+        && verdict_keys(&before.recorded) == verdict_keys(&after.recorded)
+        && verdict_keys(&before.recomputed) == verdict_keys(&after.recomputed);
+    if !preserved {
+        return Ok(CompactReport::declined(examined, "replay verification failed"));
+    }
+
+    // Rewrite each affected segment: header + surviving frames into a
+    // `.tmp` sibling (ignored by segment listing), sync, rename over.
+    for (i, path) in sealed.iter().enumerate() {
+        let affected = origin.iter().zip(&drop).any(|(&o, &d)| o == Some(i) && d);
+        if !affected {
+            continue;
+        }
+        let old_len = fs::metadata(path)?.len();
+        let mut writer = SegmentWriter::create(&tmp_path(path))?;
+        for ((payload, &o), &d) in payloads.iter().zip(&origin).zip(&drop) {
+            if o == Some(i) && !d {
+                writer.append(payload)?;
+            }
+        }
+        writer.sync()?;
+        let new_len = writer.bytes();
+        fs::rename(writer.path(), path)?;
+        report.bytes_reclaimed += old_len.saturating_sub(new_len);
+        report.segments_rewritten += 1;
+    }
+    // Best-effort directory sync so the renames are durable as a set.
+    if let Some(dir) = active_path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(report)
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oplog::{Oplog, OplogConfig};
+    use crate::replay::replay_dir;
+    use rmon_core::detect::Detector;
+    use rmon_core::oplog::encode_record;
+    use rmon_core::{Event, MonitorId, MonitorSpec, MonitorState, Nanos, Pid, Violation};
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("rmon-compact-{tag}-{}", std::process::id()))
+            .join(format!("{:?}", std::thread::current().id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Tiny segments: every append rotates, so all but the last record
+    /// are sealed.
+    fn tiny_cfg() -> OplogConfig {
+        OplogConfig { segment_bytes: 16, max_segments: 1024, ..OplogConfig::default() }
+    }
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig::without_timeouts()
+    }
+
+    fn resolver() -> impl Fn(MonitorId, &str) -> Option<Arc<MonitorSpec>> {
+        let bb = Arc::new(MonitorSpec::bounded_buffer("mailbox", 4).spec);
+        let al = Arc::new(MonitorSpec::allocator("res", 1).spec);
+        move |_, name| match name {
+            "mailbox" => Some(Arc::clone(&bb)),
+            "res" => Some(Arc::clone(&al)),
+            _ => None,
+        }
+    }
+
+    /// One committed epoch built exactly the way a live runtime commits
+    /// it (events through the real-time path, then the checkpoint), so
+    /// replay reproduces it bit-for-bit.
+    fn epoch_records(faulty: bool) -> Vec<Record> {
+        let m = MonitorId::new(0);
+        let mut det = Detector::new(cfg());
+        let mut out = vec![Record::Epoch { time: Nanos::ZERO }];
+        let (events, snaps, name): (Vec<Event>, HashMap<MonitorId, MonitorState>, &str) = if faulty
+        {
+            let al = MonitorSpec::allocator("res", 1);
+            det.register_empty(m, Arc::new(al.spec.clone()), Nanos::ZERO);
+            // Release without request: a real-time ST-8 verdict.
+            (
+                vec![Event::enter(1, Nanos::new(10), m, Pid::new(1), al.release, true)],
+                HashMap::new(),
+                "res",
+            )
+        } else {
+            let bb = MonitorSpec::bounded_buffer("mailbox", 4);
+            det.register_empty(m, Arc::new(bb.spec.clone()), Nanos::ZERO);
+            let events = vec![
+                Event::enter(1, Nanos::new(10), m, Pid::new(1), bb.send, true),
+                Event::signal_exit(
+                    2,
+                    Nanos::new(20),
+                    m,
+                    Pid::new(1),
+                    bb.send,
+                    Some(bb.empty_cond),
+                    false,
+                ),
+            ];
+            let mut snaps = HashMap::new();
+            snaps.insert(m, MonitorState::with_resources(2, 3));
+            (events, snaps, "mailbox")
+        };
+        out.push(Record::Register { monitor: m, name: name.to_string(), time: Nanos::ZERO });
+        let mut realtime: Vec<Violation> = Vec::new();
+        for e in &events {
+            det.observe_into(e, &mut realtime);
+        }
+        let report = det.checkpoint(Nanos::new(30), &events, &snaps);
+        assert_eq!(report.violations.is_empty() && realtime.is_empty(), !faulty);
+        out.push(Record::Events(events));
+        out.push(Record::Realtime(realtime));
+        let snapshots: Vec<(MonitorId, MonitorState)> = snaps.into_iter().collect();
+        out.push(Record::Checkpoint { now: Nanos::new(30), snapshots, report });
+        out
+    }
+
+    fn append_all(log: &mut Oplog, records: &[Record]) {
+        for r in records {
+            log.append(&encode_record(r)).unwrap();
+        }
+    }
+
+    #[test]
+    fn superseded_clean_epoch_is_archived_with_verdicts_preserved() {
+        let dir = tmp_dir("archive");
+        let mut log = Oplog::open(&dir, tiny_cfg()).unwrap();
+        append_all(&mut log, &epoch_records(false)); // clean, superseded
+        append_all(&mut log, &epoch_records(true)); // faulty tail epoch
+        log.sync().unwrap();
+
+        let resolve = resolver();
+        let (before, _) = replay_dir(&dir, 16 << 20, cfg(), &resolve).unwrap();
+        assert!(before.matches(), "{:?}", before.mismatch());
+        assert_eq!(before.epochs, 2);
+
+        let report = log.compact_sealed(cfg(), &resolve).unwrap();
+        assert!(report.verified && report.skipped.is_none(), "{report:?}");
+        assert_eq!(report.epochs_archived, 1);
+        assert_eq!(report.records_dropped, 5, "epoch+register+events+realtime+checkpoint");
+        assert_eq!(report.events_dropped, 2);
+        assert!(report.segments_rewritten > 0);
+        assert!(report.bytes_reclaimed > 0);
+
+        // The compacted log replays to the same verdicts.
+        let (after, read) = replay_dir(&dir, 16 << 20, cfg(), &resolve).unwrap();
+        assert!(after.matches(), "{:?}", after.mismatch());
+        assert_eq!(verdict_keys(&after.recorded), verdict_keys(&before.recorded));
+        assert_eq!(verdict_keys(&after.recomputed), verdict_keys(&before.recomputed));
+        assert_eq!(after.epochs, 1, "the archived epoch is gone");
+        assert!(!read.stopped_mid_log);
+        assert!(!after.recorded.is_empty(), "the faulty epoch's verdicts survive");
+
+        // And the log still opens and appends.
+        drop(log);
+        let mut log = Oplog::open(&dir, tiny_cfg()).unwrap();
+        log.append(b"x").unwrap();
+    }
+
+    #[test]
+    fn final_epoch_is_never_archived() {
+        let dir = tmp_dir("final");
+        let mut log = Oplog::open(&dir, tiny_cfg()).unwrap();
+        append_all(&mut log, &epoch_records(false));
+        log.sync().unwrap();
+        let resolve = resolver();
+        let report = log.compact_sealed(cfg(), &resolve).unwrap();
+        assert_eq!(report.records_dropped, 0, "{report:?}");
+        assert_eq!(report.epochs_archived, 0);
+        assert!(report.verified);
+        let (outcome, _) = replay_dir(&dir, 16 << 20, cfg(), &resolve).unwrap();
+        assert_eq!(outcome.epochs, 1);
+    }
+
+    #[test]
+    fn epochs_with_verdicts_are_retained() {
+        let dir = tmp_dir("retain");
+        let mut log = Oplog::open(&dir, tiny_cfg()).unwrap();
+        append_all(&mut log, &epoch_records(true)); // faulty, superseded
+        append_all(&mut log, &epoch_records(false)); // clean tail
+        log.sync().unwrap();
+        let resolve = resolver();
+        let (before, _) = replay_dir(&dir, 16 << 20, cfg(), &resolve).unwrap();
+        let report = log.compact_sealed(cfg(), &resolve).unwrap();
+        assert_eq!(report.records_dropped, 0, "verdict evidence must survive: {report:?}");
+        let (after, _) = replay_dir(&dir, 16 << 20, cfg(), &resolve).unwrap();
+        assert_eq!(verdict_keys(&after.recorded), verdict_keys(&before.recorded));
+        assert_eq!(after.epochs, 2);
+    }
+
+    #[test]
+    fn unresolvable_spec_declines_the_pass() {
+        let dir = tmp_dir("decline");
+        let mut log = Oplog::open(&dir, tiny_cfg()).unwrap();
+        append_all(&mut log, &epoch_records(false));
+        append_all(&mut log, &epoch_records(true));
+        log.sync().unwrap();
+        let report = log.compact_sealed(cfg(), &|_, _| None).unwrap();
+        assert_eq!(report.skipped, Some("replay verification failed"));
+        assert!(!report.verified);
+        assert_eq!(report.segments_rewritten, 0);
+        // Nothing changed on disk: the full log still replays.
+        let resolve = resolver();
+        let (outcome, _) = replay_dir(&dir, 16 << 20, cfg(), &resolve).unwrap();
+        assert_eq!(outcome.epochs, 2);
+        assert!(outcome.matches(), "{:?}", outcome.mismatch());
+    }
+
+    #[test]
+    fn compaction_with_no_sealed_segments_is_a_no_op() {
+        let dir = tmp_dir("empty");
+        let mut log = Oplog::open(&dir, OplogConfig::default()).unwrap();
+        append_all(&mut log, &epoch_records(false));
+        let report = log.compact_sealed(cfg(), &resolver()).unwrap();
+        assert_eq!(report, CompactReport { verified: true, ..CompactReport::default() });
+    }
+}

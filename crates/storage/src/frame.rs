@@ -1,0 +1,228 @@
+//! The CRC frame codec shared by segment files and the wire protocol.
+//!
+//! One framing, two carriers: a segment file is `[header][frame]*` on
+//! disk (see [`crate::segment`]), and an `rmon-net` byte-stream
+//! transport is `[frame]*` on a socket. Both use the same frame shape —
+//!
+//! ```text
+//! [len u32 LE | crc32 u32 LE | payload len bytes]
+//! ```
+//!
+//! — with [`rmon_core::oplog::crc32`] over the payload only. Keeping
+//! the codec here means the wire format is the journal format: a frame
+//! captured off a socket is byte-identical to a frame in a segment
+//! file, and both ends are covered by the same corruption tests.
+//!
+//! [`frame_into`] / [`parse_frame`] are the stateless halves (what the
+//! segment writer/scanner use); [`FrameBuf`] is the incremental decoder
+//! a socket reader needs, where frames arrive split across arbitrary
+//! read boundaries.
+
+use rmon_core::oplog::crc32;
+use std::fmt;
+
+/// Frame overhead in bytes (`len` + `crc`).
+pub const FRAME_HEADER_BYTES: usize = 8;
+
+/// Appends one framed `payload` to `out`.
+pub fn frame_into(out: &mut Vec<u8>, payload: &[u8]) {
+    out.reserve(FRAME_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// One parse step at the head of a frame stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameStep {
+    /// A whole, CRC-valid frame sits at the head: its payload is
+    /// `buf[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + len]` and the
+    /// frame occupies `FRAME_HEADER_BYTES + len` bytes in total.
+    Frame {
+        /// Payload length in bytes.
+        len: usize,
+    },
+    /// The buffer holds only a prefix of a frame — on disk that is a
+    /// torn tail, on a socket it means "read more bytes".
+    NeedMore,
+    /// The head cannot be a valid frame (zero/oversized length or CRC
+    /// mismatch) — torn on disk, a protocol error on a socket.
+    Invalid(&'static str),
+}
+
+/// Examines the head of `buf` for one frame. Never panics on any
+/// input; corrupt length fields are bounded by `max_payload` before
+/// any allocation or indexing.
+pub fn parse_frame(buf: &[u8], max_payload: u32) -> FrameStep {
+    if buf.len() < FRAME_HEADER_BYTES {
+        return FrameStep::NeedMore;
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    if len == 0 {
+        return FrameStep::Invalid("zero-length frame");
+    }
+    if len > max_payload as usize {
+        return FrameStep::Invalid("frame length exceeds cap");
+    }
+    if buf.len() - FRAME_HEADER_BYTES < len {
+        return FrameStep::NeedMore;
+    }
+    let payload = &buf[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + len];
+    if crc32(payload) != crc {
+        return FrameStep::Invalid("frame crc mismatch");
+    }
+    FrameStep::Frame { len }
+}
+
+/// A frame failed to parse off a byte stream — corruption or a
+/// non-speaker on the socket. Unlike a torn segment tail this is not
+/// recoverable in place: a stream decoder cannot resynchronise past
+/// bad bytes, so the connection must drop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameError(pub &'static str);
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame stream error: {}", self.0)
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Incremental frame decoder for byte-stream transports: feed it
+/// whatever the socket returned ([`FrameBuf::extend`]), pop whole
+/// payloads ([`FrameBuf::next_frame`]). Consumed bytes are compacted
+/// away lazily, so a long-lived connection does not grow the buffer.
+///
+/// # Examples
+///
+/// ```
+/// use rmon_storage::frame::{frame_into, FrameBuf};
+///
+/// let mut wire = Vec::new();
+/// frame_into(&mut wire, b"hello");
+/// frame_into(&mut wire, b"world");
+///
+/// let mut decoder = FrameBuf::new(1 << 20);
+/// // Bytes arrive split at an arbitrary boundary.
+/// decoder.extend(&wire[..7]);
+/// assert_eq!(decoder.next_frame().unwrap(), None);
+/// decoder.extend(&wire[7..]);
+/// assert_eq!(decoder.next_frame().unwrap().as_deref(), Some(&b"hello"[..]));
+/// assert_eq!(decoder.next_frame().unwrap().as_deref(), Some(&b"world"[..]));
+/// assert_eq!(decoder.next_frame().unwrap(), None);
+/// ```
+#[derive(Debug)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    /// Start of unconsumed bytes within `buf`.
+    start: usize,
+    max_payload: u32,
+}
+
+impl FrameBuf {
+    /// A decoder rejecting payloads larger than `max_payload` bytes.
+    pub fn new(max_payload: u32) -> Self {
+        FrameBuf { buf: Vec::new(), start: 0, max_payload }
+    }
+
+    /// Feeds raw bytes from the transport.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: drop the consumed prefix when it
+        // dominates the buffer.
+        if self.start > 0 && self.start >= self.buf.len() / 2 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next whole payload, `Ok(None)` when more bytes are
+    /// needed. An invalid frame is terminal: every subsequent call
+    /// returns the same error.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        match parse_frame(&self.buf[self.start..], self.max_payload) {
+            FrameStep::Frame { len } => {
+                let head = self.start + FRAME_HEADER_BYTES;
+                let payload = self.buf[head..head + len].to_vec();
+                self.start = head + len;
+                Ok(Some(payload))
+            }
+            FrameStep::NeedMore => Ok(None),
+            FrameStep::Invalid(detail) => Err(FrameError(detail)),
+        }
+    }
+
+    /// Unconsumed bytes currently buffered.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_exact_layout() {
+        let mut out = Vec::new();
+        frame_into(&mut out, b"abc");
+        assert_eq!(out.len(), FRAME_HEADER_BYTES + 3);
+        assert_eq!(&out[0..4], &3u32.to_le_bytes());
+        assert_eq!(&out[4..8], &crc32(b"abc").to_le_bytes());
+        assert_eq!(parse_frame(&out, 1 << 20), FrameStep::Frame { len: 3 });
+    }
+
+    #[test]
+    fn parse_classifies_every_head_shape() {
+        let mut out = Vec::new();
+        frame_into(&mut out, b"abcdef");
+        // Every strict prefix needs more bytes.
+        for cut in 0..out.len() {
+            assert_eq!(parse_frame(&out[..cut], 1 << 20), FrameStep::NeedMore, "cut {cut}");
+        }
+        // Oversized cap and zero length are invalid, not allocations.
+        assert!(matches!(parse_frame(&out, 3), FrameStep::Invalid(_)));
+        let zero = [0u8; 8];
+        assert!(matches!(parse_frame(&zero, 1 << 20), FrameStep::Invalid(_)));
+        // A flipped payload byte fails the CRC.
+        let mut bad = out.clone();
+        *bad.last_mut().unwrap() ^= 1;
+        assert!(matches!(parse_frame(&bad, 1 << 20), FrameStep::Invalid(_)));
+    }
+
+    #[test]
+    fn framebuf_decodes_byte_by_byte() {
+        let payloads: Vec<Vec<u8>> = vec![b"x".to_vec(), vec![7u8; 300], b"tail".to_vec()];
+        let mut wire = Vec::new();
+        for p in &payloads {
+            frame_into(&mut wire, p);
+        }
+        let mut decoder = FrameBuf::new(1 << 20);
+        let mut got = Vec::new();
+        for &b in &wire {
+            decoder.extend(&[b]);
+            while let Some(p) = decoder.next_frame().unwrap() {
+                got.push(p);
+            }
+        }
+        assert_eq!(got, payloads);
+        assert_eq!(decoder.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn framebuf_error_is_terminal() {
+        let mut wire = Vec::new();
+        frame_into(&mut wire, b"ok");
+        let mut bad = Vec::new();
+        frame_into(&mut bad, b"doomed");
+        *bad.last_mut().unwrap() ^= 0xFF;
+        wire.extend_from_slice(&bad);
+        let mut decoder = FrameBuf::new(1 << 20);
+        decoder.extend(&wire);
+        assert_eq!(decoder.next_frame().unwrap().as_deref(), Some(&b"ok"[..]));
+        assert!(decoder.next_frame().is_err());
+        assert!(decoder.next_frame().is_err(), "errors must be sticky");
+    }
+}

@@ -14,10 +14,14 @@
 //!
 //! ## Layers
 //!
-//! * [`segment`] — one segment file: `[len][crc32][payload]` frames
-//!   behind a magic header, scan / recover / append.
+//! * [`frame`] — the `[len][crc32][payload]` frame codec, shared
+//!   between segment files and `rmon-net`'s wire protocol (including
+//!   the incremental [`FrameBuf`] decoder sockets need).
+//! * [`segment`] — one segment file: frames behind a magic header,
+//!   scan / recover / append.
 //! * [`oplog`] — the [`Oplog`] engine: a directory of segments named
-//!   by first LSN, rotation, retention, fsync policy.
+//!   by first LSN, rotation, retention, fsync policy, and the
+//!   [`Oplog::compact_sealed`] archive pass.
 //! * [`sink`] — [`DurableSink`]: both core sink traits over one
 //!   oplog; what a runtime plugs in.
 //! * [`replay`] — the differential replayer and its
@@ -45,11 +49,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod compact;
+pub mod frame;
 pub mod oplog;
 pub mod replay;
 pub mod segment;
 pub mod sink;
 
+pub use compact::CompactReport;
+pub use frame::{FrameBuf, FrameError};
 pub use oplog::{FsyncPolicy, Oplog, OplogConfig, ReadReport, RecoveryReport};
 pub use replay::{replay_dir, replay_records, verdict_keys, ReplayOutcome, SpecResolver};
 pub use segment::{scan_segment, scan_segment_bytes, SegmentScan};

@@ -16,7 +16,7 @@
 //! respect to their own ordering (a frame is written before the next
 //! one starts), a crash can only tear the *last* frame of a segment.
 
-use rmon_core::oplog::crc32;
+use crate::frame::{frame_into, parse_frame, FrameStep};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
@@ -27,8 +27,9 @@ pub const SEGMENT_MAGIC: [u8; 8] = *b"RMONOPL\x01";
 /// Header length in bytes.
 pub const SEGMENT_HEADER_BYTES: u64 = 8;
 
-/// Frame overhead in bytes (`len` + `crc`).
-pub const FRAME_HEADER_BYTES: u64 = 8;
+/// Frame overhead in bytes (`len` + `crc`) — see [`crate::frame`],
+/// which owns the frame codec shared with the wire protocol.
+pub const FRAME_HEADER_BYTES: u64 = crate::frame::FRAME_HEADER_BYTES as u64;
 
 /// Result of scanning one segment's bytes: the whole records found and
 /// where the valid prefix ends.
@@ -60,22 +61,12 @@ pub fn scan_segment_bytes(bytes: &[u8], max_record_bytes: u32) -> SegmentScan {
     }
     let mut records = Vec::new();
     let mut pos = SEGMENT_HEADER_BYTES as usize;
-    loop {
-        let remaining = bytes.len() - pos;
-        if remaining < FRAME_HEADER_BYTES as usize {
-            break;
-        }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
-        if len == 0 || len > max_record_bytes as usize || len > remaining - 8 {
-            break;
-        }
-        let payload = &bytes[pos + 8..pos + 8 + len];
-        if crc32(payload) != crc {
-            break;
-        }
-        records.push(payload.to_vec());
-        pos += 8 + len;
+    // Both an incomplete frame (NeedMore) and a corrupt one (Invalid)
+    // end the valid prefix here: on disk either shape is a torn tail.
+    while let FrameStep::Frame { len } = parse_frame(&bytes[pos..], max_record_bytes) {
+        let head = pos + FRAME_HEADER_BYTES as usize;
+        records.push(bytes[head..head + len].to_vec());
+        pos = head + len;
     }
     SegmentScan {
         records,
@@ -133,10 +124,8 @@ impl SegmentWriter {
 
     /// Appends one framed record; returns the new file length.
     pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
-        let mut frame = Vec::with_capacity(8 + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(payload).to_le_bytes());
-        frame.extend_from_slice(payload);
+        let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES as usize + payload.len());
+        frame_into(&mut frame, payload);
         self.file.write_all(&frame)?;
         self.bytes += frame.len() as u64;
         Ok(self.bytes)

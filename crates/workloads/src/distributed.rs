@@ -1,0 +1,242 @@
+//! Distributed fleet driver: runs a [`FleetTrace`] through N worker
+//! processes' worth of [`RemoteBackend`]s streaming into one
+//! [`DetectionService`] — the multi-process mirror of
+//! [`drive_fleet_backend`](crate::sweep::drive_fleet_backend).
+//!
+//! Monitors are partitioned round-robin across the workers, and each
+//! worker renumbers its slice from local id 0 — deliberately, so every
+//! run exercises the service's remote→global renaming. Events are fed
+//! in the trace's global order to whichever worker owns the monitor,
+//! through in-process transports (optionally wrapped in the
+//! [`rmon_net::harness`] fault injector); the run ends with one fleet
+//! checkpoint sweep.
+//!
+//! All reported ids are translated back into the **fleet namespace**
+//! (the trace's own [`MonitorId`]s), so callers compare a distributed
+//! outcome directly against a single-process reference run over the
+//! same trace.
+
+use crate::sweep::FleetTrace;
+use rmon_core::detect::DetectionBackend;
+use rmon_core::{MonitorId, MonitorSpec, Nanos, Violation};
+use rmon_net::harness::{chaos_pair, ChaosConfig, ChaosController};
+use rmon_net::remote::{RemoteBackend, RemoteConfig};
+use rmon_net::service::{DetectionService, NameResolver, ServiceConfig, SessionSummary};
+use rmon_net::transport::duplex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How to shape one distributed run.
+#[derive(Debug, Clone)]
+pub struct DistributedConfig {
+    /// Worker sessions the fleet's monitors are partitioned across.
+    pub workers: usize,
+    /// Fault schedule for every worker→service link (`None` = clean
+    /// delivery). The seed is varied per worker so links misbehave
+    /// independently.
+    pub chaos: Option<ChaosConfig>,
+    /// Partition every worker link for the event-index range
+    /// `[start, end)` of the stream, healing at `end` — a deterministic
+    /// outage in the middle of the run.
+    pub partition_window: Option<(usize, usize)>,
+    /// Per-worker event-batch size (the `RemoteConfig::batch` knob).
+    pub batch: usize,
+    /// Deadline for the closing fleet checkpoint sweep.
+    pub checkpoint_timeout: Duration,
+}
+
+impl Default for DistributedConfig {
+    fn default() -> Self {
+        DistributedConfig {
+            workers: 2,
+            chaos: None,
+            partition_window: None,
+            batch: 64,
+            checkpoint_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What one distributed run produced, in fleet-namespace ids.
+#[derive(Debug, Clone)]
+pub struct DistributedOutcome {
+    /// Every verdict the service logged (real-time and checkpoint).
+    pub verdicts: Vec<Violation>,
+    /// Monitors quarantined by the closing sweep (empty on a healthy
+    /// run).
+    pub quarantined: Vec<MonitorId>,
+    /// Per-session operator view, captured before teardown.
+    pub sessions: Vec<SessionSummary>,
+    /// First observe until the service had ingested the whole stream.
+    pub ingest: Duration,
+    /// Ingest plus the closing fleet checkpoint.
+    pub total: Duration,
+}
+
+/// Runs `fleet` through `cfg.workers` remote workers into a
+/// [`DetectionService`] over `backend`. See the [module docs](self).
+///
+/// # Panics
+///
+/// Panics if the service fails to ingest the full stream within 30
+/// seconds (a wedged link under the no-loss fault model is a bug, not
+/// an environment condition).
+pub fn drive_fleet_distributed(
+    fleet: &FleetTrace,
+    backend: Arc<dyn DetectionBackend>,
+    cfg: &DistributedConfig,
+) -> DistributedOutcome {
+    let workers = cfg.workers.max(1);
+    let by_name: HashMap<String, Arc<MonitorSpec>> =
+        fleet.specs.values().map(|s| (s.name.clone(), Arc::clone(s))).collect();
+    let resolve: Arc<NameResolver> = Arc::new(move |name: &str| by_name.get(name).cloned());
+    let service = DetectionService::new(
+        backend,
+        resolve,
+        ServiceConfig { checkpoint_timeout: cfg.checkpoint_timeout },
+    );
+
+    // Round-robin partition, worker-local renumbering from 0.
+    let mut fleet_ids: Vec<MonitorId> = fleet.specs.keys().copied().collect();
+    fleet_ids.sort();
+    let mut owned: Vec<Vec<MonitorId>> = vec![Vec::new(); workers];
+    for (i, id) in fleet_ids.iter().enumerate() {
+        owned[i % workers].push(*id);
+    }
+
+    let faulty = cfg.chaos.is_some() || cfg.partition_window.is_some();
+    let mut remotes = Vec::with_capacity(workers);
+    let mut controllers: Vec<ChaosController> = Vec::new();
+    let mut local_of: HashMap<MonitorId, (usize, MonitorId)> = HashMap::new();
+    for (w, mine) in owned.iter().enumerate() {
+        let (worker_end, service_end) = if faulty {
+            let mut chaos = cfg.chaos.unwrap_or_else(|| ChaosConfig::partition_only(0));
+            chaos.seed = chaos.seed.wrapping_add(w as u64);
+            let (a, b, ctl) = chaos_pair(1 << 16, chaos);
+            controllers.push(ctl);
+            (a, b)
+        } else {
+            duplex(1 << 16)
+        };
+        service.attach(service_end);
+        let remote_cfg = RemoteConfig {
+            name: format!("w{w}"),
+            batch: cfg.batch.max(1),
+            checkpoint_timeout: cfg.checkpoint_timeout,
+        };
+        let remote = RemoteBackend::connect(worker_end, remote_cfg, Nanos::ZERO)
+            .expect("in-process connect cannot fail");
+        for (j, &fleet_id) in mine.iter().enumerate() {
+            let local = MonitorId::new(j as u32);
+            let spec = &fleet.specs[&fleet_id];
+            remote.register(local, Arc::clone(spec), &spec.empty_state(), Nanos::ZERO);
+            local_of.insert(fleet_id, (w, local));
+        }
+        remotes.push(remote);
+    }
+
+    // Stream in global trace order, each event to its owning worker.
+    let t0 = Instant::now();
+    let mut producers: Vec<_> = remotes.iter().map(|r| r.producer()).collect();
+    for (i, event) in fleet.events.iter().enumerate() {
+        if let Some((start, end)) = cfg.partition_window {
+            if i == start {
+                for ctl in &controllers {
+                    ctl.partition();
+                }
+            }
+            if i == end {
+                for ctl in &controllers {
+                    ctl.heal().expect("heal flush");
+                }
+            }
+        }
+        let (w, local) = local_of[&event.monitor];
+        let mut event = *event;
+        event.monitor = local;
+        producers[w].observe(event);
+    }
+    for p in &mut producers {
+        p.flush();
+    }
+    drop(producers);
+    // End the chaotic phase: everything held is released, and the
+    // checkpoint fan-out below gets clean, timely replies.
+    for ctl in &controllers {
+        ctl.calm().expect("calm flush");
+    }
+
+    // Barrier: the service has ingested every event (per-session
+    // counters bump after the producer flush for each batch).
+    let expected = fleet.events.len() as u64;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while service.sessions().iter().map(|s| s.events).sum::<u64>() < expected {
+        assert!(Instant::now() < deadline, "service never ingested the full stream");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let ingest = t0.elapsed();
+
+    let sweep = service.checkpoint_fleet(fleet.end_time);
+    let total = t0.elapsed();
+
+    // Translate global service ids back into the fleet namespace.
+    let back: HashMap<(String, MonitorId), MonitorId> = local_of
+        .iter()
+        .map(|(&fleet_id, &(w, local))| ((format!("w{w}"), local), fleet_id))
+        .collect();
+    let translate = |global: MonitorId| -> MonitorId {
+        let (name, remote) = service.describe(global).expect("verdict on unknown monitor");
+        back[&(name, remote)]
+    };
+    let mut verdicts = service.verdict_log();
+    for v in &mut verdicts {
+        v.monitor = translate(v.monitor);
+    }
+    let quarantined: Vec<MonitorId> = sweep.quarantined.iter().map(|&g| translate(g)).collect();
+    let sessions = service.sessions();
+
+    for remote in &remotes {
+        remote.shutdown();
+    }
+    service.shutdown();
+
+    DistributedOutcome { verdicts, quarantined, sessions, ingest, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{allocator_fleet_trace, drive_fleet_backend};
+    use rmon_core::detect::InlineBackend;
+    use rmon_core::DetectorConfig;
+
+    /// Canonical verdict identity: everything but the detection
+    /// timestamp (wall-dependent in a distributed run).
+    fn keys(vs: &[Violation]) -> Vec<(MonitorId, Option<u32>, Option<u64>, String)> {
+        let mut out: Vec<_> = vs
+            .iter()
+            .map(|v| (v.monitor, v.pid.map(|p| p.index()), v.event_seq, format!("{:?}", v.rule)))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn clean_distributed_run_matches_the_single_process_reference() {
+        let fleet = allocator_fleet_trace(6, 4, 1);
+        let reference = InlineBackend::new(DetectorConfig::without_timeouts());
+        let (report, _, _) = drive_fleet_backend(&fleet, &reference);
+        let mut expected = report.violations.clone();
+        expected.extend(reference.drain_violations());
+
+        let backend = Arc::new(InlineBackend::new(DetectorConfig::without_timeouts()));
+        let outcome = drive_fleet_distributed(&fleet, backend, &DistributedConfig::default());
+
+        assert!(!expected.is_empty(), "the trace must contain faults to compare");
+        assert_eq!(keys(&outcome.verdicts), keys(&expected));
+        assert!(outcome.quarantined.is_empty());
+        assert_eq!(outcome.sessions.len(), 2);
+    }
+}

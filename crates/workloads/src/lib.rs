@@ -20,12 +20,17 @@
 //!   benchmark harness;
 //! * [`soak`] — the soak/chaos driver over the durable oplog: monitor
 //!   churn, backpressure storms, crash injection and the closing
-//!   differential replay.
+//!   differential replay;
+//! * [`distributed`] — the multi-process mirror of the fleet sweeps:
+//!   N `rmon-net` workers streaming one [`sweep::FleetTrace`] into a
+//!   single detection service, optionally through the fault-injecting
+//!   harness.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod allocator_clients;
+pub mod distributed;
 pub mod faultset;
 pub mod philosophers;
 pub mod producer_consumer;
@@ -34,6 +39,7 @@ pub mod soak;
 pub mod sweep;
 
 pub use allocator_clients::{AllocatorMix, ClientKind};
+pub use distributed::{drive_fleet_distributed, DistributedConfig, DistributedOutcome};
 pub use philosophers::Philosophers;
 pub use producer_consumer::PcWorkload;
 pub use readers_writers::ReadersWriters;

@@ -1,0 +1,241 @@
+//! Distributed detection across real OS processes: two child worker
+//! processes stream monitor events over a Unix socket into one
+//! detection service in the parent.
+//!
+//! Run with: `cargo run --example distributed_service`
+//!
+//! The paper's detector assumes every monitor's events reach one
+//! checking routine. This example keeps that true across process
+//! boundaries: the parent hosts a `DetectionService` over an ordinary
+//! inline backend and listens on a Unix socket; each child re-executes
+//! this same binary in worker mode, connects a `RemoteBackend` (the
+//! same `DetectionBackend` trait the in-process backends implement),
+//! registers two single-unit allocators, and streams a few rounds of
+//! traffic. Worker `w1` misbehaves — a release without a preceding
+//! request — and gets its verdict pushed back over the wire, while the
+//! parent's fleet checkpoint sweep fans out to both live workers and
+//! comes back clean (the fault was already caught in real time).
+//!
+//! The walkthrough shows (1) monitor-id renaming — both workers call
+//! their monitors 0 and 1; the service renames them into one fleet
+//! namespace — (2) verdict push-back to the owning worker only, and
+//! (3) the checkpoint fan-out / graceful-shutdown handshake.
+
+#[cfg(unix)]
+fn main() -> std::io::Result<()> {
+    unix::run()
+}
+
+#[cfg(not(unix))]
+fn main() {
+    println!("distributed_service: this walkthrough needs Unix sockets; skipping.");
+}
+
+#[cfg(unix)]
+mod unix {
+    use rmon::net::{unix_endpoint, DetectionService, RemoteBackend, RemoteConfig, ServiceConfig};
+    use rmon::prelude::*;
+    use std::io;
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::process::Command;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    const WORKERS: usize = 2;
+    const MONITORS_PER_WORKER: usize = 2;
+    const ROUNDS: u64 = 3;
+    /// request + exit + release + exit, per monitor per round.
+    const CLEAN_EVENTS_PER_WORKER: u64 = MONITORS_PER_WORKER as u64 * ROUNDS * 4;
+    /// Worker 1 adds one faulty release.
+    const TOTAL_EVENTS: u64 = WORKERS as u64 * CLEAN_EVENTS_PER_WORKER + 1;
+
+    fn wait_until(mut pred: impl FnMut() -> bool, what: &str) -> io::Result<()> {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !pred() {
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(io::ErrorKind::TimedOut, format!("waiting for {what}")));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        Ok(())
+    }
+
+    pub fn run() -> io::Result<()> {
+        let mut args = std::env::args().skip(1);
+        match (args.next().as_deref(), args.next(), args.next()) {
+            (Some("--worker"), Some(index), Some(path)) => {
+                worker(index.parse().expect("worker index"), &path)
+            }
+            _ => parent(),
+        }
+    }
+
+    fn parent() -> io::Result<()> {
+        let sock = std::env::temp_dir().join(format!("rmon-dist-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&sock);
+        let listener = UnixListener::bind(&sock)?;
+
+        // 1. One logical detection service over an ordinary inline
+        //    backend; any monitor name resolves to a single-unit
+        //    allocator spec.
+        let service = DetectionService::new(
+            Arc::new(InlineBackend::new(DetectorConfig::without_timeouts())),
+            Arc::new(|name: &str| Some(Arc::new(MonitorSpec::allocator(name, 1).spec))),
+            ServiceConfig { checkpoint_timeout: Duration::from_secs(2) },
+        );
+
+        // 2. Two real child processes, each this same binary in worker
+        //    mode, connecting back over the socket.
+        let exe = std::env::current_exe()?;
+        let children: Vec<_> = (0..WORKERS)
+            .map(|w| Command::new(&exe).arg("--worker").arg(w.to_string()).arg(&sock).spawn())
+            .collect::<io::Result<_>>()?;
+        for _ in 0..WORKERS {
+            let (stream, _) = listener.accept()?;
+            service.attach(unix_endpoint(stream)?);
+        }
+
+        // 3. Wait until every streamed event has been ingested, then
+        //    fan a fleet checkpoint out to both live workers.
+        wait_until(
+            || service.sessions().iter().map(|s| s.events).sum::<u64>() >= TOTAL_EVENTS,
+            "full stream ingestion",
+        )?;
+        let sweep = service.checkpoint_fleet(Nanos::new(1_000_000));
+        println!(
+            "fleet sweep           : clean={} quarantined={}",
+            sweep.report.is_clean(),
+            sweep.quarantined.len()
+        );
+        assert!(sweep.report.is_clean(), "the fault was already caught in real time");
+        assert!(sweep.quarantined.is_empty(), "both workers answered the fan-out");
+
+        for s in service.sessions() {
+            println!(
+                "session {:<13} : alive={} events={} monitors={}",
+                s.name, s.alive, s.events, s.monitors
+            );
+        }
+
+        // 4. The faulty release surfaced as a real-time verdict, owned
+        //    by worker w1 — in the *fleet* namespace the service logs,
+        //    translated back to the worker's own id by describe().
+        wait_until(|| !service.verdict_log().is_empty(), "the w1 verdict")?;
+        for v in service.verdict_log() {
+            let (owner, remote) = service.describe(v.monitor).expect("known monitor");
+            println!("verdict               : {v} [owner {owner}, its monitor {remote:?}]");
+            assert_eq!(owner, "w1", "only w1 misbehaves");
+        }
+
+        // 5. Graceful teardown: Shutdown frames to both workers, then
+        //    reap the children.
+        service.shutdown();
+        for child in children {
+            let status = child.wait_with_output()?.status;
+            assert!(status.success(), "worker exited with {status}");
+        }
+        let _ = std::fs::remove_file(&sock);
+        println!(
+            "\nBoth workers checked by one logical service; \
+                  distributed run complete."
+        );
+        Ok(())
+    }
+
+    fn worker(index: u32, sock: &str) -> io::Result<()> {
+        let stream = UnixStream::connect(sock)?;
+        let backend = RemoteBackend::connect(
+            unix_endpoint(stream)?,
+            RemoteConfig::named(format!("w{index}")),
+            Nanos::ZERO,
+        )?;
+
+        // Every worker names its monitors 0 and 1 — the service
+        // renames them apart.
+        let mut specs = Vec::new();
+        for m in 0..MONITORS_PER_WORKER as u32 {
+            let al = MonitorSpec::allocator(format!("w{index}-alloc{m}"), 1);
+            backend.register(
+                MonitorId::new(m),
+                Arc::new(al.spec.clone()),
+                &al.spec.empty_state(),
+                Nanos::ZERO,
+            );
+            specs.push(al);
+        }
+
+        // Clean rounds: request / exit / release / exit per monitor.
+        let mut producer = backend.producer();
+        let mut seq = 0u64;
+        let mut push =
+            |producer: &mut Box<dyn ProducerHandle>, m: u32, pid: Pid, proc_name, granted| {
+                seq += 1;
+                producer.observe(Event::enter(
+                    seq,
+                    Nanos::new(seq * 10),
+                    MonitorId::new(m),
+                    pid,
+                    proc_name,
+                    granted,
+                ));
+                seq += 1;
+                producer.observe(Event::signal_exit(
+                    seq,
+                    Nanos::new(seq * 10),
+                    MonitorId::new(m),
+                    pid,
+                    proc_name,
+                    None,
+                    false,
+                ));
+            };
+        for _ in 0..ROUNDS {
+            for (m, al) in specs.iter().enumerate() {
+                let pid = Pid::new(index * 10 + m as u32 + 1);
+                push(&mut producer, m as u32, pid, al.request, true);
+                push(&mut producer, m as u32, pid, al.release, true);
+            }
+        }
+        if index == 1 {
+            // The fault: a process releasing a unit it never requested.
+            seq += 1;
+            producer.observe(Event::enter(
+                seq,
+                Nanos::new(seq * 10),
+                MonitorId::new(0),
+                Pid::new(99),
+                specs[0].release,
+                false,
+            ));
+        }
+        producer.flush();
+
+        // A worker-initiated checkpoint: snapshots gathered locally,
+        // verdicts computed by the service, report returned in this
+        // worker's own id namespace.
+        let report = backend.checkpoint(CheckpointScope::All, Nanos::new(seq * 10 + 10));
+        println!("[w{index}] checkpoint       : clean={}", report.is_clean());
+
+        if index == 1 {
+            // The real-time verdict for the faulty release is pushed
+            // back to this worker (and only this worker).
+            let mut got = Vec::new();
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while got.is_empty() && Instant::now() < deadline {
+                got = backend.drain_violations();
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            for v in &got {
+                println!("[w1] pushed verdict   : {v}");
+            }
+            assert!(!got.is_empty(), "w1 must receive its verdict");
+        }
+
+        // Wait for the service's Shutdown frame, then exit cleanly.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while backend.is_connected() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        Ok(())
+    }
+}

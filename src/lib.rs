@@ -22,7 +22,11 @@
 //!   append-only, CRC-framed, segmented oplog for events and verdicts,
 //!   crash recovery, and the differential replayer;
 //! * [`workloads`] (`rmon-workloads`) — evaluation workloads, the
-//!   canonical fault-injection campaign, and the soak/chaos driver.
+//!   canonical fault-injection campaign, and the soak/chaos driver;
+//! * [`net`] (`rmon-net`) — distributed detection: multi-process
+//!   runtimes streaming monitor events over framed transports to one
+//!   logical detection service (sessions, HLC merge, checkpoint
+//!   fan-out with per-worker quarantine).
 //!
 //! ## Quickstart
 //!
@@ -50,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub use rmon_core as core;
+pub use rmon_net as net;
 pub use rmon_rt as rt;
 pub use rmon_sim as sim;
 pub use rmon_storage as storage;
@@ -67,6 +72,7 @@ pub mod prelude {
         MemorySink, MonitorClass, MonitorId, MonitorSpec, MonitorState, Nanos, PathExpr, Pid,
         PredictMode, PredictedViolation, RuleId, VClock, Violation, ViolationSink,
     };
+    pub use rmon_net::{DetectionService, RemoteBackend, RemoteConfig};
     pub use rmon_rt::{
         BoundedBuffer, BufferBug, CheckerHandle, Monitor, MonitorError, OperationCell, OrderPolicy,
         ResourceAllocator, RtFault, Runtime, RuntimeSnapshotProvider,

@@ -1,0 +1,175 @@
+//! Distributed ≡ single-process: the central claim of `rmon-net`.
+//!
+//! A fleet trace driven through N remote workers into one
+//! `DetectionService` must produce exactly the verdicts a
+//! single-process run over the same trace produces — under clean,
+//! partitioned, reordered and duplicated delivery, for both the inline
+//! and the sharded service backend. Verdicts are compared by canonical
+//! identity (monitor, pid, event seq, rule); detection timestamps are
+//! wall-dependent in a distributed run and excluded.
+//!
+//! The last test is the degradation half of the contract: a worker
+//! that stops answering is quarantined by the fleet checkpoint sweep
+//! within its deadline — reported, not stalled on — while healthy
+//! workers keep being checked.
+
+use rmon::net::harness::ChaosConfig;
+use rmon::net::{duplex, ServiceConfig as NetServiceConfig};
+use rmon::net::{
+    DetectionService, Msg, NodeClock, RemoteBackend, RemoteConfig, SessionTx, PROTO_VERSION,
+};
+use rmon::prelude::*;
+use rmon::workloads::distributed::{drive_fleet_distributed, DistributedConfig};
+use rmon::workloads::sweep::{allocator_fleet_trace, drive_fleet_backend, FleetTrace};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+type Key = (MonitorId, Option<u32>, Option<u64>, String);
+
+/// Canonical verdict identity, order- and duplicate-insensitive.
+fn keys(vs: &[Violation]) -> Vec<Key> {
+    let mut out: Vec<Key> = vs
+        .iter()
+        .map(|v| (v.monitor, v.pid.map(|p| p.index()), v.event_seq, format!("{:?}", v.rule)))
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// The single-process ground truth: every verdict (real-time,
+/// checkpoint, predicted) from one inline run over the trace.
+fn reference_keys(fleet: &FleetTrace) -> Vec<Key> {
+    let backend = InlineBackend::new(DetectorConfig::without_timeouts());
+    let (report, _, _) = drive_fleet_backend(fleet, &backend);
+    let mut all = report.violations.clone();
+    all.extend(report.predicted.iter().map(|p| p.violation.clone()));
+    all.extend(backend.drain_violations());
+    assert!(!all.is_empty(), "the trace must contain faults for the comparison to mean anything");
+    keys(&all)
+}
+
+/// Both service-side backends every scenario must hold for.
+fn service_backends() -> Vec<(&'static str, Arc<dyn DetectionBackend>)> {
+    let cfg = DetectorConfig::without_timeouts();
+    vec![
+        ("inline", Arc::new(InlineBackend::new(cfg))),
+        ("sharded", Arc::new(ShardedBackend::new(cfg, ServiceConfig::new(2)))),
+    ]
+}
+
+fn assert_equivalent(fleet: &FleetTrace, cfg: &DistributedConfig, scenario: &str) {
+    let expected = reference_keys(fleet);
+    for (label, backend) in service_backends() {
+        let outcome = drive_fleet_distributed(fleet, backend, cfg);
+        assert_eq!(
+            keys(&outcome.verdicts),
+            expected,
+            "distributed verdicts diverged from the single-process reference \
+             (scenario: {scenario}, service backend: {label})"
+        );
+        assert!(outcome.quarantined.is_empty(), "{scenario}/{label}: healthy run quarantined");
+        for session in &outcome.sessions {
+            assert!(session.alive, "{scenario}/{label}: healthy worker marked dead");
+        }
+    }
+}
+
+#[test]
+fn clean_delivery_matches_single_process() {
+    let fleet = allocator_fleet_trace(8, 6, 2);
+    assert_equivalent(&fleet, &DistributedConfig::default(), "clean, 2 workers");
+    assert_equivalent(
+        &fleet,
+        &DistributedConfig { workers: 3, batch: 5, ..DistributedConfig::default() },
+        "clean, 3 workers, small batches",
+    );
+}
+
+#[test]
+fn partitioned_delivery_matches_single_process() {
+    let fleet = allocator_fleet_trace(6, 8, 3);
+    let n = fleet.events.len();
+    let cfg = DistributedConfig {
+        partition_window: Some((n / 3, 2 * n / 3)),
+        ..DistributedConfig::default()
+    };
+    assert_equivalent(&fleet, &cfg, "mid-stream partition + heal");
+}
+
+#[test]
+fn reordered_and_duplicated_delivery_matches_single_process() {
+    let fleet = allocator_fleet_trace(6, 8, 4);
+    let cfg = DistributedConfig {
+        chaos: Some(ChaosConfig {
+            seed: 11,
+            hold_per_mille: 300,
+            dup_per_mille: 200,
+            reorder_window: 4,
+        }),
+        batch: 3, // small batches -> many frames -> many fault decisions
+        ..DistributedConfig::default()
+    };
+    assert_equivalent(&fleet, &cfg, "reorder + duplicate");
+}
+
+#[test]
+fn dead_worker_is_quarantined_without_stalling_healthy_workers() {
+    for (label, backend) in service_backends() {
+        let spec = Arc::new(MonitorSpec::allocator("res", 1).spec);
+        let resolver_spec = Arc::clone(&spec);
+        let service = DetectionService::new(
+            backend,
+            Arc::new(move |name: &str| (name == "res").then(|| Arc::clone(&resolver_spec))),
+            NetServiceConfig { checkpoint_timeout: Duration::from_millis(200) },
+        );
+
+        // A live worker that answers checkpoint fan-outs...
+        let (worker_end, service_end) = duplex(1024);
+        service.attach(service_end);
+        let live =
+            RemoteBackend::connect(worker_end, RemoteConfig::named("live"), Nanos::ZERO).unwrap();
+        live.register(MonitorId::new(0), Arc::clone(&spec), &spec.empty_state(), Nanos::ZERO);
+
+        // ...and one that registers a monitor, then goes silent.
+        let (silent_end, service_end) = duplex(1024);
+        service.attach(service_end);
+        let mut silent = SessionTx::new(silent_end.tx, NodeClock::new());
+        silent
+            .send(&Msg::Hello { proto: PROTO_VERSION, name: "silent".into() }, Nanos::ZERO)
+            .unwrap();
+        silent
+            .send(
+                &Msg::Register {
+                    monitor: MonitorId::new(0),
+                    name: "res".into(),
+                    now: Nanos::ZERO,
+                    initial: spec.empty_state(),
+                },
+                Nanos::ZERO,
+            )
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while service.sessions().iter().map(|s| s.monitors).sum::<usize>() < 2 {
+            assert!(Instant::now() < deadline, "registrations never arrived ({label})");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        let started = Instant::now();
+        let sweep = service.checkpoint_fleet(Nanos::new(1_000));
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "{label}: the sweep must degrade on the dead worker, not stall"
+        );
+        assert_eq!(sweep.quarantined.len(), 1, "{label}: silent worker's monitor quarantined");
+        assert_eq!(service.describe(sweep.quarantined[0]).unwrap().0, "silent");
+        assert!(sweep.report.is_clean(), "{label}: the healthy worker was still checked");
+
+        let sessions = service.sessions();
+        assert!(sessions[0].alive, "{label}: healthy worker stays attached");
+        assert!(!sessions[1].alive, "{label}: silent worker marked dead");
+
+        live.shutdown();
+        service.shutdown();
+    }
+}
