@@ -40,6 +40,56 @@ impl PredictMode {
     }
 }
 
+/// Per-monitor instrumentation mode: how long a monitor operation
+/// blocks on handing its event to the detection layer.
+///
+/// The mode forms a small lattice of coupling strength,
+/// `Sync ⊐ Hybrid(t) ⊐ Async`:
+///
+/// * [`Sync`](Mode::Sync) — the paper's shape: the operation blocks
+///   until the event is delivered to the detector. Detection lag is
+///   zero, instrumentation overhead is maximal.
+/// * [`Hybrid`](Mode::Hybrid) — bounded coupling: block up to the
+///   given timeout, then detach and let the event ride the retained
+///   buffer (delivery stays guaranteed, only the *wait* is bounded).
+/// * [`Async`](Mode::Async) — fire-and-forget: never block the
+///   monitor operation; events buffer and drain in the background.
+///   Checkpoints still barrier on full delivery, so verdicts are
+///   unchanged — only their latency moves.
+///
+/// The default is `Sync` (paper-faithful). Backends that support
+/// per-monitor modes (the `AsyncBackend`) treat the config value as
+/// the *base* mode and may tighten individual monitors toward `Sync`
+/// when they look close to a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Mode {
+    /// Block until the event reaches the detector (paper-faithful).
+    #[default]
+    Sync,
+    /// Never block; events drain in the background.
+    Async,
+    /// Block up to the timeout, then detach.
+    Hybrid(Nanos),
+}
+
+impl Mode {
+    /// Whether this mode ever blocks the instrumented operation.
+    pub fn blocks(self) -> bool {
+        !matches!(self, Mode::Async)
+    }
+
+    /// The maximum time this mode blocks: `None` for unbounded
+    /// ([`Sync`](Mode::Sync)), `Some(ZERO)` for never
+    /// ([`Async`](Mode::Async)).
+    pub fn bound(self) -> Option<Nanos> {
+        match self {
+            Mode::Sync => None,
+            Mode::Async => Some(Nanos::ZERO),
+            Mode::Hybrid(t) => Some(t),
+        }
+    }
+}
+
 /// Timing parameters for the detection algorithms.
 ///
 /// # Examples
@@ -66,6 +116,10 @@ pub struct DetectorConfig {
     pub check_interval: Nanos,
     /// Predictive-detection mode (default [`PredictMode::Off`]).
     pub predict: PredictMode,
+    /// Base instrumentation mode (default [`Mode::Sync`],
+    /// paper-faithful). Only mode-aware backends consult it; the
+    /// inline detector is synchronous by construction.
+    pub mode: Mode,
 }
 
 impl DetectorConfig {
@@ -85,6 +139,7 @@ impl DetectorConfig {
             t_limit: Nanos::MAX,
             check_interval: Nanos::from_millis(100),
             predict: PredictMode::Off,
+            mode: Mode::Sync,
         }
     }
 }
@@ -99,6 +154,7 @@ impl Default for DetectorConfig {
             t_limit: Nanos::from_millis(500),
             check_interval: Nanos::from_millis(50),
             predict: PredictMode::Off,
+            mode: Mode::Sync,
         }
     }
 }
@@ -140,6 +196,12 @@ impl DetectorConfigBuilder {
         self
     }
 
+    /// Sets the base instrumentation mode.
+    pub fn mode(mut self, v: Mode) -> Self {
+        self.cfg.mode = v;
+        self
+    }
+
     /// Finishes the configuration.
     pub fn build(self) -> DetectorConfig {
         self.cfg
@@ -177,6 +239,20 @@ mod tests {
         assert!(!DetectorConfig::without_timeouts().predict.is_on());
         let c = DetectorConfig::builder().predict(PredictMode::Checkpoint).build();
         assert!(c.predict.is_on());
+    }
+
+    #[test]
+    fn mode_defaults_sync_and_exposes_its_bound() {
+        assert_eq!(DetectorConfig::default().mode, Mode::Sync);
+        assert_eq!(DetectorConfig::without_timeouts().mode, Mode::Sync);
+        assert!(Mode::Sync.blocks());
+        assert!(!Mode::Async.blocks());
+        assert!(Mode::Hybrid(Nanos::from_millis(1)).blocks());
+        assert_eq!(Mode::Sync.bound(), None);
+        assert_eq!(Mode::Async.bound(), Some(Nanos::ZERO));
+        assert_eq!(Mode::Hybrid(Nanos::from_millis(1)).bound(), Some(Nanos::from_millis(1)));
+        let c = DetectorConfig::builder().mode(Mode::Async).build();
+        assert_eq!(c.mode, Mode::Async);
     }
 
     #[test]

@@ -1,0 +1,974 @@
+//! [`AsyncBackend`]: detection over a future-driven delivery layer,
+//! with a per-monitor **instrumentation mode** and an adaptive
+//! controller that tightens monitors toward [`Mode::Sync`] near
+//! violations.
+//!
+//! The paper's instrumentation is fully synchronous: every monitor
+//! operation blocks until its event has reached the detector, which is
+//! what bounds `recording_only_ratio` and collapses ingest under
+//! producer fan-in. The detectEr line of work shows the fix — make the
+//! sync/async choice a *per-monitor runtime knob* and pay for tight
+//! coupling only where a violation looks close. This module is that
+//! knob:
+//!
+//! * Events enqueue on unbounded per-shard queues and are drained by
+//!   one future per shard running on a small hand-rolled executor
+//!   (`vendor/futures`). The drainers feed the wrapped
+//!   [`ShardedBackend`]'s bounded shard channels, yielding
+//!   cooperatively when a channel pushes back — so an enqueue **never
+//!   blocks the observing thread**, no matter how many producers fan
+//!   in.
+//! * [`AsyncBackend::observe`] returns an [`Observe`] future that
+//!   resolves when the event has reached its shard worker. The three
+//!   instrumentation modes are three ways of awaiting it:
+//!   [`Mode::Sync`] blocks on the future
+//!   ([`futures::executor::block_on`]), [`Mode::Async`] drops it
+//!   (fire-and-forget), [`Mode::Hybrid`] waits up to a timeout and
+//!   then detaches. Delivery is guaranteed in every mode — the modes
+//!   bound the *wait*, never the hand-off.
+//! * Every checkpoint first **quiesces** (waits until the queues have
+//!   fully drained into the shard channels), so verdicts are exactly
+//!   those of a synchronous run over the same stream: asynchrony moves
+//!   detection latency, never detection results.
+//!
+//! # The adaptive mode controller
+//!
+//! Each monitor carries a [`ModeController`] — a deterministic
+//! tighten/relax state machine pinned by unit test:
+//!
+//! * any **near-violation signal** since the last checkpoint (a denied
+//!   call from the [`DetectionBackend::call_would_violate`] lookahead,
+//!   a violation drained or reported for the monitor, or the monitor's
+//!   shard queue exceeding the configured high-water depth) tightens
+//!   the monitor to [`Mode::Sync`] at the next checkpoint;
+//! * [`ModePolicy::relax_after`] consecutive *clean* checkpoints relax
+//!   it back to the configured base mode.
+//!
+//! Observing threads read the resulting per-monitor mode through
+//! [`DetectionBackend::instrumentation_mode`] (a single atomic load
+//! from the monitor's mode cell), so the runtime's record path follows
+//! the controller without locks.
+
+use crate::config::{DetectorConfig, Mode};
+use crate::detect::backend::{Backpressure, CheckpointScope, ProducerHandle, SnapshotProvider};
+use crate::detect::service::{shard_for, ShardMsg};
+use crate::detect::{DetectionBackend, ServiceConfig, ServiceStats, ShardedBackend};
+use crate::event::Event;
+use crate::ids::{MonitorId, Pid, ProcName};
+use crate::rule::RuleId;
+use crate::spec::MonitorSpec;
+use crate::state::MonitorState;
+use crate::time::Nanos;
+use crate::violation::{FaultReport, Violation};
+use crossbeam::channel::{Sender, TrySendError};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::task::{Context, Poll, Waker};
+
+/// How the adaptive controller moves a monitor between modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModePolicy {
+    /// Consecutive clean checkpoints before a tightened monitor
+    /// relaxes back to the base mode.
+    pub relax_after: u32,
+    /// A shard delivery queue deeper than this at checkpoint time
+    /// counts as a near-violation signal for every monitor on the
+    /// shard (detection is falling behind, so tighten the coupling).
+    pub queue_high_water: usize,
+}
+
+impl Default for ModePolicy {
+    /// Two clean checkpoints to relax; queues past 4096 undelivered
+    /// events signal.
+    fn default() -> Self {
+        ModePolicy { relax_after: 2, queue_high_water: 4096 }
+    }
+}
+
+/// The deterministic per-monitor tighten/relax state machine.
+///
+/// Kept free of any backend state so the policy is pinned by plain
+/// unit tests: feed checkpoint outcomes in, read the mode out.
+///
+/// # Examples
+///
+/// ```
+/// use rmon_core::detect::ModeController;
+/// use rmon_core::Mode;
+///
+/// let mut c = ModeController::new(Mode::Async, 2);
+/// assert_eq!(c.current(), Mode::Async);
+/// assert_eq!(c.on_checkpoint(true), Mode::Sync); // signal: tighten
+/// assert_eq!(c.on_checkpoint(false), Mode::Sync); // 1 clean: hold
+/// assert_eq!(c.on_checkpoint(false), Mode::Async); // 2 clean: relax
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModeController {
+    base: Mode,
+    relax_after: u32,
+    clean: u32,
+    current: Mode,
+}
+
+impl ModeController {
+    /// A controller starting in `base`, relaxing after `relax_after`
+    /// clean checkpoints (clamped to at least 1).
+    pub fn new(base: Mode, relax_after: u32) -> Self {
+        ModeController { base, relax_after: relax_after.max(1), clean: 0, current: base }
+    }
+
+    /// The mode the monitor's observers should use right now.
+    pub fn current(&self) -> Mode {
+        self.current
+    }
+
+    /// Feeds one checkpoint outcome in: `signaled` is whether the
+    /// monitor showed any near-violation signal since the previous
+    /// checkpoint. Returns the (possibly moved) mode.
+    pub fn on_checkpoint(&mut self, signaled: bool) -> Mode {
+        if signaled {
+            self.clean = 0;
+            self.current = Mode::Sync;
+        } else if self.current == Mode::Sync && self.base != Mode::Sync {
+            self.clean += 1;
+            if self.clean >= self.relax_after {
+                self.current = self.base;
+            }
+        }
+        self.current
+    }
+}
+
+/// Lock-free mirror of a monitor's current [`Mode`], read by observers
+/// on every record. Tag in the top bits, Hybrid timeout in the low 62
+/// (timeouts saturate at ~146 years, which is not a real constraint).
+#[derive(Debug)]
+struct ModeCell(AtomicU64);
+
+const MODE_TAG_SHIFT: u32 = 62;
+const MODE_SYNC: u64 = 0;
+const MODE_ASYNC: u64 = 1;
+const MODE_HYBRID: u64 = 2;
+const MODE_VALUE_MASK: u64 = (1 << MODE_TAG_SHIFT) - 1;
+
+impl ModeCell {
+    fn new(mode: Mode) -> Self {
+        let cell = ModeCell(AtomicU64::new(0));
+        cell.store(mode);
+        cell
+    }
+
+    fn store(&self, mode: Mode) {
+        let bits = match mode {
+            Mode::Sync => MODE_SYNC << MODE_TAG_SHIFT,
+            Mode::Async => MODE_ASYNC << MODE_TAG_SHIFT,
+            Mode::Hybrid(t) => (MODE_HYBRID << MODE_TAG_SHIFT) | (t.as_nanos() & MODE_VALUE_MASK),
+        };
+        self.0.store(bits, Ordering::Release);
+    }
+
+    fn load(&self) -> Mode {
+        let bits = self.0.load(Ordering::Acquire);
+        match bits >> MODE_TAG_SHIFT {
+            MODE_SYNC => Mode::Sync,
+            MODE_ASYNC => Mode::Async,
+            _ => Mode::Hybrid(Nanos::new(bits & MODE_VALUE_MASK)),
+        }
+    }
+}
+
+/// One event's delivery ticket: resolved when the event has been
+/// handed to its shard worker's channel. Supports both awaiting
+/// flavours — a [`Waker`] slot for the [`Observe`] future and a
+/// condvar for the bounded [`Mode::Hybrid`] wait.
+#[derive(Debug, Default)]
+struct DeliveryState {
+    done: Mutex<bool>,
+    cv: Condvar,
+    waker: Mutex<Option<Waker>>,
+}
+
+impl DeliveryState {
+    fn mark_done(&self) {
+        *self.done.lock().unwrap_or_else(|p| p.into_inner()) = true;
+        self.cv.notify_all();
+        if let Some(waker) = self.waker.lock().unwrap_or_else(|p| p.into_inner()).take() {
+            waker.wake();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        *self.done.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Waits up to `timeout` for delivery; returns whether it
+    /// completed in time.
+    fn wait_timeout(&self, timeout: Nanos) -> bool {
+        let deadline = std::time::Instant::now() + timeout.to_duration();
+        let mut done = self.done.lock().unwrap_or_else(|p| p.into_inner());
+        while !*done {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) =
+                self.cv.wait_timeout(done, deadline - now).unwrap_or_else(|p| p.into_inner());
+            done = guard;
+        }
+        true
+    }
+}
+
+/// The future returned by [`AsyncBackend::observe`]: resolves once the
+/// event has reached its shard worker. The event was enqueued when the
+/// future was created — dropping the future detaches from the wait
+/// (fire-and-forget), it never cancels delivery.
+#[derive(Debug)]
+#[must_use = "dropping an Observe detaches from the delivery wait (the event is still delivered)"]
+pub struct Observe {
+    state: Arc<DeliveryState>,
+}
+
+impl Future for Observe {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.state.is_done() {
+            return Poll::Ready(());
+        }
+        *self.state.waker.lock().unwrap_or_else(|p| p.into_inner()) = Some(cx.waker().clone());
+        // Re-check after parking the waker: a delivery that raced the
+        // registration has already consumed (or will consume) it.
+        if self.state.is_done() {
+            Poll::Ready(())
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+/// One enqueued event, with a ticket only when someone intends to wait
+/// (blocking modes); fire-and-forget enqueues skip the allocation.
+#[derive(Debug)]
+struct QueueItem {
+    event: Event,
+    ticket: Option<Arc<DeliveryState>>,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    items: VecDeque<QueueItem>,
+    /// The shard drainer's waker, parked while the queue is empty.
+    waker: Option<Waker>,
+}
+
+/// An unbounded per-shard delivery queue feeding one drainer future.
+#[derive(Debug, Default)]
+struct ShardQueue {
+    state: Mutex<QueueState>,
+}
+
+impl ShardQueue {
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Enqueues one item and returns the drainer waker to fire (after
+    /// the lock is released).
+    fn push(&self, item: QueueItem) -> Option<Waker> {
+        let mut st = self.lock();
+        st.items.push_back(item);
+        st.waker.take()
+    }
+
+    fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+}
+
+/// Outstanding-delivery accounting: producers bump on enqueue,
+/// drainers settle on hand-off, barriers wait for zero.
+#[derive(Debug, Default)]
+struct QuiesceCounter {
+    pending: AtomicU64,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl QuiesceCounter {
+    fn add(&self, n: u64) {
+        self.pending.fetch_add(n, Ordering::AcqRel);
+    }
+
+    fn settle(&self, n: u64) {
+        if self.pending.fetch_sub(n, Ordering::AcqRel) == n {
+            // Last outstanding delivery: take the lock so a waiter
+            // between its check and its wait cannot miss the signal.
+            let _guard = self.lock.lock().unwrap_or_else(|p| p.into_inner());
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait_zero(&self) {
+        let mut guard = self.lock.lock().unwrap_or_else(|p| p.into_inner());
+        while self.pending.load(Ordering::Acquire) != 0 {
+            guard = self.cv.wait(guard).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn outstanding(&self) -> u64 {
+        self.pending.load(Ordering::Acquire)
+    }
+}
+
+/// State shared by the backend, its producers and the drainer tasks.
+#[derive(Debug)]
+struct AsyncShared {
+    queues: Vec<Arc<ShardQueue>>,
+    quiesce: QuiesceCounter,
+    open: AtomicBool,
+    /// Per-monitor mode cells, read on the observe path.
+    modes: Mutex<HashMap<MonitorId, Arc<ModeCell>>>,
+    /// Monitors that showed a near-violation signal since the last
+    /// checkpoint (denied calls, drained violations).
+    signals: Mutex<HashSet<MonitorId>>,
+    base: Mode,
+}
+
+impl AsyncShared {
+    fn mode_cell(&self, monitor: MonitorId) -> Option<Arc<ModeCell>> {
+        self.modes.lock().unwrap_or_else(|p| p.into_inner()).get(&monitor).cloned()
+    }
+
+    fn signal(&self, monitor: MonitorId) {
+        self.signals.lock().unwrap_or_else(|p| p.into_inner()).insert(monitor);
+    }
+
+    /// Enqueues one event for delivery, returning a ticket when
+    /// `wait` — the caller intends to await the hand-off.
+    fn enqueue(&self, event: Event, wait: bool) -> Option<Arc<DeliveryState>> {
+        if !self.open.load(Ordering::Acquire) {
+            // Post-shutdown observes are dropped, like every backend's.
+            return None;
+        }
+        let shard = shard_for(event.monitor, self.queues.len());
+        let ticket = wait.then(|| Arc::new(DeliveryState::default()));
+        self.quiesce.add(1);
+        let waker = self.queues[shard].push(QueueItem { event, ticket: ticket.clone() });
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+        ticket
+    }
+}
+
+/// The per-shard drainer: moves queued events into the wrapped
+/// backend's bounded shard channel, batching opportunistically and
+/// yielding back to the executor whenever the channel pushes back.
+#[derive(Debug)]
+struct Drainer {
+    queue: Arc<ShardQueue>,
+    sender: Sender<ShardMsg>,
+    shared: Arc<AsyncShared>,
+    batch: usize,
+    /// Items taken from the queue whose channel send was refused; they
+    /// are re-offered before anything newer (per-shard FIFO holds).
+    carry: Vec<QueueItem>,
+}
+
+impl Future for Drainer {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = &mut *self;
+        loop {
+            if this.carry.is_empty() {
+                let mut st = this.queue.lock();
+                if st.items.is_empty() {
+                    if !this.shared.open.load(Ordering::Acquire) {
+                        return Poll::Ready(());
+                    }
+                    st.waker = Some(cx.waker().clone());
+                    return Poll::Pending;
+                }
+                let take = st.items.len().min(this.batch);
+                this.carry.extend(st.items.drain(..take));
+            }
+            let batch: Vec<Event> = this.carry.iter().map(|i| i.event).collect();
+            match this.sender.try_send(ShardMsg::Batch(batch)) {
+                Ok(()) => {
+                    let n = this.carry.len() as u64;
+                    for item in this.carry.drain(..) {
+                        if let Some(ticket) = item.ticket {
+                            ticket.mark_done();
+                        }
+                    }
+                    this.shared.quiesce.settle(n);
+                }
+                Err(TrySendError::Full(_)) => {
+                    // The shard worker is behind: yield so sibling
+                    // drainers sharing this executor worker make
+                    // progress, and come straight back.
+                    std::thread::yield_now();
+                    cx.waker().wake_by_ref();
+                    return Poll::Pending;
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    // Worker gone (shutdown): settle and drop, exactly
+                    // like post-shutdown observes.
+                    let n = this.carry.len() as u64;
+                    for item in this.carry.drain(..) {
+                        if let Some(ticket) = item.ticket {
+                            ticket.mark_done();
+                        }
+                    }
+                    this.shared.quiesce.settle(n);
+                }
+            }
+        }
+    }
+}
+
+/// A [`DetectionBackend`] whose delivery layer is future-driven: an
+/// unbounded per-shard queue + executor-run drainers decouple the
+/// observing threads from the bounded shard channels, and a
+/// per-monitor [`Mode`] decides how long each observer waits on its
+/// event's [`Observe`] future. See the [module docs](self).
+#[derive(Debug)]
+pub struct AsyncBackend {
+    inner: ShardedBackend,
+    shared: Arc<AsyncShared>,
+    /// Keeps the drainer tasks alive; dropped last.
+    _pool: futures::executor::ThreadPool,
+    policy: ModePolicy,
+    /// Per-monitor adaptive state, driven at checkpoints.
+    controllers: Mutex<HashMap<MonitorId, ModeController>>,
+}
+
+impl AsyncBackend {
+    /// Spawns the wrapped sharded workers plus one drainer task per
+    /// shard on a small executor pool. `cfg.mode` is the base
+    /// instrumentation mode monitors start in and relax back to.
+    pub fn new(cfg: DetectorConfig, service: ServiceConfig) -> Self {
+        AsyncBackend::with_policy(cfg, service, ModePolicy::default())
+    }
+
+    /// [`AsyncBackend::new`] with an explicit adaptive policy.
+    pub fn with_policy(cfg: DetectorConfig, service: ServiceConfig, policy: ModePolicy) -> Self {
+        let inner = ShardedBackend::new(cfg, service);
+        let senders = inner.service().shard_senders();
+        let shards = senders.len();
+        let shared = Arc::new(AsyncShared {
+            queues: (0..shards).map(|_| Arc::new(ShardQueue::default())).collect(),
+            quiesce: QuiesceCounter::default(),
+            open: AtomicBool::new(true),
+            modes: Mutex::new(HashMap::new()),
+            signals: Mutex::new(HashSet::new()),
+            base: cfg.mode,
+        });
+        // One executor worker per two shards is plenty: drainers spend
+        // their time in short try_send bursts and park while idle.
+        let pool = futures::executor::ThreadPool::with_workers(shards.div_ceil(2));
+        for (shard, sender) in senders.into_iter().enumerate() {
+            pool.spawn_ok(Drainer {
+                queue: Arc::clone(&shared.queues[shard]),
+                sender,
+                shared: Arc::clone(&shared),
+                batch: inner.batch().max(1),
+                carry: Vec::new(),
+            });
+        }
+        AsyncBackend { inner, shared, _pool: pool, policy, controllers: Mutex::new(HashMap::new()) }
+    }
+
+    /// Overrides the per-flush batch size of the wrapped backend's
+    /// handles *and* the drainers' opportunistic batching. Only
+    /// affects drainers spawned before the call in their take size,
+    /// not correctness.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.inner.set_batch(batch);
+        self
+    }
+
+    /// The adaptive policy in force.
+    pub fn policy(&self) -> ModePolicy {
+        self.policy
+    }
+
+    /// Enqueues `event` for delivery and returns a future resolving
+    /// when it has reached its shard worker. The event is on its way
+    /// as soon as this method returns; the future only tracks the
+    /// hand-off (dropping it detaches, never cancels).
+    pub fn observe(&self, event: Event) -> Observe {
+        let ticket = self.shared.enqueue(event, true).unwrap_or_else(|| {
+            Arc::new(DeliveryState { done: Mutex::new(true), ..Default::default() })
+        });
+        Observe { state: ticket }
+    }
+
+    /// Blocks until every enqueued event has reached its shard worker.
+    /// Checkpoints and violation drains call this implicitly; it is
+    /// public for tests and operators that want an explicit barrier.
+    pub fn quiesce(&self) {
+        self.shared.quiesce.wait_zero();
+    }
+
+    /// Events enqueued but not yet handed to a shard worker.
+    pub fn undelivered(&self) -> u64 {
+        self.shared.quiesce.outstanding()
+    }
+
+    /// The mode a monitor is currently instrumented at (observers read
+    /// the same cell through
+    /// [`DetectionBackend::instrumentation_mode`]).
+    pub fn mode_of(&self, monitor: MonitorId) -> Mode {
+        self.shared.mode_cell(monitor).map(|c| c.load()).unwrap_or(self.shared.base)
+    }
+
+    /// Pins a monitor's mode by hand (operator override / tests). The
+    /// adaptive controller keeps running and may move it again at the
+    /// next checkpoint.
+    pub fn set_mode(&self, monitor: MonitorId, mode: Mode) {
+        if let Some(cell) = self.shared.mode_cell(monitor) {
+            cell.store(mode);
+        }
+        let mut controllers = self.controllers.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(c) = controllers.get_mut(&monitor) {
+            *c = ModeController::new(mode, self.policy.relax_after);
+        }
+    }
+
+    /// Runs the adaptive controller over one checkpoint outcome:
+    /// consume the accumulated signals, add the monitors the report
+    /// indicts and the shards whose queues ran deep, then tighten or
+    /// relax every in-scope monitor.
+    fn adapt(&self, scope: CheckpointScope, report: &FaultReport) {
+        let mut signaled: HashSet<MonitorId> =
+            std::mem::take(&mut *self.shared.signals.lock().unwrap_or_else(|p| p.into_inner()));
+        signaled.extend(report.violations.iter().map(|v| v.monitor));
+        signaled.extend(report.predicted.iter().map(|p| p.violation.monitor));
+        let deep: Vec<usize> = self
+            .shared
+            .queues
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.len() > self.policy.queue_high_water)
+            .map(|(shard, _)| shard)
+            .collect();
+        let mut controllers = self.controllers.lock().unwrap_or_else(|p| p.into_inner());
+        for (&monitor, controller) in controllers.iter_mut() {
+            let in_scope = match scope {
+                CheckpointScope::All => true,
+                CheckpointScope::Shard(s) => self.inner.shard_of(monitor) == s,
+                CheckpointScope::Monitor(m) => monitor == m,
+            };
+            if !in_scope {
+                continue;
+            }
+            let pressure = deep.contains(&self.inner.shard_of(monitor));
+            let mode = controller.on_checkpoint(signaled.contains(&monitor) || pressure);
+            if let Some(cell) =
+                self.shared.modes.lock().unwrap_or_else(|p| p.into_inner()).get(&monitor)
+            {
+                cell.store(mode);
+            }
+        }
+    }
+}
+
+impl DetectionBackend for AsyncBackend {
+    fn register(
+        &self,
+        monitor: MonitorId,
+        spec: Arc<MonitorSpec>,
+        initial: &MonitorState,
+        now: Nanos,
+    ) {
+        self.inner.register(monitor, spec, initial, now);
+        self.shared
+            .modes
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(monitor, Arc::new(ModeCell::new(self.shared.base)));
+        self.controllers
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(monitor, ModeController::new(self.shared.base, self.policy.relax_after));
+    }
+
+    fn producer(&self) -> Box<dyn ProducerHandle> {
+        Box::new(AsyncProducer { shared: Arc::clone(&self.shared), cells: HashMap::new() })
+    }
+
+    fn call_would_violate(
+        &self,
+        monitor: MonitorId,
+        pid: Pid,
+        proc_name: ProcName,
+    ) -> Option<RuleId> {
+        let verdict = self.inner.call_would_violate(monitor, pid, proc_name);
+        if verdict.is_some() {
+            // A denied call is the clearest near-violation signal
+            // there is: tighten this monitor at the next checkpoint.
+            self.shared.signal(monitor);
+        }
+        verdict
+    }
+
+    fn set_snapshot_provider(&self, provider: Arc<dyn SnapshotProvider>) {
+        self.inner.set_snapshot_provider(provider);
+    }
+
+    fn checkpoint(&self, scope: CheckpointScope, now: Nanos) -> FaultReport {
+        self.quiesce();
+        let report = self.inner.checkpoint(scope, now);
+        self.adapt(scope, &report);
+        report
+    }
+
+    fn checkpoint_window(
+        &self,
+        now: Nanos,
+        events: &[Event],
+        snapshots: &HashMap<MonitorId, MonitorState>,
+    ) -> FaultReport {
+        self.quiesce();
+        let report = self.inner.checkpoint_window(now, events, snapshots);
+        self.adapt(CheckpointScope::All, &report);
+        report
+    }
+
+    fn stats(&self) -> ServiceStats {
+        self.quiesce();
+        self.inner.stats()
+    }
+
+    fn drain_violations(&self) -> Vec<Violation> {
+        self.quiesce();
+        let violations = self.inner.drain_violations();
+        // Real-time verdicts count as near-violation signals for the
+        // next checkpoint's tightening pass.
+        for v in &violations {
+            self.shared.signal(v.monitor);
+        }
+        violations
+    }
+
+    fn shutdown(&self) {
+        // Close the intake, let the drainers hand over what is queued,
+        // then stop the wrapped workers.
+        self.shared.open.store(false, Ordering::Release);
+        for queue in &self.shared.queues {
+            if let Some(waker) = queue.lock().waker.take() {
+                waker.wake();
+            }
+        }
+        self.quiesce();
+        self.inner.shutdown();
+    }
+
+    fn label(&self) -> &'static str {
+        "async"
+    }
+
+    fn shard_of(&self, monitor: MonitorId) -> usize {
+        self.inner.shard_of(monitor)
+    }
+
+    fn instrumentation_mode(&self, monitor: MonitorId) -> Mode {
+        self.mode_of(monitor)
+    }
+}
+
+impl Drop for AsyncBackend {
+    fn drop(&mut self) {
+        self.shutdown();
+        // `pool` drops after this, joining the (now finished) drainer
+        // tasks' worker threads.
+    }
+}
+
+/// The async backend's handle: every enqueue is a short lock on the
+/// owning shard's queue — never a blocking channel send — and the
+/// per-monitor mode cell decides how long [`ProducerHandle::observe`]
+/// then waits on the delivery ticket.
+#[derive(Debug)]
+struct AsyncProducer {
+    shared: Arc<AsyncShared>,
+    /// Handle-local mode-cell cache (one map lookup per monitor per
+    /// handle lifetime, then atomic loads).
+    cells: HashMap<MonitorId, Option<Arc<ModeCell>>>,
+}
+
+impl AsyncProducer {
+    fn mode(&mut self, monitor: MonitorId) -> Mode {
+        let shared = &self.shared;
+        self.cells
+            .entry(monitor)
+            .or_insert_with(|| shared.mode_cell(monitor))
+            .as_ref()
+            .map(|c| c.load())
+            .unwrap_or(shared.base)
+    }
+}
+
+impl ProducerHandle for AsyncProducer {
+    fn observe(&mut self, event: Event) {
+        match self.mode(event.monitor) {
+            Mode::Sync => {
+                if let Some(ticket) = self.shared.enqueue(event, true) {
+                    futures::executor::block_on(Observe { state: ticket });
+                }
+            }
+            Mode::Async => {
+                let _ = self.shared.enqueue(event, false);
+            }
+            Mode::Hybrid(timeout) => {
+                if let Some(ticket) = self.shared.enqueue(event, true) {
+                    // Bounded wait, then detach: the drainer still
+                    // delivers, only the caller stops waiting.
+                    let _ = ticket.wait_timeout(timeout);
+                }
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        self.shared.quiesce.wait_zero();
+    }
+
+    fn try_observe(&mut self, event: Event) -> Backpressure {
+        // The never-block path: enqueue fire-and-forget. The unbounded
+        // queue always accepts, so there is no Full to report.
+        let _ = self.shared.enqueue(event, false);
+        Backpressure::Accepted
+    }
+
+    fn try_flush(&mut self) -> Backpressure {
+        if self.shared.quiesce.outstanding() == 0 {
+            Backpressure::Accepted
+        } else {
+            Backpressure::Full
+        }
+    }
+
+    fn pending(&self) -> usize {
+        // Handle-local buffering does not exist; outstanding delivery
+        // is backend-global.
+        0
+    }
+
+    fn is_closed(&self) -> bool {
+        !self.shared.open.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::AllocatorSpec;
+
+    fn allocator_spec() -> (Arc<MonitorSpec>, AllocatorSpec) {
+        let al = MonitorSpec::allocator("res", 1);
+        (Arc::new(al.spec.clone()), al)
+    }
+
+    fn backend(mode: Mode, shards: usize) -> AsyncBackend {
+        let cfg = DetectorConfig::builder().mode(mode).build();
+        let cfg = DetectorConfig { mode: cfg.mode, ..DetectorConfig::without_timeouts() };
+        AsyncBackend::new(cfg, ServiceConfig::new(shards))
+    }
+
+    #[test]
+    fn mode_cell_round_trips_every_mode() {
+        for mode in
+            [Mode::Sync, Mode::Async, Mode::Hybrid(Nanos::ZERO), Mode::Hybrid(Nanos::from_secs(3))]
+        {
+            let cell = ModeCell::new(mode);
+            assert_eq!(cell.load(), mode);
+        }
+        let cell = ModeCell::new(Mode::Sync);
+        cell.store(Mode::Hybrid(Nanos::from_millis(7)));
+        assert_eq!(cell.load(), Mode::Hybrid(Nanos::from_millis(7)));
+    }
+
+    #[test]
+    fn mode_controller_policy_is_pinned() {
+        // The exact tighten/relax schedule the adaptive backend runs:
+        // any signal snaps to Sync immediately; relax_after consecutive
+        // clean checkpoints restore the base mode; a signal mid-count
+        // resets the count.
+        let mut c = ModeController::new(Mode::Async, 2);
+        assert_eq!(c.current(), Mode::Async, "starts at base");
+        assert_eq!(c.on_checkpoint(false), Mode::Async, "clean checkpoints keep base");
+        assert_eq!(c.on_checkpoint(true), Mode::Sync, "signal tightens immediately");
+        assert_eq!(c.on_checkpoint(false), Mode::Sync, "one clean: still tight");
+        assert_eq!(c.on_checkpoint(true), Mode::Sync, "signal resets the clean count");
+        assert_eq!(c.on_checkpoint(false), Mode::Sync);
+        assert_eq!(c.on_checkpoint(false), Mode::Async, "two consecutive clean: relax");
+        // A Sync-based controller never relaxes anywhere.
+        let mut sync = ModeController::new(Mode::Sync, 1);
+        assert_eq!(sync.on_checkpoint(true), Mode::Sync);
+        for _ in 0..5 {
+            assert_eq!(sync.on_checkpoint(false), Mode::Sync);
+        }
+        // Hybrid base relaxes back to Hybrid, not Async.
+        let hybrid = Mode::Hybrid(Nanos::from_millis(1));
+        let mut h = ModeController::new(hybrid, 1);
+        assert_eq!(h.on_checkpoint(true), Mode::Sync);
+        assert_eq!(h.on_checkpoint(false), hybrid);
+        // relax_after is clamped to at least 1.
+        let mut zero = ModeController::new(Mode::Async, 0);
+        assert_eq!(zero.on_checkpoint(true), Mode::Sync);
+        assert_eq!(zero.on_checkpoint(false), Mode::Async);
+    }
+
+    type VerdictKeys = Vec<(Option<Pid>, Option<u64>, RuleId)>;
+
+    #[test]
+    fn every_mode_detects_the_same_violations() {
+        let (spec, al) = allocator_spec();
+        let mut reference: Option<VerdictKeys> = None;
+        for mode in [Mode::Sync, Mode::Async, Mode::Hybrid(Nanos::from_millis(50))] {
+            let b = backend(mode, 2);
+            let m = MonitorId::new(0);
+            b.register_empty(m, Arc::clone(&spec), Nanos::ZERO);
+            let mut p = b.producer();
+            // Release without request: real-time violations.
+            p.observe(Event::enter(1, Nanos::new(10), m, Pid::new(1), al.release, true));
+            p.flush();
+            let mut got: Vec<_> =
+                b.drain_violations().iter().map(|v| (v.pid, v.event_seq, v.rule)).collect();
+            got.sort();
+            assert!(got.iter().any(|&(_, _, r)| r == RuleId::St8ReleaseWithoutRequest), "{mode:?}");
+            match &reference {
+                Some(want) => assert_eq!(&got, want, "{mode:?}"),
+                None => reference = Some(got),
+            }
+            b.shutdown();
+        }
+    }
+
+    #[test]
+    fn observe_future_resolves_on_delivery() {
+        let (spec, al) = allocator_spec();
+        let b = backend(Mode::Async, 1);
+        let m = MonitorId::new(0);
+        b.register_empty(m, Arc::clone(&spec), Nanos::ZERO);
+        let fut = b.observe(Event::enter(1, Nanos::new(10), m, Pid::new(1), al.request, true));
+        futures::executor::block_on(fut);
+        assert_eq!(b.undelivered(), 0);
+        let stats = b.stats();
+        assert_eq!(stats.total_events(), 1);
+        b.shutdown();
+    }
+
+    #[test]
+    fn quiesce_makes_async_ingestion_lossless() {
+        let (spec, al) = allocator_spec();
+        let b = backend(Mode::Async, 4);
+        for id in 0..8 {
+            b.register_empty(MonitorId::new(id), Arc::clone(&spec), Nanos::ZERO);
+        }
+        let mut p = b.producer();
+        let total = 10_000u64;
+        for seq in 1..=total {
+            let m = MonitorId::new((seq % 8) as u32);
+            p.observe(Event::enter(seq, Nanos::new(seq * 10), m, Pid::new(1), al.request, false));
+        }
+        p.flush();
+        assert_eq!(b.undelivered(), 0);
+        assert_eq!(b.stats().total_events(), total, "no event may be lost in flight");
+        b.shutdown();
+    }
+
+    #[test]
+    fn denied_call_tightens_then_clean_checkpoints_relax() {
+        let (spec, al) = allocator_spec();
+        let b = backend(Mode::Async, 2);
+        let m = MonitorId::new(0);
+        b.register_empty(m, Arc::clone(&spec), Nanos::ZERO);
+        assert_eq!(b.mode_of(m), Mode::Async);
+
+        // The lookahead denies a release-without-request: that is a
+        // near-violation signal, so the next checkpoint tightens.
+        assert!(b.call_would_violate(m, Pid::new(1), al.release).is_some());
+        let _ = b.checkpoint(CheckpointScope::All, Nanos::new(100));
+        assert_eq!(b.mode_of(m), Mode::Sync, "denied call must tighten to Sync");
+
+        // relax_after (default 2) clean checkpoints relax it back.
+        let _ = b.checkpoint(CheckpointScope::All, Nanos::new(200));
+        assert_eq!(b.mode_of(m), Mode::Sync, "one clean checkpoint holds Sync");
+        let _ = b.checkpoint(CheckpointScope::All, Nanos::new(300));
+        assert_eq!(b.mode_of(m), Mode::Async, "second clean checkpoint relaxes");
+        b.shutdown();
+    }
+
+    #[test]
+    fn drained_violation_tightens_only_the_faulty_monitor() {
+        let (spec, al) = allocator_spec();
+        let b = backend(Mode::Async, 2);
+        let faulty = MonitorId::new(0);
+        let clean = MonitorId::new(1);
+        b.register_empty(faulty, Arc::clone(&spec), Nanos::ZERO);
+        b.register_empty(clean, Arc::clone(&spec), Nanos::ZERO);
+        let mut p = b.producer();
+        p.observe(Event::enter(1, Nanos::new(10), faulty, Pid::new(1), al.release, true));
+        p.observe(Event::enter(2, Nanos::new(20), clean, Pid::new(2), al.request, true));
+        p.flush();
+        assert!(!b.drain_violations().is_empty());
+        let _ = b.checkpoint(CheckpointScope::All, Nanos::new(100));
+        assert_eq!(b.mode_of(faulty), Mode::Sync, "the faulty monitor tightens");
+        assert_eq!(b.mode_of(clean), Mode::Async, "the clean monitor stays async");
+        b.shutdown();
+    }
+
+    #[test]
+    fn set_mode_overrides_and_instrumentation_mode_reflects_it() {
+        let (spec, _) = allocator_spec();
+        let b = backend(Mode::Async, 1);
+        let m = MonitorId::new(0);
+        b.register_empty(m, Arc::clone(&spec), Nanos::ZERO);
+        let hybrid = Mode::Hybrid(Nanos::from_millis(2));
+        b.set_mode(m, hybrid);
+        assert_eq!(b.instrumentation_mode(m), hybrid);
+        // Unregistered monitors answer the base mode.
+        assert_eq!(b.instrumentation_mode(MonitorId::new(9)), Mode::Async);
+        b.shutdown();
+    }
+
+    #[test]
+    fn shutdown_delivers_queued_events_then_drops_later_ones() {
+        let (spec, al) = allocator_spec();
+        let b = backend(Mode::Async, 2);
+        let m = MonitorId::new(0);
+        b.register_empty(m, Arc::clone(&spec), Nanos::ZERO);
+        let mut p = b.producer();
+        p.observe(Event::enter(1, Nanos::new(10), m, Pid::new(1), al.request, true));
+        b.shutdown();
+        assert!(p.is_closed());
+        p.observe(Event::enter(2, Nanos::new(20), m, Pid::new(1), al.request, false));
+        assert_eq!(b.undelivered(), 0, "post-shutdown observes are dropped, not queued");
+    }
+
+    #[test]
+    fn hybrid_timeout_detaches_but_still_delivers() {
+        let (spec, al) = allocator_spec();
+        // Hybrid with a zero timeout: every wait detaches immediately —
+        // the degenerate case closest to Async — yet delivery and
+        // detection remain complete.
+        let b = backend(Mode::Hybrid(Nanos::ZERO), 1);
+        let m = MonitorId::new(0);
+        b.register_empty(m, Arc::clone(&spec), Nanos::ZERO);
+        let mut p = b.producer();
+        for seq in 1..=100 {
+            p.observe(Event::enter(seq, Nanos::new(seq * 10), m, Pid::new(1), al.request, false));
+        }
+        p.flush();
+        assert_eq!(b.stats().total_events(), 100);
+        b.shutdown();
+    }
+}

@@ -76,7 +76,7 @@
 //! }
 //! ```
 
-use crate::config::DetectorConfig;
+use crate::config::{DetectorConfig, Mode};
 use crate::detect::service::{shard_for, ShardMsg};
 use crate::detect::{Detector, ServiceConfig, ServiceStats, ShardStats, ShardedDetector};
 use crate::event::Event;
@@ -455,6 +455,18 @@ pub trait DetectionBackend: Send + Sync + std::fmt::Debug {
         let initial = spec.empty_state();
         self.register(monitor, spec, &initial, now);
     }
+
+    /// The instrumentation [`Mode`] a monitor's observers should use
+    /// *right now*. The paper's detector is synchronous, so the
+    /// default is [`Mode::Sync`]; mode-aware backends (the
+    /// `AsyncBackend`) answer from their per-monitor mode cells, which
+    /// the adaptive controller may move between checkpoints. Embedding
+    /// runtimes consult this on the record path to decide how long a
+    /// monitor operation blocks on event hand-off.
+    fn instrumentation_mode(&self, monitor: MonitorId) -> Mode {
+        let _ = monitor;
+        Mode::Sync
+    }
 }
 
 /// Gathers gated snapshots for `monitors` from a provider, running the
@@ -698,6 +710,10 @@ pub struct ShardedBackend {
     /// When set, new handles adapt their batch between these bounds
     /// instead of using the fixed `batch`.
     adaptive: Option<AdaptiveBatch>,
+    /// The configured base instrumentation mode, answered uniformly
+    /// for every monitor (per-monitor adaptation lives in the
+    /// `AsyncBackend` wrapper).
+    mode: Mode,
     open: Arc<AtomicBool>,
     /// The registered snapshot source, shared (`Arc`) so a scheduler
     /// ticker holding a clone observes later registrations.
@@ -791,6 +807,7 @@ impl ShardedBackend {
             svc: ShardedDetector::new(cfg, service),
             batch: DEFAULT_INGEST_BATCH,
             adaptive: None,
+            mode: cfg.mode,
             open: Arc::new(AtomicBool::new(true)),
             provider: ProviderSlot::default(),
         }
@@ -871,6 +888,7 @@ impl DetectionBackend for ShardedBackend {
             buffered: 0,
             batch: self.adaptive.map(|a| a.current()).unwrap_or(self.batch),
             adaptive: self.adaptive,
+            pressured: false,
             open: Arc::clone(&self.open),
         })
     }
@@ -948,6 +966,10 @@ impl DetectionBackend for ShardedBackend {
     fn shard_of(&self, monitor: MonitorId) -> usize {
         self.svc.shard_of(monitor)
     }
+
+    fn instrumentation_mode(&self, _monitor: MonitorId) -> Mode {
+        self.mode
+    }
 }
 
 /// The sharded backends' buffered handle: per-shard buffers drained by
@@ -961,6 +983,13 @@ struct ShardedProducer {
     /// Per-handle adaptive policy (each handle adapts to the pressure
     /// *it* observes; handles share no state).
     adaptive: Option<AdaptiveBatch>,
+    /// A previous `try_flush` left a retained batch behind. While set,
+    /// every `try_observe` re-attempts delivery regardless of the
+    /// flush threshold — a handle whose retained batch dropped
+    /// `buffered` back below `batch` must not sit on those events
+    /// until new arrivals refill the threshold (retained-event
+    /// starvation).
+    pressured: bool,
     open: Arc<AtomicBool>,
 }
 
@@ -1001,6 +1030,7 @@ impl ProducerHandle for ShardedProducer {
             }
         }
         self.buffered = 0;
+        self.pressured = false;
         if let Some(policy) = &mut self.adaptive {
             self.batch = policy.on_flush(pressured);
         }
@@ -1015,7 +1045,12 @@ impl ProducerHandle for ShardedProducer {
         let shard = shard_for(event.monitor, self.senders.len());
         self.bufs[shard].push(event);
         self.buffered += 1;
-        if self.buffered >= self.batch {
+        // A pressured handle retries on *every* observe, not only at
+        // the flush threshold: a retained batch may have left
+        // `buffered < batch`, and waiting for new arrivals to refill
+        // the threshold would starve the retained events if the stream
+        // goes quiet (see the `pressured` field).
+        if self.buffered >= self.batch || self.pressured {
             self.try_flush()
         } else {
             Backpressure::Accepted
@@ -1044,6 +1079,7 @@ impl ProducerHandle for ShardedProducer {
             }
         }
         self.buffered = self.bufs.iter().map(Vec::len).sum();
+        self.pressured = pressured;
         // Pressure feeds the same adaptive policy as a blocking flush —
         // a refused hand-off halves the batch exactly like a blocking
         // one (pinned by unit test).
@@ -1346,6 +1382,7 @@ mod tests {
             buffered: 0,
             batch: adaptive.map(|a| a.current()).unwrap_or(1),
             adaptive,
+            pressured: false,
             open: Arc::new(AtomicBool::new(true)),
         };
         (producer, rx)
@@ -1380,6 +1417,86 @@ mod tests {
     fn try_flush_on_an_empty_handle_is_accepted() {
         let (mut p, _rx) = stalled_producer(None);
         assert_eq!(p.try_flush(), Backpressure::Accepted);
+    }
+
+    /// The retained-event starvation regression: a `try_flush` that
+    /// delivers some shards while one shard's inbox refuses its batch
+    /// leaves `buffered < batch`. Such a handle must keep re-offering
+    /// the retained batch on subsequent `try_observe`s — waiting for
+    /// new arrivals to refill the flush threshold would park the
+    /// retained events forever on a quiet stream, even after the shard
+    /// drains.
+    #[test]
+    fn retained_events_are_reoffered_below_the_flush_threshold() {
+        let (_, al) = allocator_spec();
+        // Two 1-deep shard inboxes; shard 0's is full before the run.
+        let (tx0, rx0) = crossbeam::channel::bounded(1);
+        let (tx1, rx1) = crossbeam::channel::bounded(1);
+        tx0.try_send(ShardMsg::Batch(Vec::new())).unwrap();
+        let mut p = ShardedProducer {
+            senders: vec![tx0, tx1],
+            bufs: vec![Vec::new(), Vec::new()],
+            buffered: 0,
+            batch: 8,
+            adaptive: None,
+            pressured: false,
+            open: Arc::new(AtomicBool::new(true)),
+        };
+        let m0 = (0u32..).map(MonitorId::new).find(|&m| shard_for(m, 2) == 0).unwrap();
+        let m1 = (0u32..).map(MonitorId::new).find(|&m| shard_for(m, 2) == 1).unwrap();
+        let ev = |seq: u64, m: MonitorId| {
+            Event::enter(seq, Nanos::new(seq * 10), m, Pid::new(1), al.request, seq == 1)
+        };
+        // Reach the threshold: 7 events for the parked shard, 1 for the
+        // live one. The flush delivers shard 1 and retains shard 0's
+        // batch — Full, with 7 events left and the threshold no longer
+        // reachable from them alone.
+        for seq in 1..=7 {
+            assert_eq!(p.try_observe(ev(seq, m0)), Backpressure::Accepted);
+        }
+        assert_eq!(p.try_observe(ev(8, m1)), Backpressure::Full);
+        assert!(matches!(rx1.try_recv(), Ok(ShardMsg::Batch(b)) if b.len() == 1));
+        assert_eq!(p.pending(), 7);
+        // The parked shard drains.
+        assert!(matches!(rx0.try_recv(), Ok(ShardMsg::Batch(b)) if b.is_empty()));
+        // One new event — far below the threshold of 8. A pressured
+        // handle must re-offer anyway and deliver everything.
+        assert_eq!(p.try_observe(ev(9, m1)), Backpressure::Accepted);
+        assert_eq!(p.pending(), 0, "retained events must not starve below the threshold");
+        assert!(matches!(rx0.try_recv(), Ok(ShardMsg::Batch(b)) if b.len() == 7));
+        assert!(matches!(rx1.try_recv(), Ok(ShardMsg::Batch(b)) if b.len() == 1 && b[0].seq == 9));
+        assert!(!p.pressured, "a fully delivered flush clears the pressure flag");
+    }
+
+    /// The ISSUE's literal shape: park a full inbox, drain the shard,
+    /// and assert a bare `try_flush` (no new events at all) delivers
+    /// the retained batch.
+    #[test]
+    fn a_bare_try_flush_delivers_retained_events_after_the_shard_drains() {
+        let (_, al) = allocator_spec();
+        let (mut p, rx) = stalled_producer(None);
+        assert_eq!(p.try_observe(event_for(1, al.request)), Backpressure::Accepted);
+        assert_eq!(p.try_observe(event_for(2, al.request)), Backpressure::Full);
+        assert_eq!(p.pending(), 1);
+        assert!(p.pressured);
+        // Drain the shard; no new events arrive.
+        assert!(matches!(rx.recv(), Ok(ShardMsg::Batch(b)) if b.len() == 1));
+        assert_eq!(p.try_flush(), Backpressure::Accepted);
+        assert_eq!(p.pending(), 0);
+        assert!(matches!(rx.recv(), Ok(ShardMsg::Batch(b)) if b.len() == 1 && b[0].seq == 2));
+    }
+
+    #[test]
+    fn a_blocking_flush_clears_the_pressure_flag() {
+        let (_, al) = allocator_spec();
+        let (mut p, rx) = stalled_producer(None);
+        let _ = p.try_observe(event_for(1, al.request));
+        assert_eq!(p.try_observe(event_for(2, al.request)), Backpressure::Full);
+        assert!(p.pressured);
+        assert!(matches!(rx.recv(), Ok(ShardMsg::Batch(_))));
+        p.flush();
+        assert!(!p.pressured);
+        assert_eq!(p.pending(), 0);
     }
 
     #[test]

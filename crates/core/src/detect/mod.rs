@@ -41,12 +41,14 @@
 pub mod algorithm1;
 pub mod algorithm2;
 pub mod algorithm3;
+pub mod async_backend;
 pub mod backend;
 mod engine;
 pub mod predict;
 pub mod scheduler;
 pub mod service;
 
+pub use async_backend::{AsyncBackend, ModeController, ModePolicy, Observe};
 pub use backend::{
     gather_snapshots, AdaptiveBatch, Backpressure, CheckpointScope, DetectionBackend,
     InlineBackend, ProducerHandle, ShardedBackend, SnapshotProvider, SnapshotTable,

@@ -84,7 +84,7 @@ pub mod vclock;
 mod violation;
 
 pub use assertion::StateAssertion;
-pub use config::{DetectorConfig, DetectorConfigBuilder, PredictMode};
+pub use config::{DetectorConfig, DetectorConfigBuilder, Mode, PredictMode};
 pub use error::CoreError;
 pub use event::{Event, EventKind};
 pub use fault::{taxonomy, FaultInfo, FaultKind, FaultLevel};

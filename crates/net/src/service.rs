@@ -45,7 +45,10 @@ use crate::transport::Endpoint;
 use crossbeam::channel::{bounded, Sender};
 use rmon_core::detect::{CheckpointScope, DetectionBackend, SnapshotProvider};
 use rmon_core::oplog::Record;
-use rmon_core::{FaultReport, MonitorId, MonitorSpec, MonitorState, Nanos, Violation};
+use rmon_core::{
+    Event, EventSink, FaultReport, MonitorId, MonitorSpec, MonitorState, Nanos, Violation,
+    ViolationSink,
+};
 use std::collections::HashMap;
 use std::fmt;
 use std::io;
@@ -213,6 +216,21 @@ impl SnapshotProvider for FleetCache {
     }
 }
 
+/// The service-side durable tee (see [`DetectionService::journal`]):
+/// worker event frames append as `Events` records the moment they are
+/// remapped to global ids, verdicts stage in `pending`, and every fleet
+/// checkpoint commits the window with the `Realtime → Checkpoint`
+/// sequence the `rmon-storage` replayer's commit protocol expects.
+#[derive(Debug)]
+struct JournalTee {
+    events: Arc<dyn EventSink>,
+    verdicts: Arc<dyn ViolationSink>,
+    /// Verdicts produced since the last committing fleet checkpoint
+    /// (real-time routes and worker-initiated checkpoint reports), in
+    /// global ids.
+    pending: Vec<Violation>,
+}
+
 #[derive(Debug)]
 struct ServiceShared {
     clock: NodeClock,
@@ -222,7 +240,74 @@ struct ServiceShared {
     /// Every verdict the service has produced, in global ids (the
     /// durable ground truth for equivalence checks and operators).
     verdicts: Mutex<Vec<Violation>>,
+    /// Optional durable tee; `None` until
+    /// [`DetectionService::journal`] installs one.
+    journal: Mutex<Option<JournalTee>>,
+    /// Journal appends that failed (disk errors). Detection never
+    /// blocks or panics on a failing journal; operators watch
+    /// [`DetectionService::journal_errors`].
+    journal_errors: AtomicU64,
     shutdown: AtomicBool,
+}
+
+impl ServiceShared {
+    /// Folds an append result into the error counter — the journal is
+    /// an observer, never a gate on detection.
+    fn journal_try(&self, result: io::Result<()>) {
+        if result.is_err() {
+            self.journal_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Journals one monitor registration (global id + declared name).
+    fn journal_register(&self, monitor: MonitorId, name: &str, now: Nanos) {
+        let journal = self.journal.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(tee) = journal.as_ref() {
+            self.journal_try(tee.events.append_register(monitor, name, now));
+        }
+    }
+
+    /// Journals one remapped worker event frame.
+    fn journal_events(&self, events: &[Event]) {
+        if events.is_empty() {
+            return;
+        }
+        let journal = self.journal.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(tee) = journal.as_ref() {
+            self.journal_try(tee.events.append_events(events));
+        }
+    }
+
+    /// Stages verdicts for the next committing fleet checkpoint.
+    fn journal_pending(&self, verdicts: &[Violation]) {
+        if verdicts.is_empty() {
+            return;
+        }
+        let mut journal = self.journal.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(tee) = journal.as_mut() {
+            tee.pending.extend_from_slice(verdicts);
+        }
+    }
+
+    /// Commits the window at a fleet checkpoint: staged verdicts as a
+    /// `Realtime` record, then the `Checkpoint` marker with the
+    /// snapshots this sweep compared against, then a sync.
+    fn journal_commit(
+        &self,
+        now: Nanos,
+        snapshots: &HashMap<MonitorId, MonitorState>,
+        report: &FaultReport,
+    ) {
+        let mut journal = self.journal.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(tee) = journal.as_mut() {
+            let pending = std::mem::take(&mut tee.pending);
+            if !pending.is_empty() {
+                self.journal_try(tee.verdicts.append_realtime(&pending));
+            }
+            self.journal_try(tee.verdicts.append_checkpoint(now, snapshots, report));
+            self.journal_try(tee.events.sync());
+        }
+    }
 }
 
 /// One logical detection service for a fleet of worker processes — see
@@ -269,6 +354,8 @@ impl DetectionService {
                 registry: Mutex::new(Vec::new()),
                 next_global: AtomicU32::new(0),
                 verdicts: Mutex::new(Vec::new()),
+                journal: Mutex::new(None),
+                journal_errors: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
             }),
             threads: Mutex::new(Vec::new()),
@@ -296,6 +383,41 @@ impl DetectionService {
             .expect("spawn session thread");
         self.threads.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
         index
+    }
+
+    /// Installs a durable journal tee (typically an `rmon-storage`
+    /// `DurableSink`): incoming worker `Events` frames are appended —
+    /// remapped to **global ids** — as they arrive, registrations as
+    /// `Register` records, and every [`Self::checkpoint_fleet`] sweep
+    /// commits the window with the replayer's `Realtime → Checkpoint`
+    /// sequence. An `Epoch` record is appended now, so install the tee
+    /// **before attaching workers** — the replayer needs the epoch
+    /// ahead of every registration.
+    ///
+    /// Replay equivalence holds for fleet-barrier-paced operation over
+    /// event-deterministic verdicts (the same guarantee the
+    /// single-process journal gives): a window's events are all
+    /// journaled before the barrier that commits their verdicts, so a
+    /// fresh detector driven over the log reproduces the recorded
+    /// verdict sequence. Frames still in flight *during* a commit land
+    /// in the next window; end a run with a final
+    /// [`Self::checkpoint_fleet`] so nothing is left staged.
+    pub fn journal<S: EventSink + ViolationSink + 'static>(&self, sink: Arc<S>) {
+        let now = self.shared.clock.last().physical;
+        self.shared.journal_try(sink.append_epoch(now));
+        let tee = JournalTee {
+            events: Arc::clone(&sink) as Arc<dyn EventSink>,
+            verdicts: sink as Arc<dyn ViolationSink>,
+            pending: Vec::new(),
+        };
+        *self.shared.journal.lock().unwrap_or_else(|e| e.into_inner()) = Some(tee);
+    }
+
+    /// Journal appends that have failed so far (disk errors on the
+    /// installed tee). A nonzero counter means the durable log is
+    /// missing records and replay from it is incomplete.
+    pub fn journal_errors(&self) -> u64 {
+        self.shared.journal_errors.load(Ordering::Relaxed)
     }
 
     /// The service's hybrid logical clock; `last().physical` is a
@@ -396,6 +518,7 @@ impl DetectionService {
         let deadline = Instant::now() + self.cfg.checkpoint_timeout;
         let mut quarantined = Vec::new();
         let mut published = Vec::new();
+        let mut snap_map: HashMap<MonitorId, MonitorState> = HashMap::new();
         for (session, id, reply_rx) in waiting {
             let remaining = deadline.saturating_duration_since(Instant::now());
             match reply_rx.recv_timeout(remaining) {
@@ -404,6 +527,7 @@ impl DetectionService {
                     let to_global = session.to_global.lock().unwrap_or_else(|e| e.into_inner());
                     for (remote, state) in snapshots {
                         if let Some(&global) = to_global.get(&remote) {
+                            snap_map.insert(global, state.clone());
                             self.shared.cache.publish(global, state, gates.get(&remote).copied());
                             published.push(global);
                         }
@@ -443,6 +567,9 @@ impl DetectionService {
             now,
         );
         route_realtime(&self.shared, self.backend.as_ref());
+        // Commit after the drain above, so real-time verdicts of
+        // already-journaled events land in this window, not the next.
+        self.shared.journal_commit(now, &snap_map, &report);
 
         quarantined.sort();
         FleetReport { report, quarantined }
@@ -488,6 +615,7 @@ fn route_realtime(shared: &ServiceShared, backend: &dyn DetectionBackend) {
         return;
     }
     shared.verdicts.lock().unwrap_or_else(|e| e.into_inner()).extend(verdicts.iter().cloned());
+    shared.journal_pending(&verdicts);
     let now = shared.clock.last().physical;
     push_verdicts(shared, verdicts.iter(), now);
 }
@@ -562,27 +690,39 @@ fn session_loop(
                         .unwrap_or_else(|e| e.into_inner())
                         .insert(global, monitor);
                     match resolve(&name) {
-                        Some(spec) => backend.register(global, spec, &initial, now),
+                        Some(spec) => {
+                            backend.register(global, spec, &initial, now);
+                            // Journal in the global namespace, like the
+                            // event frames — the replayer then resolves
+                            // and checks exactly what the service did.
+                            shared.journal_register(global, &name, now);
+                        }
                         None => {
                             session.unresolved.lock().unwrap_or_else(|e| e.into_inner()).push(name)
                         }
                     }
                 }
                 Msg::Record(Record::Events(events)) => {
-                    let mut ingested = 0u64;
-                    {
+                    let remapped: Vec<Event> = {
                         let to_global = session.to_global.lock().unwrap_or_else(|e| e.into_inner());
-                        for mut event in events {
-                            let Some(&global) = to_global.get(&event.monitor) else {
-                                continue; // unregistered monitor: drop
-                            };
-                            event.monitor = global;
-                            producer.observe(event);
-                            ingested += 1;
-                        }
+                        events
+                            .into_iter()
+                            .filter_map(|mut event| {
+                                // Unregistered monitor: drop.
+                                let &global = to_global.get(&event.monitor)?;
+                                event.monitor = global;
+                                Some(event)
+                            })
+                            .collect()
+                    };
+                    // Tee the frame to the journal before ingestion, so
+                    // every verdict's cause precedes it in the log.
+                    shared.journal_events(&remapped);
+                    for event in &remapped {
+                        producer.observe(*event);
                     }
                     producer.flush();
-                    session.events.fetch_add(ingested, Ordering::Release);
+                    session.events.fetch_add(remapped.len() as u64, Ordering::Release);
                     route_realtime(&shared, backend.as_ref());
                 }
                 Msg::Record(_) => {}
@@ -684,6 +824,9 @@ fn worker_checkpoint(
     shared.verdicts.lock().unwrap_or_else(|e| e.into_inner()).extend(
         report.violations.iter().chain(report.predicted.iter().map(|p| &p.violation)).cloned(),
     );
+    // Stage for the next committing fleet barrier (violations only:
+    // the replayer recomputes violations, never predictions).
+    shared.journal_pending(&report.violations);
 
     // Translate back into the worker's namespace.
     let mut translated = report;

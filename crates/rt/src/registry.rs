@@ -13,11 +13,14 @@
 //! thread-local lookup per recorded event reaches both, so a hot-path
 //! observation appends to the segment and — for monitors with
 //! calling-order concerns — streams straight into the backend without
-//! touching any mutex shared between observing threads (non-blocking
-//! first: the recording path uses
-//! [`ProducerHandle::try_observe`] with a bounded yield-retry before it
-//! ever blocks on a full shard inbox — see
-//! `crate::runtime::RtInner::record_observe`). One thread =
+//! touching any mutex shared between observing threads. How hard the
+//! recording thread pushes on backpressure is the monitor's
+//! *instrumentation mode* (`rmon_core::Mode`, answered by the
+//! backend): Sync uses [`ProducerHandle::try_observe`] with a bounded
+//! yield-retry before it ever blocks on a full shard inbox, Async
+//! fires one `try_observe` and detaches, Hybrid bounds the retry by a
+//! wall-clock budget — see
+//! `crate::runtime::RtInner::record_observe`. One thread =
 //! one [`Pid`] = one segment = one handle is also what upholds the
 //! backends' per-caller ordering precondition (see
 //! `rmon_core::detect::backend`).

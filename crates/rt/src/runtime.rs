@@ -24,8 +24,8 @@ use rmon_core::detect::{
     CheckpointScope, ClockFn, DetectionBackend, InlineBackend, ServiceStats, SnapshotProvider,
 };
 use rmon_core::{
-    DetectorConfig, Event, EventKind, EventSink, FaultReport, MonitorId, MonitorState, Nanos, Pid,
-    ProcName, RuleId, Violation, ViolationSink,
+    DetectorConfig, Event, EventKind, EventSink, FaultReport, Mode, MonitorId, MonitorState, Nanos,
+    Pid, ProcName, RuleId, Violation, ViolationSink,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -202,14 +202,31 @@ impl RtInner {
     /// order concerns skip the producer entirely: the periodic
     /// checkpoint's catch-up replay covers them.
     ///
-    /// Ingestion is non-blocking first: the handle's
-    /// [`try_observe`](rmon_core::detect::ProducerHandle::try_observe)
-    /// either hands the batch over or reports backpressure, and the
-    /// recording thread then retries a bounded number of times
-    /// (yielding between attempts, so a single-core host lets the shard
-    /// workers drain) before escalating to the blocking flush — events
-    /// are never dropped, but a transiently full inbox no longer parks
-    /// the monitored thread on the first refusal.
+    /// How hard the recording thread pushes is the monitor's
+    /// **instrumentation mode**, answered per event by
+    /// [`DetectionBackend::instrumentation_mode`] (so a mode-aware
+    /// backend like
+    /// [`AsyncBackend`](rmon_core::detect::AsyncBackend) can retune a
+    /// monitor at run time):
+    ///
+    /// * [`Mode::Sync`] (the default; every non-mode-aware backend) —
+    ///   non-blocking first: the handle's
+    ///   [`try_observe`](rmon_core::detect::ProducerHandle::try_observe)
+    ///   either hands the batch over or reports backpressure, and the
+    ///   recording thread then retries a bounded number of times
+    ///   (yielding between attempts, so a single-core host lets the
+    ///   shard workers drain) before escalating to the blocking flush —
+    ///   events are never dropped, but a transiently full inbox no
+    ///   longer parks the monitored thread on the first refusal.
+    /// * [`Mode::Async`] — fire-and-forget: one `try_observe`, never a
+    ///   block. A refused batch stays retained in the handle and is
+    ///   re-offered on the thread's next observation or flush (see the
+    ///   pressure flag in `rmon_core::detect::backend`), and every
+    ///   backend barrier flushes thread producers first, so asynchrony
+    ///   defers checking latency without ever losing an event.
+    /// * [`Mode::Hybrid`]`(t)` — Sync's yield-retry loop, but bounded
+    ///   by the wall-clock budget `t` instead of a retry count; on
+    ///   expiry the thread detaches exactly like Async.
     pub(crate) fn record_observe(
         &self,
         monitor: MonitorId,
@@ -219,21 +236,49 @@ impl RtInner {
         stream_realtime: bool,
     ) {
         /// Non-blocking flush attempts before falling back to the
-        /// blocking hand-off.
+        /// blocking hand-off (Sync mode).
         const INGEST_RETRIES: usize = 8;
+        // One backend call per event, outside the thread-state borrow:
+        // mode cells are lock-free reads, and non-mode-aware backends
+        // answer with the constant default.
+        let mode =
+            if stream_realtime { self.backend.instrumentation_mode(monitor) } else { Mode::Sync };
         registry::with_thread_state(self.token, &self.recorder, &self.backend, |st| {
             let event = self.recorder.record_on(&mut st.segment, monitor, pid, proc_name, kind);
-            if stream_realtime && st.producer.try_observe(event).is_full() {
-                let mut delivered = false;
-                for _ in 0..INGEST_RETRIES {
-                    std::thread::yield_now();
-                    if !st.producer.try_flush().is_full() {
-                        delivered = true;
-                        break;
+            if !stream_realtime {
+                return;
+            }
+            match mode {
+                Mode::Async => {
+                    let _ = st.producer.try_observe(event);
+                }
+                Mode::Sync => {
+                    if st.producer.try_observe(event).is_full() {
+                        let mut delivered = false;
+                        for _ in 0..INGEST_RETRIES {
+                            std::thread::yield_now();
+                            if !st.producer.try_flush().is_full() {
+                                delivered = true;
+                                break;
+                            }
+                        }
+                        if !delivered {
+                            st.producer.flush();
+                        }
                     }
                 }
-                if !delivered {
-                    st.producer.flush();
+                Mode::Hybrid(bound) => {
+                    if st.producer.try_observe(event).is_full() {
+                        let deadline = std::time::Instant::now() + bound.to_duration();
+                        loop {
+                            std::thread::yield_now();
+                            if !st.producer.try_flush().is_full()
+                                || std::time::Instant::now() >= deadline
+                            {
+                                break;
+                            }
+                        }
+                    }
                 }
             }
         });
@@ -951,6 +996,63 @@ mod tests {
             })
             .park_timeout(Duration::from_millis(200))
             .build()
+    }
+
+    fn async_rt(mode: Mode, shards: usize, batch: usize) -> Runtime {
+        let cfg = DetectorConfig { mode, ..DetectorConfig::without_timeouts() };
+        Runtime::builder(cfg)
+            .backend_with(move |cfg, _clock| {
+                Arc::new(
+                    rmon_core::detect::AsyncBackend::new(cfg, ServiceConfig::new(shards))
+                        .with_batch(batch),
+                )
+            })
+            .park_timeout(Duration::from_millis(200))
+            .build()
+    }
+
+    #[test]
+    fn async_backend_modes_match_the_sharded_reference_through_the_runtime() {
+        // The same single-thread faulty script through the full rt
+        // record path (RawCore::observe → record_observe → mode
+        // branch): every instrumentation mode must converge on the
+        // sharded reference verdicts once a barrier quiesces the
+        // asynchronous pipeline. Single-threaded driving keeps pids,
+        // monitor ids and event seqs identical across runtimes.
+        let drive = |rt: &Runtime| {
+            let allocators: Vec<_> =
+                (0..4).map(|i| crate::ResourceAllocator::new(rt, &format!("r{i}"), 2)).collect();
+            for al in &allocators {
+                al.request().unwrap();
+                let _ = al.request(); // U3: duplicate request
+                al.release().unwrap();
+                let _ = al.release(); // U1: release without request
+            }
+        };
+        type Key = (MonitorId, Option<Pid>, Option<u64>, RuleId);
+        let verdicts = |rt: &Runtime| -> Vec<Key> {
+            let _ = rt.checkpoint_now();
+            let mut vs = rt.all_violations();
+            vs.sort_by_key(|v| (v.monitor, v.pid, v.event_seq, v.rule));
+            vs.into_iter().map(|v| (v.monitor, v.pid, v.event_seq, v.rule)).collect()
+        };
+
+        let reference = sharded_rt(2, 4);
+        drive(&reference);
+        let want = verdicts(&reference);
+        assert!(!want.is_empty(), "the script injects U1/U3 faults");
+
+        for mode in [Mode::Sync, Mode::Async, Mode::Hybrid(Nanos::from_micros(50))] {
+            let rt = async_rt(mode, 2, 4);
+            assert_eq!(rt.backend_label(), "async");
+            drive(&rt);
+            // Every event streams (allocators have order concerns) and
+            // none is lost to fire-and-forget: 4 allocators × 4 calls
+            // × (Enter + Signal-Exit). service_stats flushes the
+            // thread handle and quiesces the async queues first.
+            assert_eq!(rt.service_stats().total_events(), 32, "{mode:?}");
+            assert_eq!(verdicts(&rt), want, "{mode:?} must match the sharded reference");
+        }
     }
 
     fn scheduled_rt(shards: usize, batch: usize) -> Runtime {

@@ -44,6 +44,11 @@ pub struct DistributedConfig {
     pub batch: usize,
     /// Deadline for the closing fleet checkpoint sweep.
     pub checkpoint_timeout: Duration,
+    /// Optional durable oplog the service tees into (see
+    /// [`DetectionService::journal`]): installed before the workers
+    /// attach, committed by the closing fleet sweep — the run's log
+    /// replays through `rmon_storage::replay_dir`.
+    pub journal: Option<Arc<rmon_storage::DurableSink>>,
 }
 
 impl Default for DistributedConfig {
@@ -54,6 +59,7 @@ impl Default for DistributedConfig {
             partition_window: None,
             batch: 64,
             checkpoint_timeout: Duration::from_secs(5),
+            journal: None,
         }
     }
 }
@@ -96,6 +102,11 @@ pub fn drive_fleet_distributed(
         resolve,
         ServiceConfig { checkpoint_timeout: cfg.checkpoint_timeout },
     );
+    // Install the tee before any worker attaches: the journal's Epoch
+    // record must precede every Register the sessions produce.
+    if let Some(sink) = &cfg.journal {
+        service.journal(Arc::clone(sink));
+    }
 
     // Round-robin partition, worker-local renumbering from 0.
     let mut fleet_ids: Vec<MonitorId> = fleet.specs.keys().copied().collect();

@@ -24,7 +24,10 @@
 //! * [`distributed`] — the multi-process mirror of the fleet sweeps:
 //!   N `rmon-net` workers streaming one [`sweep::FleetTrace`] into a
 //!   single detection service, optionally through the fault-injecting
-//!   harness.
+//!   harness;
+//! * [`saturation`] — thousands of concurrent producer threads against
+//!   one backend: the stress harness comparing synchronous and
+//!   asynchronous instrumentation modes.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -35,6 +38,7 @@ pub mod faultset;
 pub mod philosophers;
 pub mod producer_consumer;
 pub mod readers_writers;
+pub mod saturation;
 pub mod soak;
 pub mod sweep;
 
@@ -43,4 +47,5 @@ pub use distributed::{drive_fleet_distributed, DistributedConfig, DistributedOut
 pub use philosophers::Philosophers;
 pub use producer_consumer::PcWorkload;
 pub use readers_writers::ReadersWriters;
+pub use saturation::{run_saturation, SaturationConfig, SaturationReport};
 pub use soak::{run_soak, SoakConfig, SoakReport};

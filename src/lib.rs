@@ -63,13 +63,14 @@ pub use rmon_workloads as workloads;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use rmon_core::detect::{
-        Backpressure, CheckpointScope, DetectionBackend, InlineBackend, ProducerHandle,
-        ScheduledBackend, SchedulerConfig, ServiceConfig, ServiceStats, ShardedBackend,
-        ShardedDetector, SnapshotProvider, SnapshotTable,
+        AsyncBackend, Backpressure, CheckpointScope, DetectionBackend, InlineBackend,
+        ModeController, ModePolicy, Observe, ProducerHandle, ScheduledBackend, SchedulerConfig,
+        ServiceConfig, ServiceStats, ShardedBackend, ShardedDetector, SnapshotProvider,
+        SnapshotTable,
     };
     pub use rmon_core::{
         taxonomy, DetectorConfig, Event, EventKind, EventSink, FaultKind, FaultLevel, FaultReport,
-        MemorySink, MonitorClass, MonitorId, MonitorSpec, MonitorState, Nanos, PathExpr, Pid,
+        MemorySink, Mode, MonitorClass, MonitorId, MonitorSpec, MonitorState, Nanos, PathExpr, Pid,
         PredictMode, PredictedViolation, RuleId, VClock, Violation, ViolationSink,
     };
     pub use rmon_net::{DetectionService, RemoteBackend, RemoteConfig};

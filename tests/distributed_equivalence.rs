@@ -114,6 +114,83 @@ fn reordered_and_duplicated_delivery_matches_single_process() {
 }
 
 #[test]
+fn journaled_service_log_replays_equivalently() {
+    // The durable half of the equivalence claim: a service teeing its
+    // worker event frames into an oplog leaves a log from which a
+    // fresh detector re-derives exactly the recorded verdicts — and
+    // those verdicts are the single-process reference set.
+    let fleet = allocator_fleet_trace(8, 6, 2);
+    let expected = reference_keys(&fleet);
+    let scenarios: Vec<(&str, DistributedConfig)> = vec![
+        ("clean", DistributedConfig { workers: 2, ..DistributedConfig::default() }),
+        (
+            "chaotic",
+            DistributedConfig {
+                workers: 3,
+                batch: 3,
+                chaos: Some(ChaosConfig {
+                    seed: 7,
+                    hold_per_mille: 300,
+                    dup_per_mille: 200,
+                    reorder_window: 4,
+                }),
+                ..DistributedConfig::default()
+            },
+        ),
+    ];
+    for (scenario, mut cfg) in scenarios {
+        let dir = std::env::temp_dir()
+            .join(format!("rmon-dist-replay-{scenario}-{}", std::process::id()))
+            .join(format!("{:?}", std::thread::current().id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let sink = Arc::new(DurableSink::open(&dir, OplogConfig::default()).unwrap());
+        cfg.journal = Some(Arc::clone(&sink));
+
+        let backend = Arc::new(InlineBackend::new(DetectorConfig::without_timeouts()));
+        let outcome = drive_fleet_distributed(&fleet, backend, &cfg);
+        assert_eq!(keys(&outcome.verdicts), expected, "{scenario}: live run diverged");
+
+        // Replay resolves the journaled global-id registrations by
+        // declared monitor name, exactly like the service did —
+        // capturing the global→name mapping on the way, so the
+        // recorded verdicts can be translated back into the fleet
+        // namespace for the reference comparison.
+        let by_name: std::collections::HashMap<String, Arc<MonitorSpec>> =
+            fleet.specs.values().map(|s| (s.name.clone(), Arc::clone(s))).collect();
+        let registered = std::sync::Mutex::new(std::collections::HashMap::new());
+        let resolve = |id: MonitorId, name: &str| {
+            registered.lock().unwrap().insert(id, name.to_owned());
+            by_name.get(name).cloned()
+        };
+        let (replayed, read) = replay_dir(
+            &dir,
+            OplogConfig::default().max_record_bytes,
+            DetectorConfig::without_timeouts(),
+            &resolve,
+        )
+        .unwrap();
+        assert!(!read.stopped_mid_log, "{scenario}: sealed segments must scan clean: {read:?}");
+        assert!(replayed.matches(), "{scenario}: {:?}", replayed.mismatch());
+        assert!(replayed.events_replayed > 0, "{scenario}: the log must hold the event stream");
+
+        let fleet_id: std::collections::HashMap<&str, MonitorId> =
+            fleet.specs.iter().map(|(&id, s)| (s.name.as_str(), id)).collect();
+        let registered = registered.into_inner().unwrap();
+        let mut recorded = replayed.recorded.clone();
+        for v in &mut recorded {
+            v.monitor = fleet_id[registered[&v.monitor].as_str()];
+        }
+        assert_eq!(
+            keys(&recorded),
+            expected,
+            "{scenario}: journaled verdicts must be the single-process reference set"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
 fn dead_worker_is_quarantined_without_stalling_healthy_workers() {
     for (label, backend) in service_backends() {
         let spec = Arc::new(MonitorSpec::allocator("res", 1).spec);

@@ -1,0 +1,383 @@
+//! Offline shim for the slice of `futures` 0.3 the `rmon` workspace
+//! uses: [`executor::block_on`] and a small fixed-size
+//! [`executor::ThreadPool`] with `spawn_ok`.
+//!
+//! The build environment has no crates-registry access, so this crate
+//! hand-rolls the two executor entry points over `std` only:
+//!
+//! * `block_on(fut)` drives a future to completion on the calling
+//!   thread with a thread-parking waker — the synchronous bridge the
+//!   blocking instrumentation modes use to await delivery.
+//! * `ThreadPool` runs `'static + Send` futures to completion on a
+//!   fixed set of worker threads. Tasks that return `Pending` park in
+//!   the task itself; their waker re-enqueues them on the pool's
+//!   injector queue. This is a plain work-queue executor (one global
+//!   queue, no work stealing) — exactly enough to drive the
+//!   `AsyncBackend` shard drainers, and nothing more.
+//!
+//! Keep this shim minimal: grow it only when workspace code actually
+//! needs more of the upstream surface.
+
+#![warn(missing_docs)]
+
+/// Future executors: [`block_on`](executor::block_on) and
+/// [`ThreadPool`](executor::ThreadPool).
+pub mod executor {
+    use std::collections::VecDeque;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+    use std::thread::{self, JoinHandle, Thread};
+
+    /// Runs `fut` to completion on the calling thread, parking between
+    /// polls until the future's waker fires.
+    pub fn block_on<F: Future>(fut: F) -> F::Output {
+        // Pinning on the stack: the future never moves after this.
+        let mut fut = fut;
+        // SAFETY: `fut` is a local that is never moved again; the
+        // pinned reference does not outlive it.
+        let mut fut = unsafe { Pin::new_unchecked(&mut fut) };
+        let parker = Arc::new(ThreadParker::current());
+        let waker = thread_waker(Arc::clone(&parker));
+        let mut cx = Context::from_waker(&waker);
+        loop {
+            if let Poll::Ready(out) = fut.as_mut().poll(&mut cx) {
+                return out;
+            }
+            parker.park();
+        }
+    }
+
+    /// Unpark-token parker for [`block_on`]: a wake that lands before
+    /// the park is not lost.
+    struct ThreadParker {
+        thread: Thread,
+        notified: AtomicBool,
+    }
+
+    impl ThreadParker {
+        fn current() -> Self {
+            ThreadParker { thread: thread::current(), notified: AtomicBool::new(false) }
+        }
+
+        fn park(&self) {
+            while !self.notified.swap(false, Ordering::Acquire) {
+                thread::park();
+            }
+        }
+
+        fn unpark(&self) {
+            self.notified.store(true, Ordering::Release);
+            self.thread.unpark();
+        }
+    }
+
+    fn thread_waker(parker: Arc<ThreadParker>) -> Waker {
+        unsafe fn clone(data: *const ()) -> RawWaker {
+            unsafe { Arc::increment_strong_count(data as *const ThreadParker) };
+            RawWaker::new(data, &VTABLE)
+        }
+        unsafe fn wake(data: *const ()) {
+            let parker = unsafe { Arc::from_raw(data as *const ThreadParker) };
+            parker.unpark();
+        }
+        unsafe fn wake_by_ref(data: *const ()) {
+            unsafe { (*(data as *const ThreadParker)).unpark() };
+        }
+        unsafe fn drop_waker(data: *const ()) {
+            unsafe { drop(Arc::from_raw(data as *const ThreadParker)) };
+        }
+        static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, wake, wake_by_ref, drop_waker);
+        // SAFETY: the vtable functions uphold the RawWaker contract —
+        // clone bumps the Arc, wake/drop consume exactly one count.
+        unsafe { Waker::from_raw(RawWaker::new(Arc::into_raw(parker) as *const (), &VTABLE)) }
+    }
+
+    type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+    /// One spawned task: the future plus the bookkeeping its waker
+    /// needs to re-enqueue it.
+    struct Task {
+        /// `None` once the future has completed.
+        fut: Mutex<Option<BoxFuture>>,
+        pool: Arc<PoolShared>,
+        /// Wake-coalescing flag: set while the task is queued or being
+        /// polled, so concurrent wakes enqueue it at most once.
+        queued: AtomicBool,
+    }
+
+    impl Task {
+        /// Re-enqueues the task unless it is already queued.
+        fn schedule(self: &Arc<Self>) {
+            if !self.queued.swap(true, Ordering::AcqRel) {
+                self.pool.push(Arc::clone(self));
+            }
+        }
+    }
+
+    fn task_waker(task: Arc<Task>) -> Waker {
+        unsafe fn clone(data: *const ()) -> RawWaker {
+            unsafe { Arc::increment_strong_count(data as *const Task) };
+            RawWaker::new(data, &VTABLE)
+        }
+        unsafe fn wake(data: *const ()) {
+            let task = unsafe { Arc::from_raw(data as *const Task) };
+            task.schedule();
+        }
+        unsafe fn wake_by_ref(data: *const ()) {
+            let task = unsafe { &*(data as *const Task) };
+            // Temporarily reconstruct an Arc without consuming the
+            // caller's reference count.
+            unsafe { Arc::increment_strong_count(data as *const Task) };
+            let task_arc = unsafe { Arc::from_raw(task as *const Task) };
+            task_arc.schedule();
+        }
+        unsafe fn drop_waker(data: *const ()) {
+            unsafe { drop(Arc::from_raw(data as *const Task)) };
+        }
+        static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, wake, wake_by_ref, drop_waker);
+        // SAFETY: same contract as `thread_waker`.
+        unsafe { Waker::from_raw(RawWaker::new(Arc::into_raw(task) as *const (), &VTABLE)) }
+    }
+
+    /// State shared between the pool handle, its workers, and task
+    /// wakers.
+    struct PoolShared {
+        queue: Mutex<VecDeque<Arc<Task>>>,
+        available: Condvar,
+        shutdown: AtomicBool,
+        /// Tasks spawned but not yet run to completion (for
+        /// `Drop`-time accounting only; completion is not awaitable).
+        live: AtomicUsize,
+    }
+
+    impl PoolShared {
+        fn push(&self, task: Arc<Task>) {
+            let mut queue = self.queue.lock().unwrap_or_else(|p| p.into_inner());
+            queue.push_back(task);
+            drop(queue);
+            self.available.notify_one();
+        }
+
+        fn pop(&self) -> Option<Arc<Task>> {
+            let mut queue = self.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(task) = queue.pop_front() {
+                    return Some(task);
+                }
+                if self.shutdown.load(Ordering::Acquire) {
+                    return None;
+                }
+                queue = self.available.wait(queue).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+    }
+
+    /// A fixed-size thread-pool executor for `'static + Send` futures.
+    ///
+    /// Mirrors the `futures::executor::ThreadPool` surface the
+    /// workspace uses: [`new`](ThreadPool::new) and
+    /// [`spawn_ok`](ThreadPool::spawn_ok). Dropping the pool stops the
+    /// workers after the tasks currently in the queue finish their
+    /// in-progress poll; still-pending tasks are dropped.
+    pub struct ThreadPool {
+        shared: Arc<PoolShared>,
+        workers: Vec<JoinHandle<()>>,
+    }
+
+    impl std::fmt::Debug for ThreadPool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("ThreadPool")
+                .field("workers", &self.workers.len())
+                .field("live_tasks", &self.live_tasks())
+                .finish()
+        }
+    }
+
+    impl ThreadPool {
+        /// Creates a pool with one worker per available hardware
+        /// thread (minimum one).
+        pub fn new() -> std::io::Result<ThreadPool> {
+            let n = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            Ok(ThreadPool::with_workers(n))
+        }
+
+        /// Creates a pool with exactly `workers` worker threads
+        /// (clamped to at least one).
+        pub fn with_workers(workers: usize) -> ThreadPool {
+            let shared = Arc::new(PoolShared {
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                live: AtomicUsize::new(0),
+            });
+            let workers = (0..workers.max(1))
+                .map(|i| {
+                    let shared = Arc::clone(&shared);
+                    thread::Builder::new()
+                        .name(format!("rmon-exec-{i}"))
+                        .spawn(move || worker_loop(&shared))
+                        .expect("spawn executor worker")
+                })
+                .collect();
+            ThreadPool { shared, workers }
+        }
+
+        /// Spawns `fut` onto the pool, to be polled to completion.
+        pub fn spawn_ok<F>(&self, fut: F)
+        where
+            F: Future<Output = ()> + Send + 'static,
+        {
+            self.shared.live.fetch_add(1, Ordering::AcqRel);
+            let task = Arc::new(Task {
+                fut: Mutex::new(Some(Box::pin(fut))),
+                pool: Arc::clone(&self.shared),
+                queued: AtomicBool::new(false),
+            });
+            task.schedule();
+        }
+
+        /// Tasks spawned and not yet completed (observability only —
+        /// racy by nature).
+        pub fn live_tasks(&self) -> usize {
+            self.shared.live.load(Ordering::Acquire)
+        }
+    }
+
+    fn worker_loop(shared: &Arc<PoolShared>) {
+        while let Some(task) = shared.pop() {
+            // Clear the queued flag *before* polling: a wake that
+            // arrives during the poll must re-enqueue the task.
+            task.queued.store(false, Ordering::Release);
+            let waker = task_waker(Arc::clone(&task));
+            let mut cx = Context::from_waker(&waker);
+            let mut slot = task.fut.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(fut) = slot.as_mut() {
+                match fut.as_mut().poll(&mut cx) {
+                    Poll::Ready(()) => {
+                        *slot = None;
+                        shared.live.fetch_sub(1, Ordering::AcqRel);
+                    }
+                    Poll::Pending => {}
+                }
+            }
+        }
+    }
+
+    impl Drop for ThreadPool {
+        fn drop(&mut self) {
+            self.shared.shutdown.store(true, Ordering::Release);
+            self.shared.available.notify_all();
+            for worker in self.workers.drain(..) {
+                let _ = worker.join();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::atomic::AtomicU32;
+        use std::time::Duration;
+
+        #[test]
+        fn block_on_returns_a_ready_value() {
+            assert_eq!(block_on(async { 40 + 2 }), 42);
+        }
+
+        #[test]
+        fn block_on_survives_pending_then_wake() {
+            struct Twice {
+                polls: u32,
+            }
+            impl Future for Twice {
+                type Output = u32;
+                fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u32> {
+                    self.polls += 1;
+                    if self.polls < 3 {
+                        cx.waker().wake_by_ref();
+                        Poll::Pending
+                    } else {
+                        Poll::Ready(self.polls)
+                    }
+                }
+            }
+            assert_eq!(block_on(Twice { polls: 0 }), 3);
+        }
+
+        #[test]
+        fn block_on_waits_for_a_cross_thread_wake() {
+            struct Flagged {
+                flag: Arc<(Mutex<bool>, AtomicBool)>,
+            }
+            impl Future for Flagged {
+                type Output = ();
+                fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                    if self.flag.1.load(Ordering::Acquire) {
+                        Poll::Ready(())
+                    } else {
+                        let waker = cx.waker().clone();
+                        let flag = Arc::clone(&self.flag);
+                        thread::spawn(move || {
+                            thread::sleep(Duration::from_millis(10));
+                            flag.1.store(true, Ordering::Release);
+                            waker.wake();
+                        });
+                        Poll::Pending
+                    }
+                }
+            }
+            let flag = Arc::new((Mutex::new(false), AtomicBool::new(false)));
+            block_on(Flagged { flag });
+        }
+
+        #[test]
+        fn pool_runs_tasks_to_completion() {
+            let pool = ThreadPool::with_workers(2);
+            let count = Arc::new(AtomicU32::new(0));
+            for _ in 0..64 {
+                let count = Arc::clone(&count);
+                pool.spawn_ok(async move {
+                    count.fetch_add(1, Ordering::AcqRel);
+                });
+            }
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while count.load(Ordering::Acquire) < 64 {
+                assert!(std::time::Instant::now() < deadline, "pool never finished");
+                thread::yield_now();
+            }
+        }
+
+        #[test]
+        fn pool_reschedules_pending_tasks_on_wake() {
+            struct YieldOnce {
+                yielded: bool,
+                done: Arc<AtomicBool>,
+            }
+            impl Future for YieldOnce {
+                type Output = ();
+                fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                    if self.yielded {
+                        self.done.store(true, Ordering::Release);
+                        Poll::Ready(())
+                    } else {
+                        self.yielded = true;
+                        cx.waker().wake_by_ref();
+                        Poll::Pending
+                    }
+                }
+            }
+            let pool = ThreadPool::with_workers(1);
+            let done = Arc::new(AtomicBool::new(false));
+            pool.spawn_ok(YieldOnce { yielded: false, done: Arc::clone(&done) });
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while !done.load(Ordering::Acquire) {
+                assert!(std::time::Instant::now() < deadline, "task never rescheduled");
+                thread::yield_now();
+            }
+            assert_eq!(pool.live_tasks(), 0);
+        }
+    }
+}
