@@ -1,0 +1,246 @@
+//! `rmon-lint` — offline spec and fleet linter.
+//!
+//! Runs the `rmon_core::spec::analyze` diagnostics engine (the
+//! `RML0xx` catalogue, see `docs/DIAGNOSTICS.md`) outside any running
+//! detector: over spec files, over the built-in declarations, and over
+//! the monitor fleet recorded in a durable oplog directory.
+//!
+//! ```text
+//! rmon-lint [--strict] [--builtin] [--specs FILE] [--oplog DIR] [FILE.mspec ...]
+//! ```
+//!
+//! * `FILE.mspec` — lint every declaration in the file, then the file
+//!   as one fleet (name collisions, capacity mismatches, …).
+//! * `--builtin` — lint the canonical constructor specs
+//!   (`bounded_buffer` / `allocator` / `operation_manager`) and the
+//!   workload declarations shipped with the repo.
+//! * `--oplog DIR` — reconstruct the registered fleet from the
+//!   `Register` frames of a durable oplog (one fleet per runtime
+//!   epoch) and lint it. With `--specs FILE` the recorded names are
+//!   resolved against the file's declarations, so unresolved names
+//!   surface as `RML042`; without it resolution is skipped.
+//! * `--strict` — warnings count as failures, not just errors.
+//!
+//! Exit codes: `0` nothing at or above the failure threshold (Error,
+//! or Warn with `--strict`); `1` findings at the threshold; `2` usage
+//! or I/O error.
+
+use rmon_core::oplog::{decode_record, Record};
+use rmon_core::spec::textfmt;
+use rmon_core::{analyze_all, analyze_fleet, DiagCode, LintReport, MonitorSpec, Severity};
+use rmon_storage::Oplog;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Parsed command line.
+struct Options {
+    strict: bool,
+    builtin: bool,
+    oplog: Option<PathBuf>,
+    specs: Option<PathBuf>,
+    files: Vec<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: rmon-lint [--strict] [--builtin] [--specs FILE] [--oplog DIR] [FILE.mspec ...]"
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut opts =
+        Options { strict: false, builtin: false, oplog: None, specs: None, files: Vec::new() };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--strict" => opts.strict = true,
+            "--builtin" => opts.builtin = true,
+            "--oplog" => {
+                let dir = args.next().ok_or("--oplog needs a directory argument")?;
+                opts.oplog = Some(PathBuf::from(dir));
+            }
+            "--specs" => {
+                let file = args.next().ok_or("--specs needs a file argument")?;
+                opts.specs = Some(PathBuf::from(file));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
+            _ => opts.files.push(PathBuf::from(arg)),
+        }
+    }
+    if !opts.builtin && opts.oplog.is_none() && opts.files.is_empty() {
+        return Err("nothing to lint: give spec files, --builtin, or --oplog DIR".into());
+    }
+    if opts.specs.is_some() && opts.oplog.is_none() {
+        return Err("--specs only makes sense together with --oplog".into());
+    }
+    Ok(opts)
+}
+
+/// Reads and parses one `.mspec` file (hard structural errors abort).
+fn load_specs(path: &Path) -> Result<textfmt::SpecFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    textfmt::parse_specs(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Lints one spec file: front-end diagnostics (e.g. `RML016` for an
+/// unparsable call order) merged with the full per-spec and fleet
+/// analysis of its declarations.
+fn lint_file(path: &Path) -> Result<LintReport, String> {
+    let file = load_specs(path)?;
+    let mut report = file.diagnostics;
+    report
+        .merge(analyze_all(file.specs.iter().map(|s| (s.name.clone(), Some(Arc::new(s.clone()))))));
+    Ok(report)
+}
+
+/// The declarations the repo itself ships: canonical constructors plus
+/// the workload monitors.
+fn builtin_specs() -> Vec<MonitorSpec> {
+    vec![
+        MonitorSpec::bounded_buffer("bounded_buffer", 4).spec,
+        MonitorSpec::allocator("allocator", 2).spec,
+        MonitorSpec::operation_manager("operation_manager").spec,
+        rmon_workloads::ReadersWriters::spec("readers_writers"),
+    ]
+}
+
+fn lint_builtin() -> LintReport {
+    analyze_all(builtin_specs().into_iter().map(|s| (s.name.clone(), Some(Arc::new(s)))))
+}
+
+/// Lints the fleet recorded in an oplog directory: `Register` frames
+/// grouped per runtime epoch, each epoch linted as one fleet, the
+/// reports deduplicated (a soak restarts many epochs that re-register
+/// the same monitors).
+fn lint_oplog(
+    dir: &Path,
+    resolver: Option<&BTreeMap<String, Arc<MonitorSpec>>>,
+) -> Result<LintReport, String> {
+    let (payloads, read) =
+        Oplog::read_dir_records(dir, 16 << 20).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut epochs: Vec<Vec<String>> = Vec::new();
+    let mut current: Vec<String> = Vec::new();
+    let mut undecodable = 0usize;
+    for payload in &payloads {
+        match decode_record(payload) {
+            Ok(Record::Epoch { .. }) => {
+                if !current.is_empty() {
+                    epochs.push(std::mem::take(&mut current));
+                }
+            }
+            Ok(Record::Register { name, .. }) => current.push(name),
+            Ok(_) => {}
+            Err(_) => undecodable += 1,
+        }
+    }
+    if !current.is_empty() {
+        epochs.push(current);
+    }
+    eprintln!(
+        "rmon-lint: oplog {}: {} records in {} segment(s), {} epoch fleet(s){}",
+        dir.display(),
+        read.records,
+        read.segments,
+        epochs.len(),
+        if undecodable > 0 { format!(", {undecodable} undecodable") } else { String::new() },
+    );
+    let mut merged = LintReport::default();
+    let mut seen = std::collections::BTreeSet::new();
+    for names in epochs {
+        let entries = names
+            .into_iter()
+            .map(|n| {
+                let spec = resolver.and_then(|map| map.get(&n).cloned());
+                (n, spec)
+            })
+            .collect::<Vec<_>>();
+        let report = analyze_fleet(entries);
+        for diag in report.diagnostics {
+            // Without --specs every name is unresolved by construction;
+            // reporting RML042 for all of them would be pure noise.
+            if resolver.is_none() && diag.code == DiagCode::FleetUnresolved {
+                continue;
+            }
+            if seen.insert(format!("{diag}")) {
+                merged.merge(LintReport { diagnostics: vec![diag] });
+            }
+        }
+    }
+    Ok(merged)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("rmon-lint: {msg}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let threshold = if opts.strict { Severity::Warn } else { Severity::Error };
+
+    // (source label, report) pairs, in command-line order.
+    let mut sources: Vec<(String, LintReport)> = Vec::new();
+    if opts.builtin {
+        sources.push(("builtin".into(), lint_builtin()));
+    }
+    for file in &opts.files {
+        match lint_file(file) {
+            Ok(report) => sources.push((file.display().to_string(), report)),
+            Err(msg) => {
+                eprintln!("rmon-lint: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(dir) = &opts.oplog {
+        let resolver = match &opts.specs {
+            Some(path) => match load_specs(path) {
+                Ok(file) => Some(
+                    file.specs
+                        .into_iter()
+                        .map(|s| (s.name.clone(), Arc::new(s)))
+                        .collect::<BTreeMap<_, _>>(),
+                ),
+                Err(msg) => {
+                    eprintln!("rmon-lint: {msg}");
+                    return ExitCode::from(2);
+                }
+            },
+            None => None,
+        };
+        match lint_oplog(dir, resolver.as_ref()) {
+            Ok(report) => sources.push((format!("oplog {}", dir.display()), report)),
+            Err(msg) => {
+                eprintln!("rmon-lint: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut failing = 0usize;
+    let mut findings = 0usize;
+    for (label, report) in &sources {
+        println!("== {label}: {report}");
+        findings += report.diagnostics.len();
+        if report.worst().is_some_and(|w| w >= threshold) {
+            failing += 1;
+        }
+    }
+    println!(
+        "rmon-lint: {} source(s), {} finding(s), {} failing at threshold {threshold}",
+        sources.len(),
+        findings,
+        failing,
+    );
+    if failing > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -120,6 +120,17 @@ pub struct DetectorConfig {
     /// paper-faithful). Only mode-aware backends consult it; the
     /// inline detector is synchronous by construction.
     pub mode: Mode,
+    /// Reject monitor registrations whose spec has Error-level static
+    /// diagnostics (`RML0xx`, see [`crate::spec::analyze`]).
+    ///
+    /// Default **off** for drop-in compatibility with dynamically
+    /// assembled specs; specs built by [`monitor_spec!`](crate::monitor_spec)
+    /// are vetted at construction regardless. With the gate on,
+    /// [`Detector::register`](crate::detect::Detector::register) panics
+    /// on an Error-level spec (use
+    /// [`try_register`](crate::detect::Detector::try_register) to
+    /// handle the report instead).
+    pub strict_specs: bool,
 }
 
 impl DetectorConfig {
@@ -140,6 +151,7 @@ impl DetectorConfig {
             check_interval: Nanos::from_millis(100),
             predict: PredictMode::Off,
             mode: Mode::Sync,
+            strict_specs: false,
         }
     }
 }
@@ -155,6 +167,7 @@ impl Default for DetectorConfig {
             check_interval: Nanos::from_millis(50),
             predict: PredictMode::Off,
             mode: Mode::Sync,
+            strict_specs: false,
         }
     }
 }
@@ -199,6 +212,13 @@ impl DetectorConfigBuilder {
     /// Sets the base instrumentation mode.
     pub fn mode(mut self, v: Mode) -> Self {
         self.cfg.mode = v;
+        self
+    }
+
+    /// Enables or disables the strict spec gate (reject Error-level
+    /// specs at registration).
+    pub fn strict_specs(mut self, v: bool) -> Self {
+        self.cfg.strict_specs = v;
         self
     }
 
@@ -253,6 +273,13 @@ mod tests {
         assert_eq!(Mode::Hybrid(Nanos::from_millis(1)).bound(), Some(Nanos::from_millis(1)));
         let c = DetectorConfig::builder().mode(Mode::Async).build();
         assert_eq!(c.mode, Mode::Async);
+    }
+
+    #[test]
+    fn strict_specs_defaults_off_and_builder_enables() {
+        assert!(!DetectorConfig::default().strict_specs);
+        assert!(!DetectorConfig::without_timeouts().strict_specs);
+        assert!(DetectorConfig::builder().strict_specs(true).build().strict_specs);
     }
 
     #[test]

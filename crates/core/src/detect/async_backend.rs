@@ -400,13 +400,16 @@ impl Future for Drainer {
             let batch: Vec<Event> = this.carry.iter().map(|i| i.event).collect();
             match this.sender.try_send(ShardMsg::Batch(batch)) {
                 Ok(()) => {
+                    // Settle the quiesce counter BEFORE resolving any
+                    // ticket: a waiter woken by its ticket must observe
+                    // `undelivered()` already decremented.
                     let n = this.carry.len() as u64;
+                    this.shared.quiesce.settle(n);
                     for item in this.carry.drain(..) {
                         if let Some(ticket) = item.ticket {
                             ticket.mark_done();
                         }
                     }
-                    this.shared.quiesce.settle(n);
                 }
                 Err(TrySendError::Full(_)) => {
                     // The shard worker is behind: yield so sibling
@@ -418,14 +421,15 @@ impl Future for Drainer {
                 }
                 Err(TrySendError::Disconnected(_)) => {
                     // Worker gone (shutdown): settle and drop, exactly
-                    // like post-shutdown observes.
+                    // like post-shutdown observes. Same settle-first
+                    // ordering as the delivery path above.
                     let n = this.carry.len() as u64;
+                    this.shared.quiesce.settle(n);
                     for item in this.carry.drain(..) {
                         if let Some(ticket) = item.ticket {
                             ticket.mark_done();
                         }
                     }
-                    this.shared.quiesce.settle(n);
                 }
             }
         }

@@ -161,6 +161,16 @@ impl Detector {
 
     /// Registers a monitor with its declaration and initial observed
     /// state. Events for unregistered monitors are ignored.
+    ///
+    /// Every backend (inline, sharded, scheduled, async, remote) routes
+    /// registration through here, so this is also where the
+    /// [`DetectorConfig::strict_specs`] gate lives.
+    ///
+    /// # Panics
+    ///
+    /// With `strict_specs` on, panics if the spec has Error-level
+    /// static diagnostics ([`crate::spec::analyze`]); use
+    /// [`Detector::try_register`] to handle the report instead.
     pub fn register(
         &mut self,
         monitor: MonitorId,
@@ -168,7 +178,40 @@ impl Detector {
         initial: &MonitorState,
         now: Nanos,
     ) {
+        if self.cfg.strict_specs {
+            let report = crate::spec::analyze::analyze(&spec);
+            assert!(
+                !report.has_errors(),
+                "strict_specs: registration of {:?} rejected:\n{report}",
+                spec.name
+            );
+        }
         self.monitors.insert(monitor, MonitorChecker::new(monitor, spec, initial, now));
+    }
+
+    /// Like [`Detector::register`], but always vets the spec through
+    /// the static analyzer first — regardless of
+    /// [`DetectorConfig::strict_specs`] — and refuses Error-level
+    /// declarations instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the full [`LintReport`](crate::spec::LintReport)
+    /// (which may additionally carry Warn/Lint findings) when the spec
+    /// has Error-level diagnostics; the monitor is not registered.
+    pub fn try_register(
+        &mut self,
+        monitor: MonitorId,
+        spec: Arc<MonitorSpec>,
+        initial: &MonitorState,
+        now: Nanos,
+    ) -> Result<(), crate::spec::LintReport> {
+        let report = crate::spec::analyze::analyze(&spec);
+        if report.has_errors() {
+            return Err(report);
+        }
+        self.monitors.insert(monitor, MonitorChecker::new(monitor, spec, initial, now));
+        Ok(())
     }
 
     /// Registers a monitor starting from the canonical empty state

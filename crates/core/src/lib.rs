@@ -96,8 +96,9 @@ pub use oplog::{EventSink, MemorySink, ViolationSink};
 pub use path::{CompiledPath, OrderViolation, PathError, PathExpr, PathTracker};
 pub use rule::RuleId;
 pub use spec::{
-    AllocatorSpec, BoundedBufferSpec, CondRole, CondSpec, ManagerSpec, MonitorClass, MonitorSpec,
-    MonitorSpecBuilder, ProcRole, ProcedureSpec,
+    analyze::analyze, analyze_all, analyze_fleet, AllocatorSpec, BoundedBufferSpec, CondRole,
+    CondSpec, DiagCode, Diagnostic, LintReport, ManagerSpec, MonitorClass, MonitorSpec,
+    MonitorSpecBuilder, ProcRole, ProcedureSpec, Severity,
 };
 pub use state::MonitorState;
 pub use time::Nanos;

@@ -133,6 +133,11 @@ impl PathExpr {
         &self.src
     }
 
+    /// The parsed syntax tree, for the static spec analyzer.
+    pub(crate) fn ast(&self) -> &Node {
+        &self.ast
+    }
+
     /// All procedure names mentioned in the expression.
     pub fn names(&self) -> BTreeSet<&str> {
         fn walk<'a>(n: &'a Node, out: &mut BTreeSet<&'a str>) {
@@ -522,6 +527,39 @@ impl CompiledPath {
     /// Number of NFA states.
     pub fn state_count(&self) -> usize {
         self.eps.len()
+    }
+
+    /// Epsilon successors of one state, for the static spec analyzer.
+    pub(crate) fn eps_edges(&self, state: usize) -> &[usize] {
+        &self.eps[state]
+    }
+
+    /// Symbol transitions of one state, for the static spec analyzer.
+    pub(crate) fn step_edges(&self, state: usize) -> &[(ProcName, usize)] {
+        &self.steps[state]
+    }
+
+    /// The NFA start state.
+    pub(crate) fn start_state(&self) -> usize {
+        self.start
+    }
+
+    /// The NFA accept state.
+    pub(crate) fn accept_state(&self) -> usize {
+        self.accept
+    }
+
+    /// Assembles an automaton directly from its transition tables —
+    /// only for analyzer unit tests that need shapes the Thompson
+    /// construction cannot produce (e.g. trap states).
+    #[cfg(test)]
+    pub(crate) fn from_parts(
+        eps: Vec<Vec<usize>>,
+        steps: Vec<Vec<(ProcName, usize)>>,
+        start: usize,
+        accept: usize,
+    ) -> CompiledPath {
+        CompiledPath { eps, steps, start, accept }
     }
 
     /// Starts tracking one process's calls through the automaton.

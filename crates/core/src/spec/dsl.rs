@@ -1,0 +1,228 @@
+//! The `monitor_spec!` declarative DSL.
+//!
+//! One block declares everything the augmented monitor construct (§4)
+//! needs: name, class, capacity, procedures with roles, condition
+//! variables with roles, the path-expression call order, and state
+//! assertions. Conflicts are caught as early as possible:
+//!
+//! * **compile time** — duplicate procedure/condition names (expanded
+//!   into a struct whose fields must be unique, in the style of
+//!   smlang-rs's duplicate-transition diagnostics) and unknown
+//!   role/class identifiers (resolved as enum variants);
+//! * **first use** — everything else runs through the full static
+//!   analyzer via [`build_checked`](super::build_checked): Error-level
+//!   diagnostics (`RML0xx`, see `docs/DIAGNOSTICS.md`) panic with the
+//!   formatted report.
+
+/// Declares a [`MonitorSpec`](crate::MonitorSpec) in one block, with
+/// compile-time conflict checking and Error-level `RML0xx` diagnostics
+/// at first use.
+///
+/// Sections appear in this order; `capacity`, `conditions`,
+/// `call_order` and `assertions` are optional:
+///
+/// ```text
+/// monitor_spec! {
+///     name: <expr>,                      // &str / String
+///     class: <MonitorClass variant>,
+///     capacity: <expr>,                  // u64 (Rmax)
+///     procedures: { <name>: <ProcRole variant>, ... },
+///     conditions: { <name>: <CondRole variant>, ... },
+///     call_order: <expr>,                // &str path expression
+///     assertions: [ <StateAssertion expr>, ... ],
+/// }
+/// ```
+///
+/// Procedure and condition indices ([`ProcName`](crate::ProcName) /
+/// [`CondId`](crate::CondId)) follow declaration order, exactly like
+/// [`MonitorSpec::builder`](crate::MonitorSpec::builder).
+///
+/// # Examples
+///
+/// A bounded buffer and an allocator with a declared call order:
+///
+/// ```
+/// use rmon_core::{monitor_spec, MonitorClass, ProcRole, StateAssertion};
+///
+/// let mailbox = monitor_spec! {
+///     name: "mailbox",
+///     class: CommunicationCoordinator,
+///     capacity: 8,
+///     procedures: { send: Send, receive: Receive },
+///     conditions: { buffer_full: BufferFull, buffer_empty: BufferEmpty },
+///     assertions: [StateAssertion::EntryQueueAtMost(64)],
+/// };
+/// assert_eq!(mailbox.class, MonitorClass::CommunicationCoordinator);
+/// assert_eq!(mailbox.proc_role(mailbox.proc_by_name("send").unwrap()), ProcRole::Send);
+///
+/// let printer = monitor_spec! {
+///     name: "printer",
+///     class: ResourceAllocator,
+///     capacity: 2,
+///     procedures: { acquire: Request, done: Release },
+///     conditions: { free: UnitAvailable },
+///     call_order: "path (acquire ; done)* end",
+/// };
+/// assert!(printer.call_order.unwrap().accepts_names(&["acquire", "done"]));
+/// ```
+///
+/// Declaring a procedure twice is a **compile-time** error
+/// (`RML001`'s static twin):
+///
+/// ```compile_fail
+/// let bad = rmon_core::monitor_spec! {
+///     name: "dup",
+///     class: OperationManager,
+///     procedures: { operate: Plain, operate: Plain },
+/// };
+/// ```
+///
+/// So is a typo'd role (no `ProcRole::Snd` variant exists):
+///
+/// ```compile_fail
+/// let bad = rmon_core::monitor_spec! {
+///     name: "typo",
+///     class: CommunicationCoordinator,
+///     capacity: 4,
+///     procedures: { send: Snd, receive: Receive },
+/// };
+/// ```
+///
+/// Error-level diagnostics fire at first use — a coordinator without a
+/// capacity is rejected (`RML021`):
+///
+/// ```should_panic
+/// let bad = rmon_core::monitor_spec! {
+///     name: "no_capacity",
+///     class: CommunicationCoordinator,
+///     procedures: { send: Send, receive: Receive },
+/// };
+/// ```
+///
+/// … as is a call order naming an undeclared procedure (`RML010`):
+///
+/// ```should_panic
+/// let bad = rmon_core::monitor_spec! {
+///     name: "ghost_proc",
+///     class: ResourceAllocator,
+///     capacity: 1,
+///     procedures: { request: Request, release: Release },
+///     conditions: { unit: UnitAvailable },
+///     call_order: "path (request ; free)* end",
+/// };
+/// ```
+#[macro_export]
+macro_rules! monitor_spec {
+    (
+        name: $name:expr,
+        class: $class:ident,
+        $(capacity: $cap:expr,)?
+        procedures: { $($pname:ident : $prole:ident),+ $(,)? }
+        $(, conditions: { $($cname:ident : $crole:ident),+ $(,)? })?
+        $(, call_order: $order:expr)?
+        $(, assertions: [ $($assert:expr),+ $(,)? ])?
+        $(,)?
+    ) => {{
+        {
+            // Duplicate names become duplicate struct fields — a
+            // compile error pointing at the repeated declaration.
+            #[allow(non_camel_case_types, dead_code)]
+            struct __RmonProcedureDeclaredTwice { $($pname: ()),+ }
+            $(
+                #[allow(non_camel_case_types, dead_code)]
+                struct __RmonConditionDeclaredTwice { $($cname: ()),+ }
+            )?
+        }
+        let __builder = $crate::MonitorSpec::builder($name, $crate::MonitorClass::$class)
+            $(.capacity($cap))?
+            $(.procedure(stringify!($pname), $crate::ProcRole::$prole))+
+            $($(.condition(stringify!($cname), $crate::CondRole::$crole))+)?
+            $($(.assertion($assert))+)?;
+        let __order: ::core::option::Option<&str> =
+            ::core::option::Option::None$(.or(::core::option::Option::Some($order)))?;
+        $crate::spec::build_checked(__builder, __order)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::spec::{CondRole, MonitorClass, ProcRole};
+    use crate::{MonitorSpec, PathExpr, StateAssertion};
+
+    #[test]
+    fn macro_matches_hand_built_spec() {
+        let dsl = monitor_spec! {
+            name: "pool",
+            class: ResourceAllocator,
+            capacity: 3,
+            procedures: { request: Request, release: Release },
+            conditions: { unit_available: UnitAvailable },
+            call_order: "path (request ; release)* end",
+            assertions: [StateAssertion::AvailableAtLeast(1)],
+        };
+        let hand = MonitorSpec::builder("pool", MonitorClass::ResourceAllocator)
+            .procedure("request", ProcRole::Request)
+            .procedure("release", ProcRole::Release)
+            .condition("unit_available", CondRole::UnitAvailable)
+            .capacity(3)
+            .call_order(PathExpr::parse("path (request ; release)* end").unwrap())
+            .assertion(StateAssertion::AvailableAtLeast(1))
+            .build();
+        assert_eq!(dsl, hand);
+    }
+
+    #[test]
+    fn minimal_manager_block() {
+        let spec = monitor_spec! {
+            name: "cell",
+            class: OperationManager,
+            procedures: { operate: Plain },
+        };
+        assert_eq!(spec.class, MonitorClass::OperationManager);
+        assert_eq!(spec.capacity, None);
+        assert!(spec.call_order.is_none());
+        assert!(spec.assertions.is_empty());
+    }
+
+    #[test]
+    fn declaration_order_defines_indices() {
+        let spec = monitor_spec! {
+            name: "buf",
+            class: CommunicationCoordinator,
+            capacity: 4,
+            procedures: { put: Send, take: Receive },
+            conditions: { full: BufferFull, empty: BufferEmpty },
+        };
+        assert_eq!(spec.proc_by_name("put").unwrap().as_usize(), 0);
+        assert_eq!(spec.proc_by_name("take").unwrap().as_usize(), 1);
+        assert_eq!(spec.cond_by_name("full").unwrap().as_usize(), 0);
+        assert_eq!(spec.cond_by_name("empty").unwrap().as_usize(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "RML030")]
+    fn unsatisfiable_assertion_panics_at_first_use() {
+        let _ = monitor_spec! {
+            name: "pool",
+            class: ResourceAllocator,
+            capacity: 2,
+            procedures: { request: Request, release: Release },
+            conditions: { unit_available: UnitAvailable },
+            call_order: "path (request ; release)* end",
+            assertions: [StateAssertion::AvailableAtLeast(5)],
+        };
+    }
+
+    #[test]
+    #[should_panic(expected = "RML016")]
+    fn unparsable_call_order_panics_with_rml016() {
+        let _ = monitor_spec! {
+            name: "pool",
+            class: ResourceAllocator,
+            capacity: 1,
+            procedures: { request: Request, release: Release },
+            conditions: { unit_available: UnitAvailable },
+            call_order: "path (request ; release* end",
+        };
+    }
+}

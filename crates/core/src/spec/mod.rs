@@ -18,6 +18,12 @@ use crate::path::PathExpr;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+pub mod analyze;
+mod dsl;
+pub mod textfmt;
+
+pub use analyze::{analyze_all, analyze_fleet, DiagCode, Diagnostic, LintReport, Severity};
+
 /// Functional classification of monitors (§2.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum MonitorClass {
@@ -172,13 +178,13 @@ impl MonitorSpec {
     /// Returns the spec together with the procedure and condition
     /// indices: `(spec, send, receive, full_cond, empty_cond)`.
     pub fn bounded_buffer(name: impl Into<String>, capacity: u64) -> BoundedBufferSpec {
-        let spec = MonitorSpec::builder(name, MonitorClass::CommunicationCoordinator)
-            .procedure("send", ProcRole::Send)
-            .procedure("receive", ProcRole::Receive)
-            .condition("buffer_full", CondRole::BufferFull)
-            .condition("buffer_empty", CondRole::BufferEmpty)
-            .capacity(capacity)
-            .build();
+        let spec = crate::monitor_spec! {
+            name: name.into(),
+            class: CommunicationCoordinator,
+            capacity: capacity,
+            procedures: { send: Send, receive: Receive },
+            conditions: { buffer_full: BufferFull, buffer_empty: BufferEmpty },
+        };
         BoundedBufferSpec {
             spec,
             send: ProcName::new(0),
@@ -193,15 +199,14 @@ impl MonitorSpec {
     ///
     /// Returns `(spec, request, release, avail_cond)`.
     pub fn allocator(name: impl Into<String>, units: u64) -> AllocatorSpec {
-        let order = PathExpr::parse("path (request ; release)* end")
-            .expect("builtin allocator path expression parses");
-        let spec = MonitorSpec::builder(name, MonitorClass::ResourceAllocator)
-            .procedure("request", ProcRole::Request)
-            .procedure("release", ProcRole::Release)
-            .condition("unit_available", CondRole::UnitAvailable)
-            .capacity(units)
-            .call_order(order)
-            .build();
+        let spec = crate::monitor_spec! {
+            name: name.into(),
+            class: ResourceAllocator,
+            capacity: units,
+            procedures: { request: Request, release: Release },
+            conditions: { unit_available: UnitAvailable },
+            call_order: "path (request ; release)* end",
+        };
         AllocatorSpec {
             spec,
             request: ProcName::new(0),
@@ -215,9 +220,11 @@ impl MonitorSpec {
     ///
     /// Returns `(spec, operate)`.
     pub fn operation_manager(name: impl Into<String>) -> ManagerSpec {
-        let spec = MonitorSpec::builder(name, MonitorClass::OperationManager)
-            .procedure("operate", ProcRole::Plain)
-            .build();
+        let spec = crate::monitor_spec! {
+            name: name.into(),
+            class: OperationManager,
+            procedures: { operate: Plain },
+        };
         ManagerSpec { spec, operate: ProcName::new(0) }
     }
 
@@ -323,9 +330,69 @@ impl MonitorSpecBuilder {
     }
 
     /// Finishes the declaration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a procedure or condition name is declared twice:
+    /// duplicate names make [`ProcName`]/[`CondId`] resolution by name
+    /// ambiguous (call orders, journal replay and the detection rules
+    /// all resolve by name), so such a declaration is never usable.
+    /// Use [`MonitorSpecBuilder::try_build`] to handle the rejection.
     pub fn build(self) -> MonitorSpec {
-        self.spec
+        match self.try_build() {
+            Ok(spec) => spec,
+            Err(report) => panic!("invalid monitor spec:\n{report}"),
+        }
     }
+
+    /// Finishes the declaration, rejecting duplicate procedure or
+    /// condition names with the corresponding `RML001`/`RML002`
+    /// diagnostics instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the duplicate-name [`LintReport`] if any name is
+    /// declared twice.
+    pub fn try_build(self) -> Result<MonitorSpec, LintReport> {
+        let report = analyze::duplicate_name_report(&self.spec);
+        if report.has_errors() {
+            return Err(report);
+        }
+        Ok(self.spec)
+    }
+}
+
+/// Finishes a [`monitor_spec!`](crate::monitor_spec) declaration:
+/// parses the optional call order, builds the spec, runs the full
+/// static analyzer ([`analyze::analyze`]) and rejects any Error-level
+/// diagnostic. This is the macro's runtime back-end; it is public so
+/// the macro can expand outside this crate, and usable directly when a
+/// spec is assembled dynamically but should still be vetted at
+/// construction.
+///
+/// # Panics
+///
+/// Panics with the full diagnostic report if the call order does not
+/// parse (`RML016`) or the finished spec has Error-level findings.
+pub fn build_checked(builder: MonitorSpecBuilder, order: Option<&str>) -> MonitorSpec {
+    let mut spec = match builder.try_build() {
+        Ok(spec) => spec,
+        Err(report) => panic!("monitor_spec! declaration rejected:\n{report}"),
+    };
+    if let Some(src) = order {
+        match PathExpr::parse(src) {
+            Ok(p) => spec.call_order = Some(p),
+            Err(e) => panic!(
+                "monitor_spec! declaration for {:?} rejected:\n  RML016 error [{}] {e}",
+                spec.name, spec.name
+            ),
+        }
+    }
+    let report = analyze::analyze(&spec);
+    if report.has_errors() {
+        panic!("monitor_spec! declaration for {:?} rejected:\n{report}", spec.name);
+    }
+    spec
 }
 
 /// A bounded-buffer (communication coordinator) spec with its well-known
@@ -420,6 +487,37 @@ mod tests {
         assert_eq!(m.spec.cond_role(CondId::new(99)), CondRole::Plain);
         assert!(m.spec.proc_display(ProcName::new(99)).contains("unknown"));
         assert!(m.spec.cond_display(CondId::new(99)).contains("unknown"));
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_procedure_names() {
+        // Regression: the builder used to accept duplicate names
+        // silently, making name-based ProcName resolution ambiguous.
+        let report = MonitorSpec::builder("m", MonitorClass::OperationManager)
+            .procedure("op", ProcRole::Plain)
+            .procedure("op", ProcRole::Send)
+            .try_build()
+            .expect_err("duplicate procedure names must be rejected");
+        assert!(report.diagnostics.iter().any(|d| d.code == analyze::DiagCode::DuplicateProc));
+    }
+
+    #[test]
+    #[should_panic(expected = "RML002")]
+    fn build_panics_on_duplicate_condition_names() {
+        let _ = MonitorSpec::builder("m", MonitorClass::OperationManager)
+            .procedure("op", ProcRole::Plain)
+            .condition("c", CondRole::Plain)
+            .condition("c", CondRole::Plain)
+            .build();
+    }
+
+    #[test]
+    fn try_build_accepts_well_formed_specs() {
+        let spec = MonitorSpec::builder("m", MonitorClass::OperationManager)
+            .procedure("op", ProcRole::Plain)
+            .try_build()
+            .expect("unique names build fine");
+        assert_eq!(spec.procedures.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,494 @@
+//! A line-oriented text format for monitor specifications (`.mspec`),
+//! so fleets of declarations can be linted offline by `rmon-lint`
+//! without compiling Rust.
+//!
+//! ```text
+//! # one file holds one fleet; '#' starts a comment
+//! monitor mailbox
+//!   class coordinator          # coordinator | allocator | manager
+//!   capacity 8                 # Rmax
+//!   proc send send             # proc <name> <role>
+//!   proc receive receive       #   role: send|receive|request|release|plain
+//!   cond buffer_full buffer_full
+//!   cond buffer_empty buffer_empty
+//!   assert entry_queue_at_most 64
+//! end
+//!
+//! monitor printer
+//!   class allocator
+//!   capacity 2
+//!   proc acquire request
+//!   proc done release
+//!   cond free unit_available
+//!   order path (acquire ; done)* end
+//! end
+//! ```
+//!
+//! Parsing is deliberately *lenient about semantics*: structural errors
+//! (unknown directives, bad numbers) are hard [`TextError`]s, but a
+//! call order that fails to parse becomes an `RML016` diagnostic with
+//! the order dropped, and an assertion naming an unknown condition maps
+//! to an out-of-range [`CondId`] so the analyzer reports
+//! `RML032` — malformed *declarations* are exactly what the linter
+//! exists to describe, so the front-end preserves them instead of
+//! refusing to look.
+
+use crate::assertion::StateAssertion;
+use crate::ids::{CondId, Pid};
+use crate::path::PathExpr;
+use crate::spec::analyze::{DiagCode, Diagnostic, LintReport};
+use crate::spec::{CondRole, CondSpec, MonitorClass, MonitorSpec, ProcRole, ProcedureSpec};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A structural parse error: line number (1-based) and description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextError {
+    /// 1-based line the error was found on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TextError {}
+
+/// A parsed spec file: the declarations plus any front-end diagnostics
+/// (today only `RML016` for call orders that fail to parse). Run
+/// [`analyze_all`](crate::spec::analyze_all) over `specs` for the full
+/// lint.
+#[derive(Debug, Clone, Default)]
+pub struct SpecFile {
+    /// The declarations, in file order.
+    pub specs: Vec<MonitorSpec>,
+    /// Front-end diagnostics raised while parsing.
+    pub diagnostics: LintReport,
+}
+
+struct Block {
+    spec: MonitorSpec,
+    order: Option<(usize, String)>,
+    cond_asserts: Vec<String>,
+}
+
+fn err(line: usize, message: impl Into<String>) -> TextError {
+    TextError { line, message: message.into() }
+}
+
+/// Parses a `.mspec` file.
+///
+/// # Errors
+///
+/// Returns [`TextError`] on structural errors (unknown directives,
+/// malformed numbers, unbalanced `monitor`/`end`). Semantic problems
+/// are preserved in the returned specs for the analyzer to describe.
+///
+/// # Examples
+///
+/// ```
+/// use rmon_core::spec::{analyze_all, textfmt};
+/// use std::sync::Arc;
+///
+/// let file = textfmt::parse_specs(
+///     "monitor pool\n  class allocator\n  capacity 2\n\
+///      proc request request\n  proc release release\n\
+///      cond unit unit_available\n  order path (request ; release)* end\nend\n",
+/// )?;
+/// assert_eq!(file.specs.len(), 1);
+/// let fleet = file
+///     .specs
+///     .iter()
+///     .map(|s| (s.name.clone(), Some(Arc::new(s.clone()))));
+/// assert!(analyze_all(fleet).is_clean());
+/// # Ok::<(), rmon_core::spec::textfmt::TextError>(())
+/// ```
+pub fn parse_specs(text: &str) -> Result<SpecFile, TextError> {
+    let mut out = SpecFile::default();
+    let mut cur: Option<Block> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let n = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (head, rest) = match line.split_once(char::is_whitespace) {
+            Some((h, r)) => (h, r.trim()),
+            None => (line, ""),
+        };
+        match head {
+            "monitor" => {
+                if cur.is_some() {
+                    return Err(err(n, "nested 'monitor' block (missing 'end'?)"));
+                }
+                if rest.is_empty() || rest.split_whitespace().count() != 1 {
+                    return Err(err(n, "expected 'monitor <name>'"));
+                }
+                cur = Some(Block {
+                    spec: MonitorSpec {
+                        name: rest.to_string(),
+                        class: MonitorClass::OperationManager,
+                        procedures: Vec::new(),
+                        conditions: Vec::new(),
+                        capacity: None,
+                        call_order: None,
+                        assertions: Vec::new(),
+                    },
+                    order: None,
+                    cond_asserts: Vec::new(),
+                });
+            }
+            "end" => {
+                let block = cur.take().ok_or_else(|| err(n, "'end' outside a monitor block"))?;
+                out.specs.push(finish_block(block, &mut out.diagnostics));
+            }
+            _ => {
+                let block =
+                    cur.as_mut().ok_or_else(|| err(n, "directive outside a monitor block"))?;
+                directive(block, n, head, rest)?;
+            }
+        }
+    }
+    if let Some(block) = cur {
+        return Err(err(
+            text.lines().count(),
+            format!("monitor {:?} is missing its 'end'", block.spec.name),
+        ));
+    }
+    Ok(out)
+}
+
+fn directive(block: &mut Block, n: usize, head: &str, rest: &str) -> Result<(), TextError> {
+    match head {
+        "class" => {
+            block.spec.class = parse_class(rest)
+                .ok_or_else(|| err(n, format!("unknown monitor class {rest:?}")))?;
+        }
+        "capacity" => {
+            let v: u64 = rest.parse().map_err(|_| err(n, format!("bad capacity {rest:?}")))?;
+            block.spec.capacity = Some(v);
+        }
+        "proc" => {
+            let (name, role) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| err(n, "expected 'proc <name> <role>'"))?;
+            let role = parse_proc_role(role.trim())
+                .ok_or_else(|| err(n, format!("unknown procedure role {:?}", role.trim())))?;
+            block.spec.procedures.push(ProcedureSpec { name: name.to_string(), role });
+        }
+        "cond" => {
+            let (name, role) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| err(n, "expected 'cond <name> <role>'"))?;
+            let role = parse_cond_role(role.trim())
+                .ok_or_else(|| err(n, format!("unknown condition role {:?}", role.trim())))?;
+            block.spec.conditions.push(CondSpec { name: name.to_string(), role });
+        }
+        "order" => {
+            if rest.is_empty() {
+                return Err(err(n, "expected 'order <path expression>'"));
+            }
+            block.order = Some((n, rest.to_string()));
+        }
+        "assert" => {
+            let mut words = rest.split_whitespace();
+            let kind = words.next().ok_or_else(|| err(n, "expected 'assert <kind> ...'"))?;
+            let mut num = |what: &str| -> Result<u64, TextError> {
+                words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| err(n, format!("assert {kind}: expected {what}")))
+            };
+            let a = match kind {
+                "entry_queue_at_most" => StateAssertion::EntryQueueAtMost(num("a bound")? as usize),
+                "available_at_most" => StateAssertion::AvailableAtMost(num("a bound")?),
+                "available_at_least" => StateAssertion::AvailableAtLeast(num("a bound")?),
+                "population_at_most" => StateAssertion::PopulationAtMost(num("a bound")? as usize),
+                "excludes_pid" => StateAssertion::ExcludesPid(Pid::new(
+                    num("a pid")?
+                        .try_into()
+                        .map_err(|_| err(n, "excludes_pid: pid out of range"))?,
+                )),
+                "cond_queue_at_most" => {
+                    let cond = words
+                        .next()
+                        .ok_or_else(|| err(n, "expected 'cond_queue_at_most <cond> <bound>'"))?
+                        .to_string();
+                    let at_most = words
+                        .next()
+                        .and_then(|w| w.parse::<usize>().ok())
+                        .ok_or_else(|| err(n, "cond_queue_at_most: expected a bound"))?;
+                    // Resolved against the condition table when the
+                    // block closes (conditions may be declared later).
+                    block.cond_asserts.push(cond);
+                    block
+                        .spec
+                        .assertions
+                        .push(StateAssertion::CondQueueAtMost { cond: CondId::new(0), at_most });
+                    return check_trailing(n, kind, words);
+                }
+                _ => return Err(err(n, format!("unknown assertion kind {kind:?}"))),
+            };
+            block.spec.assertions.push(a);
+            return check_trailing(n, kind, words);
+        }
+        _ => return Err(err(n, format!("unknown directive {head:?}"))),
+    }
+    Ok(())
+}
+
+fn check_trailing(
+    n: usize,
+    kind: &str,
+    mut words: std::str::SplitWhitespace<'_>,
+) -> Result<(), TextError> {
+    match words.next() {
+        Some(extra) => Err(err(n, format!("assert {kind}: unexpected trailing {extra:?}"))),
+        None => Ok(()),
+    }
+}
+
+fn finish_block(mut block: Block, diags: &mut LintReport) -> MonitorSpec {
+    // Resolve condition names in cond_queue_at_most assertions now that
+    // the whole table is known; unknown names map to an out-of-range
+    // index so the analyzer reports RML032 instead of the parser
+    // refusing the file.
+    let mut pending = block.cond_asserts.iter();
+    for a in &mut block.spec.assertions {
+        if let StateAssertion::CondQueueAtMost { cond, .. } = a {
+            let name = pending.next().expect("one pending name per cond assert");
+            *cond = block
+                .spec
+                .conditions
+                .iter()
+                .position(|c| &c.name == name)
+                .map_or(CondId::new(block.spec.conditions.len() as u16), |i| CondId::new(i as u16));
+        }
+    }
+    if let Some((line, src)) = block.order {
+        match PathExpr::parse(&src) {
+            Ok(p) => block.spec.call_order = Some(p),
+            Err(e) => diags.diagnostics.push(Diagnostic {
+                code: DiagCode::PathSyntax,
+                monitor: block.spec.name.clone(),
+                message: format!("call order on line {line} does not parse: {e}"),
+                context: vec![("line".into(), line.to_string()), ("source".into(), src)],
+            }),
+        }
+    }
+    block.spec
+}
+
+fn parse_class(tok: &str) -> Option<MonitorClass> {
+    match tok {
+        "coordinator" | "communication-coordinator" => Some(MonitorClass::CommunicationCoordinator),
+        "allocator" | "resource-access-right-allocator" => Some(MonitorClass::ResourceAllocator),
+        "manager" | "resource-operation-manager" => Some(MonitorClass::OperationManager),
+        _ => None,
+    }
+}
+
+fn parse_proc_role(tok: &str) -> Option<ProcRole> {
+    match tok {
+        "send" => Some(ProcRole::Send),
+        "receive" => Some(ProcRole::Receive),
+        "request" => Some(ProcRole::Request),
+        "release" => Some(ProcRole::Release),
+        "plain" => Some(ProcRole::Plain),
+        _ => None,
+    }
+}
+
+fn parse_cond_role(tok: &str) -> Option<CondRole> {
+    match tok {
+        "buffer_full" | "buffer-full" => Some(CondRole::BufferFull),
+        "buffer_empty" | "buffer-empty" => Some(CondRole::BufferEmpty),
+        "unit_available" | "unit-available" => Some(CondRole::UnitAvailable),
+        "plain" => Some(CondRole::Plain),
+        _ => None,
+    }
+}
+
+/// Renders specs back to the text format. Well-formed specs round-trip
+/// through [`parse_specs`]; specs with out-of-range assertion indices
+/// render a placeholder name and will not re-parse cleanly (by design —
+/// they do not lint cleanly either).
+pub fn to_text<'a>(specs: impl IntoIterator<Item = &'a MonitorSpec>) -> String {
+    let mut out = String::new();
+    for spec in specs {
+        let _ = writeln!(out, "monitor {}", spec.name);
+        let class = match spec.class {
+            MonitorClass::CommunicationCoordinator => "coordinator",
+            MonitorClass::ResourceAllocator => "allocator",
+            MonitorClass::OperationManager => "manager",
+        };
+        let _ = writeln!(out, "  class {class}");
+        if let Some(c) = spec.capacity {
+            let _ = writeln!(out, "  capacity {c}");
+        }
+        for p in &spec.procedures {
+            let _ = writeln!(out, "  proc {} {}", p.name, proc_role_token(p.role));
+        }
+        for c in &spec.conditions {
+            let _ = writeln!(out, "  cond {} {}", c.name, cond_role_token(c.role));
+        }
+        if let Some(order) = &spec.call_order {
+            let _ = writeln!(out, "  order {}", order.source());
+        }
+        for a in &spec.assertions {
+            let rendered = match *a {
+                StateAssertion::EntryQueueAtMost(n) => format!("entry_queue_at_most {n}"),
+                StateAssertion::CondQueueAtMost { cond, at_most } => format!(
+                    "cond_queue_at_most {} {at_most}",
+                    spec.conditions.get(cond.as_usize()).map_or("<unknown>", |c| c.name.as_str())
+                ),
+                StateAssertion::AvailableAtMost(n) => format!("available_at_most {n}"),
+                StateAssertion::AvailableAtLeast(n) => format!("available_at_least {n}"),
+                StateAssertion::PopulationAtMost(n) => format!("population_at_most {n}"),
+                StateAssertion::ExcludesPid(p) => format!("excludes_pid {}", p.index()),
+            };
+            let _ = writeln!(out, "  assert {rendered}");
+        }
+        let _ = writeln!(out, "end");
+    }
+    out
+}
+
+fn proc_role_token(r: ProcRole) -> &'static str {
+    match r {
+        ProcRole::Send => "send",
+        ProcRole::Receive => "receive",
+        ProcRole::Request => "request",
+        ProcRole::Release => "release",
+        ProcRole::Plain => "plain",
+    }
+}
+
+fn cond_role_token(r: CondRole) -> &'static str {
+    match r {
+        CondRole::BufferFull => "buffer_full",
+        CondRole::BufferEmpty => "buffer_empty",
+        CondRole::UnitAvailable => "unit_available",
+        CondRole::Plain => "plain",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::analyze::{analyze, analyze_all, DiagCode};
+    use std::sync::Arc;
+
+    const FLEET: &str = "\
+# paired channel + a printer pool
+monitor mailbox
+  class coordinator
+  capacity 8
+  proc send send
+  proc receive receive
+  cond buffer_full buffer_full
+  cond buffer_empty buffer_empty
+  assert entry_queue_at_most 64
+end
+
+monitor printer
+  class allocator
+  capacity 2
+  proc acquire request
+  proc done release
+  cond free unit_available
+  order path (acquire ; done)* end
+  assert available_at_least 1
+  assert cond_queue_at_most free 16
+end
+";
+
+    #[test]
+    fn parses_a_clean_fleet() {
+        let file = parse_specs(FLEET).unwrap();
+        assert!(file.diagnostics.is_clean());
+        assert_eq!(file.specs.len(), 2);
+        let printer = &file.specs[1];
+        assert_eq!(printer.capacity, Some(2));
+        assert_eq!(
+            printer.proc_by_name("acquire").map(|p| printer.proc_role(p)),
+            Some(ProcRole::Request)
+        );
+        assert!(printer.call_order.as_ref().unwrap().accepts_names(&["acquire", "done"]));
+        let fleet = file.specs.iter().map(|s| (s.name.clone(), Some(Arc::new(s.clone()))));
+        assert!(analyze_all(fleet).is_clean());
+    }
+
+    #[test]
+    fn round_trips_through_to_text() {
+        let file = parse_specs(FLEET).unwrap();
+        let text = to_text(&file.specs);
+        let again = parse_specs(&text).unwrap();
+        assert!(again.diagnostics.is_clean());
+        assert_eq!(file.specs, again.specs);
+    }
+
+    #[test]
+    fn bad_order_becomes_rml016_not_a_parse_error() {
+        let file =
+            parse_specs("monitor m\n  class manager\n  proc op plain\n  order (op\nend\n").unwrap();
+        assert_eq!(file.specs.len(), 1);
+        assert!(file.specs[0].call_order.is_none());
+        assert_eq!(file.diagnostics.diagnostics[0].code, DiagCode::PathSyntax);
+        assert!(file.diagnostics.has_errors());
+    }
+
+    #[test]
+    fn unknown_assert_condition_maps_to_rml032() {
+        let file = parse_specs(
+            "monitor m\n  class manager\n  proc op plain\n  cond c plain\n\
+             assert cond_queue_at_most ghost 1\nend\n",
+        )
+        .unwrap();
+        let report = analyze(&file.specs[0]);
+        assert!(report.diagnostics.iter().any(|d| d.code == DiagCode::AssertUnknownCond));
+    }
+
+    #[test]
+    fn malformed_shapes_are_preserved_for_the_analyzer() {
+        // A coordinator with no capacity parses fine — and lints RML021.
+        let file = parse_specs(
+            "monitor c\n  class coordinator\n  proc send send\n  proc receive receive\nend\n",
+        )
+        .unwrap();
+        let report = analyze(&file.specs[0]);
+        assert!(report.diagnostics.iter().any(|d| d.code == DiagCode::CoordinatorCapacity));
+    }
+
+    #[test]
+    fn structural_errors_are_hard() {
+        for (text, what) in [
+            ("class manager\n", "directive outside"),
+            ("monitor a\nmonitor b\nend\n", "nested"),
+            ("end\n", "outside"),
+            ("monitor a\n", "missing its 'end'"),
+            ("monitor a\n  class widget\nend\n", "unknown monitor class"),
+            ("monitor a\n  proc x royal\nend\n", "unknown procedure role"),
+            ("monitor a\n  capacity lots\nend\n", "bad capacity"),
+            ("monitor a\n  assert vibes 3\nend\n", "unknown assertion kind"),
+            ("monitor a\n  assert entry_queue_at_most 1 2\nend\n", "trailing"),
+        ] {
+            let e = parse_specs(text).expect_err(text);
+            assert!(e.to_string().contains(what), "{text:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let file = parse_specs(
+            "# header\n\nmonitor m # trailing\n  class manager # yes\n  proc op plain\nend\n",
+        )
+        .unwrap();
+        assert_eq!(file.specs[0].name, "m");
+        assert_eq!(file.specs[0].procedures.len(), 1);
+    }
+}

@@ -247,6 +247,10 @@ struct ServiceShared {
     /// blocks or panics on a failing journal; operators watch
     /// [`DetectionService::journal_errors`].
     journal_errors: AtomicU64,
+    /// Every registration the fleet has seen, post-renaming: the
+    /// worker-announced name and the spec it resolved to (`None` for
+    /// unresolved names). Input to [`DetectionService::lint_fleet`].
+    registered: Mutex<Vec<(String, Option<Arc<MonitorSpec>>)>>,
     shutdown: AtomicBool,
 }
 
@@ -356,6 +360,7 @@ impl DetectionService {
                 verdicts: Mutex::new(Vec::new()),
                 journal: Mutex::new(None),
                 journal_errors: AtomicU64::new(0),
+                registered: Mutex::new(Vec::new()),
                 shutdown: AtomicBool::new(false),
             }),
             threads: Mutex::new(Vec::new()),
@@ -411,6 +416,22 @@ impl DetectionService {
             pending: Vec::new(),
         };
         *self.shared.journal.lock().unwrap_or_else(|e| e.into_inner()) = Some(tee);
+    }
+
+    /// Lints the fleet as registered so far: full static analysis
+    /// ([`rmon_core::spec::analyze`](rmon_core::analyze)) of every
+    /// distinct resolved declaration, plus the cross-monitor `RML04x`
+    /// checks over the post-renaming namespace — name collisions
+    /// (`RML040`), capacity drift between paired coordinator specs
+    /// (`RML041`), names the resolver could not resolve (`RML042`,
+    /// those monitors are not being checked), and duplicate
+    /// registrations of one name (`RML043`).
+    ///
+    /// Cheap and read-only: computed on demand from the registration
+    /// log, so operators can poll it while the fleet runs.
+    pub fn lint_fleet(&self) -> rmon_core::LintReport {
+        let entries = self.shared.registered.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        rmon_core::analyze_all(entries)
     }
 
     /// Journal appends that have failed so far (disk errors on the
@@ -689,7 +710,13 @@ fn session_loop(
                         .lock()
                         .unwrap_or_else(|e| e.into_inner())
                         .insert(global, monitor);
-                    match resolve(&name) {
+                    let spec = resolve(&name);
+                    shared
+                        .registered
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((name.clone(), spec.clone()));
+                    match spec {
                         Some(spec) => {
                             backend.register(global, spec, &initial, now);
                             // Journal in the global namespace, like the
@@ -951,6 +978,45 @@ mod tests {
             "verdict routed to w1",
         );
         assert!(workers[0].drain_violations().is_empty(), "w0 must not receive w1's verdicts");
+        for w in &workers {
+            w.shutdown();
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn lint_fleet_reports_duplicates_and_unresolved_names() {
+        use rmon_core::DiagCode;
+        let service = inline_service(Duration::from_secs(2));
+        let mut workers = Vec::new();
+        for name in ["w0", "w1"] {
+            let (worker_end, service_end) = duplex(1024);
+            service.attach(service_end);
+            let worker =
+                RemoteBackend::connect(worker_end, RemoteConfig::named(name), Nanos::ZERO).unwrap();
+            // Both workers announce "res" (identical spec — lint-level
+            // duplicate), and w1 also announces a name the resolver
+            // does not know (warn: that monitor is unchecked).
+            let spec = Arc::new(MonitorSpec::allocator("res", 1).spec);
+            worker.register(MonitorId::new(0), Arc::clone(&spec), &spec.empty_state(), Nanos::ZERO);
+            if name == "w1" {
+                let ghost = Arc::new(MonitorSpec::allocator("ghost", 1).spec);
+                worker.register(
+                    MonitorId::new(1),
+                    ghost.clone(),
+                    &ghost.empty_state(),
+                    Nanos::ZERO,
+                );
+            }
+            workers.push(worker);
+        }
+        wait_until(|| service.lint_fleet().diagnostics.len() >= 2, "registrations recorded");
+
+        let report = service.lint_fleet();
+        let codes: Vec<DiagCode> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&DiagCode::FleetDuplicateRegistration), "{report}");
+        assert!(codes.contains(&DiagCode::FleetUnresolved), "{report}");
+        assert!(!report.has_errors(), "{report}");
         for w in &workers {
             w.shutdown();
         }

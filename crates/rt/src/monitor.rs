@@ -26,13 +26,15 @@ use std::sync::Weak;
 /// # Examples
 ///
 /// ```
-/// use rmon_core::{DetectorConfig, MonitorSpec, ProcRole};
+/// use rmon_core::DetectorConfig;
 /// use rmon_rt::{Monitor, Runtime};
 ///
 /// let rt = Runtime::new(DetectorConfig::default());
-/// let spec = MonitorSpec::builder("counter", rmon_core::MonitorClass::OperationManager)
-///     .procedure("bump", ProcRole::Plain)
-///     .build();
+/// let spec = rmon_core::monitor_spec! {
+///     name: "counter",
+///     class: OperationManager,
+///     procedures: { bump: Plain },
+/// };
 /// let mon: Monitor<u64> = Monitor::new(&rt, spec, 0);
 /// let bump = mon.spec().proc_by_name("bump").unwrap();
 ///
@@ -210,13 +212,15 @@ impl<'m, T> Drop for MonitorGuard<'m, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rmon_core::{DetectorConfig, MonitorClass, ProcRole, RuleId};
+    use rmon_core::{DetectorConfig, RuleId};
     use std::time::Duration;
 
     fn plain_spec() -> MonitorSpec {
-        MonitorSpec::builder("cell", MonitorClass::OperationManager)
-            .procedure("op", ProcRole::Plain)
-            .build()
+        rmon_core::monitor_spec! {
+            name: "cell",
+            class: OperationManager,
+            procedures: { op: Plain },
+        }
     }
 
     fn quick_rt() -> Runtime {

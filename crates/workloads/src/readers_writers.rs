@@ -3,7 +3,7 @@
 //! call order so the generalized ST-8 checking applies to a monitor
 //! that is neither a buffer nor a plain allocator.
 
-use rmon_core::{CondId, MonitorClass, MonitorSpec, PathExpr, ProcName, ProcRole};
+use rmon_core::{CondId, MonitorSpec, ProcName};
 use rmon_rt::{Monitor, MonitorError, Runtime};
 
 #[derive(Debug, Default)]
@@ -32,20 +32,28 @@ pub struct ReadersWriters {
 }
 
 impl ReadersWriters {
+    /// The readers–writers declaration, shared with the offline
+    /// linter's `--builtin` set. Duplicate names and role typos are
+    /// compile errors; the path expression and class shape are vetted
+    /// by the static analyzer at first use.
+    pub fn spec(name: &str) -> MonitorSpec {
+        rmon_core::monitor_spec! {
+            name: name,
+            class: ResourceAllocator,
+            procedures: {
+                start_read: Request,
+                end_read: Release,
+                start_write: Request,
+                end_write: Release,
+            },
+            conditions: { ok_to_read: Plain, ok_to_write: Plain },
+            call_order: "path ((start_read ; end_read) | (start_write ; end_write))* end",
+        }
+    }
+
     /// Creates the monitor in `rt`.
     pub fn new(rt: &Runtime, name: &str) -> Self {
-        let order =
-            PathExpr::parse("path ((start_read ; end_read) | (start_write ; end_write))* end")
-                .expect("readers/writers path expression parses");
-        let spec = MonitorSpec::builder(name, MonitorClass::ResourceAllocator)
-            .procedure("start_read", ProcRole::Request)
-            .procedure("end_read", ProcRole::Release)
-            .procedure("start_write", ProcRole::Request)
-            .procedure("end_write", ProcRole::Release)
-            .condition("ok_to_read", rmon_core::CondRole::Plain)
-            .condition("ok_to_write", rmon_core::CondRole::Plain)
-            .call_order(order)
-            .build();
+        let spec = Self::spec(name);
         let start_read = spec.proc_by_name("start_read").expect("declared");
         let end_read = spec.proc_by_name("end_read").expect("declared");
         let start_write = spec.proc_by_name("start_write").expect("declared");

@@ -29,8 +29,15 @@ fn main() {
     // A runtime demonstrating a *failing* assertion: declare an
     // `R# ≥ 1` reserve on a monitor whose counter gets drained to 0.
     let rt2 = Runtime::new(DetectorConfig::without_timeouts());
-    let mut spec = MonitorSpec::allocator("pool", 2).spec;
-    spec.assertions.push(StateAssertion::AvailableAtLeast(1));
+    let spec = rmon::core::monitor_spec! {
+        name: "pool",
+        class: ResourceAllocator,
+        capacity: 2,
+        procedures: { request: Request, release: Release },
+        conditions: { unit_available: UnitAvailable },
+        call_order: "path (request ; release)* end",
+        assertions: [StateAssertion::AvailableAtLeast(1)],
+    };
     let pool = rmon::rt::Monitor::new(&rt2, spec, ());
     let request = pool.spec().proc_by_name("request").expect("declared");
     for _ in 0..2 {

@@ -1,0 +1,20 @@
+# A deliberately defective fleet: CI lints this file *expecting*
+# failure, pinning the linter's non-zero exit path.
+#
+#   RML016 - the call order below does not parse
+#   RML020 - a coordinator without a Receive procedure
+#   RML021 - no declared capacity
+#   RML033 - reserve assertion over an R# counter that does not exist
+
+monitor broken_channel
+  class coordinator
+  proc send send
+  order path (send ; ghost* end
+  assert available_at_least 3
+end
+
+# RML040 - the same name bound to a structurally different declaration.
+monitor broken_channel
+  class manager
+  proc operate plain
+end

@@ -1,0 +1,29 @@
+# A small, well-formed fleet in the offline spec text format.
+# Lint it with:
+#   cargo run --release -p rmon-bench --bin rmon-lint examples/specs/fleet.mspec
+
+monitor mailbox
+  class coordinator
+  capacity 8
+  proc send send
+  proc receive receive
+  cond buffer_full buffer_full
+  cond buffer_empty buffer_empty
+  assert entry_queue_at_most 64
+end
+
+monitor printer
+  class allocator
+  capacity 2
+  proc acquire request
+  proc done release
+  cond free unit_available
+  order path (acquire ; done)* end
+  assert available_at_least 1
+  assert cond_queue_at_most free 16
+end
+
+monitor ledger
+  class manager
+  proc operate plain
+end

@@ -69,9 +69,10 @@ pub mod prelude {
         SnapshotTable,
     };
     pub use rmon_core::{
-        taxonomy, DetectorConfig, Event, EventKind, EventSink, FaultKind, FaultLevel, FaultReport,
+        analyze, analyze_all, analyze_fleet, monitor_spec, taxonomy, DetectorConfig, DiagCode,
+        Diagnostic, Event, EventKind, EventSink, FaultKind, FaultLevel, FaultReport, LintReport,
         MemorySink, Mode, MonitorClass, MonitorId, MonitorSpec, MonitorState, Nanos, PathExpr, Pid,
-        PredictMode, PredictedViolation, RuleId, VClock, Violation, ViolationSink,
+        PredictMode, PredictedViolation, RuleId, Severity, VClock, Violation, ViolationSink,
     };
     pub use rmon_net::{DetectionService, RemoteBackend, RemoteConfig};
     pub use rmon_rt::{

@@ -23,7 +23,9 @@ use std::time::Duration;
 const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 
 fn cfg() -> DetectorConfig {
-    DetectorConfig::without_timeouts()
+    // strict_specs exercises the registration-time lint gate on every
+    // backend: equivalence must hold with the gate armed.
+    DetectorConfig { strict_specs: true, ..DetectorConfig::without_timeouts() }
 }
 
 fn cfg_with(mode: Mode) -> DetectorConfig {

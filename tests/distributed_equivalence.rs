@@ -26,6 +26,12 @@ use std::time::{Duration, Instant};
 
 type Key = (MonitorId, Option<u32>, Option<u64>, String);
 
+/// Every backend in this suite runs with the registration-time lint
+/// gate armed: distributed equivalence must hold under strict_specs.
+fn strict_cfg() -> DetectorConfig {
+    DetectorConfig { strict_specs: true, ..DetectorConfig::without_timeouts() }
+}
+
 /// Canonical verdict identity, order- and duplicate-insensitive.
 fn keys(vs: &[Violation]) -> Vec<Key> {
     let mut out: Vec<Key> = vs
@@ -40,7 +46,7 @@ fn keys(vs: &[Violation]) -> Vec<Key> {
 /// The single-process ground truth: every verdict (real-time,
 /// checkpoint, predicted) from one inline run over the trace.
 fn reference_keys(fleet: &FleetTrace) -> Vec<Key> {
-    let backend = InlineBackend::new(DetectorConfig::without_timeouts());
+    let backend = InlineBackend::new(strict_cfg());
     let (report, _, _) = drive_fleet_backend(fleet, &backend);
     let mut all = report.violations.clone();
     all.extend(report.predicted.iter().map(|p| p.violation.clone()));
@@ -51,7 +57,7 @@ fn reference_keys(fleet: &FleetTrace) -> Vec<Key> {
 
 /// Both service-side backends every scenario must hold for.
 fn service_backends() -> Vec<(&'static str, Arc<dyn DetectionBackend>)> {
-    let cfg = DetectorConfig::without_timeouts();
+    let cfg = strict_cfg();
     vec![
         ("inline", Arc::new(InlineBackend::new(cfg))),
         ("sharded", Arc::new(ShardedBackend::new(cfg, ServiceConfig::new(2)))),
@@ -147,7 +153,7 @@ fn journaled_service_log_replays_equivalently() {
         let sink = Arc::new(DurableSink::open(&dir, OplogConfig::default()).unwrap());
         cfg.journal = Some(Arc::clone(&sink));
 
-        let backend = Arc::new(InlineBackend::new(DetectorConfig::without_timeouts()));
+        let backend = Arc::new(InlineBackend::new(strict_cfg()));
         let outcome = drive_fleet_distributed(&fleet, backend, &cfg);
         assert_eq!(keys(&outcome.verdicts), expected, "{scenario}: live run diverged");
 
@@ -163,13 +169,9 @@ fn journaled_service_log_replays_equivalently() {
             registered.lock().unwrap().insert(id, name.to_owned());
             by_name.get(name).cloned()
         };
-        let (replayed, read) = replay_dir(
-            &dir,
-            OplogConfig::default().max_record_bytes,
-            DetectorConfig::without_timeouts(),
-            &resolve,
-        )
-        .unwrap();
+        let (replayed, read) =
+            replay_dir(&dir, OplogConfig::default().max_record_bytes, strict_cfg(), &resolve)
+                .unwrap();
         assert!(!read.stopped_mid_log, "{scenario}: sealed segments must scan clean: {read:?}");
         assert!(replayed.matches(), "{scenario}: {:?}", replayed.mismatch());
         assert!(replayed.events_replayed > 0, "{scenario}: the log must hold the event stream");

@@ -87,14 +87,16 @@ fn e4_skip_enter_event_detected() {
 
 #[test]
 fn w3_skip_handoff_on_wait_detected() {
-    use rmon::core::{CondId, CondRole, ProcName, ProcRole};
+    use rmon::core::{CondId, ProcName};
     use rmon::rt::Monitor;
 
     let rt = rt_fast();
-    let spec = MonitorSpec::builder("m", MonitorClass::OperationManager)
-        .procedure("op", ProcRole::Plain)
-        .condition("c", CondRole::Plain)
-        .build();
+    let spec = rmon::core::monitor_spec! {
+        name: "m",
+        class: OperationManager,
+        procedures: { op: Plain },
+        conditions: { c: Plain },
+    };
     let mon: Monitor<()> = Monitor::new(&rt, spec, ());
     let op = ProcName::new(0);
     mon.arm_fault(RtFault::SkipHandoffOnWait);
